@@ -1,0 +1,60 @@
+//! Criterion bench: SL scheduling-pass throughput versus system size —
+//! the software companion to Table 3 (the hardware pass is one SL clock;
+//! here we measure the model's cost so large sweeps stay fast).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pms_bitmat::BitMatrix;
+use pms_sched::{Scheduler, SchedulerConfig};
+use std::hint::black_box;
+
+fn dense_requests(n: usize) -> BitMatrix {
+    // Every input requests four destinations — mesh-like pressure.
+    BitMatrix::from_pairs(
+        n,
+        n,
+        (0..n).flat_map(|u| (1..5).map(move |d| (u, (u + d) % n))),
+    )
+}
+
+fn bench_pass(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sl_pass");
+    for n in [16usize, 32, 64, 128, 256] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("dense", n), &n, |b, &n| {
+            let requests = dense_requests(n);
+            let mut sched = Scheduler::new(SchedulerConfig::new(n, 4));
+            b.iter(|| {
+                let report = sched.pass(black_box(&requests));
+                black_box(report.established.len());
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("quiescent", n), &n, |b, &n| {
+            // Steady state: everything established, nothing to change.
+            let requests = BitMatrix::from_pairs(n, n, (0..n).map(|u| (u, (u + 1) % n)));
+            let mut sched = Scheduler::new(SchedulerConfig::new(n, 4));
+            for _ in 0..4 {
+                sched.pass(&requests);
+            }
+            b.iter(|| {
+                let report = sched.pass(black_box(&requests));
+                black_box(report.slot);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_flush(c: &mut Criterion) {
+    c.bench_function("flush_dynamic_128", |b| {
+        let n = 128;
+        let requests = dense_requests(n);
+        let mut sched = Scheduler::new(SchedulerConfig::new(n, 4));
+        b.iter(|| {
+            sched.pass(&requests);
+            sched.flush_dynamic();
+        });
+    });
+}
+
+criterion_group!(benches, bench_pass, bench_flush);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion bench: end-to-end simulator throughput for each switching
+//! paradigm on a fixed 32-processor mesh round — the cost of one Figure-4
+//! grid cell.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pms_fabric::TorusNetwork;
+use pms_sim::{MultihopWormholeSim, Paradigm, PredictorKind, SimParams};
+use pms_workloads::{ordered_mesh, uniform, MeshSpec};
+use std::hint::black_box;
+
+fn bench_paradigms(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_mesh32");
+    group.sample_size(20);
+    let mesh = MeshSpec::for_ports(32);
+    let workload = ordered_mesh(mesh, 64, 2, 500, 100);
+    let params = SimParams::default().with_ports(32);
+    group.throughput(Throughput::Elements(workload.message_count() as u64));
+    for paradigm in [
+        Paradigm::Wormhole,
+        Paradigm::Circuit,
+        Paradigm::DynamicTdm(PredictorKind::Drop),
+        Paradigm::PreloadTdm,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(paradigm.label()),
+            &paradigm,
+            |b, paradigm| {
+                b.iter(|| {
+                    let stats = paradigm.run(black_box(&workload), black_box(&params));
+                    black_box(stats.delivered_bytes)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_multihop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_multihop32");
+    group.sample_size(20);
+    let workload = uniform(32, 128, 8, 3);
+    let params = SimParams::default().with_ports(32);
+    group.throughput(Throughput::Elements(workload.message_count() as u64));
+    group.bench_function("torus_4x4", |b| {
+        b.iter(|| {
+            let sim = MultihopWormholeSim::new(
+                black_box(&workload),
+                black_box(&params),
+                TorusNetwork::new(4, 4, 2),
+            );
+            black_box(sim.run().delivered_bytes)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_paradigms, bench_multihop);
+criterion_main!(benches);

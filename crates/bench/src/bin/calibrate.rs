@@ -1,0 +1,148 @@
+//! Calibration scratchpad: explores predictor/timeout/compute-delay
+//! parameter space on small systems so the Fig-4/Fig-5 defaults can be
+//! pinned down empirically. Not part of the published figures.
+
+use pms_sim::{CircuitSim, PredictorKind, SimParams, TdmMode, TdmSim, WormholeSim};
+use pms_workloads::{ordered_mesh, random_mesh, scatter, two_phase, MeshSpec};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let section = args.get(1).map(String::as_str).unwrap_or("mesh");
+
+    match section {
+        "mesh" => {
+            // Ordered mesh on 16 ports: sweep predictor and compute delay.
+            for &compute in &[0u64, 300, 500, 1000] {
+                for bytes in [64u32, 512] {
+                    let w = ordered_mesh(MeshSpec { rows: 4, cols: 4 }, bytes, 8, compute, 100);
+                    let params = SimParams::default().with_ports(16);
+                    let worm = WormholeSim::new(&w, &params).run();
+                    let circ = CircuitSim::new(&w, &params).run();
+                    print!(
+                        "compute={compute:>5} bytes={bytes:>4}  worm={:>5.1}% circ={:>5.1}%",
+                        worm.efficiency(0.8) * 100.0,
+                        circ.efficiency(0.8) * 100.0
+                    );
+                    for pred in [
+                        PredictorKind::Drop,
+                        PredictorKind::Timeout(400),
+                        PredictorKind::Timeout(1500),
+                        PredictorKind::Timeout(5000),
+                    ] {
+                        let t =
+                            TdmSim::new(&w, &params, TdmMode::Dynamic { predictor: pred }).run();
+                        print!("  {pred:?}={:>5.1}%", t.efficiency(0.8) * 100.0);
+                    }
+                    let p = TdmSim::new(&w, &params, TdmMode::Preload).run();
+                    println!("  preload={:>5.1}%", p.efficiency(0.8) * 100.0);
+                }
+            }
+        }
+        "mesh128" => {
+            let mesh = MeshSpec { rows: 8, cols: 16 };
+            let params = SimParams::default();
+            for &compute in &[0u64, 500] {
+                for bytes in [64u32, 512] {
+                    let w = ordered_mesh(mesh, bytes, 4, compute, 100);
+                    let worm = WormholeSim::new(&w, &params).run();
+                    let circ = CircuitSim::new(&w, &params).run();
+                    let dynamic = TdmSim::new(
+                        &w,
+                        &params,
+                        TdmMode::Dynamic {
+                            predictor: PredictorKind::Timeout(1500),
+                        },
+                    )
+                    .run();
+                    let pre = TdmSim::new(&w, &params, TdmMode::Preload).run();
+                    println!(
+                        "ordered compute={compute:>4} bytes={bytes:>4} worm={:>5.1}% circ={:>5.1}% dyn={:>5.1}% pre={:>5.1}%",
+                        worm.efficiency(0.8) * 100.0,
+                        circ.efficiency(0.8) * 100.0,
+                        dynamic.efficiency(0.8) * 100.0,
+                        pre.efficiency(0.8) * 100.0,
+                    );
+                }
+            }
+        }
+        "scatter" => {
+            let params = SimParams::default();
+            for bytes in [8u32, 16, 32, 64, 128, 512, 2048] {
+                let w = scatter(128, bytes);
+                let worm = WormholeSim::new(&w, &params).run();
+                let circ = CircuitSim::new(&w, &params).run();
+                let dynamic = TdmSim::new(
+                    &w,
+                    &params,
+                    TdmMode::Dynamic {
+                        predictor: PredictorKind::Timeout(1500),
+                    },
+                )
+                .run();
+                let pre = TdmSim::new(&w, &params, TdmMode::Preload).run();
+                println!(
+                    "scatter bytes={bytes:>4} worm={:>5.1}% circ={:>5.1}% dyn={:>5.1}% pre={:>5.1}%",
+                    worm.efficiency(0.8) * 100.0,
+                    circ.efficiency(0.8) * 100.0,
+                    dynamic.efficiency(0.8) * 100.0,
+                    pre.efficiency(0.8) * 100.0,
+                );
+            }
+        }
+        "twophase" => {
+            let mesh = MeshSpec { rows: 8, cols: 16 };
+            let params = SimParams::default();
+            for bytes in [64u32, 512] {
+                let w = two_phase(mesh, bytes, 16, 500, 100, 11);
+                let worm = WormholeSim::new(&w, &params).run();
+                let circ = CircuitSim::new(&w, &params).run();
+                for pred in [
+                    PredictorKind::Drop,
+                    PredictorKind::Timeout(1500),
+                    PredictorKind::Timeout(5000),
+                ] {
+                    let d = TdmSim::new(&w, &params, TdmMode::Dynamic { predictor: pred }).run();
+                    println!(
+                        "twophase bytes={bytes:>4} {pred:?} dyn={:>5.1}%",
+                        d.efficiency(0.8) * 100.0
+                    );
+                }
+                let pre = TdmSim::new(&w, &params, TdmMode::Preload).run();
+                println!(
+                    "twophase bytes={bytes:>4} worm={:>5.1}% circ={:>5.1}% pre={:>5.1}%",
+                    worm.efficiency(0.8) * 100.0,
+                    circ.efficiency(0.8) * 100.0,
+                    pre.efficiency(0.8) * 100.0,
+                );
+            }
+        }
+        "randmesh" => {
+            let mesh = MeshSpec { rows: 8, cols: 16 };
+            let params = SimParams::default();
+            for &compute in &[0u64, 500] {
+                for bytes in [64u32, 512] {
+                    let w = random_mesh(mesh, bytes, 4, compute, 100, 17);
+                    let worm = WormholeSim::new(&w, &params).run();
+                    let circ = CircuitSim::new(&w, &params).run();
+                    let dynamic = TdmSim::new(
+                        &w,
+                        &params,
+                        TdmMode::Dynamic {
+                            predictor: PredictorKind::Timeout(1500),
+                        },
+                    )
+                    .run();
+                    let pre = TdmSim::new(&w, &params, TdmMode::Preload).run();
+                    println!(
+                        "random compute={compute:>4} bytes={bytes:>4} worm={:>5.1}% circ={:>5.1}% dyn={:>5.1}% pre={:>5.1}%",
+                        worm.efficiency(0.8) * 100.0,
+                        circ.efficiency(0.8) * 100.0,
+                        dynamic.efficiency(0.8) * 100.0,
+                        pre.efficiency(0.8) * 100.0,
+                    );
+                }
+            }
+        }
+        other => eprintln!("unknown section `{other}`"),
+    }
+}

@@ -1,0 +1,63 @@
+//! Writes the per-processor command files for any built-in pattern to a
+//! directory — the on-disk artifact the paper's simulator consumed
+//! ("contains a command file that defines the type and sequence of
+//! communications").
+//!
+//! ```text
+//! cargo run -p pms-bench --bin dump_cmdfiles -- scatter 16 64 out/
+//! cargo run -p pms-bench --bin dump_cmdfiles -- ordered-mesh 128 512 out/
+//! ```
+
+use pms_workloads::{
+    gather, hotspot, ordered_mesh, permutation, random_mesh, ring, scatter, two_phase, uniform,
+    MeshSpec, Workload,
+};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dump_cmdfiles <pattern> <ports> <bytes> <dir>\n\
+         patterns: scatter gather ring uniform hotspot permutation\n\
+                   ordered-mesh random-mesh two-phase"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() != 4 {
+        usage();
+    }
+    let pattern = args[0].as_str();
+    let ports: usize = args[1].parse().unwrap_or_else(|_| usage());
+    let bytes: u32 = args[2].parse().unwrap_or_else(|_| usage());
+    let dir = std::path::Path::new(&args[3]);
+
+    let workload: Workload = match pattern {
+        "scatter" => scatter(ports, bytes),
+        "gather" => gather(ports, bytes),
+        "ring" => ring(ports, bytes, 4),
+        "uniform" => uniform(ports, bytes, 16, 1),
+        "hotspot" => hotspot(ports, bytes, 16, 0.5, 1),
+        "permutation" => permutation(ports, bytes, 8, 1),
+        "ordered-mesh" => ordered_mesh(MeshSpec::for_ports(ports), bytes, 4, 500, 100),
+        "random-mesh" => random_mesh(MeshSpec::for_ports(ports), bytes, 4, 500, 100, 17),
+        "two-phase" => two_phase(MeshSpec::for_ports(ports), bytes, 16, 500, 100, 11),
+        _ => usage(),
+    };
+
+    std::fs::create_dir_all(dir).expect("create output directory");
+    let files = workload.to_command_files();
+    let width = files.len().to_string().len();
+    for (p, text) in files.iter().enumerate() {
+        let path = dir.join(format!("proc{p:0width$}.cmd"));
+        std::fs::write(&path, text).expect("write command file");
+    }
+    println!(
+        "wrote {} command files for `{}` ({} messages, {} bytes) to {}",
+        files.len(),
+        workload.name,
+        workload.message_count(),
+        workload.total_bytes(),
+        dir.display()
+    );
+}

@@ -1,0 +1,105 @@
+//! Regenerates **Figure 4**: bandwidth efficiency versus message size for
+//! Wormhole, Circuit, Dynamic TDM (K=4) and Preload TDM (K=4) on the four
+//! test patterns — Scatter, Random Mesh, Ordered Mesh and Two-Phase —
+//! on a 128-processor system.
+//!
+//! ```text
+//! cargo run --release -p pms-bench --bin fig4 [--quick]
+//! ```
+//!
+//! `--quick` runs 32 processors with fewer sizes (CI-friendly). Results
+//! are printed as tables and written to `results/fig4.json`.
+
+use pms_bench::run_grid;
+use pms_sim::{Paradigm, PredictorKind, SimParams};
+use pms_workloads::{ordered_mesh, random_mesh, scatter, two_phase, MeshSpec, Workload};
+
+/// Per-round computation and per-message software gap used by the mesh
+/// patterns (see EXPERIMENTS.md, "calibration").
+const COMPUTE_NS: u64 = 500;
+const SEND_GAP_NS: u64 = 100;
+
+/// A named workload generator parameterized by message size.
+type PatternGen = Box<dyn Fn(u32) -> Workload>;
+
+fn paradigms() -> Vec<Paradigm> {
+    vec![
+        Paradigm::Wormhole,
+        Paradigm::Circuit,
+        Paradigm::DynamicTdm(PredictorKind::Drop),
+        Paradigm::PreloadTdm,
+    ]
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (ports, sizes): (usize, Vec<u32>) = if quick {
+        (32, vec![8, 64, 512])
+    } else {
+        (128, vec![8, 16, 32, 64, 128, 256, 512, 1024, 2048])
+    };
+    let mesh = MeshSpec::for_ports(ports);
+    let params = SimParams::default().with_ports(ports);
+    let rate = params.link.bytes_per_ns();
+
+    let patterns: Vec<(&str, PatternGen)> = vec![
+        ("Scatter", Box::new(move |b| scatter(ports, b))),
+        (
+            "Random Mesh",
+            Box::new(move |b| random_mesh(mesh, b, 4, COMPUTE_NS, SEND_GAP_NS, 17)),
+        ),
+        (
+            "Ordered Mesh",
+            Box::new(move |b| ordered_mesh(mesh, b, 4, COMPUTE_NS, SEND_GAP_NS)),
+        ),
+        (
+            "Two Phase",
+            Box::new(move |b| two_phase(mesh, b, 16, COMPUTE_NS, SEND_GAP_NS, 11)),
+        ),
+    ];
+
+    let mut json = serde_json::Map::new();
+    for (name, gen) in &patterns {
+        let jobs: Vec<(u64, Workload, Paradigm)> = sizes
+            .iter()
+            .flat_map(|&b| paradigms().into_iter().map(move |p| (b as u64, gen(b), p)))
+            .collect();
+        let table = run_grid(jobs, &params);
+        println!("Figure 4 — {name} (efficiency, {ports} processors, K=4)");
+        println!("{}", table.render("msg bytes", rate));
+
+        let mut rows = Vec::new();
+        for cell in &table.cells {
+            rows.push(serde_json::json!({
+                "bytes": cell.row,
+                "paradigm": cell.col,
+                "efficiency": cell.stats.efficiency(rate),
+                "mean_latency_ns": cell.stats.mean_latency_ns(),
+                "makespan_ns": cell.stats.makespan_ns,
+                "delivered_bytes": cell.stats.delivered_bytes,
+            }));
+        }
+        json.insert(name.to_string(), serde_json::Value::Array(rows));
+
+        // Shape checks from the §5 prose, reported inline.
+        if *name == "Scatter" && !quick {
+            let e = |b: u64, c: &str| table.efficiency(b, c, rate).unwrap();
+            println!(
+                "  shape: knee 32->64 B (dynamic-tdm {:.0}% -> {:.0}%), flat 64->2048 ({:.0}% -> {:.0}%), |pre-dyn|@64 = {:.1} pts",
+                e(32, "dynamic-tdm") * 100.0,
+                e(64, "dynamic-tdm") * 100.0,
+                e(64, "dynamic-tdm") * 100.0,
+                e(2048, "dynamic-tdm") * 100.0,
+                (e(64, "preload-tdm") - e(64, "dynamic-tdm")).abs() * 100.0,
+            );
+        }
+    }
+
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write(
+        "results/fig4.json",
+        serde_json::to_string_pretty(&serde_json::Value::Object(json)).unwrap(),
+    )
+    .expect("write results/fig4.json");
+    println!("results written to results/fig4.json");
+}

@@ -1,0 +1,170 @@
+//! `simulate` — run any built-in pattern under any switching paradigm from
+//! the command line and print the full statistics block.
+//!
+//! ```text
+//! cargo run --release -p pms-bench --bin simulate -- \
+//!     --pattern ordered-mesh --ports 128 --bytes 512 --paradigm preload
+//! ```
+
+use pms_sim::{Paradigm, PredictorKind, SimParams};
+use pms_workloads::{
+    butterfly, gather, hotspot, ordered_mesh, permutation, random_mesh, ring, scatter, stencil3d,
+    transpose, two_phase, uniform, MeshSpec, Workload,
+};
+
+struct Args {
+    pattern: String,
+    ports: usize,
+    bytes: u32,
+    paradigm: String,
+    slots: usize,
+    timeout_ns: u64,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        pattern: "ordered-mesh".into(),
+        ports: 128,
+        bytes: 64,
+        paradigm: "dynamic".into(),
+        slots: 4,
+        timeout_ns: 0,
+        seed: 17,
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| -> &str {
+            argv.get(i + 1)
+                .map(String::as_str)
+                .unwrap_or_else(|| usage())
+        };
+        match argv[i].as_str() {
+            "--pattern" => args.pattern = value(i).to_string(),
+            "--ports" => args.ports = value(i).parse().unwrap_or_else(|_| usage()),
+            "--bytes" => args.bytes = value(i).parse().unwrap_or_else(|_| usage()),
+            "--paradigm" => args.paradigm = value(i).to_string(),
+            "--slots" => args.slots = value(i).parse().unwrap_or_else(|_| usage()),
+            "--timeout" => args.timeout_ns = value(i).parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value(i).parse().unwrap_or_else(|_| usage()),
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                usage()
+            }
+        }
+        i += 2;
+    }
+    args
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: simulate [--pattern P] [--ports N] [--bytes B] [--paradigm X]\n\
+         \x20               [--slots K] [--timeout NS] [--seed S]\n\
+         patterns : scatter gather ring uniform hotspot permutation butterfly\n\
+         \x20          transpose stencil3d ordered-mesh random-mesh two-phase\n\
+         paradigms: wormhole circuit dynamic preload hybrid0 hybrid1 hybrid2"
+    );
+    std::process::exit(2);
+}
+
+fn build_workload(a: &Args) -> Workload {
+    // `dir:<path>` loads per-processor command files (as written by the
+    // dump_cmdfiles tool) instead of generating a pattern.
+    if let Some(dir) = a.pattern.strip_prefix("dir:") {
+        let mut paths: Vec<_> = std::fs::read_dir(dir)
+            .unwrap_or_else(|e| panic!("cannot read {dir}: {e}"))
+            .map(|e| e.expect("dir entry").path())
+            .filter(|p| p.extension().is_some_and(|x| x == "cmd"))
+            .collect();
+        paths.sort();
+        assert!(!paths.is_empty(), "no .cmd files in {dir}");
+        let files: Vec<String> = paths
+            .iter()
+            .map(|p| std::fs::read_to_string(p).expect("readable command file"))
+            .collect();
+        return Workload::from_command_files(format!("dir:{dir}"), &files)
+            .unwrap_or_else(|(p, e)| panic!("processor {p}: {e}"));
+    }
+    let mesh = || MeshSpec::for_ports(a.ports);
+    match a.pattern.as_str() {
+        "scatter" => scatter(a.ports, a.bytes),
+        "gather" => gather(a.ports, a.bytes),
+        "ring" => ring(a.ports, a.bytes, 4),
+        "uniform" => uniform(a.ports, a.bytes, 16, a.seed),
+        "hotspot" => hotspot(a.ports, a.bytes, 16, 0.5, a.seed),
+        "permutation" => permutation(a.ports, a.bytes, 8, a.seed),
+        "butterfly" => butterfly(a.ports, a.bytes),
+        "transpose" => {
+            let m = (a.ports as f64).sqrt() as usize;
+            assert_eq!(m * m, a.ports, "transpose needs a square port count");
+            transpose(m, a.bytes, 2)
+        }
+        "stencil3d" => {
+            let s = (a.ports as f64).cbrt().round() as usize;
+            assert_eq!(s * s * s, a.ports, "stencil3d needs a cubic port count");
+            stencil3d(s, s, s, a.bytes, 2)
+        }
+        "ordered-mesh" => ordered_mesh(mesh(), a.bytes, 4, 500, 100),
+        "random-mesh" => random_mesh(mesh(), a.bytes, 4, 500, 100, a.seed),
+        "two-phase" => two_phase(mesh(), a.bytes, 16, 500, 100, a.seed),
+        _ => usage(),
+    }
+}
+
+fn build_paradigm(a: &Args) -> Paradigm {
+    let predictor = if a.timeout_ns > 0 {
+        PredictorKind::Timeout(a.timeout_ns)
+    } else {
+        PredictorKind::Drop
+    };
+    match a.paradigm.as_str() {
+        "wormhole" => Paradigm::Wormhole,
+        "circuit" => Paradigm::Circuit,
+        "dynamic" => Paradigm::DynamicTdm(predictor),
+        "preload" => Paradigm::PreloadTdm,
+        "hybrid0" | "hybrid1" | "hybrid2" => Paradigm::HybridTdm {
+            preload_slots: (a.paradigm.as_bytes()[6] - b'0') as usize,
+            predictor,
+        },
+        _ => usage(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let workload = build_workload(&args);
+    let paradigm = build_paradigm(&args);
+    let params = SimParams::default()
+        .with_ports(args.ports)
+        .with_tdm_slots(args.slots);
+    let rate = params.link.bytes_per_ns();
+
+    let stats = paradigm.run(&workload, &params);
+    println!("workload     : {}", stats.workload);
+    println!("paradigm     : {}", stats.paradigm);
+    println!("messages     : {}", stats.delivered_messages);
+    println!("bytes        : {}", stats.delivered_bytes);
+    println!("makespan     : {} ns", stats.makespan_ns);
+    println!("efficiency   : {:.1} %", stats.efficiency(rate) * 100.0);
+    println!(
+        "throughput   : {:.3} B/ns aggregate",
+        stats.throughput_bytes_per_ns()
+    );
+    println!(
+        "latency      : mean {:.0} ns, p50 {} ns, p99 {} ns, max {} ns",
+        stats.mean_latency_ns(),
+        stats.p50_latency_ns(),
+        stats.p99_latency_ns(),
+        stats.max_latency_ns
+    );
+    println!("sched passes : {}", stats.sched_passes);
+    println!("established  : {}", stats.connections_established);
+    println!("evictions    : {}", stats.predictor_evictions);
+    println!("preloads     : {}", stats.preload_loads);
+    if let Some(rate) = stats.working_set_hit_rate() {
+        println!("ws hit rate  : {:.1} %", rate * 100.0);
+    }
+}

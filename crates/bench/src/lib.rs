@@ -1,0 +1,18 @@
+//! Experiment harness for regenerating every table and figure of the
+//! paper's evaluation (§5).
+//!
+//! Binaries:
+//!
+//! * `table3` — the scheduler-latency table (structural timing model);
+//! * `fig4` — efficiency vs message size for the four switching paradigms
+//!   on Scatter, Random Mesh, Ordered Mesh, and Two-Phase;
+//! * `fig5` — the hybrid preload/dynamic determinism sweep;
+//! * `table_logic` — Tables 1 and 2 (the scheduling logic truth tables);
+//! * `ablate` — ablations: coloring algorithms, predictor policies,
+//!   priority rotation.
+//!
+//! The library part holds the shared sweep driver so binaries stay thin.
+
+pub mod sweep;
+
+pub use sweep::{run_grid, Cell, FigureTable};

@@ -1,0 +1,141 @@
+//! Parallel sweep driver: run (workload, paradigm) grids across threads.
+//!
+//! Every grid cell is an independent deterministic simulation, so the
+//! sweep parallelizes with scoped threads; results land in a shared table
+//! behind a mutex (crossbeam for structure, parking_lot for the lock —
+//! see DESIGN.md §7).
+
+use parking_lot::Mutex;
+use pms_sim::{Paradigm, SimParams, SimStats};
+use pms_workloads::Workload;
+
+/// One completed grid cell.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Row key (e.g. message size).
+    pub row: u64,
+    /// Column label (paradigm).
+    pub col: String,
+    /// Simulation results.
+    pub stats: SimStats,
+}
+
+/// A rows x columns result table for one figure.
+#[derive(Debug, Clone, Default)]
+pub struct FigureTable {
+    /// All cells, sorted by (row, col).
+    pub cells: Vec<Cell>,
+}
+
+impl FigureTable {
+    /// The efficiency value at (row, col), if present.
+    pub fn efficiency(&self, row: u64, col: &str, rate: f64) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| c.row == row && c.col == col)
+            .map(|c| c.stats.efficiency(rate))
+    }
+
+    /// Distinct row keys, ascending.
+    pub fn rows(&self) -> Vec<u64> {
+        let mut rows: Vec<u64> = self.cells.iter().map(|c| c.row).collect();
+        rows.sort_unstable();
+        rows.dedup();
+        rows
+    }
+
+    /// Distinct column labels, in first-seen order.
+    pub fn cols(&self) -> Vec<String> {
+        let mut cols = Vec::new();
+        for c in &self.cells {
+            if !cols.iter().any(|x| x == &c.col) {
+                cols.push(c.col.clone());
+            }
+        }
+        cols
+    }
+
+    /// Renders the table with efficiencies in percent.
+    pub fn render(&self, row_header: &str, rate: f64) -> String {
+        let cols = self.cols();
+        let mut out = String::new();
+        out.push_str(&format!("{row_header:>10}"));
+        for c in &cols {
+            out.push_str(&format!(" {c:>14}"));
+        }
+        out.push('\n');
+        for row in self.rows() {
+            out.push_str(&format!("{row:>10}"));
+            for c in &cols {
+                match self.efficiency(row, c, rate) {
+                    Some(e) => out.push_str(&format!(" {:>13.1}%", e * 100.0)),
+                    None => out.push_str(&format!(" {:>14}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Runs the full `(row, workload) x paradigm` grid in parallel and returns
+/// the sorted result table.
+pub fn run_grid(jobs: Vec<(u64, Workload, Paradigm)>, params: &SimParams) -> FigureTable {
+    let results = Mutex::new(Vec::with_capacity(jobs.len()));
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(jobs.len().max(1));
+    let queue = Mutex::new(jobs.into_iter());
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let job = queue.lock().next();
+                let Some((row, workload, paradigm)) = job else {
+                    break;
+                };
+                let p = params.clone().with_ports(workload.ports);
+                let stats = paradigm.run(&workload, &p);
+                results.lock().push(Cell {
+                    row,
+                    col: paradigm.label(),
+                    stats,
+                });
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+    let mut cells = results.into_inner();
+    cells.sort_by(|a, b| (a.row, &a.col).cmp(&(b.row, &b.col)));
+    FigureTable { cells }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pms_sim::PredictorKind;
+    use pms_workloads::scatter;
+
+    #[test]
+    fn grid_runs_all_cells_in_parallel() {
+        let jobs: Vec<(u64, Workload, Paradigm)> = [8u64, 64]
+            .iter()
+            .flat_map(|&b| {
+                [
+                    Paradigm::Wormhole,
+                    Paradigm::DynamicTdm(PredictorKind::Drop),
+                ]
+                .into_iter()
+                .map(move |p| (b, scatter(8, b as u32), p))
+            })
+            .collect();
+        let table = run_grid(jobs, &SimParams::default().with_ports(8));
+        assert_eq!(table.cells.len(), 4);
+        assert_eq!(table.rows(), vec![8, 64]);
+        assert_eq!(table.cols().len(), 2);
+        assert!(table.efficiency(64, "wormhole", 0.8).unwrap() > 0.0);
+        let rendered = table.render("bytes", 0.8);
+        assert!(rendered.contains("wormhole"));
+        assert!(rendered.contains('%'));
+    }
+}

@@ -1,0 +1,72 @@
+//! Bit-vector and bit-matrix kernel for the PMS switch models.
+//!
+//! The scheduler in the paper operates on Boolean matrices: the request
+//! matrix `R`, the per-slot configuration matrices `B^(0)..B^(K-1)`, their
+//! union `B* = B^(0) | ... | B^(K-1)`, and the availability vectors
+//! `AO` (OR of columns) and `AI` (OR of rows).  This crate provides the two
+//! data types those computations need:
+//!
+//! * [`BitVec`] — a fixed-length bit vector packed into `u64` words;
+//! * [`BitMatrix`] — a dense `rows x cols` Boolean matrix with word-parallel
+//!   row operations and the partial-permutation checks a crossbar
+//!   configuration must satisfy.
+//!
+//! Both types are deliberately simple, allocation-stable (no growth after
+//! construction) and word-parallel where it matters: ORing two 128x128
+//! matrices touches 256 words, not 16384 bits.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitvec;
+mod matrix;
+
+pub use bitvec::BitVec;
+pub use matrix::BitMatrix;
+
+/// Number of bits per storage word.
+pub(crate) const WORD_BITS: usize = 64;
+
+/// Number of `u64` words needed to hold `bits` bits.
+#[inline]
+pub(crate) fn words_for(bits: usize) -> usize {
+    bits.div_ceil(WORD_BITS)
+}
+
+/// Mask selecting the valid bits of the last word of a `bits`-bit vector.
+///
+/// All bits are valid when `bits` is a multiple of 64 (including 0 words).
+#[inline]
+pub(crate) fn tail_mask(bits: usize) -> u64 {
+    let rem = bits % WORD_BITS;
+    if rem == 0 {
+        u64::MAX
+    } else {
+        (1u64 << rem) - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_for_boundaries() {
+        assert_eq!(words_for(0), 0);
+        assert_eq!(words_for(1), 1);
+        assert_eq!(words_for(63), 1);
+        assert_eq!(words_for(64), 1);
+        assert_eq!(words_for(65), 2);
+        assert_eq!(words_for(128), 2);
+        assert_eq!(words_for(129), 3);
+    }
+
+    #[test]
+    fn tail_mask_boundaries() {
+        assert_eq!(tail_mask(64), u64::MAX);
+        assert_eq!(tail_mask(128), u64::MAX);
+        assert_eq!(tail_mask(1), 1);
+        assert_eq!(tail_mask(3), 0b111);
+        assert_eq!(tail_mask(63), u64::MAX >> 1);
+    }
+}

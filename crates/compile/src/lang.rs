@@ -1,0 +1,258 @@
+//! A miniature structured source language for compiled communication
+//! (§3.1, §3.3).
+//!
+//! The paper assumes "the compiler can identify the appropriate
+//! communication working sets when such an identification is possible" and
+//! describes concretely what it does with program structure:
+//!
+//! * loop bodies have stable communication patterns, so consecutive loops
+//!   with *different* patterns get a **flush** inserted between them
+//!   ("even if the compiler cannot detect the patterns themselves, it can
+//!   insert an instruction in the code that flushes all current
+//!   connections in the network between the two loops");
+//! * statically known patterns are **preloaded** before use;
+//! * a loop whose pattern depends on an `if` condition yields a
+//!   **second-level working set** "swapped in only when the conditional
+//!   is true".
+//!
+//! [`SourceProgram`] is the AST those passes operate on; analysis lives in
+//! [`regions`](crate::regions) and lowering in [`lower`](crate::lower).
+
+use crate::WorkingSet;
+use pms_workloads::MeshSpec;
+
+/// A symbolic communication pattern, resolvable to concrete connection
+/// edges once the processor count is known.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommPattern {
+    /// Every processor `p` sends to `p + k (mod n)`.
+    Shift(isize),
+    /// Four-neighbor exchange on an `rows x cols` torus.
+    Neighbors2D {
+        /// Mesh rows.
+        rows: usize,
+        /// Mesh columns.
+        cols: usize,
+    },
+    /// Processor `(r, c)` of an `m x m` grid sends to `(c, r)`.
+    Transpose {
+        /// Grid side length.
+        m: usize,
+    },
+    /// Every processor sends to every other processor (staggered).
+    AllToAll,
+    /// Explicit edge list.
+    Custom(Vec<(usize, usize)>),
+}
+
+impl CommPattern {
+    /// The destinations processor `p` sends to, in send order.
+    ///
+    /// # Panics
+    /// Panics if the pattern does not fit `n` processors.
+    pub fn sends_for(&self, p: usize, n: usize) -> Vec<usize> {
+        match self {
+            CommPattern::Shift(k) => {
+                let dst = ((p as isize + k).rem_euclid(n as isize)) as usize;
+                if dst == p {
+                    Vec::new()
+                } else {
+                    vec![dst]
+                }
+            }
+            CommPattern::Neighbors2D { rows, cols } => {
+                assert_eq!(rows * cols, n, "mesh must cover all processors");
+                let mesh = MeshSpec {
+                    rows: *rows,
+                    cols: *cols,
+                };
+                mesh.neighbors(p).into_iter().filter(|&d| d != p).collect()
+            }
+            CommPattern::Transpose { m } => {
+                assert_eq!(m * m, n, "transpose grid must cover all processors");
+                let (r, c) = (p / m, p % m);
+                let dst = c * m + r;
+                if dst == p {
+                    Vec::new()
+                } else {
+                    vec![dst]
+                }
+            }
+            CommPattern::AllToAll => (1..n).map(|k| (p + k) % n).collect(),
+            CommPattern::Custom(edges) => edges
+                .iter()
+                .filter(|&&(u, _)| u == p)
+                .map(|&(_, v)| v)
+                .collect(),
+        }
+    }
+
+    /// The full connection set of the pattern.
+    pub fn working_set(&self, n: usize) -> WorkingSet {
+        WorkingSet::from_pairs(
+            n,
+            (0..n).flat_map(|p| {
+                self.sends_for(p, n)
+                    .into_iter()
+                    .map(move |d| (p, d))
+                    .collect::<Vec<_>>()
+            }),
+        )
+    }
+}
+
+/// A run-time conditional of an [`Stmt::IfElse`]. The compiler cannot
+/// evaluate it, but the *simulated execution* must take concrete branches,
+/// so the AST carries an oracle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cond {
+    /// The branch taken every time (e.g. a configuration flag).
+    Always(bool),
+    /// Iteration `i` of the enclosing loop takes the `then` branch iff
+    /// `i % period == phase` (a deterministic stand-in for data-dependent
+    /// branches).
+    Periodic {
+        /// Branch period.
+        period: usize,
+        /// Iterations taking the `then` branch.
+        phase: usize,
+    },
+}
+
+impl Cond {
+    /// Evaluates the condition for loop iteration `i`.
+    pub fn taken(&self, i: usize) -> bool {
+        match *self {
+            Cond::Always(b) => b,
+            Cond::Periodic { period, phase } => {
+                assert!(period > 0, "period must be positive");
+                i % period == phase % period
+            }
+        }
+    }
+}
+
+/// One statement of the source program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// A collective communication with the given per-message size.
+    Comm {
+        /// The symbolic pattern.
+        pattern: CommPattern,
+        /// Per-message payload bytes.
+        bytes: u32,
+    },
+    /// Local computation for `ns` nanoseconds on every processor.
+    Compute {
+        /// Duration in nanoseconds.
+        ns: u64,
+    },
+    /// A counted loop.
+    Loop {
+        /// Iteration count.
+        times: usize,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// A data-dependent branch (§3.3's embedded `if`).
+    IfElse {
+        /// The branch oracle.
+        cond: Cond,
+        /// Statements when taken.
+        then_body: Vec<Stmt>,
+        /// Statements when not taken.
+        else_body: Vec<Stmt>,
+    },
+    /// A global barrier.
+    Barrier,
+}
+
+/// A whole source program: `ports` processors executing `body` in
+/// lockstep (SPMD).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceProgram {
+    /// Number of processors.
+    pub ports: usize,
+    /// Program body.
+    pub body: Vec<Stmt>,
+}
+
+impl SourceProgram {
+    /// Creates a program.
+    ///
+    /// # Panics
+    /// Panics if `ports < 2`.
+    pub fn new(ports: usize, body: Vec<Stmt>) -> Self {
+        assert!(ports >= 2, "need at least two processors");
+        Self { ports, body }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_pattern_edges() {
+        let ws = CommPattern::Shift(1).working_set(8);
+        assert_eq!(ws.len(), 8);
+        assert!(ws.contains(7, 0));
+        assert_eq!(ws.max_degree(), 1);
+        // Negative shifts wrap too.
+        let back = CommPattern::Shift(-1).working_set(8);
+        assert!(back.contains(0, 7));
+    }
+
+    #[test]
+    fn shift_zero_is_empty() {
+        assert!(CommPattern::Shift(0).working_set(8).is_empty());
+        assert!(CommPattern::Shift(8).working_set(8).is_empty());
+    }
+
+    #[test]
+    fn neighbors_pattern_degree_four() {
+        let ws = CommPattern::Neighbors2D { rows: 4, cols: 4 }.working_set(16);
+        assert_eq!(ws.max_degree(), 4);
+        assert_eq!(ws.len(), 64);
+    }
+
+    #[test]
+    fn transpose_pattern_skips_diagonal() {
+        let ws = CommPattern::Transpose { m: 4 }.working_set(16);
+        assert_eq!(ws.len(), 12);
+        assert!(ws.contains(1, 4));
+        assert!(!ws.contains(0, 0));
+    }
+
+    #[test]
+    fn all_to_all_degree() {
+        let ws = CommPattern::AllToAll.working_set(6);
+        assert_eq!(ws.len(), 30);
+        assert_eq!(ws.max_degree(), 5);
+    }
+
+    #[test]
+    fn custom_pattern_per_processor() {
+        let pat = CommPattern::Custom(vec![(0, 3), (0, 2), (1, 3)]);
+        assert_eq!(pat.sends_for(0, 4), vec![3, 2]);
+        assert_eq!(pat.sends_for(1, 4), vec![3]);
+        assert_eq!(pat.sends_for(2, 4), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn periodic_condition() {
+        let c = Cond::Periodic {
+            period: 3,
+            phase: 1,
+        };
+        let taken: Vec<bool> = (0..6).map(|i| c.taken(i)).collect();
+        assert_eq!(taken, vec![false, true, false, false, true, false]);
+        assert!(Cond::Always(true).taken(99));
+    }
+
+    #[test]
+    #[should_panic(expected = "mesh must cover")]
+    fn bad_mesh_geometry_panics() {
+        CommPattern::Neighbors2D { rows: 3, cols: 3 }.working_set(8);
+    }
+}

@@ -1,0 +1,42 @@
+//! Compiled communication for PMS (§2, §3.1).
+//!
+//! "A possible solution to the problem of limited network capacity is to
+//! decompose the set of connections, C, into a number of sets C_1 ... C_k,
+//! such that C = C_1 ∪ ... ∪ C_k, and each C_i can be realized in the
+//! network without conflict. Time division multiplexing can then be used to
+//! realize each set C_i periodically in a separate time slot."
+//!
+//! For a crossbar, a conflict-free set is a partial permutation, so the
+//! decomposition problem is exactly **bipartite edge coloring**: inputs and
+//! outputs are the two vertex classes, connections are edges, and each
+//! color class becomes one TDM configuration. König's theorem guarantees a
+//! Δ-coloring exists (Δ = the maximum port degree), i.e. the minimum
+//! multiplexing degree equals the busiest port's fan-in/fan-out.
+//!
+//! This crate provides:
+//!
+//! * [`WorkingSet`] — a communication working set `W^(j)` with degree
+//!   queries;
+//! * [`greedy_coloring`] — fast first-fit decomposition (≤ 2Δ−1 slots);
+//! * [`exact_coloring`] — optimal Δ-slot decomposition via alternating-path
+//!   recoloring;
+//! * [`partition_phases`] — splits a connection trace into phases whose
+//!   working sets fit a target multiplexing degree (the §2 tradeoff between
+//!   the number of phases `p` and the per-phase degree `k_j`);
+//! * [`CompiledProgram`] — the per-phase preload schedule handed to the
+//!   scheduler.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coloring;
+pub mod lang;
+mod lower;
+mod phases;
+mod working_set;
+
+pub use coloring::{exact_coloring, greedy_coloring, validate_decomposition};
+pub use lang::{CommPattern, Cond, SourceProgram, Stmt};
+pub use lower::{lower, regions, CompileOptions, LoweringReport};
+pub use phases::{partition_phases, CompiledPhase, CompiledProgram};
+pub use working_set::WorkingSet;

@@ -1,0 +1,399 @@
+//! Compilation passes: region analysis, flush insertion, preload
+//! insertion, and lowering to per-processor command files.
+//!
+//! The §3.3 transformation, mechanized: walking the program's concrete
+//! execution, every change of communication working set is a *region
+//! boundary*; at each boundary the compiler may insert a network **flush**
+//! (so the next region never mis-trains on the previous one) and a
+//! **preload** of the new region's TDM decomposition (so its connections
+//! are established before they are used).
+
+use crate::coloring::exact_coloring;
+use crate::lang::{SourceProgram, Stmt};
+use crate::WorkingSet;
+use pms_bitmat::BitMatrix;
+use pms_workloads::{Command, Program, Workload};
+
+/// Options for [`lower`].
+#[derive(Debug, Clone, Copy)]
+pub struct CompileOptions {
+    /// Network multiplexing degree `K`: regions needing more slots are
+    /// left to dynamic scheduling.
+    pub k_max: usize,
+    /// Insert a flush command at every region boundary (§3.3).
+    pub insert_flushes: bool,
+    /// Insert preload commands for regions whose decomposition fits
+    /// `k_max` (§3.1).
+    pub insert_preloads: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        Self {
+            k_max: 4,
+            insert_flushes: true,
+            insert_preloads: true,
+        }
+    }
+}
+
+/// The conservative static region analysis: the sequence of distinct
+/// communication working sets the program moves through, with loops
+/// contributing the union of their bodies as a single region (the §3.3
+/// "pattern per loop structure" view). `IfElse` contributes both branches.
+pub fn regions(prog: &SourceProgram) -> Vec<WorkingSet> {
+    let mut out: Vec<WorkingSet> = Vec::new();
+    collect_regions(&prog.body, prog.ports, &mut out);
+    out
+}
+
+fn collect_regions(stmts: &[Stmt], n: usize, out: &mut Vec<WorkingSet>) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::Comm { pattern, .. } => push_region(out, pattern.working_set(n)),
+            Stmt::Compute { .. } | Stmt::Barrier => {}
+            Stmt::Loop { body, .. } => {
+                // A loop is one region: the union of its communications.
+                let mut inner = Vec::new();
+                collect_regions(body, n, &mut inner);
+                if let Some(union) = inner.into_iter().reduce(|a, b| a.union(&b)) {
+                    push_region(out, union);
+                }
+            }
+            Stmt::IfElse {
+                then_body,
+                else_body,
+                ..
+            } => {
+                let mut inner = Vec::new();
+                collect_regions(then_body, n, &mut inner);
+                collect_regions(else_body, n, &mut inner);
+                if let Some(union) = inner.into_iter().reduce(|a, b| a.union(&b)) {
+                    push_region(out, union);
+                }
+            }
+        }
+    }
+}
+
+fn push_region(out: &mut Vec<WorkingSet>, ws: WorkingSet) {
+    if ws.is_empty() {
+        return;
+    }
+    if out.last() != Some(&ws) {
+        out.push(ws);
+    }
+}
+
+/// Lowering state: per-processor programs plus directive bookkeeping.
+struct Lowering {
+    n: usize,
+    programs: Vec<Program>,
+    patterns: Vec<Vec<BitMatrix>>,
+    /// Pattern id per already-compiled working set (regions repeat in
+    /// loops; their preloads are reused).
+    pattern_cache: Vec<(WorkingSet, usize)>,
+    current: WorkingSet,
+    opts: CompileOptions,
+    flushes_inserted: usize,
+    preloads_inserted: usize,
+}
+
+impl Lowering {
+    fn boundary(&mut self, next: &WorkingSet) {
+        if &self.current == next {
+            return;
+        }
+        if self.opts.insert_flushes && !self.current.is_empty() {
+            self.programs[0].cmds.push(Command::Flush);
+            self.flushes_inserted += 1;
+        }
+        if self.opts.insert_preloads {
+            let degree = next.max_degree();
+            if degree > 0 && degree <= self.opts.k_max {
+                let id = self.pattern_id(next);
+                self.programs[0].cmds.push(Command::Preload { pattern: id });
+                self.preloads_inserted += 1;
+            }
+        }
+        self.current = next.clone();
+    }
+
+    fn pattern_id(&mut self, ws: &WorkingSet) -> usize {
+        if let Some((_, id)) = self.pattern_cache.iter().find(|(w, _)| w == ws) {
+            return *id;
+        }
+        let id = self.patterns.len();
+        self.patterns.push(exact_coloring(ws));
+        self.pattern_cache.push((ws.clone(), id));
+        id
+    }
+
+    fn walk(&mut self, stmts: &[Stmt], iteration: usize) {
+        for stmt in stmts {
+            match stmt {
+                Stmt::Comm { pattern, bytes } => {
+                    let ws = pattern.working_set(self.n);
+                    if !ws.is_empty() {
+                        self.boundary(&ws);
+                    }
+                    for p in 0..self.n {
+                        for dst in pattern.sends_for(p, self.n) {
+                            self.programs[p].send(dst, *bytes);
+                        }
+                    }
+                }
+                Stmt::Compute { ns } => {
+                    for prog in &mut self.programs {
+                        prog.delay(*ns);
+                    }
+                }
+                Stmt::Barrier => {
+                    for prog in &mut self.programs {
+                        prog.barrier();
+                    }
+                }
+                Stmt::Loop { times, body } => {
+                    for i in 0..*times {
+                        self.walk(body, i);
+                    }
+                }
+                Stmt::IfElse {
+                    cond,
+                    then_body,
+                    else_body,
+                } => {
+                    if cond.taken(iteration) {
+                        self.walk(then_body, iteration);
+                    } else {
+                        self.walk(else_body, iteration);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Statistics about the directives a compilation inserted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LoweringReport {
+    /// Flush commands inserted at region boundaries.
+    pub flushes: usize,
+    /// Preload commands inserted.
+    pub preloads: usize,
+    /// Distinct preloadable patterns compiled.
+    pub patterns: usize,
+}
+
+/// Compiles a [`SourceProgram`] into a runnable [`Workload`]: concrete
+/// per-processor command files with flush/preload directives at region
+/// boundaries, plus the compiled pattern table.
+///
+/// ```
+/// use pms_compile::lang::{CommPattern, SourceProgram, Stmt};
+/// use pms_compile::{lower, CompileOptions};
+///
+/// // The §3.3 example: two consecutive loops with different patterns.
+/// let loop_of = |k| Stmt::Loop {
+///     times: 3,
+///     body: vec![Stmt::Comm { pattern: CommPattern::Shift(k), bytes: 64 }],
+/// };
+/// let prog = SourceProgram::new(8, vec![loop_of(1), loop_of(3)]);
+/// let (workload, report) = lower(&prog, CompileOptions::default());
+/// assert_eq!(report.flushes, 1);   // one flush between the loops
+/// assert_eq!(report.preloads, 2);  // each loop's pattern preloaded once
+/// assert_eq!(workload.message_count(), 8 * 6);
+/// ```
+pub fn lower(prog: &SourceProgram, opts: CompileOptions) -> (Workload, LoweringReport) {
+    assert!(opts.k_max >= 1, "need at least one slot");
+    let mut st = Lowering {
+        n: prog.ports,
+        programs: vec![Program::new(); prog.ports],
+        patterns: Vec::new(),
+        pattern_cache: Vec::new(),
+        current: WorkingSet::new(prog.ports),
+        opts,
+        flushes_inserted: 0,
+        preloads_inserted: 0,
+    };
+    st.walk(&prog.body, 0);
+    let report = LoweringReport {
+        flushes: st.flushes_inserted,
+        preloads: st.preloads_inserted,
+        patterns: st.patterns.len(),
+    };
+    let workload = Workload::new(format!("compiled/{}p", prog.ports), prog.ports, st.programs)
+        .with_patterns(st.patterns);
+    (workload, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lang::{CommPattern, Cond};
+
+    fn comm(pattern: CommPattern) -> Stmt {
+        Stmt::Comm { pattern, bytes: 64 }
+    }
+
+    #[test]
+    fn consecutive_loops_get_one_flush_between() {
+        // The §3.3 example: two loops with different patterns.
+        let prog = SourceProgram::new(
+            8,
+            vec![
+                Stmt::Loop {
+                    times: 3,
+                    body: vec![comm(CommPattern::Shift(1)), Stmt::Compute { ns: 200 }],
+                },
+                Stmt::Loop {
+                    times: 3,
+                    body: vec![comm(CommPattern::Shift(3)), Stmt::Compute { ns: 200 }],
+                },
+            ],
+        );
+        let (workload, report) = lower(&prog, CompileOptions::default());
+        // One boundary entering the first loop (preload only) and one
+        // between the loops (flush + preload).
+        assert_eq!(report.flushes, 1);
+        assert_eq!(report.preloads, 2);
+        assert_eq!(report.patterns, 2);
+        let flushes = workload.programs[0]
+            .cmds
+            .iter()
+            .filter(|c| matches!(c, Command::Flush))
+            .count();
+        assert_eq!(flushes, 1);
+        assert_eq!(workload.message_count(), 8 * 6);
+    }
+
+    #[test]
+    fn repeated_pattern_in_loop_is_one_region() {
+        let prog = SourceProgram::new(
+            8,
+            vec![Stmt::Loop {
+                times: 10,
+                body: vec![comm(CommPattern::Shift(1))],
+            }],
+        );
+        let (_, report) = lower(&prog, CompileOptions::default());
+        assert_eq!(report.flushes, 0, "stable pattern needs no flush");
+        assert_eq!(report.preloads, 1, "preloaded once, reused 10 times");
+    }
+
+    #[test]
+    fn alternating_patterns_reuse_cached_preloads() {
+        // A;B;A;B... reconfigures every iteration but compiles only two
+        // patterns.
+        let prog = SourceProgram::new(
+            8,
+            vec![Stmt::Loop {
+                times: 4,
+                body: vec![comm(CommPattern::Shift(1)), comm(CommPattern::Shift(2))],
+            }],
+        );
+        let (_, report) = lower(&prog, CompileOptions::default());
+        assert_eq!(report.patterns, 2, "pattern cache must deduplicate");
+        assert_eq!(report.preloads, 8, "one per boundary");
+        assert_eq!(report.flushes, 7, "every boundary after the first");
+    }
+
+    #[test]
+    fn oversized_regions_are_left_dynamic() {
+        // All-to-all on 8 ports needs 7 slots > k_max = 4: no preload.
+        let prog = SourceProgram::new(8, vec![comm(CommPattern::AllToAll)]);
+        let (w, report) = lower(&prog, CompileOptions::default());
+        assert_eq!(report.preloads, 0);
+        assert_eq!(report.patterns, 0);
+        assert_eq!(w.message_count(), 8 * 7);
+    }
+
+    #[test]
+    fn conditional_branches_lower_concretely() {
+        // Every third iteration swaps in the transpose pattern (§3.3's
+        // second-level working set).
+        let prog = SourceProgram::new(
+            16,
+            vec![Stmt::Loop {
+                times: 6,
+                body: vec![Stmt::IfElse {
+                    cond: Cond::Periodic {
+                        period: 3,
+                        phase: 2,
+                    },
+                    then_body: vec![comm(CommPattern::Transpose { m: 4 })],
+                    else_body: vec![comm(CommPattern::Neighbors2D { rows: 4, cols: 4 })],
+                }],
+            }],
+        );
+        let (w, report) = lower(&prog, CompileOptions::default());
+        // Iterations: N N T N N T -> boundaries at start, N->T, T->N, N->T.
+        assert_eq!(report.patterns, 2);
+        assert_eq!(report.flushes, 3);
+        // 4 mesh iterations x 64 msgs + 2 transpose iterations x 12 msgs.
+        assert_eq!(w.message_count(), 4 * 64 + 2 * 12);
+    }
+
+    #[test]
+    fn static_analysis_merges_loop_bodies() {
+        let prog = SourceProgram::new(
+            8,
+            vec![
+                Stmt::Loop {
+                    times: 5,
+                    body: vec![comm(CommPattern::Shift(1)), comm(CommPattern::Shift(2))],
+                },
+                Stmt::Loop {
+                    times: 5,
+                    body: vec![comm(CommPattern::Shift(3))],
+                },
+            ],
+        );
+        let regions = regions(&prog);
+        assert_eq!(regions.len(), 2, "one region per loop");
+        assert_eq!(regions[0].max_degree(), 2, "union of +1 and +2 shifts");
+        assert_eq!(regions[1].max_degree(), 1);
+    }
+
+    #[test]
+    fn options_disable_directives() {
+        let prog = SourceProgram::new(
+            8,
+            vec![comm(CommPattern::Shift(1)), comm(CommPattern::Shift(2))],
+        );
+        let (w, report) = lower(
+            &prog,
+            CompileOptions {
+                k_max: 4,
+                insert_flushes: false,
+                insert_preloads: false,
+            },
+        );
+        assert_eq!(report.flushes + report.preloads, 0);
+        assert!(w.patterns.is_empty());
+        assert!(w.programs[0]
+            .cmds
+            .iter()
+            .all(|c| matches!(c, Command::Send { .. })));
+    }
+
+    #[test]
+    fn barriers_and_compute_lower_to_all_processors() {
+        let prog = SourceProgram::new(
+            4,
+            vec![
+                comm(CommPattern::Shift(1)),
+                Stmt::Barrier,
+                Stmt::Compute { ns: 500 },
+            ],
+        );
+        let (w, _) = lower(&prog, CompileOptions::default());
+        for p in &w.programs {
+            assert!(p.cmds.iter().any(|c| matches!(c, Command::Barrier)));
+            assert!(p
+                .cmds
+                .iter()
+                .any(|c| matches!(c, Command::Delay { ns: 500 })));
+        }
+    }
+}

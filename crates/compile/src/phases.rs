@@ -1,0 +1,198 @@
+//! Phase partitioning and the compiled preload schedule.
+//!
+//! §2: "The partitioning of the communication requirements into phases is
+//! not unique ... there is a tradeoff between the number of phases, p, and
+//! the size of each working set W^(j)": more phases mean more
+//! reconfigurations; larger working sets mean a larger multiplexing degree
+//! and less bandwidth per connection. [`partition_phases`] walks a
+//! connection trace and closes a phase exactly when admitting the next
+//! connection would push the working set's degree past the target, which
+//! yields the minimal number of phases for a left-to-right scan.
+
+use crate::coloring::exact_coloring;
+use crate::WorkingSet;
+use pms_bitmat::BitMatrix;
+
+/// One compiled program phase: its working set and the Δ-slot TDM
+/// decomposition to preload.
+#[derive(Debug, Clone)]
+pub struct CompiledPhase {
+    /// The working set `W^(j)`.
+    pub working_set: WorkingSet,
+    /// The conflict-free configurations `C_1 ... C_{k_j}` to preload.
+    pub configs: Vec<BitMatrix>,
+    /// Index of the first trace entry belonging to this phase.
+    pub first_event: usize,
+}
+
+impl CompiledPhase {
+    /// The multiplexing degree `k_j` this phase requires.
+    pub fn degree(&self) -> usize {
+        self.configs.len()
+    }
+}
+
+/// A compiled communication schedule: one preloadable phase per
+/// working-set change.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// The phases, in program order.
+    pub phases: Vec<CompiledPhase>,
+    /// Number of ports.
+    pub ports: usize,
+}
+
+impl CompiledProgram {
+    /// The largest multiplexing degree over all phases (the `K` the
+    /// network must provision).
+    pub fn max_degree(&self) -> usize {
+        self.phases
+            .iter()
+            .map(CompiledPhase::degree)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Number of phases `p` (equals the number of network
+    /// reconfigurations).
+    pub fn phase_count(&self) -> usize {
+        self.phases.len()
+    }
+
+    /// The phase active at trace position `event`.
+    pub fn phase_at(&self, event: usize) -> Option<&CompiledPhase> {
+        self.phases
+            .iter()
+            .take_while(|p| p.first_event <= event)
+            .last()
+    }
+}
+
+/// Partitions a connection trace into phases whose working sets need at
+/// most `k_max` TDM slots, then compiles each phase with the optimal
+/// edge coloring.
+///
+/// # Panics
+/// Panics if `k_max == 0` or any trace endpoint is out of range.
+pub fn partition_phases(ports: usize, trace: &[(usize, usize)], k_max: usize) -> CompiledProgram {
+    assert!(k_max > 0, "need at least one slot per phase");
+    let mut phases = Vec::new();
+    let mut current = WorkingSet::new(ports);
+    let mut first_event = 0;
+
+    for (i, &(u, v)) in trace.iter().enumerate() {
+        if current.contains(u, v) {
+            continue; // temporal locality: repeated connection is free
+        }
+        let mut tentative = current.clone();
+        tentative.insert(u, v);
+        if tentative.max_degree() > k_max && !current.is_empty() {
+            // Close the phase; the new connection opens the next one.
+            phases.push(CompiledPhase {
+                configs: exact_coloring(&current),
+                working_set: current,
+                first_event,
+            });
+            current = WorkingSet::new(ports);
+            current.insert(u, v);
+            first_event = i;
+        } else {
+            current = tentative;
+        }
+    }
+    if !current.is_empty() {
+        phases.push(CompiledPhase {
+            configs: exact_coloring(&current),
+            working_set: current,
+            first_event,
+        });
+    }
+    CompiledProgram { phases, ports }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coloring::validate_decomposition;
+
+    #[test]
+    fn single_phase_when_degree_fits() {
+        // A permutation repeated many times: Δ = 1, one phase.
+        let trace: Vec<(usize, usize)> = (0..100).map(|i| (i % 8, (i + 1) % 8)).collect();
+        let prog = partition_phases(8, &trace, 2);
+        assert_eq!(prog.phase_count(), 1);
+        assert_eq!(prog.max_degree(), 1);
+        validate_decomposition(&prog.phases[0].working_set, &prog.phases[0].configs).unwrap();
+    }
+
+    #[test]
+    fn phase_split_on_degree_overflow() {
+        // First 3 connections fan into output 0 (Δ=3 > k_max=2 after the
+        // third), so a new phase must open.
+        let trace = [(0, 0), (1, 0), (2, 0), (3, 0)];
+        let prog = partition_phases(8, &trace, 2);
+        assert!(prog.phase_count() >= 2);
+        assert!(prog.max_degree() <= 2);
+        // Every trace connection is covered by some phase.
+        for &(u, v) in &trace {
+            assert!(
+                prog.phases.iter().any(|p| p.working_set.contains(u, v)),
+                "({u},{v}) missing"
+            );
+        }
+    }
+
+    #[test]
+    fn phase_boundaries_recorded() {
+        let trace = [(0, 0), (1, 0), (2, 0)];
+        let prog = partition_phases(8, &trace, 2);
+        assert_eq!(prog.phases[0].first_event, 0);
+        assert_eq!(prog.phases[1].first_event, 2);
+        assert_eq!(prog.phase_at(0).unwrap().first_event, 0);
+        assert_eq!(prog.phase_at(1).unwrap().first_event, 0);
+        assert_eq!(prog.phase_at(2).unwrap().first_event, 2);
+    }
+
+    #[test]
+    fn two_phase_program_compiles_to_two_preloads() {
+        // Phase A: all-to-one gather on output 0 (Δ=4); phase B: ring.
+        // With k_max = 4 the gather fits in one phase.
+        let mut trace: Vec<(usize, usize)> = (1..5).map(|u| (u, 0)).collect();
+        trace.extend((0..8).map(|u| (u, (u + 1) % 8)));
+        let prog = partition_phases(8, &trace, 4);
+        assert_eq!(prog.phase_count(), 2, "gather then ring");
+        assert_eq!(prog.phases[0].degree(), 4);
+        assert_eq!(prog.phases[1].degree(), 1);
+        for p in &prog.phases {
+            validate_decomposition(&p.working_set, &p.configs).unwrap();
+        }
+    }
+
+    #[test]
+    fn empty_trace_gives_empty_program() {
+        let prog = partition_phases(8, &[], 2);
+        assert_eq!(prog.phase_count(), 0);
+        assert_eq!(prog.max_degree(), 0);
+        assert!(prog.phase_at(0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_kmax_rejected() {
+        partition_phases(8, &[(0, 1)], 0);
+    }
+
+    #[test]
+    fn more_slots_fewer_phases() {
+        // The §2 tradeoff, quantified: raising k_max monotonically lowers
+        // the phase count on an all-to-all trace.
+        let trace: Vec<(usize, usize)> = (0..8)
+            .flat_map(|u| (0..8).filter(move |&v| v != u).map(move |v| (u, v)))
+            .collect();
+        let p1 = partition_phases(8, &trace, 1).phase_count();
+        let p3 = partition_phases(8, &trace, 3).phase_count();
+        let p7 = partition_phases(8, &trace, 7).phase_count();
+        assert!(p1 >= p3 && p3 >= p7);
+        assert_eq!(p7, 1, "Δ=7 all-to-all fits one phase with 7 slots");
+    }
+}

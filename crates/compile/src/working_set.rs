@@ -1,0 +1,168 @@
+//! Communication working sets `W^(j)`.
+
+use pms_bitmat::BitMatrix;
+use std::collections::BTreeSet;
+
+/// A communication working set: the distinct connections a program phase
+/// uses (§2). Stored as an ordered set for deterministic iteration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkingSet {
+    ports: usize,
+    edges: BTreeSet<(usize, usize)>,
+}
+
+impl WorkingSet {
+    /// Creates an empty working set over `ports` ports.
+    pub fn new(ports: usize) -> Self {
+        assert!(ports > 0, "working set needs at least one port");
+        Self {
+            ports,
+            edges: BTreeSet::new(),
+        }
+    }
+
+    /// Builds a working set from connection pairs (duplicates collapse).
+    ///
+    /// # Panics
+    /// Panics if any endpoint is out of range.
+    pub fn from_pairs<I: IntoIterator<Item = (usize, usize)>>(ports: usize, pairs: I) -> Self {
+        let mut ws = Self::new(ports);
+        for (u, v) in pairs {
+            ws.insert(u, v);
+        }
+        ws
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Adds connection `u -> v`; returns `true` if it was new.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn insert(&mut self, u: usize, v: usize) -> bool {
+        assert!(
+            u < self.ports && v < self.ports,
+            "connection ({u},{v}) out of range for {} ports",
+            self.ports
+        );
+        self.edges.insert((u, v))
+    }
+
+    /// Removes connection `u -> v`; returns `true` if it was present.
+    pub fn remove(&mut self, u: usize, v: usize) -> bool {
+        self.edges.remove(&(u, v))
+    }
+
+    /// Whether `u -> v` is in the set.
+    pub fn contains(&self, u: usize, v: usize) -> bool {
+        self.edges.contains(&(u, v))
+    }
+
+    /// Number of connections.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if the set has no connections.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Iterates connections in `(input, output)` order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// The maximum port degree Δ: the largest fan-out of any input or
+    /// fan-in of any output. By König's theorem this is the minimum
+    /// multiplexing degree needed to realize the set on a crossbar.
+    pub fn max_degree(&self) -> usize {
+        let mut out_deg = vec![0usize; self.ports];
+        let mut in_deg = vec![0usize; self.ports];
+        let mut delta = 0;
+        for &(u, v) in &self.edges {
+            out_deg[u] += 1;
+            in_deg[v] += 1;
+            delta = delta.max(out_deg[u]).max(in_deg[v]);
+        }
+        delta
+    }
+
+    /// The union of two working sets (`W = W1 ∪ W2`).
+    ///
+    /// # Panics
+    /// Panics if the port counts differ.
+    pub fn union(&self, other: &WorkingSet) -> WorkingSet {
+        assert_eq!(self.ports, other.ports, "port count mismatch");
+        let mut out = self.clone();
+        out.edges.extend(other.edges.iter().copied());
+        out
+    }
+
+    /// Renders the set as a request matrix `R`.
+    pub fn to_matrix(&self) -> BitMatrix {
+        BitMatrix::from_pairs(self.ports, self.ports, self.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_dedupes() {
+        let mut ws = WorkingSet::new(8);
+        assert!(ws.insert(0, 1));
+        assert!(!ws.insert(0, 1));
+        assert_eq!(ws.len(), 1);
+        assert!(ws.contains(0, 1));
+    }
+
+    #[test]
+    fn max_degree_tracks_busiest_port() {
+        // Output 3 has fan-in 3; all inputs have fan-out 1.
+        let ws = WorkingSet::from_pairs(8, [(0, 3), (1, 3), (2, 3), (4, 5)]);
+        assert_eq!(ws.max_degree(), 3);
+        // Fan-out dominates here.
+        let ws = WorkingSet::from_pairs(8, [(0, 1), (0, 2), (0, 3), (0, 4), (7, 0)]);
+        assert_eq!(ws.max_degree(), 4);
+    }
+
+    #[test]
+    fn empty_set_degree_zero() {
+        assert_eq!(WorkingSet::new(4).max_degree(), 0);
+        assert!(WorkingSet::new(4).is_empty());
+    }
+
+    #[test]
+    fn union_merges() {
+        let a = WorkingSet::from_pairs(8, [(0, 1), (1, 2)]);
+        let b = WorkingSet::from_pairs(8, [(1, 2), (3, 4)]);
+        let u = a.union(&b);
+        assert_eq!(u.len(), 3);
+    }
+
+    #[test]
+    fn to_matrix_roundtrips() {
+        let ws = WorkingSet::from_pairs(8, [(0, 1), (5, 2)]);
+        let m = ws.to_matrix();
+        assert_eq!(m.iter_ones().collect::<Vec<_>>(), vec![(0, 1), (5, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        WorkingSet::new(4).insert(0, 4);
+    }
+
+    #[test]
+    fn remove_works() {
+        let mut ws = WorkingSet::from_pairs(4, [(0, 1)]);
+        assert!(ws.remove(0, 1));
+        assert!(!ws.remove(0, 1));
+        assert!(ws.is_empty());
+    }
+}

@@ -1,0 +1,204 @@
+//! Fabric-constrained scheduling — the §6 extension "to switching fabrics
+//! other than crossbars".
+//!
+//! The SL array of §4 only understands crossbar resources (one input port,
+//! one output port per connection). Fabrics with internal blocking — an
+//! Omega network's shared inter-stage links, an oversubscribed fat tree's
+//! up-links — impose additional constraints on each configuration. The
+//! hardware extension would thread extra availability signals through the
+//! array; this model achieves the same schedule by post-filtering each
+//! pass: establishments are re-admitted in ripple-priority order and any
+//! that would make the slot configuration unrealizable on the fabric are
+//! revoked (their requests stay pending and retry on the next pass, which
+//! targets a different slot — so fabric-conflicting connections spread
+//! across time slots exactly like port-conflicting ones).
+
+use pms_bitmat::BitMatrix;
+use pms_fabric::Fabric;
+use pms_sched::{Scheduler, SchedulerConfig};
+
+/// Outcome of one fabric-constrained pass.
+#[derive(Debug, Clone)]
+pub struct FilteredPassReport {
+    /// The slot the pass operated on, if any.
+    pub slot: Option<usize>,
+    /// Establishments the fabric admitted.
+    pub established: Vec<(usize, usize)>,
+    /// Connections released this pass.
+    pub released: Vec<(usize, usize)>,
+    /// Requests denied by port availability (the crossbar-level SL array).
+    pub port_denied: Vec<(usize, usize)>,
+    /// Establishments revoked because the fabric cannot realize them in
+    /// this slot (they retry in later slots).
+    pub fabric_denied: Vec<(usize, usize)>,
+}
+
+/// A scheduler paired with a blocking-aware fabric model.
+pub struct FabricScheduler<F: Fabric> {
+    scheduler: Scheduler,
+    fabric: F,
+}
+
+impl<F: Fabric> FabricScheduler<F> {
+    /// Creates a fabric-constrained scheduler with `slots` registers.
+    pub fn new(fabric: F, slots: usize) -> Self {
+        let scheduler = Scheduler::new(SchedulerConfig::new(fabric.ports(), slots));
+        Self { scheduler, fabric }
+    }
+
+    /// The underlying scheduler (for grants, B*, statistics).
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    /// The fabric model.
+    pub fn fabric(&self) -> &F {
+        &self.fabric
+    }
+
+    /// True if `u -> v` is established in some slot.
+    pub fn established(&self, u: usize, v: usize) -> bool {
+        self.scheduler.established(u, v)
+    }
+
+    /// One SL pass followed by the fabric-admission filter (delegates to
+    /// [`Scheduler::pass_admitted`]). Every slot configuration is
+    /// guaranteed realizable on the fabric afterwards.
+    pub fn pass(&mut self, requests: &BitMatrix) -> FilteredPassReport {
+        let fabric = &self.fabric;
+        let report = self
+            .scheduler
+            .pass_admitted(requests, |cfg| fabric.is_valid(cfg));
+        FilteredPassReport {
+            slot: report.slot,
+            established: report.established,
+            released: report.released,
+            port_denied: report.denied,
+            fabric_denied: report.admission_denied,
+        }
+    }
+
+    /// Runs passes until a full slot cycle admits nothing new, or
+    /// `max_passes` is reached.
+    pub fn settle(&mut self, requests: &BitMatrix, max_passes: usize) -> usize {
+        let k = self.scheduler.slots();
+        let mut quiet = 0;
+        for i in 0..max_passes {
+            let rep = self.pass(requests);
+            if rep.established.is_empty() && rep.released.is_empty() {
+                quiet += 1;
+                if quiet >= k {
+                    return i + 1;
+                }
+            } else {
+                quiet = 0;
+            }
+        }
+        max_passes
+    }
+
+    /// Debug-checks that every register is realizable on the fabric.
+    pub fn check_invariants(&self) {
+        self.scheduler.check_invariants();
+        for s in 0..self.scheduler.slots() {
+            assert!(
+                self.fabric.is_valid(self.scheduler.config(s)),
+                "slot {s} holds a configuration the fabric cannot realize"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pms_fabric::{FatTree, OmegaNetwork};
+
+    /// Find a pair of connections that an 8-port Omega network blocks.
+    fn omega_blocked_pair(net: &OmegaNetwork) -> ((usize, usize), (usize, usize)) {
+        for a in 0..8 {
+            for b in 0..8 {
+                if a != b && net.paths_conflict((a, 0), (b, 1)) {
+                    return ((a, 0), (b, 1));
+                }
+            }
+        }
+        panic!("omega must block something");
+    }
+
+    #[test]
+    fn omega_conflicting_pairs_spread_across_slots() {
+        let net = OmegaNetwork::new(8);
+        let (c1, c2) = omega_blocked_pair(&net);
+        let mut fs = FabricScheduler::new(OmegaNetwork::new(8), 2);
+        let r = BitMatrix::from_pairs(8, 8, [c1, c2]);
+        fs.settle(&r, 16);
+        fs.check_invariants();
+        // Both established — but necessarily in different slots, even
+        // though a crossbar would take both in one.
+        assert!(fs.established(c1.0, c1.1));
+        assert!(fs.established(c2.0, c2.1));
+        let s1 = fs.scheduler().slots_of(c1.0, c1.1);
+        let s2 = fs.scheduler().slots_of(c2.0, c2.1);
+        assert_ne!(s1, s2, "fabric-conflicting pairs must use distinct slots");
+    }
+
+    #[test]
+    fn first_pass_reports_fabric_denial() {
+        let net = OmegaNetwork::new(8);
+        let (c1, c2) = omega_blocked_pair(&net);
+        let mut fs = FabricScheduler::new(net, 2);
+        let r = BitMatrix::from_pairs(8, 8, [c1, c2]);
+        let rep = fs.pass(&r);
+        assert_eq!(rep.established.len(), 1, "only one fits the first slot");
+        assert_eq!(rep.fabric_denied.len(), 1);
+        fs.check_invariants();
+    }
+
+    #[test]
+    fn crossbar_compatible_traffic_passes_untouched() {
+        // Identity-like traffic routes through an Omega network without
+        // conflicts: the fast path admits everything.
+        let mut fs = FabricScheduler::new(OmegaNetwork::new(8), 2);
+        let r = BitMatrix::from_pairs(8, 8, (0..8).map(|u| (u, u)));
+        let rep = fs.pass(&r);
+        assert_eq!(rep.established.len(), 8);
+        assert!(rep.fabric_denied.is_empty());
+        fs.check_invariants();
+    }
+
+    #[test]
+    fn oversubscribed_fat_tree_limits_cross_leaf_connections() {
+        // 4-port leaves with a single up-link: at most one cross-leaf
+        // connection out of each leaf per slot.
+        let ft = FatTree::oversubscribed(16, 4, 4);
+        let mut fs = FabricScheduler::new(ft, 4);
+        // All four ports of leaf 0 want to reach leaf 1.
+        let r = BitMatrix::from_pairs(16, 16, (0..4).map(|i| (i, 4 + i)));
+        fs.settle(&r, 32);
+        fs.check_invariants();
+        // All established eventually, one slot each (single up-link).
+        for i in 0..4 {
+            assert!(fs.established(i, 4 + i));
+            assert_eq!(fs.scheduler().slots_of(i, 4 + i).len(), 1);
+        }
+        let mut slots: Vec<usize> = (0..4)
+            .flat_map(|i| fs.scheduler().slots_of(i, 4 + i))
+            .collect();
+        slots.sort_unstable();
+        slots.dedup();
+        assert_eq!(slots.len(), 4, "each cross-leaf connection in its own slot");
+    }
+
+    #[test]
+    fn releases_still_work_under_filtering() {
+        let mut fs = FabricScheduler::new(OmegaNetwork::new(8), 2);
+        let r = BitMatrix::from_pairs(8, 8, [(0, 0)]);
+        fs.settle(&r, 8);
+        assert!(fs.established(0, 0));
+        let empty = BitMatrix::square(8);
+        fs.settle(&empty, 8);
+        assert!(!fs.established(0, 0));
+        fs.check_invariants();
+    }
+}

@@ -1,0 +1,56 @@
+//! # Predictive Multiplexed Switching (PMS)
+//!
+//! A full reproduction of *"Switch Design to Enable Predictive Multiplexed
+//! Switching in Multiprocessor Networks"* (Ding, Hoare, Jones, Li, Shao,
+//! Tung, Zheng, Melhem — IPPS 2005): a circuit-switched multiprocessor
+//! interconnect in which Time Division Multiplexing lets the network
+//! *cache* an application's communication working set, connections are
+//! established reactively (hardware scheduler), proactively (compiled
+//! communication), or held predictively (eviction predictors).
+//!
+//! This crate is the top-level facade: it re-exports the sub-crates and
+//! provides [`PmsSystem`], a cycle-level model of one interconnect
+//! (fabric + scheduler + TDM counter + predictor) with a hardware-shaped
+//! API — request lines, SL passes, slot boundaries, grants.
+//!
+//! ```
+//! use pms_core::{PmsSystem, SystemBuilder};
+//!
+//! // An 8-port system with 4 TDM slots.
+//! let mut sys = SystemBuilder::new(8).slots(4).build();
+//! sys.request(0, 3);
+//! sys.request(5, 3); // conflicts on output 3 -> lands in another slot
+//! sys.sl_pass();
+//! sys.sl_pass();
+//! assert!(sys.established(0, 3) && sys.established(5, 3));
+//! let slot = sys.advance_slot().unwrap();
+//! // During this slot, exactly one of the two senders holds output 3.
+//! let g0 = sys.grant(slot, 0);
+//! let g5 = sys.grant(slot, 5);
+//! assert!(g0 == Some(3) || g5 == Some(3));
+//! assert!(!(g0 == Some(3) && g5 == Some(3)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod fabric_sched;
+mod system;
+
+pub use fabric_sched::{FabricScheduler, FilteredPassReport};
+pub use system::{PmsSystem, SystemBuilder};
+
+pub use pms_bitmat as bitmat;
+pub use pms_compile as compile;
+pub use pms_fabric as fabric;
+pub use pms_predict as predict;
+pub use pms_sched as sched;
+pub use pms_sim as sim;
+pub use pms_workloads as workloads;
+
+pub use pms_bitmat::{BitMatrix, BitVec};
+pub use pms_fabric::{Crossbar, Fabric, FabricState, Technology};
+pub use pms_predict::{ConnectionPredictor, TimeoutPredictor};
+pub use pms_sched::{PassReport, Scheduler, SchedulerConfig, TdmCounter};
+pub use pms_sim::{Paradigm, PredictorKind, SimParams, SimStats, TdmMode};
+pub use pms_workloads::Workload;

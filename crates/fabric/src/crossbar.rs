@@ -1,0 +1,100 @@
+//! The crossbar fabric: the paper's baseline topology.
+
+use crate::{check_dims, Fabric, Technology};
+use pms_bitmat::BitMatrix;
+
+/// An `N x N` crossbar. Any partial permutation is realizable, so the only
+/// configuration constraint is "at most one non-zero entry in each row and
+/// at most one non-zero entry in each column" (§4).
+#[derive(Debug, Clone)]
+pub struct Crossbar {
+    ports: usize,
+    technology: Technology,
+}
+
+impl Crossbar {
+    /// Creates an `n x n` crossbar built from the given technology.
+    pub fn new(n: usize, technology: Technology) -> Self {
+        assert!(n > 0, "crossbar needs at least one port");
+        Self {
+            ports: n,
+            technology,
+        }
+    }
+
+    /// The physical technology of this crossbar.
+    pub fn technology(&self) -> Technology {
+        self.technology
+    }
+}
+
+impl Fabric for Crossbar {
+    fn ports(&self) -> usize {
+        self.ports
+    }
+
+    fn is_valid(&self, config: &BitMatrix) -> bool {
+        check_dims(self.ports, config);
+        config.is_partial_permutation()
+    }
+
+    fn propagation_delay_ns(&self) -> u64 {
+        self.technology.propagation_delay_ns()
+    }
+
+    fn reserializes(&self) -> bool {
+        self.technology.reserializes()
+    }
+
+    fn name(&self) -> &'static str {
+        match self.technology {
+            Technology::Digital => "crossbar/digital",
+            Technology::Lvds => "crossbar/lvds",
+            Technology::Optical => "crossbar/optical",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_partial_permutations() {
+        let xb = Crossbar::new(8, Technology::Lvds);
+        assert!(xb.is_valid(&BitMatrix::square(8)));
+        assert!(xb.is_valid(&BitMatrix::identity(8)));
+        assert!(xb.is_valid(&BitMatrix::from_pairs(8, 8, [(0, 7), (7, 0)])));
+    }
+
+    #[test]
+    fn rejects_port_conflicts() {
+        let xb = Crossbar::new(8, Technology::Lvds);
+        // Two inputs to one output.
+        assert!(!xb.is_valid(&BitMatrix::from_pairs(8, 8, [(0, 3), (1, 3)])));
+        // One input to two outputs.
+        assert!(!xb.is_valid(&BitMatrix::from_pairs(8, 8, [(2, 0), (2, 1)])));
+    }
+
+    #[test]
+    #[should_panic(expected = "fabric has 8 ports")]
+    fn rejects_wrong_dimensions() {
+        let xb = Crossbar::new(8, Technology::Digital);
+        xb.is_valid(&BitMatrix::square(4));
+    }
+
+    #[test]
+    fn delay_follows_technology() {
+        assert_eq!(
+            Crossbar::new(4, Technology::Digital).propagation_delay_ns(),
+            10
+        );
+        assert_eq!(Crossbar::new(4, Technology::Lvds).propagation_delay_ns(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn zero_ports_rejected() {
+        Crossbar::new(0, Technology::Digital);
+    }
+}

@@ -1,0 +1,188 @@
+//! Two-level fat-tree (folded Clos) fabric with configurable oversubscription.
+//!
+//! The paper lists "a fat tree organization" among the fabrics the passive
+//! switching system can use (§4). We model a two-level folded Clos: `ports`
+//! hosts grouped into leaves of `arity` ports each, with each leaf owning
+//! `arity / oversubscription` up-links to the spine. A configuration is
+//! realizable iff it is a partial permutation **and** no leaf needs more
+//! simultaneous up-links (in either direction) than it owns. A
+//! full-bisection tree (`oversubscription == 1`) therefore accepts every
+//! partial permutation, which is why such trees are called rearrangeably
+//! non-blocking.
+
+use crate::{check_dims, Fabric, Technology};
+use pms_bitmat::BitMatrix;
+
+/// A two-level fat tree over `ports` hosts.
+#[derive(Debug, Clone)]
+pub struct FatTree {
+    ports: usize,
+    arity: usize,
+    uplinks_per_leaf: usize,
+}
+
+impl FatTree {
+    /// Creates a fat tree with an explicit up-link budget per leaf switch.
+    ///
+    /// # Panics
+    /// Panics unless `arity` divides `ports` and `uplinks_per_leaf >= 1`.
+    pub fn new(ports: usize, arity: usize, uplinks_per_leaf: usize) -> Self {
+        assert!(arity >= 1 && ports >= arity, "bad fat-tree geometry");
+        assert!(
+            ports.is_multiple_of(arity),
+            "arity {arity} must divide port count {ports}"
+        );
+        assert!(uplinks_per_leaf >= 1, "need at least one up-link per leaf");
+        Self {
+            ports,
+            arity,
+            uplinks_per_leaf,
+        }
+    }
+
+    /// Full-bisection tree: as many up-links as leaf ports.
+    pub fn full_bisection(ports: usize, arity: usize) -> Self {
+        Self::new(ports, arity, arity)
+    }
+
+    /// Oversubscribed tree, e.g. `ratio = 2` halves the up-links.
+    ///
+    /// # Panics
+    /// Panics unless `ratio` divides `arity`.
+    pub fn oversubscribed(ports: usize, arity: usize, ratio: usize) -> Self {
+        assert!(
+            ratio >= 1 && arity.is_multiple_of(ratio),
+            "bad oversubscription"
+        );
+        Self::new(ports, arity, arity / ratio)
+    }
+
+    /// The leaf switch a port belongs to.
+    #[inline]
+    pub fn leaf_of(&self, port: usize) -> usize {
+        port / self.arity
+    }
+
+    /// Number of leaf switches.
+    pub fn leaves(&self) -> usize {
+        self.ports / self.arity
+    }
+
+    /// Up-links owned by each leaf.
+    pub fn uplinks_per_leaf(&self) -> usize {
+        self.uplinks_per_leaf
+    }
+
+    /// Number of distinct spine paths between two ports (1 within a leaf).
+    pub fn paths_between(&self, a: usize, b: usize) -> usize {
+        if self.leaf_of(a) == self.leaf_of(b) {
+            1
+        } else {
+            self.uplinks_per_leaf
+        }
+    }
+}
+
+impl Fabric for FatTree {
+    fn ports(&self) -> usize {
+        self.ports
+    }
+
+    fn is_valid(&self, config: &BitMatrix) -> bool {
+        check_dims(self.ports, config);
+        if !config.is_partial_permutation() {
+            return false;
+        }
+        // Count inter-leaf connections entering/leaving each leaf; each
+        // consumes one up-link (up at the source leaf, down at the
+        // destination leaf).
+        let leaves = self.leaves();
+        let mut up = vec![0usize; leaves];
+        let mut down = vec![0usize; leaves];
+        for (u, v) in config.iter_ones() {
+            let (lu, lv) = (self.leaf_of(u), self.leaf_of(v));
+            if lu != lv {
+                up[lu] += 1;
+                down[lv] += 1;
+                if up[lu] > self.uplinks_per_leaf || down[lv] > self.uplinks_per_leaf {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    fn propagation_delay_ns(&self) -> u64 {
+        // Leaf -> spine -> leaf: three digital elements worst case.
+        3 * Technology::Digital.propagation_delay_ns()
+    }
+
+    fn reserializes(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "fat-tree"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_bisection_accepts_any_permutation() {
+        let ft = FatTree::full_bisection(16, 4);
+        assert!(ft.is_valid(&BitMatrix::identity(16)));
+        // Worst case: every port talks across leaves (shift by arity).
+        let shift = BitMatrix::from_pairs(16, 16, (0..16).map(|u| (u, (u + 4) % 16)));
+        assert!(ft.is_valid(&shift));
+    }
+
+    #[test]
+    fn oversubscribed_rejects_heavy_cross_traffic() {
+        // 2:1 oversubscription -> 2 up-links per 4-port leaf.
+        let ft = FatTree::oversubscribed(16, 4, 2);
+        // Three ports of leaf 0 sending to leaf 1 exceeds the 2 up-links.
+        let heavy = BitMatrix::from_pairs(16, 16, [(0, 4), (1, 5), (2, 6)]);
+        assert!(!ft.is_valid(&heavy));
+        // Two cross connections are fine.
+        let ok = BitMatrix::from_pairs(16, 16, [(0, 4), (1, 5)]);
+        assert!(ft.is_valid(&ok));
+    }
+
+    #[test]
+    fn intra_leaf_traffic_is_free() {
+        let ft = FatTree::oversubscribed(16, 4, 4); // single up-link
+                                                    // All four ports of leaf 0 talk within the leaf: no up-links used.
+        let intra = BitMatrix::from_pairs(16, 16, [(0, 1), (1, 0), (2, 3), (3, 2)]);
+        assert!(ft.is_valid(&intra));
+    }
+
+    #[test]
+    fn downlink_pressure_detected() {
+        let ft = FatTree::oversubscribed(16, 4, 2);
+        // Leaves 1,2,3 each send one connection into leaf 0: 3 down-links > 2.
+        let fan_in = BitMatrix::from_pairs(16, 16, [(4, 0), (8, 1), (12, 2)]);
+        assert!(!ft.is_valid(&fan_in));
+    }
+
+    #[test]
+    fn paths_between_counts_multipath() {
+        let ft = FatTree::full_bisection(16, 4);
+        assert_eq!(ft.paths_between(0, 1), 1);
+        assert_eq!(ft.paths_between(0, 5), 4);
+    }
+
+    #[test]
+    fn rejects_non_permutations() {
+        let ft = FatTree::full_bisection(8, 4);
+        assert!(!ft.is_valid(&BitMatrix::from_pairs(8, 8, [(0, 3), (1, 3)])));
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn bad_geometry_rejected() {
+        FatTree::new(10, 4, 2);
+    }
+}

@@ -1,0 +1,93 @@
+//! Passive switch-fabric models for the PMS interconnection system.
+//!
+//! The paper's switching fabric is "a passive fabric with no buffering or
+//! control capabilities" whose mapping from input to output ports is
+//! determined entirely by externally loaded configuration registers (§4).
+//! A configuration is a Boolean matrix `B` where `B[u][v] = 1` connects
+//! input `u` to output `v`; the constraints on `B` depend on the fabric:
+//!
+//! * **Crossbar** — at most one `1` per row and per column (any partial
+//!   permutation is realizable);
+//! * **Omega multistage** — additionally, no two paths may share an internal
+//!   link (the network is blocking);
+//! * **Fat tree** — partial permutations subject to up-link capacity when
+//!   the tree is oversubscribed (full-bisection trees accept everything).
+//!
+//! All fabrics implement the [`Fabric`] trait so the scheduler and simulator
+//! are fabric-agnostic. [`FabricState`] models the live device: the currently
+//! loaded configuration plus the signal-propagation properties of its
+//! [`Technology`] (digital, LVDS, optical).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crossbar;
+mod fattree;
+mod omega;
+mod state;
+mod technology;
+mod torus;
+
+pub use crossbar::Crossbar;
+pub use fattree::FatTree;
+pub use omega::OmegaNetwork;
+pub use state::FabricState;
+pub use technology::Technology;
+pub use torus::TorusNetwork;
+
+use pms_bitmat::BitMatrix;
+
+/// A passive switching fabric: validates configurations and reports the
+/// physical properties the timing model needs.
+pub trait Fabric {
+    /// Number of input ports (== output ports) of the fabric.
+    fn ports(&self) -> usize;
+
+    /// Whether the connection set `config` can be realized by this fabric
+    /// without internal conflicts.
+    ///
+    /// Implementations must reject matrices whose dimensions don't match
+    /// [`ports`](Self::ports) (by panicking), and must accept the all-zero
+    /// matrix.
+    fn is_valid(&self, config: &BitMatrix) -> bool;
+
+    /// Signal propagation delay through the fabric, in nanoseconds.
+    fn propagation_delay_ns(&self) -> u64;
+
+    /// Whether the fabric re-serializes signals at the switch (digital
+    /// switches do; LVDS/optical pass the serial signal through, §5).
+    fn reserializes(&self) -> bool;
+
+    /// Human-readable fabric name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Validates matrix dimensions against a fabric's port count.
+pub(crate) fn check_dims(ports: usize, config: &BitMatrix) {
+    assert!(
+        config.rows() == ports && config.cols() == ports,
+        "configuration is {}x{} but fabric has {} ports",
+        config.rows(),
+        config.cols(),
+        ports
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_objects_work() {
+        let fabrics: Vec<Box<dyn Fabric>> = vec![
+            Box::new(Crossbar::new(8, Technology::Digital)),
+            Box::new(OmegaNetwork::new(8)),
+            Box::new(FatTree::full_bisection(8, 4)),
+        ];
+        let zero = BitMatrix::square(8);
+        for f in &fabrics {
+            assert_eq!(f.ports(), 8);
+            assert!(f.is_valid(&zero), "{} must accept empty config", f.name());
+        }
+    }
+}

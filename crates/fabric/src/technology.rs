@@ -1,0 +1,63 @@
+//! Physical switch technologies and their timing properties.
+
+/// The physical technology of a switch fabric, determining propagation delay
+/// and whether signals are re-serialized at the switch (§5 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Technology {
+    /// Conventional digital crossbar: signals are converted to the digital
+    /// domain at the switch. The paper models 10 ns propagation through the
+    /// switch and uses this for the wormhole baseline.
+    Digital,
+    /// Low-Voltage Differential Signal cross-point (e.g. National DS90CP04):
+    /// signals stay in the differential domain; the paper neglects the
+    /// < 2 ns propagation (equivalent to one foot of cable).
+    Lvds,
+    /// All-optical switching: no buffering possible at intermediate switches;
+    /// propagation is likewise negligible.
+    Optical,
+}
+
+impl Technology {
+    /// Propagation delay through a switch of this technology, in ns.
+    pub fn propagation_delay_ns(self) -> u64 {
+        match self {
+            Technology::Digital => 10,
+            // "neglected as it requires less than 2 ns" (§5)
+            Technology::Lvds | Technology::Optical => 0,
+        }
+    }
+
+    /// Whether the switch converts between serial and parallel domains
+    /// (costing the 30 ns conversions on each side). LVDS/optical switches
+    /// pass the serial stream through untouched.
+    pub fn reserializes(self) -> bool {
+        matches!(self, Technology::Digital)
+    }
+
+    /// Whether data can be buffered inside the switch. All-optical fabrics
+    /// cannot buffer, which rules out wormhole-style switching (§6).
+    pub fn can_buffer(self) -> bool {
+        matches!(self, Technology::Digital)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digital_has_delay_and_buffers() {
+        assert_eq!(Technology::Digital.propagation_delay_ns(), 10);
+        assert!(Technology::Digital.reserializes());
+        assert!(Technology::Digital.can_buffer());
+    }
+
+    #[test]
+    fn lvds_and_optical_are_transparent() {
+        for t in [Technology::Lvds, Technology::Optical] {
+            assert_eq!(t.propagation_delay_ns(), 0);
+            assert!(!t.reserializes());
+            assert!(!t.can_buffer());
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Property tests for the fabric models.
+
+use pms_bitmat::BitMatrix;
+use pms_fabric::{Crossbar, Fabric, FatTree, OmegaNetwork, Technology};
+use proptest::prelude::*;
+
+/// A random partial permutation on `n` ports.
+fn partial_perm(n: usize) -> impl Strategy<Value = BitMatrix> {
+    prop::collection::vec((0..n, 0..n), 0..n).prop_map(move |pairs| {
+        let mut used_in = vec![false; n];
+        let mut used_out = vec![false; n];
+        let mut m = BitMatrix::square(n);
+        for (u, v) in pairs {
+            if !used_in[u] && !used_out[v] {
+                used_in[u] = true;
+                used_out[v] = true;
+                m.set(u, v, true);
+            }
+        }
+        m
+    })
+}
+
+proptest! {
+    /// The crossbar accepts exactly the partial permutations.
+    #[test]
+    fn crossbar_accepts_all_partial_permutations(cfg in partial_perm(16)) {
+        let xb = Crossbar::new(16, Technology::Lvds);
+        prop_assert!(xb.is_valid(&cfg));
+    }
+
+    /// Omega validity implies partial permutation (never the converse
+    /// direction being claimed), and single connections always pass.
+    #[test]
+    fn omega_valid_implies_partial_permutation(cfg in partial_perm(16)) {
+        let net = OmegaNetwork::new(16);
+        if net.is_valid(&cfg) {
+            prop_assert!(cfg.is_partial_permutation());
+        }
+    }
+
+    /// Omega validity is exactly "no two paths share an inter-stage link".
+    #[test]
+    fn omega_validity_matches_pairwise_conflicts(cfg in partial_perm(16)) {
+        let net = OmegaNetwork::new(16);
+        let pairs: Vec<(usize, usize)> = cfg.iter_ones().collect();
+        let any_conflict = (0..pairs.len()).any(|i| {
+            (i + 1..pairs.len()).any(|j| net.paths_conflict(pairs[i], pairs[j]))
+        });
+        prop_assert_eq!(net.is_valid(&cfg), !any_conflict);
+    }
+
+    /// Removing a connection never invalidates an Omega configuration
+    /// (validity is monotone under subsets).
+    #[test]
+    fn omega_validity_is_subset_closed(cfg in partial_perm(16)) {
+        let net = OmegaNetwork::new(16);
+        if net.is_valid(&cfg) {
+            for (u, v) in cfg.iter_ones().collect::<Vec<_>>() {
+                let mut smaller = cfg.clone();
+                smaller.set(u, v, false);
+                prop_assert!(net.is_valid(&smaller));
+            }
+        }
+    }
+
+    /// Full-bisection fat trees accept every partial permutation;
+    /// oversubscribed ones accept a subset, also subset-closed.
+    #[test]
+    fn fat_tree_validity(cfg in partial_perm(16)) {
+        let full = FatTree::full_bisection(16, 4);
+        prop_assert!(full.is_valid(&cfg));
+        let thin = FatTree::oversubscribed(16, 4, 2);
+        if thin.is_valid(&cfg) {
+            for (u, v) in cfg.iter_ones().collect::<Vec<_>>() {
+                let mut smaller = cfg.clone();
+                smaller.set(u, v, false);
+                prop_assert!(thin.is_valid(&smaller));
+            }
+        }
+    }
+
+    /// Omega paths are deterministic and end at the destination.
+    #[test]
+    fn omega_paths_end_at_destination(u in 0usize..32, v in 0usize..32) {
+        let net = OmegaNetwork::new(32);
+        let p1 = net.path(u, v);
+        let p2 = net.path(u, v);
+        prop_assert_eq!(&p1, &p2);
+        prop_assert_eq!(*p1.last().unwrap(), v);
+        prop_assert_eq!(p1.len(), 5);
+    }
+}
+
+mod torus_props {
+    use pms_fabric::{Fabric, TorusNetwork};
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Routes only use real link ids and have dimension-order length.
+        #[test]
+        fn torus_routes_are_well_formed(u in 0usize..32, v in 0usize..32) {
+            let t = TorusNetwork::new(4, 4, 2);
+            let route = t.route(u, v);
+            for &l in &route {
+                prop_assert!(l < t.links(), "link id {l} out of range");
+            }
+            // Hop count bounded by the torus diameter (2 + 2).
+            prop_assert!(route.len() <= 4);
+            // Same switch -> empty route.
+            if t.switch_of(u) == t.switch_of(v) {
+                prop_assert!(route.is_empty());
+            } else {
+                prop_assert!(!route.is_empty());
+            }
+        }
+
+        /// Validity is subset-closed on the torus, like every physical
+        /// fabric constraint.
+        #[test]
+        fn torus_validity_is_subset_closed(
+            pairs in prop::collection::vec((0usize..32, 0usize..32), 0..16)
+        ) {
+            let t = TorusNetwork::new(4, 4, 2);
+            // Greedy partial permutation from the raw pairs.
+            let mut used_in = [false; 32];
+            let mut used_out = [false; 32];
+            let mut cfg = pms_bitmat::BitMatrix::square(32);
+            for (a, b) in pairs {
+                if !used_in[a] && !used_out[b] {
+                    used_in[a] = true;
+                    used_out[b] = true;
+                    cfg.set(a, b, true);
+                }
+            }
+            if t.is_valid(&cfg) {
+                for (a, b) in cfg.iter_ones().collect::<Vec<_>>() {
+                    let mut smaller = cfg.clone();
+                    smaller.set(a, b, false);
+                    prop_assert!(t.is_valid(&smaller));
+                }
+            }
+        }
+
+        /// A single connection is always routable.
+        #[test]
+        fn torus_single_connection_valid(u in 0usize..32, v in 0usize..32) {
+            prop_assume!(u != v);
+            let t = TorusNetwork::new(4, 4, 2);
+            let cfg = pms_bitmat::BitMatrix::from_pairs(32, 32, [(u, v)]);
+            prop_assert!(t.is_valid(&cfg));
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Connection predictors for predictive multiplexed switching (§3.2-3.3).
+//!
+//! In the paper's design, the overhead of adding a connection is paid only
+//! the first time it is used — like a compulsory cache miss. The predictor's
+//! job is therefore *not* to guess which connection to add next but **when
+//! to remove a connection from the working set**, keeping the multiplexing
+//! degree (and thus the per-connection bandwidth share) small.
+//!
+//! Two concrete predictors from the paper:
+//!
+//! * [`TimeoutPredictor`] — "a connection is removed if it is not used for
+//!   a certain period of time";
+//! * [`RefCountPredictor`] — "a counter ... is reset to zero every time
+//!   that connection is used and is incremented every time another
+//!   connection is used. When the counter reaches a certain threshold, the
+//!   connection is evicted. ... a connection ... is not evicted if the
+//!   application is in a computation phase, where no communication takes
+//!   place."
+//!
+//! [`NeverEvict`] closes the lattice (pure request latching), and
+//! [`PhaseDetector`] implements the §3.3 idea of detecting working-set
+//! changes dynamically (the compiler-assisted variant simply calls
+//! `Scheduler::flush_dynamic` at known phase boundaries).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod phase;
+mod refcount;
+mod timeout;
+mod twolevel;
+
+pub use phase::{PhaseDetector, PhaseDetectorConfig};
+pub use refcount::RefCountPredictor;
+pub use timeout::TimeoutPredictor;
+pub use twolevel::TwoLevelWorkingSet;
+
+/// A connection-eviction predictor.
+///
+/// The simulator feeds it connection usage; the predictor decides which
+/// established-but-idle connections should be evicted from the network
+/// (the scheduler then clears the corresponding request latch so the next
+/// SL pass releases the connection).
+pub trait ConnectionPredictor {
+    /// Connection `u -> v` carried data at time `now` (ns).
+    fn on_use(&mut self, u: usize, v: usize, now: u64);
+
+    /// Connection `u -> v` was established at time `now` (ns).
+    fn on_establish(&mut self, u: usize, v: usize, now: u64);
+
+    /// Connection `u -> v` was released/evicted; forget its state.
+    fn on_release(&mut self, u: usize, v: usize);
+
+    /// Drains the set of connections that should be evicted as of `now`.
+    fn take_evictions(&mut self, now: u64) -> Vec<(usize, usize)>;
+
+    /// Predictor name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// A predictor that never evicts: connections stay cached until an
+/// explicit flush. This is the degenerate policy that maximizes hit rate
+/// at the cost of the largest multiplexing degree.
+#[derive(Debug, Default, Clone)]
+pub struct NeverEvict;
+
+impl ConnectionPredictor for NeverEvict {
+    fn on_use(&mut self, _u: usize, _v: usize, _now: u64) {}
+    fn on_establish(&mut self, _u: usize, _v: usize, _now: u64) {}
+    fn on_release(&mut self, _u: usize, _v: usize) {}
+    fn take_evictions(&mut self, _now: u64) -> Vec<(usize, usize)> {
+        Vec::new()
+    }
+    fn name(&self) -> &'static str {
+        "never-evict"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_evict_never_evicts() {
+        let mut p = NeverEvict;
+        p.on_establish(0, 1, 0);
+        p.on_use(0, 1, 10);
+        assert!(p.take_evictions(u64::MAX).is_empty());
+        assert_eq!(p.name(), "never-evict");
+    }
+
+    #[test]
+    fn predictors_are_object_safe() {
+        let mut boxed: Vec<Box<dyn ConnectionPredictor>> = vec![
+            Box::new(NeverEvict),
+            Box::new(TimeoutPredictor::new(1_000)),
+            Box::new(RefCountPredictor::new(4)),
+        ];
+        for p in &mut boxed {
+            p.on_establish(1, 2, 0);
+            let _ = p.take_evictions(100);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Dynamic working-set phase detection (§3.3).
+//!
+//! The compiler-assisted design flushes the network at statically known
+//! phase boundaries ("between the two loops"). When no compiler hints are
+//! available, a phase change can be detected dynamically: a burst of
+//! *compulsory* connection establishments (working-set misses) after a
+//! period of hits indicates the program moved to a new communication
+//! working set `W^(j+1)`, at which point flushing the stale connections
+//! shrinks the multiplexing degree immediately instead of waiting for
+//! per-connection timeouts.
+
+/// Parameters of the [`PhaseDetector`].
+#[derive(Debug, Clone, Copy)]
+pub struct PhaseDetectorConfig {
+    /// Sliding-window length, in connection lookups.
+    pub window: usize,
+    /// Miss-rate threshold in the window that signals a phase change
+    /// (0.0 – 1.0).
+    pub miss_threshold: f64,
+    /// Minimum lookups between two reported phase changes (hysteresis).
+    pub cooldown: usize,
+}
+
+impl Default for PhaseDetectorConfig {
+    fn default() -> Self {
+        Self {
+            window: 32,
+            miss_threshold: 0.5,
+            cooldown: 64,
+        }
+    }
+}
+
+/// Sliding-window miss-rate detector for communication phase changes.
+#[derive(Debug, Clone)]
+pub struct PhaseDetector {
+    cfg: PhaseDetectorConfig,
+    /// Ring buffer of hit/miss outcomes.
+    history: Vec<bool>,
+    head: usize,
+    filled: usize,
+    misses_in_window: usize,
+    lookups: u64,
+    last_change_at: Option<u64>,
+    phase_changes: u64,
+}
+
+impl PhaseDetector {
+    /// Creates a detector with the given configuration.
+    ///
+    /// # Panics
+    /// Panics on a zero window or a threshold outside (0, 1].
+    pub fn new(cfg: PhaseDetectorConfig) -> Self {
+        assert!(cfg.window > 0, "window must be positive");
+        assert!(
+            cfg.miss_threshold > 0.0 && cfg.miss_threshold <= 1.0,
+            "miss threshold must be in (0, 1]"
+        );
+        Self {
+            history: vec![false; cfg.window],
+            head: 0,
+            filled: 0,
+            misses_in_window: 0,
+            lookups: 0,
+            last_change_at: None,
+            phase_changes: 0,
+            cfg,
+        }
+    }
+
+    /// Records one connection lookup (`hit` = the connection was already in
+    /// the working set). Returns `true` if this lookup triggers a phase
+    /// change — the caller should flush the dynamic working set.
+    pub fn record(&mut self, hit: bool) -> bool {
+        self.lookups += 1;
+        // Slide the window.
+        if self.filled == self.cfg.window {
+            if !self.history[self.head] {
+                self.misses_in_window -= 1;
+            }
+        } else {
+            self.filled += 1;
+        }
+        self.history[self.head] = hit;
+        if !hit {
+            self.misses_in_window += 1;
+        }
+        self.head = (self.head + 1) % self.cfg.window;
+
+        if self.filled < self.cfg.window {
+            return false; // not enough evidence yet
+        }
+        let miss_rate = self.misses_in_window as f64 / self.cfg.window as f64;
+        if miss_rate < self.cfg.miss_threshold {
+            return false;
+        }
+        if let Some(last) = self.last_change_at {
+            if self.lookups - last < self.cfg.cooldown as u64 {
+                return false;
+            }
+        }
+        self.last_change_at = Some(self.lookups);
+        self.phase_changes += 1;
+        // Reset the window so the new phase starts with a clean slate.
+        self.history.fill(false);
+        self.filled = 0;
+        self.misses_in_window = 0;
+        self.head = 0;
+        true
+    }
+
+    /// Number of phase changes reported so far.
+    pub fn phase_changes(&self) -> u64 {
+        self.phase_changes
+    }
+
+    /// Total lookups recorded.
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector(window: usize, threshold: f64, cooldown: usize) -> PhaseDetector {
+        PhaseDetector::new(PhaseDetectorConfig {
+            window,
+            miss_threshold: threshold,
+            cooldown,
+        })
+    }
+
+    #[test]
+    fn steady_hits_never_trigger() {
+        let mut d = detector(8, 0.5, 0);
+        for _ in 0..100 {
+            assert!(!d.record(true));
+        }
+        assert_eq!(d.phase_changes(), 0);
+    }
+
+    #[test]
+    fn miss_burst_triggers_once() {
+        let mut d = detector(8, 0.5, 16);
+        for _ in 0..20 {
+            d.record(true);
+        }
+        // A burst of misses: 4 misses in the 8-wide window reach the 0.5
+        // threshold.
+        let mut triggered = 0;
+        for _ in 0..8 {
+            if d.record(false) {
+                triggered += 1;
+            }
+        }
+        assert_eq!(triggered, 1, "hysteresis limits to one trigger");
+        assert_eq!(d.phase_changes(), 1);
+    }
+
+    #[test]
+    fn cooldown_suppresses_rapid_retriggers() {
+        let mut d = detector(4, 0.5, 100);
+        // First trigger.
+        for _ in 0..8 {
+            d.record(false);
+        }
+        assert_eq!(d.phase_changes(), 1);
+        // Misses continue but cooldown holds.
+        for _ in 0..50 {
+            d.record(false);
+        }
+        assert_eq!(d.phase_changes(), 1);
+    }
+
+    #[test]
+    fn second_phase_detected_after_cooldown() {
+        let mut d = detector(4, 0.75, 8);
+        for _ in 0..8 {
+            d.record(false);
+        }
+        assert_eq!(d.phase_changes(), 1);
+        for _ in 0..20 {
+            d.record(true);
+        }
+        for _ in 0..8 {
+            d.record(false);
+        }
+        assert_eq!(d.phase_changes(), 2);
+    }
+
+    #[test]
+    fn partial_window_never_triggers() {
+        let mut d = detector(16, 0.1, 0);
+        for _ in 0..15 {
+            assert!(!d.record(false), "window not yet full");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn zero_window_rejected() {
+        detector(0, 0.5, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "miss threshold")]
+    fn bad_threshold_rejected() {
+        detector(8, 1.5, 0);
+    }
+}

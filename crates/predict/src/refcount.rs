@@ -1,0 +1,167 @@
+//! The reference-counter predictor (§3.2): evict a connection only when
+//! *other* connections are being used while it stays idle, so that pure
+//! computation phases (no communication at all) never cause evictions.
+
+use crate::ConnectionPredictor;
+use std::collections::HashMap;
+
+/// Per-connection idle counters advanced by other connections' traffic.
+#[derive(Debug, Clone)]
+pub struct RefCountPredictor {
+    threshold: u32,
+    counters: HashMap<(usize, usize), u32>,
+    pending: Vec<(usize, usize)>,
+}
+
+impl RefCountPredictor {
+    /// Creates a predictor that evicts a connection after `threshold` uses
+    /// of other connections with none of its own.
+    ///
+    /// # Panics
+    /// Panics if `threshold == 0`.
+    pub fn new(threshold: u32) -> Self {
+        assert!(threshold > 0, "threshold must be positive");
+        Self {
+            threshold,
+            counters: HashMap::new(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// The configured eviction threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// The current counter for a connection, if tracked.
+    pub fn counter(&self, u: usize, v: usize) -> Option<u32> {
+        self.counters.get(&(u, v)).copied()
+    }
+}
+
+impl ConnectionPredictor for RefCountPredictor {
+    fn on_use(&mut self, u: usize, v: usize, _now: u64) {
+        // Reset the used connection's counter, bump everyone else's.
+        let threshold = self.threshold;
+        for (&key, ctr) in self.counters.iter_mut() {
+            if key == (u, v) {
+                *ctr = 0;
+            } else {
+                *ctr += 1;
+                if *ctr == threshold {
+                    self.pending.push(key);
+                }
+            }
+        }
+        self.counters.entry((u, v)).or_insert(0);
+        // A use rescinds any eviction still pending for this connection —
+        // its counter is zero again.
+        self.pending.retain(|&k| k != (u, v));
+    }
+
+    fn on_establish(&mut self, u: usize, v: usize, _now: u64) {
+        self.counters.entry((u, v)).or_insert(0);
+    }
+
+    fn on_release(&mut self, u: usize, v: usize) {
+        self.counters.remove(&(u, v));
+        self.pending.retain(|&k| k != (u, v));
+    }
+
+    fn take_evictions(&mut self, _now: u64) -> Vec<(usize, usize)> {
+        let mut out = std::mem::take(&mut self.pending);
+        out.sort_unstable();
+        out.dedup();
+        for k in &out {
+            self.counters.remove(k);
+        }
+        out
+    }
+
+    fn name(&self) -> &'static str {
+        "refcount"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_connection_evicted_after_threshold_other_uses() {
+        let mut p = RefCountPredictor::new(3);
+        p.on_establish(0, 1, 0);
+        p.on_establish(2, 3, 0);
+        // Three uses of (2,3) push (0,1) to the threshold.
+        p.on_use(2, 3, 10);
+        p.on_use(2, 3, 20);
+        assert!(p.take_evictions(25).is_empty());
+        p.on_use(2, 3, 30);
+        assert_eq!(p.take_evictions(35), vec![(0, 1)]);
+        // (2,3) itself is still tracked with counter 0.
+        assert_eq!(p.counter(2, 3), Some(0));
+    }
+
+    #[test]
+    fn own_use_resets_counter() {
+        let mut p = RefCountPredictor::new(3);
+        p.on_establish(0, 1, 0);
+        p.on_establish(2, 3, 0);
+        p.on_use(2, 3, 10);
+        p.on_use(2, 3, 20);
+        p.on_use(0, 1, 25); // reset
+        p.on_use(2, 3, 30);
+        p.on_use(2, 3, 40);
+        assert!(p.take_evictions(45).is_empty(), "counter was reset at 25");
+        p.on_use(2, 3, 50);
+        assert_eq!(p.take_evictions(55), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn computation_phase_causes_no_evictions() {
+        // The key property vs. the timeout predictor: with NO communication
+        // at all, counters never advance, so nothing is ever evicted no
+        // matter how much time passes.
+        let mut p = RefCountPredictor::new(1);
+        p.on_establish(0, 1, 0);
+        assert!(p.take_evictions(u64::MAX).is_empty());
+    }
+
+    #[test]
+    fn use_rescinds_pending_eviction() {
+        // Found by the property test `refcount_never_evicts_most_recent`:
+        // a connection that reaches the threshold but is used again before
+        // the next drain must survive.
+        let mut p = RefCountPredictor::new(1);
+        p.on_use(0, 0, 0); // establishes (0,0) implicitly
+        p.on_use(0, 1, 1); // pushes (0,0) to threshold... and vice versa
+        p.on_use(0, 0, 2); // rescues (0,0), pushes (0,1) again
+        let evicted = p.take_evictions(3);
+        assert!(!evicted.contains(&(0, 0)), "hot connection evicted");
+    }
+
+    #[test]
+    fn release_cancels_pending_eviction() {
+        let mut p = RefCountPredictor::new(1);
+        p.on_establish(0, 1, 0);
+        p.on_use(2, 3, 10); // pushes (0,1) to threshold
+        p.on_release(0, 1); // released by other means first
+        assert!(p.take_evictions(20).is_empty());
+    }
+
+    #[test]
+    fn eviction_list_is_sorted_and_deduped() {
+        let mut p = RefCountPredictor::new(1);
+        p.on_establish(5, 5, 0);
+        p.on_establish(1, 2, 0);
+        p.on_use(0, 0, 1);
+        p.on_use(0, 0, 2); // (5,5) and (1,2) pass threshold once each
+        assert_eq!(p.take_evictions(3), vec![(1, 2), (5, 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be positive")]
+    fn zero_threshold_rejected() {
+        RefCountPredictor::new(0);
+    }
+}

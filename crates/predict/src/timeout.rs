@@ -1,0 +1,140 @@
+//! The time-out predictor: evict a connection idle for longer than a
+//! threshold (§3.2, "we will use in our experiments a simple 'time-out'
+//! predictor in which a connection is removed if it is not used for a
+//! certain period of time").
+
+use crate::ConnectionPredictor;
+use std::collections::HashMap;
+
+/// Evicts connections that have not carried data for `timeout_ns`.
+///
+/// ```
+/// use pms_predict::{ConnectionPredictor, TimeoutPredictor};
+///
+/// let mut p = TimeoutPredictor::new(500);
+/// p.on_establish(0, 3, 0);
+/// p.on_use(0, 3, 400);             // used at t=400 -> idle clock restarts
+/// assert!(p.take_evictions(800).is_empty());
+/// assert_eq!(p.take_evictions(900), vec![(0, 3)]); // 500 ns idle
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimeoutPredictor {
+    timeout_ns: u64,
+    last_use: HashMap<(usize, usize), u64>,
+}
+
+impl TimeoutPredictor {
+    /// Creates a predictor with the given idle threshold in nanoseconds.
+    ///
+    /// # Panics
+    /// Panics if `timeout_ns == 0` (that would evict on every query).
+    pub fn new(timeout_ns: u64) -> Self {
+        assert!(timeout_ns > 0, "timeout must be positive");
+        Self {
+            timeout_ns,
+            last_use: HashMap::new(),
+        }
+    }
+
+    /// The configured idle threshold.
+    pub fn timeout_ns(&self) -> u64 {
+        self.timeout_ns
+    }
+
+    /// Number of connections currently tracked.
+    pub fn tracked(&self) -> usize {
+        self.last_use.len()
+    }
+}
+
+impl ConnectionPredictor for TimeoutPredictor {
+    fn on_use(&mut self, u: usize, v: usize, now: u64) {
+        self.last_use.insert((u, v), now);
+    }
+
+    fn on_establish(&mut self, u: usize, v: usize, now: u64) {
+        // Establishment counts as a use: the idle clock starts now.
+        self.last_use.entry((u, v)).or_insert(now);
+    }
+
+    fn on_release(&mut self, u: usize, v: usize) {
+        self.last_use.remove(&(u, v));
+    }
+
+    fn take_evictions(&mut self, now: u64) -> Vec<(usize, usize)> {
+        let timeout = self.timeout_ns;
+        let mut evicted: Vec<(usize, usize)> = self
+            .last_use
+            .iter()
+            .filter(|&(_, &t)| now.saturating_sub(t) >= timeout)
+            .map(|(&k, _)| k)
+            .collect();
+        evicted.sort_unstable(); // deterministic order for the simulator
+        for k in &evicted {
+            self.last_use.remove(k);
+        }
+        evicted
+    }
+
+    fn name(&self) -> &'static str {
+        "timeout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_connection_evicted_after_timeout() {
+        let mut p = TimeoutPredictor::new(100);
+        p.on_establish(0, 1, 0);
+        assert!(p.take_evictions(99).is_empty());
+        assert_eq!(p.take_evictions(100), vec![(0, 1)]);
+        // Already drained: a second query returns nothing.
+        assert!(p.take_evictions(200).is_empty());
+    }
+
+    #[test]
+    fn use_resets_the_idle_clock() {
+        let mut p = TimeoutPredictor::new(100);
+        p.on_establish(0, 1, 0);
+        p.on_use(0, 1, 80);
+        assert!(p.take_evictions(150).is_empty(), "only 70 ns idle");
+        assert_eq!(p.take_evictions(180), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn establish_does_not_reset_existing_clock() {
+        // Re-establishing in another slot must not extend the idle window.
+        let mut p = TimeoutPredictor::new(100);
+        p.on_use(0, 1, 0);
+        p.on_establish(0, 1, 90);
+        assert_eq!(p.take_evictions(100), vec![(0, 1)]);
+    }
+
+    #[test]
+    fn release_forgets_state() {
+        let mut p = TimeoutPredictor::new(100);
+        p.on_establish(0, 1, 0);
+        p.on_release(0, 1);
+        assert_eq!(p.tracked(), 0);
+        assert!(p.take_evictions(1_000).is_empty());
+    }
+
+    #[test]
+    fn evictions_are_sorted_and_complete() {
+        let mut p = TimeoutPredictor::new(10);
+        p.on_use(3, 1, 0);
+        p.on_use(0, 2, 0);
+        p.on_use(1, 1, 5);
+        assert_eq!(p.take_evictions(10), vec![(0, 2), (3, 1)]);
+        assert_eq!(p.take_evictions(15), vec![(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "timeout must be positive")]
+    fn zero_timeout_rejected() {
+        TimeoutPredictor::new(0);
+    }
+}

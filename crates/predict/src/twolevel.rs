@@ -1,0 +1,121 @@
+//! Two-level (conditional) working sets (§3.3).
+//!
+//! "One way this could be used is to store a second level working set that
+//! is swapped in only when the conditional is true." The compiler knows a
+//! loop's communication pattern depends on an `if` condition, so it
+//! registers both patterns; at run time the NIC reports the condition and
+//! the scheduler preloads the matching set without any mis-training.
+
+use pms_bitmat::BitMatrix;
+
+/// A pair of preloadable working sets selected by a run-time condition.
+#[derive(Debug, Clone)]
+pub struct TwoLevelWorkingSet {
+    primary: Vec<BitMatrix>,
+    secondary: Vec<BitMatrix>,
+    /// Which level is currently selected (`false` = primary).
+    active_secondary: bool,
+    swaps: u64,
+}
+
+impl TwoLevelWorkingSet {
+    /// Creates a two-level set from the compiler-derived configuration
+    /// lists for the condition-false (primary) and condition-true
+    /// (secondary) paths.
+    ///
+    /// # Panics
+    /// Panics if either level is empty or any configuration is not a
+    /// partial permutation, or if matrix sizes are inconsistent.
+    pub fn new(primary: Vec<BitMatrix>, secondary: Vec<BitMatrix>) -> Self {
+        assert!(
+            !primary.is_empty() && !secondary.is_empty(),
+            "both levels need at least one configuration"
+        );
+        let n = primary[0].rows();
+        for c in primary.iter().chain(secondary.iter()) {
+            assert_eq!((c.rows(), c.cols()), (n, n), "inconsistent sizes");
+            assert!(c.is_partial_permutation(), "conflicting configuration");
+        }
+        Self {
+            primary,
+            secondary,
+            active_secondary: false,
+            swaps: 0,
+        }
+    }
+
+    /// Selects the working set for the given condition value and returns
+    /// the configurations to preload. Returns `None` if the condition did
+    /// not change (no reload needed).
+    pub fn select(&mut self, condition: bool) -> Option<&[BitMatrix]> {
+        if condition == self.active_secondary {
+            return None;
+        }
+        self.active_secondary = condition;
+        self.swaps += 1;
+        Some(self.active())
+    }
+
+    /// The currently selected configurations.
+    pub fn active(&self) -> &[BitMatrix] {
+        if self.active_secondary {
+            &self.secondary
+        } else {
+            &self.primary
+        }
+    }
+
+    /// The multiplexing degree the active set requires.
+    pub fn active_degree(&self) -> usize {
+        self.active().len()
+    }
+
+    /// How many times the working set was swapped.
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfgs(n: usize, shift: usize, k: usize) -> Vec<BitMatrix> {
+        (0..k)
+            .map(|i| BitMatrix::from_pairs(n, n, (0..n).map(|u| (u, (u + shift + i) % n))))
+            .collect()
+    }
+
+    #[test]
+    fn starts_on_primary() {
+        let wl = TwoLevelWorkingSet::new(cfgs(8, 1, 2), cfgs(8, 4, 3));
+        assert_eq!(wl.active_degree(), 2);
+        assert_eq!(wl.swaps(), 0);
+    }
+
+    #[test]
+    fn select_swaps_only_on_change() {
+        let mut wl = TwoLevelWorkingSet::new(cfgs(8, 1, 2), cfgs(8, 4, 3));
+        assert!(wl.select(false).is_none(), "already primary");
+        let sec = wl.select(true).expect("swap to secondary");
+        assert_eq!(sec.len(), 3);
+        assert!(wl.select(true).is_none(), "already secondary");
+        assert_eq!(wl.swaps(), 1);
+        let prim = wl.select(false).expect("swap back");
+        assert_eq!(prim.len(), 2);
+        assert_eq!(wl.swaps(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one configuration")]
+    fn empty_level_rejected() {
+        TwoLevelWorkingSet::new(vec![], cfgs(8, 1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting configuration")]
+    fn conflicting_config_rejected() {
+        let bad = vec![BitMatrix::from_pairs(8, 8, [(0, 1), (2, 1)])];
+        TwoLevelWorkingSet::new(bad, cfgs(8, 1, 1));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property tests for the eviction predictors.
+
+use pms_predict::{ConnectionPredictor, RefCountPredictor, TimeoutPredictor};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Event {
+    Establish(usize, usize),
+    Use(usize, usize),
+    Release(usize, usize),
+    AdvanceAndDrain(u64),
+}
+
+fn event_strategy() -> impl Strategy<Value = Event> {
+    prop_oneof![
+        2 => (0usize..6, 0usize..6).prop_map(|(u, v)| Event::Establish(u, v)),
+        4 => (0usize..6, 0usize..6).prop_map(|(u, v)| Event::Use(u, v)),
+        1 => (0usize..6, 0usize..6).prop_map(|(u, v)| Event::Release(u, v)),
+        2 => (1u64..3_000).prop_map(Event::AdvanceAndDrain),
+    ]
+}
+
+/// Replays events against a predictor, tracking wall time and the set of
+/// live (established, not evicted/released) connections.
+fn replay(
+    pred: &mut dyn ConnectionPredictor,
+    events: &[Event],
+) -> (u64, std::collections::BTreeSet<(usize, usize)>) {
+    let mut now = 0u64;
+    let mut live = std::collections::BTreeSet::new();
+    for e in events {
+        match *e {
+            Event::Establish(u, v) => {
+                pred.on_establish(u, v, now);
+                live.insert((u, v));
+            }
+            Event::Use(u, v) => {
+                if live.contains(&(u, v)) {
+                    pred.on_use(u, v, now);
+                }
+            }
+            Event::Release(u, v) => {
+                pred.on_release(u, v);
+                live.remove(&(u, v));
+            }
+            Event::AdvanceAndDrain(dt) => {
+                now += dt;
+                for evicted in pred.take_evictions(now) {
+                    live.remove(&evicted);
+                }
+            }
+        }
+        now += 1;
+    }
+    (now, live)
+}
+
+proptest! {
+    /// The timeout predictor never evicts a connection it was not told
+    /// about, never evicts twice, and a final long idle period evicts
+    /// everything still live.
+    #[test]
+    fn timeout_predictor_is_sound_and_complete(
+        events in prop::collection::vec(event_strategy(), 0..60),
+        timeout in 50u64..1_000,
+    ) {
+        let mut pred = TimeoutPredictor::new(timeout);
+        let (now, live) = replay(&mut pred, &events);
+        // Everything still live becomes idle after `timeout`; one big
+        // advance must drain exactly the live set.
+        let mut final_evictions = pred.take_evictions(now + timeout + 1);
+        final_evictions.sort_unstable();
+        let expected: Vec<(usize, usize)> = live.into_iter().collect();
+        prop_assert_eq!(final_evictions, expected);
+        // And afterwards the predictor is empty.
+        prop_assert!(pred.take_evictions(u64::MAX).is_empty());
+    }
+
+    /// The refcount predictor never evicts the most recently used
+    /// connection.
+    #[test]
+    fn refcount_never_evicts_most_recent(
+        uses in prop::collection::vec((0usize..5, 0usize..5), 1..50),
+        threshold in 1u32..8,
+    ) {
+        let mut pred = RefCountPredictor::new(threshold);
+        for &(u, v) in &uses {
+            pred.on_establish(u, v, 0);
+        }
+        let mut last = None;
+        for (i, &(u, v)) in uses.iter().enumerate() {
+            pred.on_use(u, v, i as u64);
+            last = Some((u, v));
+        }
+        let evicted = pred.take_evictions(uses.len() as u64);
+        prop_assert!(!evicted.contains(&last.unwrap()), "evicted the hot connection");
+    }
+
+    /// With no traffic at all, the refcount predictor evicts nothing no
+    /// matter how much time passes (the §3.2 computation-phase property).
+    #[test]
+    fn refcount_is_silent_during_computation(
+        pairs in prop::collection::btree_set((0usize..8, 0usize..8), 0..10),
+        when in 0u64..u64::MAX,
+    ) {
+        let mut pred = RefCountPredictor::new(1);
+        for &(u, v) in &pairs {
+            pred.on_establish(u, v, 0);
+        }
+        prop_assert!(pred.take_evictions(when).is_empty());
+    }
+}

@@ -1,0 +1,250 @@
+//! The `N x N` scheduling-logic array (Figure 3) evaluated as one
+//! combinational pass.
+//!
+//! Availability signals ripple through the array: `A` per column (output
+//! port occupancy, initialized from `AO = OR of columns of B^(s)`) and `D`
+//! per row (input port occupancy, initialized from `AI = OR of rows of
+//! B^(s)`). Because a cell that *releases* a connection clears the ripples,
+//! ports freed by a release become available to establish requests later in
+//! the same pass — the hardware performs release-then-establish in a single
+//! SL clock.
+//!
+//! The paper's fairness refinement is supported: "a more fair schedule can
+//! be obtained by rotating the priority such that `A_{a,v} = AO_v` and
+//! `D_{u,b} = AI_u` where `a` and `b` are selected randomly or through a
+//! round robin scheme". [`Priority`] carries that `(a, b)` rotation; cells
+//! are evaluated in row order `a, a+1, ... (mod N)` and column order
+//! `b, b+1, ... (mod N)`, which is exactly the acyclic ripple the rotated
+//! initialization induces.
+
+use crate::slcell::{sl_cell, CellAction, CellInput};
+use pms_bitmat::BitMatrix;
+
+/// The priority rotation `(a, b)`: the row/column where the availability
+/// ripples are injected, i.e. the highest-priority requester.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Priority {
+    /// First row in the ripple order.
+    pub row: usize,
+    /// First column in the ripple order.
+    pub col: usize,
+}
+
+/// Result of one SL array pass.
+#[derive(Debug, Clone)]
+pub struct SlPassOutput {
+    /// The toggle matrix `T`: apply `B^(s) ^= T` to commit the pass.
+    pub toggles: BitMatrix,
+    /// Connections established this pass.
+    pub established: Vec<(usize, usize)>,
+    /// Connections released this pass.
+    pub released: Vec<(usize, usize)>,
+    /// Requests denied this pass (port unavailable).
+    pub denied: Vec<(usize, usize)>,
+}
+
+impl SlPassOutput {
+    /// True if the pass changed nothing and denied nothing.
+    pub fn is_quiescent(&self) -> bool {
+        self.established.is_empty() && self.released.is_empty() && self.denied.is_empty()
+    }
+}
+
+/// Runs one combinational pass of the SL array for slot matrix `b_s` with
+/// change requests `l` (from [`presched_matrix`](crate::presched_matrix)).
+///
+/// Returns the toggle matrix and the decoded per-connection actions. The
+/// caller commits the pass by XORing `toggles` into `B^(s)`.
+///
+/// # Panics
+/// Panics if `l` and `b_s` are not square matrices of equal size, or if the
+/// priority indices are out of range.
+pub fn sl_pass(l: &BitMatrix, b_s: &BitMatrix, priority: Priority) -> SlPassOutput {
+    let n = b_s.rows();
+    assert_eq!(b_s.cols(), n, "B^(s) must be square");
+    assert_eq!((l.rows(), l.cols()), (n, n), "L must match B^(s)");
+    assert!(
+        priority.row < n && priority.col < n,
+        "priority ({}, {}) out of range for {n} ports",
+        priority.row,
+        priority.col
+    );
+
+    // Ripple state: A per column, D per row, injected at (a, b).
+    let mut col_busy = b_s.col_or(); // AO
+    let row_busy_init = b_s.row_or(); // AI
+
+    let mut toggles = BitMatrix::new(n, n);
+    let mut established = Vec::new();
+    let mut released = Vec::new();
+    let mut denied = Vec::new();
+
+    for du in 0..n {
+        let u = (priority.row + du) % n;
+        // Gather this row's L=1 columns and visit them in rotated order.
+        let mut cols: Vec<usize> = l.iter_row_ones(u).collect();
+        if cols.is_empty() {
+            continue;
+        }
+        cols.sort_unstable_by_key(|&v| (n + v - priority.col) % n);
+
+        let mut d = row_busy_init.get(u);
+        for v in cols {
+            let out = sl_cell(CellInput {
+                l: true,
+                a: col_busy.get(v),
+                d,
+                b_s: b_s.get(u, v),
+            });
+            col_busy.set(v, out.a_next);
+            d = out.d_next;
+            if out.t {
+                toggles.set(u, v, true);
+            }
+            match out.action {
+                CellAction::Establish => established.push((u, v)),
+                CellAction::Release => released.push((u, v)),
+                CellAction::Denied => denied.push((u, v)),
+                CellAction::NoChange => unreachable!("only L=1 cells are visited"),
+            }
+        }
+    }
+
+    SlPassOutput {
+        toggles,
+        established,
+        released,
+        denied,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presched::presched_matrix;
+
+    fn commit(b_s: &mut BitMatrix, out: &SlPassOutput) {
+        for (u, v) in out.toggles.iter_ones().collect::<Vec<_>>() {
+            b_s.toggle(u, v);
+        }
+    }
+
+    /// Helper: run pre-scheduling + one SL pass with B* == B^(s).
+    fn pass(requests: &[(usize, usize)], b_s: &mut BitMatrix, priority: Priority) -> SlPassOutput {
+        let n = b_s.rows();
+        let r = BitMatrix::from_pairs(n, n, requests.iter().copied());
+        let l = presched_matrix(&r, &b_s.clone(), b_s);
+        let out = sl_pass(&l, b_s, priority);
+        commit(b_s, &out);
+        out
+    }
+
+    #[test]
+    fn establishes_nonconflicting_requests() {
+        let mut b = BitMatrix::square(8);
+        let out = pass(&[(0, 1), (1, 2), (7, 0)], &mut b, Priority::default());
+        assert_eq!(out.established.len(), 3);
+        assert!(out.released.is_empty() && out.denied.is_empty());
+        assert!(b.get(0, 1) && b.get(1, 2) && b.get(7, 0));
+        assert!(b.is_partial_permutation());
+    }
+
+    #[test]
+    fn output_conflict_denies_lower_priority() {
+        let mut b = BitMatrix::square(8);
+        // Inputs 0 and 3 both want output 5; row 0 has priority.
+        let out = pass(&[(0, 5), (3, 5)], &mut b, Priority::default());
+        assert_eq!(out.established, vec![(0, 5)]);
+        assert_eq!(out.denied, vec![(3, 5)]);
+        assert!(b.is_partial_permutation());
+    }
+
+    #[test]
+    fn input_conflict_denies_lower_priority_column() {
+        let mut b = BitMatrix::square(8);
+        // Input 2 wants outputs 1 and 6; column 1 wins at default priority.
+        let out = pass(&[(2, 1), (2, 6)], &mut b, Priority::default());
+        assert_eq!(out.established, vec![(2, 1)]);
+        assert_eq!(out.denied, vec![(2, 6)]);
+    }
+
+    #[test]
+    fn rotation_changes_the_winner() {
+        let mut b = BitMatrix::square(8);
+        // With priority rotated to row 3, input 3 beats input 0.
+        let out = pass(&[(0, 5), (3, 5)], &mut b, Priority { row: 3, col: 0 });
+        assert_eq!(out.established, vec![(3, 5)]);
+        assert_eq!(out.denied, vec![(0, 5)]);
+    }
+
+    #[test]
+    fn column_rotation_changes_the_winner() {
+        let mut b = BitMatrix::square(8);
+        let out = pass(&[(2, 1), (2, 6)], &mut b, Priority { row: 0, col: 6 });
+        assert_eq!(out.established, vec![(2, 6)]);
+        assert_eq!(out.denied, vec![(2, 1)]);
+    }
+
+    #[test]
+    fn release_frees_ports_for_later_establish_same_pass() {
+        // (0,5) is established but no longer requested; (3,5) is newly
+        // requested. Row 0 is scanned first, releasing output 5, so row 3
+        // can claim it in the same pass.
+        let mut b = BitMatrix::from_pairs(8, 8, [(0, 5)]);
+        let out = pass(&[(3, 5)], &mut b, Priority::default());
+        assert_eq!(out.released, vec![(0, 5)]);
+        assert_eq!(out.established, vec![(3, 5)]);
+        assert!(!b.get(0, 5) && b.get(3, 5));
+    }
+
+    #[test]
+    fn establish_blocked_when_release_scans_later() {
+        // Same as above but priority starts at row 3: the establish at
+        // (3,5) is evaluated before the release at (0,5), so it is denied
+        // this pass; the release still happens.
+        let mut b = BitMatrix::from_pairs(8, 8, [(0, 5)]);
+        let out = pass(&[(3, 5)], &mut b, Priority { row: 3, col: 0 });
+        assert_eq!(out.denied, vec![(3, 5)]);
+        assert_eq!(out.released, vec![(0, 5)]);
+        // A second pass succeeds.
+        let out2 = pass(&[(3, 5)], &mut b, Priority { row: 3, col: 0 });
+        assert_eq!(out2.established, vec![(3, 5)]);
+    }
+
+    #[test]
+    fn erratum_establish_with_busy_ports_denied_not_toggled() {
+        // (0,5) and (3,1) persist (still requested); (3,5) is new but both
+        // its input (row 3) and output (column 5) are busy.
+        let mut b = BitMatrix::from_pairs(8, 8, [(0, 5), (3, 1)]);
+        let out = pass(&[(0, 5), (3, 1), (3, 5)], &mut b, Priority::default());
+        assert_eq!(out.denied, vec![(3, 5)]);
+        assert!(out.established.is_empty() && out.released.is_empty());
+        assert!(!b.get(3, 5), "erratum: spurious toggle would corrupt B");
+        assert!(b.is_partial_permutation());
+    }
+
+    #[test]
+    fn full_permutation_request_fills_in_one_pass() {
+        let n = 64;
+        let mut b = BitMatrix::square(n);
+        let reqs: Vec<(usize, usize)> = (0..n).map(|u| (u, (u + 7) % n)).collect();
+        let out = pass(&reqs, &mut b, Priority { row: 13, col: 40 });
+        assert_eq!(out.established.len(), n);
+        assert!(b.is_permutation());
+    }
+
+    #[test]
+    fn quiescent_pass_reports_nothing() {
+        let mut b = BitMatrix::from_pairs(8, 8, [(1, 1)]);
+        let out = pass(&[(1, 1)], &mut b, Priority::default());
+        assert!(out.is_quiescent());
+        assert!(b.get(1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_priority_panics() {
+        let b = BitMatrix::square(4);
+        sl_pass(&BitMatrix::square(4), &b, Priority { row: 4, col: 0 });
+    }
+}

@@ -1,0 +1,178 @@
+//! A single scheduling-logic cell `SL_{u,v}` (Table 2, Figure 3).
+//!
+//! Each cell receives the change-request bit `L_{u,v}`, the downward
+//! availability ripple `A_{u,v}` (output port `v` occupied so far) and the
+//! rightward ripple `D_{u,v}` (input port `u` occupied so far), and produces
+//! the toggle signal `T_{u,v}` plus the propagated ripples `A_{u+1,v}`,
+//! `D_{u,v+1}`:
+//!
+//! | `L` | `A` | `D` | action | `T` | `A'` | `D'` |
+//! |-----|-----|-----|--------|-----|------|------|
+//! | 0 | x | x | no change                    | 0 | `A` | `D` |
+//! | 1 | 1 | 1 | release connection in slot s | 1 | 0 | 0 |
+//! | 1 | 1 | 0 | denied: output busy          | 0 | `A` | `D` |
+//! | 1 | 0 | 1 | denied: input busy           | 0 | `A` | `D` |
+//! | 1 | 0 | 0 | establish connection         | 1 | 1 | 1 |
+//!
+//! ### Erratum note
+//!
+//! Table 2 distinguishes *release* from *establish* purely by `(A, D)`:
+//! a release cell always sees `(1,1)` because its own connection occupies
+//! both ports. However an **establish** request whose input *and* output are
+//! both occupied by *other* persisting connections also presents
+//! `(L,A,D) = (1,1,1)`; toggling there would set `B^(s)[u][v]` 0 → 1 and
+//! corrupt the permutation. Real hardware co-locates the cell with the
+//! configuration register bit, so we model the cell with the explicit
+//! `b_s` input the table's annotation (`B^(s)` 1 → 0) presumes: the
+//! `(1,1,1)` row toggles only when `b_s = 1`; with `b_s = 0` the request is
+//! denied. The exhaustive unit test `table2_exhaustive` covers the
+//! published rows; `establish_with_both_ports_busy_is_denied` covers the
+//! erratum row.
+
+/// Inputs of one SL cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellInput {
+    /// Change request from the pre-scheduling logic (Table 1).
+    pub l: bool,
+    /// Availability ripple for output port `v`: `true` = occupied.
+    pub a: bool,
+    /// Availability ripple for input port `u`: `true` = occupied.
+    pub d: bool,
+    /// The co-located configuration register bit `B^(s)[u][v]`.
+    pub b_s: bool,
+}
+
+/// What the cell decided to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CellAction {
+    /// `L = 0`: nothing to do for this pair.
+    NoChange,
+    /// Connection released in slot `s` (`B^(s)` 1 → 0).
+    Release,
+    /// Connection established in slot `s` (`B^(s)` 0 → 1).
+    Establish,
+    /// Connection needed but an input or output port is unavailable.
+    Denied,
+}
+
+/// Outputs of one SL cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CellOutput {
+    /// Toggle signal for the configuration register bit.
+    pub t: bool,
+    /// Ripple toward the next row (`A_{u+1,v}`).
+    pub a_next: bool,
+    /// Ripple toward the next column (`D_{u,v+1}`).
+    pub d_next: bool,
+    /// Decoded action, for statistics and tests.
+    pub action: CellAction,
+}
+
+/// Evaluates one scheduling-logic cell per Table 2 (with the erratum
+/// guard described in the module docs).
+pub fn sl_cell(input: CellInput) -> CellOutput {
+    let CellInput { l, a, d, b_s } = input;
+    if !l {
+        return CellOutput {
+            t: false,
+            a_next: a,
+            d_next: d,
+            action: CellAction::NoChange,
+        };
+    }
+    match (a, d) {
+        (true, true) if b_s => CellOutput {
+            // Release: both ports were held by this very connection.
+            t: true,
+            a_next: false,
+            d_next: false,
+            action: CellAction::Release,
+        },
+        (false, false) => CellOutput {
+            // Establish: claim both ports.
+            t: true,
+            a_next: true,
+            d_next: true,
+            action: CellAction::Establish,
+        },
+        _ => CellOutput {
+            // Resources not available (including the erratum case
+            // (1,1) with b_s = 0).
+            t: false,
+            a_next: a,
+            d_next: d,
+            action: CellAction::Denied,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Exhaustive check of the five published rows of Table 2.
+    #[test]
+    fn table2_exhaustive() {
+        // (L, A, D, b_s) -> (T, A', D')
+        // Rows with L=0 pass everything through with T=0.
+        for a in [false, true] {
+            for d in [false, true] {
+                for b_s in [false, true] {
+                    let out = sl_cell(CellInput {
+                        l: false,
+                        a,
+                        d,
+                        b_s,
+                    });
+                    assert!(!out.t);
+                    assert_eq!(out.a_next, a);
+                    assert_eq!(out.d_next, d);
+                    assert_eq!(out.action, CellAction::NoChange);
+                }
+            }
+        }
+        // Row 2: L=1, A=1, D=1 with the register bit set -> release.
+        let out = sl_cell(CellInput {
+            l: true,
+            a: true,
+            d: true,
+            b_s: true,
+        });
+        assert_eq!((out.t, out.a_next, out.d_next), (true, false, false));
+        assert_eq!(out.action, CellAction::Release);
+        // Rows 3-4: one port busy -> denied, ripples unchanged.
+        for (a, d) in [(true, false), (false, true)] {
+            for b_s in [false, true] {
+                // b_s=1 with exactly one busy ripple cannot occur in a legal
+                // pass but the combinational cell still passes through.
+                let out = sl_cell(CellInput { l: true, a, d, b_s });
+                assert_eq!((out.t, out.a_next, out.d_next), (false, a, d));
+                assert_eq!(out.action, CellAction::Denied);
+            }
+        }
+        // Row 5: both free -> establish, ripples claimed.
+        let out = sl_cell(CellInput {
+            l: true,
+            a: false,
+            d: false,
+            b_s: false,
+        });
+        assert_eq!((out.t, out.a_next, out.d_next), (true, true, true));
+        assert_eq!(out.action, CellAction::Establish);
+    }
+
+    /// The erratum case: an establish request whose input and output are
+    /// both occupied by *other* connections must be denied, not toggled.
+    #[test]
+    fn establish_with_both_ports_busy_is_denied() {
+        let out = sl_cell(CellInput {
+            l: true,
+            a: true,
+            d: true,
+            b_s: false,
+        });
+        assert!(!out.t, "toggling here would corrupt B^(s)");
+        assert_eq!(out.action, CellAction::Denied);
+        assert!(out.a_next && out.d_next, "ports stay occupied");
+    }
+}

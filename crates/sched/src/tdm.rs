@@ -1,0 +1,138 @@
+//! The TDM slot counter (Figure 2).
+//!
+//! "The TDM counter ... counts from 0 to K-1, but ... skips a particular
+//! count t, if the corresponding matrix B^(t) is all zeros. This feature
+//! skips over empty configurations and allows the scheduler to reduce the
+//! multiplexing degrees by controlling the content of the configuration
+//! register."
+
+use pms_bitmat::BitMatrix;
+
+/// Cyclic slot counter over `K` configuration registers that skips
+/// all-zero configurations.
+#[derive(Debug, Clone)]
+pub struct TdmCounter {
+    k: usize,
+    pos: usize,
+}
+
+impl TdmCounter {
+    /// Creates a counter over `k` slots, positioned at slot 0.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "TDM counter needs at least one slot");
+        Self { k, pos: 0 }
+    }
+
+    /// Number of slots `K`.
+    pub fn slots(&self) -> usize {
+        self.k
+    }
+
+    /// The slot the counter currently points at.
+    pub fn current(&self) -> usize {
+        self.pos
+    }
+
+    /// Advances to the next non-empty slot and returns it, or `None` when
+    /// every configuration is empty (the counter then holds its position —
+    /// no slot clock is consumed by an idle network).
+    pub fn advance(&mut self, configs: &[BitMatrix]) -> Option<usize> {
+        assert_eq!(configs.len(), self.k, "config register count mismatch");
+        for step in 1..=self.k {
+            let candidate = (self.pos + step) % self.k;
+            if !configs[candidate].all_zero() {
+                self.pos = candidate;
+                return Some(candidate);
+            }
+        }
+        None
+    }
+
+    /// The *effective multiplexing degree*: the number of non-empty slots
+    /// the counter actually visits. Each established connection receives
+    /// `1/degree` of the link bandwidth.
+    pub fn effective_degree(configs: &[BitMatrix]) -> usize {
+        configs.iter().filter(|c| !c.all_zero()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn configs(k: usize, nonempty: &[usize]) -> Vec<BitMatrix> {
+        (0..k)
+            .map(|i| {
+                let mut m = BitMatrix::square(4);
+                if nonempty.contains(&i) {
+                    m.set(0, i % 4, true);
+                }
+                m
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cycles_over_nonempty_slots() {
+        let cfgs = configs(4, &[0, 2]);
+        let mut ctr = TdmCounter::new(4);
+        assert_eq!(ctr.advance(&cfgs), Some(2));
+        assert_eq!(ctr.advance(&cfgs), Some(0));
+        assert_eq!(ctr.advance(&cfgs), Some(2));
+        assert_eq!(ctr.advance(&cfgs), Some(0));
+    }
+
+    #[test]
+    fn all_empty_returns_none_and_holds() {
+        let cfgs = configs(3, &[]);
+        let mut ctr = TdmCounter::new(3);
+        assert_eq!(ctr.advance(&cfgs), None);
+        assert_eq!(ctr.current(), 0, "counter holds when idle");
+    }
+
+    #[test]
+    fn single_nonempty_slot_is_revisited_every_advance() {
+        let cfgs = configs(4, &[3]);
+        let mut ctr = TdmCounter::new(4);
+        for _ in 0..5 {
+            assert_eq!(ctr.advance(&cfgs), Some(3));
+        }
+    }
+
+    #[test]
+    fn full_degree_visits_all_slots_in_order() {
+        let cfgs = configs(4, &[0, 1, 2, 3]);
+        let mut ctr = TdmCounter::new(4);
+        let visits: Vec<usize> = (0..8).map(|_| ctr.advance(&cfgs).unwrap()).collect();
+        assert_eq!(visits, vec![1, 2, 3, 0, 1, 2, 3, 0]);
+    }
+
+    #[test]
+    fn effective_degree_counts_nonempty() {
+        assert_eq!(TdmCounter::effective_degree(&configs(4, &[1, 3])), 2);
+        assert_eq!(TdmCounter::effective_degree(&configs(4, &[])), 0);
+        assert_eq!(TdmCounter::effective_degree(&configs(4, &[0, 1, 2, 3])), 4);
+    }
+
+    #[test]
+    fn degree_shrinks_when_slot_empties() {
+        // The paper's point: emptying a register immediately reduces the
+        // multiplexing degree, giving remaining connections more bandwidth.
+        let mut cfgs = configs(4, &[0, 1]);
+        let mut ctr = TdmCounter::new(4);
+        assert_eq!(ctr.advance(&cfgs), Some(1));
+        cfgs[1].clear();
+        assert_eq!(ctr.advance(&cfgs), Some(0));
+        assert_eq!(ctr.advance(&cfgs), Some(0));
+        assert_eq!(TdmCounter::effective_degree(&cfgs), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one slot")]
+    fn zero_slots_rejected() {
+        TdmCounter::new(0);
+    }
+}

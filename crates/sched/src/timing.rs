@@ -1,0 +1,154 @@
+//! Structural timing model of the scheduling circuit (Table 3).
+//!
+//! The paper synthesized the scheduler on an Altera Stratix FPGA
+//! (EP1S25F1020C-5) and reports the latencies of Table 3:
+//!
+//! | N | 4 | 8 | 16 | 32 | 64 | 128 |
+//! |---|---|---|----|----|----|-----|
+//! | FPGA latency (ns) | 34 | 49 | 76 | 120 | 213 | 385 |
+//!
+//! We model the latency *structurally* from the circuit the paper
+//! describes: the availability ripple traverses `2N` SL cells (N rows of
+//! `A` plus N columns of `D` on the worst-case path — "the scheduling delay
+//! should be linearly proportional to the system size, N"), preceded by the
+//! pre-scheduling logic whose `AO`/`AI` reductions are `⌈log2 N⌉`-deep OR
+//! trees, plus a fixed term for the slot-select multiplexer, register
+//! setup, and FPGA routing.
+//!
+//! `latency(N) = fixed + 2N * cell + ⌈log2 N⌉ * or_stage`
+//!
+//! Calibrating the three per-element delays once (least squares) against
+//! the paper's six published points gives `fixed = 13.98 ns`,
+//! `cell = 1.32 ns`, `or_stage = 4.68 ns`, with a worst-case error of
+//! 2.1 ns (≈ 1.7 %) across the table. "ASIC results tend to be 5 to 10 times better than the FPGA
+//! results"; the paper's simulations use 80 ns for the 128-port scheduler
+//! (≈ 4.8x better), which [`ASIC_DERATE`] reproduces exactly.
+
+/// Structural delay model of one SL-array scheduling pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SlTimingModel {
+    /// Fixed overhead: slot-select mux, register setup, routing (ns).
+    pub fixed_ns: f64,
+    /// Ripple delay through one SL cell (ns). The critical path crosses
+    /// `2N` cells.
+    pub cell_ns: f64,
+    /// Delay of one level of the `AO`/`AI` OR-reduction trees (ns).
+    pub or_stage_ns: f64,
+}
+
+/// Calibrated against the paper's Altera Stratix EP1S25F1020C-5 synthesis
+/// (Table 3).
+pub const FPGA_STRATIX: SlTimingModel = SlTimingModel {
+    fixed_ns: 13.9794,
+    cell_ns: 1.3228,
+    or_stage_ns: 4.6818,
+};
+
+/// FPGA-to-ASIC improvement factor that reproduces the paper's
+/// "conservative" choice of 80 ns for the 128x128 ASIC scheduler
+/// (385 / 80 ≈ 4.8, "about 5x better").
+pub const ASIC_DERATE: f64 = 385.0 / 80.0;
+
+impl SlTimingModel {
+    /// Critical-path latency of one scheduling pass for an `N`-port array,
+    /// in nanoseconds.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn latency_ns(&self, n: usize) -> f64 {
+        assert!(n > 0, "scheduler needs at least one port");
+        let log2n = (usize::BITS - (n - 1).leading_zeros()).max(1) as f64;
+        self.fixed_ns + 2.0 * n as f64 * self.cell_ns + log2n * self.or_stage_ns
+    }
+
+    /// Latency rounded to whole nanoseconds, as Table 3 reports.
+    pub fn latency_ns_rounded(&self, n: usize) -> u64 {
+        self.latency_ns(n).round() as u64
+    }
+
+    /// The same structure scaled by an FPGA-to-ASIC factor.
+    pub fn derated(&self, factor: f64) -> SlTimingModel {
+        assert!(factor > 0.0, "derate factor must be positive");
+        SlTimingModel {
+            fixed_ns: self.fixed_ns / factor,
+            cell_ns: self.cell_ns / factor,
+            or_stage_ns: self.or_stage_ns / factor,
+        }
+    }
+
+    /// The ASIC scheduler latency the paper's simulations assume
+    /// (80 ns at `n = 128`).
+    pub fn asic_latency_ns(n: usize) -> u64 {
+        FPGA_STRATIX.derated(ASIC_DERATE).latency_ns(n).round() as u64
+    }
+}
+
+/// The paper's Table 3, for tests and the regeneration harness.
+pub const TABLE3_PUBLISHED: [(usize, u64); 6] =
+    [(4, 34), (8, 49), (16, 76), (32, 120), (64, 213), (128, 385)];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_tracks_table3_within_4_percent() {
+        for (n, published) in TABLE3_PUBLISHED {
+            let got = FPGA_STRATIX.latency_ns(n);
+            let err = (got - published as f64).abs();
+            assert!(
+                err <= 2.2,
+                "N={n}: model {got:.1} ns vs published {published} ns (err {err:.1})"
+            );
+            assert!(
+                err / published as f64 <= 0.02,
+                "N={n}: relative error too large"
+            );
+        }
+    }
+
+    #[test]
+    fn endpoints_match_exactly_when_rounded() {
+        // The calibration anchors the smallest and largest systems.
+        assert_eq!(FPGA_STRATIX.latency_ns_rounded(4), 34);
+        assert_eq!(FPGA_STRATIX.latency_ns_rounded(128), 385);
+    }
+
+    #[test]
+    fn asic_matches_papers_80ns_assumption() {
+        assert_eq!(SlTimingModel::asic_latency_ns(128), 80);
+    }
+
+    #[test]
+    fn latency_is_monotone_in_n() {
+        let mut prev = 0.0;
+        for n in [1, 2, 4, 8, 16, 32, 64, 128, 256, 512] {
+            let l = FPGA_STRATIX.latency_ns(n);
+            assert!(l > prev, "latency must grow with N");
+            prev = l;
+        }
+    }
+
+    #[test]
+    fn latency_is_asymptotically_linear() {
+        // Doubling N should roughly double the dominant 2N*cell term.
+        let l256 = FPGA_STRATIX.latency_ns(256);
+        let l512 = FPGA_STRATIX.latency_ns(512);
+        let ratio = l512 / l256;
+        assert!((1.8..2.1).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn derate_scales_all_terms() {
+        let asic = FPGA_STRATIX.derated(5.0);
+        let n = 64;
+        let ratio = FPGA_STRATIX.latency_ns(n) / asic.latency_ns(n);
+        assert!((ratio - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn zero_ports_rejected() {
+        FPGA_STRATIX.latency_ns(0);
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based fuzzing of the scheduler invariants (DESIGN.md §8).
+
+use pms_bitmat::BitMatrix;
+use pms_sched::{BandwidthMode, HoldPolicy, Scheduler, SchedulerConfig};
+use proptest::prelude::*;
+
+/// One step of a random scheduler workout.
+#[derive(Debug, Clone)]
+enum Op {
+    Pass(Vec<(usize, usize)>),
+    Flush,
+    Preload(usize, Vec<(usize, usize)>),
+    Unload(usize),
+    ClearLatch(usize, usize),
+}
+
+fn op_strategy(n: usize, k: usize) -> impl Strategy<Value = Op> {
+    let pair = (0..n, 0..n);
+    let pairs = prop::collection::vec(pair, 0..12);
+    prop_oneof![
+        6 => pairs.clone().prop_map(Op::Pass),
+        1 => Just(Op::Flush),
+        1 => (0..k, prop::collection::vec((0..n, 0..n), 0..4))
+            .prop_map(|(s, p)| Op::Preload(s, p)),
+        1 => (0..k).prop_map(Op::Unload),
+        1 => (0..n, 0..n).prop_map(|(u, v)| Op::ClearLatch(u, v)),
+    ]
+}
+
+/// Turns arbitrary pairs into a conflict-free preload pattern by first-fit.
+fn to_partial_perm(n: usize, pairs: &[(usize, usize)]) -> BitMatrix {
+    let mut used_in = vec![false; n];
+    let mut used_out = vec![false; n];
+    let mut m = BitMatrix::square(n);
+    for &(u, v) in pairs {
+        if !used_in[u] && !used_out[v] {
+            used_in[u] = true;
+            used_out[v] = true;
+            m.set(u, v, true);
+        }
+    }
+    m
+}
+
+fn run_ops(mut sched: Scheduler, n: usize, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Pass(pairs) => {
+                let r = BitMatrix::from_pairs(n, n, pairs.iter().copied());
+                sched.pass(&r);
+            }
+            Op::Flush => sched.flush_dynamic(),
+            Op::Preload(s, pairs) => sched.preload(*s, to_partial_perm(n, pairs)),
+            Op::Unload(s) => sched.unload(*s),
+            Op::ClearLatch(u, v) => sched.clear_latch(*u, *v),
+        }
+        sched.check_invariants();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scheduler_invariants_hold_under_random_ops(
+        ops in prop::collection::vec(op_strategy(16, 4), 1..60)
+    ) {
+        let sched = Scheduler::new(SchedulerConfig::new(16, 4));
+        run_ops(sched, 16, &ops);
+    }
+
+    #[test]
+    fn scheduler_invariants_hold_with_latch_policy(
+        ops in prop::collection::vec(op_strategy(12, 3), 1..60)
+    ) {
+        let sched = Scheduler::new(
+            SchedulerConfig::new(12, 3).with_hold(HoldPolicy::Latch),
+        );
+        run_ops(sched, 12, &ops);
+    }
+
+    #[test]
+    fn scheduler_invariants_hold_without_rotation(
+        ops in prop::collection::vec(op_strategy(16, 2), 1..40)
+    ) {
+        let sched = Scheduler::new(
+            SchedulerConfig::new(16, 2).with_rotation(false),
+        );
+        run_ops(sched, 16, &ops);
+    }
+
+    /// Every persistent, conflict-free request set is fully established
+    /// after settling, regardless of arrival order.
+    #[test]
+    fn conflict_free_requests_all_establish(
+        perm in prop::collection::vec(0usize..16, 16)
+    ) {
+        // Build a partial permutation u -> perm[u], dropping duplicates.
+        let pairs = to_partial_perm(16, &perm.iter().copied().enumerate().collect::<Vec<_>>());
+        let mut sched = Scheduler::new(SchedulerConfig::new(16, 4));
+        let r = pairs.clone();
+        sched.settle(&r, 128);
+        for (u, v) in pairs.iter_ones() {
+            prop_assert!(sched.established(u, v), "({u},{v}) not established");
+        }
+        sched.check_invariants();
+    }
+
+    /// With K slots, up to K conflicting requests per output all establish.
+    #[test]
+    fn k_way_conflicts_fill_k_slots(out_port in 0usize..8, senders in prop::collection::btree_set(0usize..8, 1..8)) {
+        let k = 4;
+        let mut sched = Scheduler::new(SchedulerConfig::new(8, k));
+        let pairs: Vec<(usize, usize)> = senders.iter().map(|&u| (u, out_port)).collect();
+        let r = BitMatrix::from_pairs(8, 8, pairs.iter().copied());
+        sched.settle(&r, 64);
+        let established = pairs.iter().filter(|&&(u, v)| sched.established(u, v)).count();
+        prop_assert_eq!(established, senders.len().min(k));
+        sched.check_invariants();
+    }
+
+    /// Multi-slot marking never breaks per-slot permutation validity.
+    #[test]
+    fn multislot_preserves_invariants(
+        marks in prop::collection::vec((0usize..8, 0usize..8), 0..6),
+        ops in prop::collection::vec(op_strategy(8, 3), 1..30),
+    ) {
+        let mut sched = Scheduler::new(
+            SchedulerConfig::new(8, 3).with_bandwidth(BandwidthMode::PerPairMultiSlot),
+        );
+        for (u, v) in marks {
+            sched.set_multislot(u, v, true);
+        }
+        run_ops(sched, 8, &ops);
+    }
+}

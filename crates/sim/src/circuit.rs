@@ -1,0 +1,267 @@
+//! Pure circuit switching (§5): TDM with a multiplexing degree of one.
+//!
+//! "For circuit switching ... the delay to schedule a message includes the
+//! cable delay of 80 ns to send the request, 80 ns to schedule the
+//! request, and another 80 ns to send the grant back to the NIC. After
+//! that, the point-to-point delay is 30+20+20+30 ns."
+//!
+//! The simulator drives the *actual* hardware scheduler model
+//! ([`pms_sched::Scheduler`]) with `K = 1`: one SL pass per 80 ns, requests
+//! visible 80 ns after the NIC queue becomes non-empty, grants usable 80 ns
+//! after the pass. Established circuits stream at the full 6.4 Gb/s link
+//! rate (LVDS fabric: no re-serialization at the switch) and are torn down
+//! by the next pass after their request drops — exactly the Table 1
+//! release rule.
+
+use crate::engine::{Effect, Engine};
+use crate::message::MsgState;
+use crate::params::SimParams;
+use crate::stats::SimStats;
+use crate::voq::Voqs;
+use pms_bitmat::BitMatrix;
+use pms_sched::{Scheduler, SchedulerConfig};
+use pms_workloads::Workload;
+use std::collections::{HashMap, HashSet};
+
+/// The circuit-switching simulator.
+pub struct CircuitSim {
+    params: SimParams,
+    workload_name: String,
+    msgs: Vec<MsgState>,
+    engine: Engine,
+    voqs: Voqs,
+    scheduler: Scheduler,
+    /// Time from which each established circuit may carry data
+    /// (pass time + grant propagation).
+    usable_from: HashMap<(usize, usize), u64>,
+    /// Circuits whose message completed: the NIC drops the request and the
+    /// circuit must be torn down (and re-requested) before the next message
+    /// flows — pure per-message circuit switching (§5).
+    pending_release: HashSet<(usize, usize)>,
+    undelivered: usize,
+}
+
+impl CircuitSim {
+    /// Builds the simulator for a workload.
+    pub fn new(workload: &Workload, params: &SimParams) -> Self {
+        let table = workload.message_table();
+        let msgs: Vec<MsgState> = table.iter().map(|m| MsgState::new(*m)).collect();
+        let engine = Engine::new(workload, &table, params.nic_cycle_ns);
+        assert_eq!(
+            workload.ports, params.ports,
+            "workload/params port mismatch"
+        );
+        Self {
+            params: params.clone(),
+            workload_name: workload.name.clone(),
+            msgs,
+            engine,
+            voqs: Voqs::new(params.ports),
+            scheduler: Scheduler::new(SchedulerConfig::new(params.ports, 1)),
+            usable_from: HashMap::new(),
+            pending_release: HashSet::new(),
+            undelivered: 0,
+        }
+    }
+
+    /// Runs to completion and returns the statistics.
+    pub fn run(mut self) -> SimStats {
+        let window = self.params.sched_ns;
+        let mut t = 0u64;
+        loop {
+            assert!(
+                t <= self.params.max_sim_ns,
+                "circuit simulation exceeded {} ns (deadlock?)",
+                self.params.max_sim_ns
+            );
+            self.poll_engine(t);
+            if self.engine.all_done() && self.undelivered == 0 {
+                break;
+            }
+            // Data flows on circuits established before this window.
+            self.transfer_window(t, t + window);
+            // One SL pass at the end of the window; newly established
+            // circuits become usable one grant-propagation later.
+            let visible = self.request_matrix(t + window);
+            let report = self.scheduler.pass(&visible);
+            for &(u, v) in &report.established {
+                self.usable_from
+                    .insert((u, v), t + window + self.params.request_wire_ns);
+            }
+            for &(u, v) in &report.released {
+                self.usable_from.remove(&(u, v));
+                self.pending_release.remove(&(u, v));
+            }
+            t += window;
+        }
+        let mut stats = SimStats::from_messages("circuit", self.workload_name, &self.msgs);
+        stats.sched_passes = self.scheduler.stats().passes;
+        stats.connections_established = self.scheduler.stats().establishes;
+        stats
+    }
+
+    fn poll_engine(&mut self, now: u64) {
+        let drained = self.undelivered == 0;
+        for (te, fx) in self.engine.poll(now, drained) {
+            match fx {
+                Effect::Inject(id) => {
+                    let spec = self.msgs[id].spec;
+                    self.msgs[id].enqueued_at = Some(te);
+                    self.voqs.push(spec.src, spec.dst, id);
+                    self.undelivered += 1;
+                }
+                // Circuit switching has no multi-slot state to manage.
+                Effect::Flush | Effect::Preload(_) => {}
+            }
+        }
+    }
+
+    /// The request matrix as the scheduler sees it at time `now`: the
+    /// shared visibility rule, minus circuits awaiting their per-message
+    /// teardown (the handshake restarts after the release).
+    fn request_matrix(&self, now: u64) -> BitMatrix {
+        let mut r = self
+            .voqs
+            .visible_requests(&self.msgs, self.params.request_wire_ns, now);
+        for &(u, v) in &self.pending_release {
+            r.set(u, v, false);
+        }
+        r
+    }
+
+    /// Streams data over every usable circuit during `[from, to)`.
+    fn transfer_window(&mut self, from: u64, to: u64) {
+        let rate = self.params.link.bytes_per_ns();
+        let path = self.params.link.path_latency_lvds_ns();
+        let pairs: Vec<(usize, usize)> = self.scheduler.b_star().iter_ones().collect();
+        for (u, v) in pairs {
+            if self.pending_release.contains(&(u, v)) {
+                continue; // circuit is logically torn down
+            }
+            let start = match self.usable_from.get(&(u, v)) {
+                Some(&s) if s < to => s.max(from),
+                _ => continue,
+            };
+            let mut cursor = start;
+            if let Some(head) = self.voqs.front(u, v) {
+                let enq = self.msgs[head].enqueued_at.expect("queued => enqueued");
+                if enq > cursor {
+                    continue; // head not yet in the NIC at this instant
+                }
+                let remaining = self.msgs[head].remaining;
+                let budget_bytes = ((to - cursor) as f64 * rate).floor() as u32;
+                if budget_bytes == 0 {
+                    continue;
+                }
+                if remaining <= budget_bytes {
+                    let dur = (remaining as f64 / rate).ceil() as u64;
+                    cursor += dur;
+                    self.msgs[head].remaining = 0;
+                    self.msgs[head].delivered_at = Some(cursor + path);
+                    self.voqs.pop(u, v);
+                    self.undelivered -= 1;
+                    // Per-message circuit switching: the NIC drops the
+                    // request; the circuit is torn down by the next pass.
+                    self.pending_release.insert((u, v));
+                } else {
+                    self.msgs[head].remaining = remaining - budget_bytes;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pms_workloads::{scatter, Program, Workload};
+
+    fn single_send(ports: usize, dst: usize, bytes: u32) -> Workload {
+        let mut programs = vec![Program::new(); ports];
+        programs[0].send(dst, bytes);
+        Workload::new("single", ports, programs)
+    }
+
+    #[test]
+    fn single_message_pays_full_setup() {
+        // Enqueue at 0; request visible at 80; pass at 80 establishes;
+        // usable at 160; 64 bytes stream in 80 ns; path latency 100.
+        // Delivered at 160 + 80 + 100 = 340.
+        let w = single_send(4, 1, 64);
+        let stats = CircuitSim::new(&w, &SimParams::default().with_ports(4)).run();
+        assert_eq!(stats.delivered_messages, 1);
+        assert_eq!(stats.makespan_ns, 340);
+        assert_eq!(stats.connections_established, 1);
+    }
+
+    #[test]
+    fn queued_messages_pay_per_message_handshake() {
+        // Two messages to the same destination: pure circuit switching
+        // tears the circuit down after each message, so the second pays a
+        // fresh request/schedule/grant handshake.
+        let mut programs = vec![Program::new(); 4];
+        programs[0].send(1, 64).send(1, 64);
+        let w = Workload::new("per-message", 4, programs);
+        let stats = CircuitSim::new(&w, &SimParams::default().with_ports(4)).run();
+        assert_eq!(stats.delivered_messages, 2);
+        assert_eq!(stats.connections_established, 2, "one circuit per message");
+        // msg1: established @80, usable 160, drains [160,240], done 340.
+        // Teardown pass @240; re-request passes @320 establish; usable 400;
+        // drains [400,480]; done 580.
+        assert_eq!(stats.makespan_ns, 580);
+    }
+
+    #[test]
+    fn conflicting_destinations_serialize() {
+        // Input 0 and input 1 both talk to output 2: degree-1 circuit
+        // switching must tear one down before the other proceeds.
+        let mut programs = vec![Program::new(); 4];
+        programs[0].send(2, 640);
+        programs[1].send(2, 640);
+        let w = Workload::new("conflict", 4, programs);
+        let stats = CircuitSim::new(&w, &SimParams::default().with_ports(4)).run();
+        assert_eq!(stats.delivered_messages, 2);
+        assert_eq!(stats.connections_established, 2);
+        // Each message streams 800 ns; they cannot overlap.
+        assert!(stats.makespan_ns >= 160 + 800 + 800);
+    }
+
+    #[test]
+    fn large_messages_amortize_setup() {
+        let small =
+            CircuitSim::new(&single_send(4, 1, 64), &SimParams::default().with_ports(4)).run();
+        let large = CircuitSim::new(
+            &single_send(4, 1, 2048),
+            &SimParams::default().with_ports(4),
+        )
+        .run();
+        assert!(
+            large.efficiency(0.8) > small.efficiency(0.8) * 3.0,
+            "setup cost must dominate small messages: {} vs {}",
+            large.efficiency(0.8),
+            small.efficiency(0.8)
+        );
+    }
+
+    #[test]
+    fn scatter_completes_and_conserves_bytes() {
+        let w = scatter(8, 256);
+        let stats = CircuitSim::new(&w, &SimParams::default().with_ports(8)).run();
+        assert_eq!(stats.delivered_messages, 7);
+        assert_eq!(stats.delivered_bytes, w.total_bytes());
+        assert_eq!(stats.active_senders, 1);
+    }
+
+    #[test]
+    fn sequential_destinations_reestablish() {
+        // One sender, two destinations: the circuit to dst 1 must be torn
+        // down (request drops once its queue drains) before/while the
+        // circuit to dst 2 is established — two establishments total.
+        let mut programs = vec![Program::new(); 4];
+        programs[0].send(1, 64).send(2, 64);
+        let w = Workload::new("switchover", 4, programs);
+        let stats = CircuitSim::new(&w, &SimParams::default().with_ports(4)).run();
+        assert_eq!(stats.delivered_messages, 2);
+        assert_eq!(stats.connections_established, 2);
+    }
+}

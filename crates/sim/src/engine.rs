@@ -1,0 +1,262 @@
+//! The processor/program execution engine shared by all paradigm
+//! simulators.
+//!
+//! Each processor executes its command file sequentially: a `send` costs
+//! one NIC cycle (10 ns) and injects a message into the VOQ; `delay` models
+//! computation; `barrier` blocks until every processor reaches its barrier
+//! *and* the network has drained; `flush`/`preload` raise control effects
+//! the paradigm simulator forwards to the scheduler.
+
+use pms_workloads::{Command, MsgSpec, Workload};
+
+/// A control effect produced by program execution, timestamped with the
+/// exact processor-local time at which the command executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effect {
+    /// Message (by canonical id) entered its source NIC queue.
+    Inject(usize),
+    /// The processor issued a network flush request.
+    Flush,
+    /// The processor requested preloading workload pattern `usize`.
+    Preload(usize),
+}
+
+/// Program-execution state for all processors.
+pub struct Engine {
+    cmds: Vec<Vec<Command>>,
+    pc: Vec<usize>,
+    ready_at: Vec<u64>,
+    at_barrier: Vec<bool>,
+    /// Per-source list of canonical message ids, in command order.
+    msgs_by_src: Vec<Vec<usize>>,
+    next_msg: Vec<usize>,
+    nic_cycle_ns: u64,
+}
+
+impl Engine {
+    /// Builds an engine from a workload and its canonical message table
+    /// (the table must come from [`Workload::message_table`] so ids line
+    /// up).
+    pub fn new(workload: &Workload, table: &[MsgSpec], nic_cycle_ns: u64) -> Self {
+        let n = workload.ports;
+        let mut msgs_by_src = vec![Vec::new(); n];
+        for m in table {
+            msgs_by_src[m.src].push(m.id);
+        }
+        Self {
+            cmds: workload.programs.iter().map(|p| p.cmds.clone()).collect(),
+            pc: vec![0; n],
+            ready_at: vec![0; n],
+            at_barrier: vec![false; n],
+            msgs_by_src,
+            next_msg: vec![0; n],
+            nic_cycle_ns,
+        }
+    }
+
+    /// True when every processor has executed its whole program.
+    pub fn all_done(&self) -> bool {
+        (0..self.cmds.len()).all(|p| self.done(p))
+    }
+
+    fn done(&self, p: usize) -> bool {
+        self.pc[p] >= self.cmds[p].len() && !self.at_barrier[p]
+    }
+
+    /// The earliest future time at which a processor has work to run, or
+    /// `None` if all are done or blocked on a barrier.
+    pub fn next_wake(&self) -> Option<u64> {
+        (0..self.cmds.len())
+            .filter(|&p| !self.done(p) && !self.at_barrier[p])
+            .map(|p| self.ready_at[p])
+            .min()
+    }
+
+    /// Runs every processor forward to `now`. `network_drained` must be
+    /// true iff no injected message is still undelivered; it gates barrier
+    /// release. Returns timestamped effects in nondecreasing time order.
+    ///
+    /// Release and execution iterate to a fixpoint, so a processor that
+    /// reaches its barrier during this poll can still be released by it —
+    /// but only while no message has been injected in the meantime (an
+    /// injection invalidates `network_drained`).
+    pub fn poll(&mut self, now: u64, network_drained: bool) -> Vec<(u64, Effect)> {
+        let mut effects = Vec::new();
+        loop {
+            let progressed = self.execute_all(now, &mut effects);
+            let drained =
+                network_drained && !effects.iter().any(|(_, e)| matches!(e, Effect::Inject(_)));
+            let released = self.try_release_barrier(now, drained);
+            if !progressed && !released {
+                break;
+            }
+        }
+        effects.sort_by_key(|&(t, _)| t);
+        effects
+    }
+
+    /// Releases the barrier if every processor is parked (or finished) and
+    /// the network is empty. Returns whether a release happened.
+    fn try_release_barrier(&mut self, now: u64, network_drained: bool) -> bool {
+        let n = self.cmds.len();
+        if !network_drained
+            || !(0..n).any(|p| self.at_barrier[p])
+            || !(0..n).all(|p| self.at_barrier[p] || self.done(p))
+        {
+            return false;
+        }
+        for p in 0..n {
+            if self.at_barrier[p] {
+                self.at_barrier[p] = false;
+                self.pc[p] += 1;
+                self.ready_at[p] = self.ready_at[p].max(now);
+            }
+        }
+        true
+    }
+
+    /// Executes every processor up to `now`; returns whether any command
+    /// ran.
+    fn execute_all(&mut self, now: u64, effects: &mut Vec<(u64, Effect)>) -> bool {
+        let n = self.cmds.len();
+        let before = effects.len();
+        let mut progressed = false;
+        for p in 0..n {
+            while !self.at_barrier[p] && self.pc[p] < self.cmds[p].len() && self.ready_at[p] <= now
+            {
+                let t = self.ready_at[p];
+                match self.cmds[p][self.pc[p]] {
+                    Command::Send { .. } => {
+                        let id = self.msgs_by_src[p][self.next_msg[p]];
+                        self.next_msg[p] += 1;
+                        effects.push((t, Effect::Inject(id)));
+                        self.ready_at[p] = t + self.nic_cycle_ns;
+                        self.pc[p] += 1;
+                    }
+                    Command::Delay { ns } => {
+                        self.ready_at[p] = t + ns;
+                        self.pc[p] += 1;
+                    }
+                    Command::Barrier => {
+                        self.at_barrier[p] = true;
+                        // pc advances at release
+                        break;
+                    }
+                    Command::Flush => {
+                        effects.push((t, Effect::Flush));
+                        self.ready_at[p] = t + self.nic_cycle_ns;
+                        self.pc[p] += 1;
+                    }
+                    Command::Preload { pattern } => {
+                        effects.push((t, Effect::Preload(pattern)));
+                        self.ready_at[p] = t + self.nic_cycle_ns;
+                        self.pc[p] += 1;
+                    }
+                }
+                progressed = true;
+            }
+        }
+        progressed || effects.len() > before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pms_workloads::Program;
+
+    fn wl(programs: Vec<Program>) -> (Workload, Vec<MsgSpec>) {
+        let n = programs.len();
+        let w = Workload::new("t", n, programs);
+        let table = w.message_table();
+        (w, table)
+    }
+
+    #[test]
+    fn sends_are_paced_by_nic_cycle() {
+        let mut p = Program::new();
+        p.send(1, 8).send(1, 8).send(1, 8);
+        let (w, table) = wl(vec![p, Program::new()]);
+        let mut e = Engine::new(&w, &table, 10);
+        let fx = e.poll(100, true);
+        assert_eq!(
+            fx,
+            vec![
+                (0, Effect::Inject(0)),
+                (10, Effect::Inject(1)),
+                (20, Effect::Inject(2)),
+            ]
+        );
+        assert!(e.all_done());
+    }
+
+    #[test]
+    fn delay_postpones_following_sends() {
+        let mut p = Program::new();
+        p.send(1, 8).delay(500).send(1, 8);
+        let (w, table) = wl(vec![p, Program::new()]);
+        let mut e = Engine::new(&w, &table, 10);
+        let fx = e.poll(0, true);
+        assert_eq!(fx, vec![(0, Effect::Inject(0))]);
+        // The delay command itself executes at t=10 (after the send's NIC
+        // cycle), pushing the next send to t=510.
+        assert_eq!(e.next_wake(), Some(10));
+        assert!(e.poll(509, true).is_empty());
+        assert_eq!(e.next_wake(), Some(510));
+        assert_eq!(e.poll(510, true), vec![(510, Effect::Inject(1))]);
+    }
+
+    #[test]
+    fn barrier_waits_for_all_and_drain() {
+        let mut a = Program::new();
+        a.send(1, 8).barrier().send(1, 8);
+        let mut b = Program::new();
+        b.delay(100).barrier();
+        let (w, table) = wl(vec![a, b]);
+        let mut e = Engine::new(&w, &table, 10);
+        // t=0: proc 0 sends then parks; proc 1 still delaying.
+        let fx = e.poll(0, false);
+        assert_eq!(fx, vec![(0, Effect::Inject(0))]);
+        // t=100: both at barrier but network not drained.
+        assert!(e.poll(100, false).is_empty());
+        assert!(!e.all_done());
+        // Drained: barrier releases and proc 0 continues.
+        let fx = e.poll(200, true);
+        assert_eq!(fx, vec![(200, Effect::Inject(1))]);
+        assert!(e.all_done());
+    }
+
+    #[test]
+    fn barrier_release_waits_for_stragglers_even_if_drained() {
+        let mut a = Program::new();
+        a.barrier();
+        let mut b = Program::new();
+        b.delay(1_000).barrier();
+        let (w, table) = wl(vec![a, b]);
+        let mut e = Engine::new(&w, &table, 10);
+        assert!(e.poll(500, true).is_empty());
+        assert!(!e.all_done(), "proc 1 has not reached the barrier yet");
+        e.poll(1_000, true);
+        assert!(e.all_done());
+    }
+
+    #[test]
+    fn flush_and_preload_effects() {
+        let mut p = Program::new();
+        p.cmds.push(Command::Preload { pattern: 1 });
+        p.cmds.push(Command::Flush);
+        let (w, table) = wl(vec![p, Program::new()]);
+        let mut e = Engine::new(&w, &table, 10);
+        let fx = e.poll(50, true);
+        assert_eq!(fx, vec![(0, Effect::Preload(1)), (10, Effect::Flush)]);
+    }
+
+    #[test]
+    fn finished_engine_has_no_wake() {
+        let (w, table) = wl(vec![Program::new(), Program::new()]);
+        let mut e = Engine::new(&w, &table, 10);
+        assert!(e.all_done());
+        assert_eq!(e.next_wake(), None);
+        assert!(e.poll(0, true).is_empty());
+    }
+}

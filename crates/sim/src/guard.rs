@@ -1,0 +1,119 @@
+//! Guard-band model (§4).
+//!
+//! "A guard band should be enforced between consecutive time slots. During
+//! that band, circuits should not be used due to uncertainties in the
+//! fabric state. The length of the guard band depends on the variations of
+//! the propagation delays of the grant signals and on the time needed to
+//! change the setting of the switch fabric. For example, when 1 µs time
+//! slots are used, if the time to reconfigure the switch fabric is within
+//! 50 ns and the maximum length of a grant line is 50 feet (50 ns
+//! propagation delay), then the length of the guard band is 50 ns, which
+//! means that 5 % of each time slot cannot be used for data transfer."
+
+/// Sources of inter-slot dead time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GuardBand {
+    /// Worst-case fabric reconfiguration time (ns).
+    pub reconfig_ns: u64,
+    /// Maximum grant-line length in feet (1 ft ≈ 1 ns propagation
+    /// variation across NICs).
+    pub grant_line_ft: u64,
+    /// Per-slot NIC turnaround (DMA setup at the start of a granted
+    /// window), in ns.
+    pub nic_turnaround_ns: u64,
+}
+
+impl GuardBand {
+    /// The paper's §4 example: 50 ns reconfiguration, 50-foot grant lines,
+    /// no extra NIC turnaround.
+    pub fn paper_example() -> Self {
+        Self {
+            reconfig_ns: 50,
+            grant_line_ft: 50,
+            nic_turnaround_ns: 0,
+        }
+    }
+
+    /// The guard band between consecutive slots: the larger of the fabric
+    /// reconfiguration time and the grant-skew window (the paper's example
+    /// takes the 50 ns that covers both), plus NIC turnaround.
+    pub fn band_ns(&self) -> u64 {
+        self.reconfig_ns.max(self.grant_line_ft) + self.nic_turnaround_ns
+    }
+
+    /// Fraction of a `slot_ns` slot lost to the guard band.
+    ///
+    /// # Panics
+    /// Panics if the band does not fit in the slot.
+    pub fn lost_fraction(&self, slot_ns: u64) -> f64 {
+        let band = self.band_ns();
+        assert!(band < slot_ns, "guard band {band} ns >= slot {slot_ns} ns");
+        band as f64 / slot_ns as f64
+    }
+
+    /// Usable data-transfer time within a slot.
+    pub fn usable_ns(&self, slot_ns: u64) -> u64 {
+        assert!(self.band_ns() < slot_ns, "guard band exceeds slot");
+        slot_ns - self.band_ns()
+    }
+
+    /// Usable payload bytes within a slot at `bytes_per_ns` line rate,
+    /// rounded down to whole flits of `flit_bytes`.
+    pub fn usable_payload_bytes(&self, slot_ns: u64, bytes_per_ns: f64, flit_bytes: u32) -> u32 {
+        let raw = (self.usable_ns(slot_ns) as f64 * bytes_per_ns) as u32;
+        raw - raw % flit_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_is_five_percent() {
+        let g = GuardBand::paper_example();
+        assert_eq!(g.band_ns(), 50);
+        assert!((g.lost_fraction(1_000) - 0.05).abs() < 1e-12);
+        assert_eq!(g.usable_ns(1_000), 950);
+    }
+
+    #[test]
+    fn hundred_ns_slot_payload_matches_simulator_default() {
+        // The simulator's 64-byte usable payload per 100 ns slot
+        // corresponds to a 20 ns band (reconfig + turnaround) at 0.8 B/ns.
+        let g = GuardBand {
+            reconfig_ns: 10,
+            grant_line_ft: 10,
+            nic_turnaround_ns: 10,
+        };
+        assert_eq!(g.band_ns(), 20);
+        assert_eq!(g.usable_payload_bytes(100, 0.8, 8), 64);
+    }
+
+    #[test]
+    fn payload_rounds_down_to_flits() {
+        let g = GuardBand {
+            reconfig_ns: 13,
+            grant_line_ft: 5,
+            nic_turnaround_ns: 0,
+        };
+        // usable = 87 ns -> 69.6 -> 69 bytes -> 64 after flit rounding.
+        assert_eq!(g.usable_payload_bytes(100, 0.8, 8), 64);
+    }
+
+    #[test]
+    fn grant_skew_dominates_when_longer() {
+        let g = GuardBand {
+            reconfig_ns: 10,
+            grant_line_ft: 80,
+            nic_turnaround_ns: 0,
+        };
+        assert_eq!(g.band_ns(), 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "guard band")]
+    fn band_must_fit_in_slot() {
+        GuardBand::paper_example().usable_ns(50);
+    }
+}

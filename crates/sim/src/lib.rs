@@ -1,0 +1,120 @@
+//! Cycle-accurate simulation of the PMS evaluation system (§5).
+//!
+//! "For our simulations, we created a multi-processor model that contains a
+//! single crossbar for communications and a single scheduler for
+//! arbitration. ... We have simulated a 128 processor system that supports
+//! wormhole routing, circuit switching, and multiplexing of the
+//! communication pattern with dynamic scheduling and preloading a set of
+//! communication patterns."
+//!
+//! The timing constants are the paper's, verbatim (see [`SimParams`]):
+//! 10 ns NIC cycle, 30/20/30 ns serialization/wire/deserialization,
+//! 6.4 Gb/s serial links, 10 ns digital crossbar vs ~0 ns LVDS, 80 ns
+//! scheduler, 100 ns TDM slots carrying up to 80 B (64 B usable payload),
+//! 128 B worms of 8 B flits.
+//!
+//! Four switching paradigms share the NIC/program machinery:
+//!
+//! * [`wormhole::WormholeSim`] — input-buffered wormhole crossbar;
+//! * [`circuit::CircuitSim`] — pure circuit switching (TDM degree 1);
+//! * [`tdm::TdmSim`] — multiplexed switching with dynamic scheduling,
+//!   compiled preloading, or the hybrid split of Figure 5.
+//!
+//! All simulators are deterministic: integer nanosecond timestamps, no
+//! wall-clock or unseeded randomness anywhere.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod circuit;
+pub mod engine;
+pub mod guard;
+pub mod message;
+pub mod multihop;
+pub mod params;
+pub mod stats;
+pub mod tdm;
+pub mod voq;
+pub mod wormhole;
+
+pub use circuit::CircuitSim;
+pub use engine::{Effect, Engine};
+pub use guard::GuardBand;
+pub use message::MsgState;
+pub use multihop::MultihopWormholeSim;
+pub use params::{LinkTiming, SimParams};
+pub use stats::SimStats;
+pub use tdm::{PredictorKind, TdmMode, TdmSim};
+pub use wormhole::{WormholeQueueing, WormholeSim};
+
+use pms_workloads::Workload;
+
+/// The switching paradigms under evaluation (Figure 4's series).
+///
+/// ```
+/// use pms_sim::{Paradigm, PredictorKind, SimParams};
+/// use pms_workloads::scatter;
+///
+/// let params = SimParams::default().with_ports(8);
+/// let stats = Paradigm::DynamicTdm(PredictorKind::Drop)
+///     .run(&scatter(8, 64), &params);
+/// assert_eq!(stats.delivered_messages, 7);
+/// assert!(stats.efficiency(params.link.bytes_per_ns()) > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub enum Paradigm {
+    /// Input-buffered wormhole routing through a digital crossbar.
+    Wormhole,
+    /// Pure circuit switching (establish, use, tear down; degree 1).
+    Circuit,
+    /// Multiplexed switching, dynamically scheduled.
+    DynamicTdm(PredictorKind),
+    /// Multiplexed switching with compiled preloaded configurations.
+    PreloadTdm,
+    /// `k` preloaded slots plus `K - k` dynamic slots (Figure 5).
+    HybridTdm {
+        /// Number of preloaded slots `k`.
+        preload_slots: usize,
+        /// Predictor for the dynamic slots.
+        predictor: PredictorKind,
+    },
+}
+
+impl Paradigm {
+    /// Short label for report tables.
+    pub fn label(&self) -> String {
+        match self {
+            Paradigm::Wormhole => "wormhole".into(),
+            Paradigm::Circuit => "circuit".into(),
+            Paradigm::DynamicTdm(_) => "dynamic-tdm".into(),
+            Paradigm::PreloadTdm => "preload-tdm".into(),
+            Paradigm::HybridTdm { preload_slots, .. } => {
+                format!("hybrid-{preload_slots}p")
+            }
+        }
+    }
+
+    /// Runs the workload under this paradigm and returns the statistics.
+    pub fn run(&self, workload: &Workload, params: &SimParams) -> SimStats {
+        match self {
+            Paradigm::Wormhole => WormholeSim::new(workload, params).run(),
+            Paradigm::Circuit => CircuitSim::new(workload, params).run(),
+            Paradigm::DynamicTdm(pred) => {
+                TdmSim::new(workload, params, TdmMode::Dynamic { predictor: *pred }).run()
+            }
+            Paradigm::PreloadTdm => TdmSim::new(workload, params, TdmMode::Preload).run(),
+            Paradigm::HybridTdm {
+                preload_slots,
+                predictor,
+            } => TdmSim::new(
+                workload,
+                params,
+                TdmMode::Hybrid {
+                    preload_slots: *preload_slots,
+                    predictor: *predictor,
+                },
+            )
+            .run(),
+        }
+    }
+}

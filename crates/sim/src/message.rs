@@ -1,0 +1,79 @@
+//! Runtime message state.
+
+use pms_workloads::MsgSpec;
+
+/// A message's runtime state as it moves through NIC queues and the fabric.
+#[derive(Debug, Clone)]
+pub struct MsgState {
+    /// The static description (source, destination, size, canonical id).
+    pub spec: MsgSpec,
+    /// Bytes not yet transmitted.
+    pub remaining: u32,
+    /// When the source processor enqueued the message into its NIC,
+    /// `None` until injected.
+    pub enqueued_at: Option<u64>,
+    /// When the last byte arrived at the destination NIC, `None` while in
+    /// flight.
+    pub delivered_at: Option<u64>,
+}
+
+impl MsgState {
+    /// Fresh state for a message spec.
+    pub fn new(spec: MsgSpec) -> Self {
+        Self {
+            spec,
+            remaining: spec.bytes,
+            enqueued_at: None,
+            delivered_at: None,
+        }
+    }
+
+    /// Whether the message has been fully delivered.
+    pub fn is_delivered(&self) -> bool {
+        self.delivered_at.is_some()
+    }
+
+    /// End-to-end latency (enqueue to delivery).
+    ///
+    /// # Panics
+    /// Panics if the message is not yet delivered or never enqueued.
+    pub fn latency_ns(&self) -> u64 {
+        let t0 = self.enqueued_at.expect("message never enqueued");
+        let t1 = self.delivered_at.expect("message not delivered");
+        t1 - t0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> MsgSpec {
+        MsgSpec {
+            id: 0,
+            src: 1,
+            dst: 2,
+            bytes: 64,
+        }
+    }
+
+    #[test]
+    fn lifecycle() {
+        let mut m = MsgState::new(spec());
+        assert!(!m.is_delivered());
+        assert_eq!(m.remaining, 64);
+        m.enqueued_at = Some(100);
+        m.remaining = 0;
+        m.delivered_at = Some(350);
+        assert!(m.is_delivered());
+        assert_eq!(m.latency_ns(), 250);
+    }
+
+    #[test]
+    #[should_panic(expected = "not delivered")]
+    fn latency_requires_delivery() {
+        let mut m = MsgState::new(spec());
+        m.enqueued_at = Some(0);
+        m.latency_ns();
+    }
+}

@@ -1,0 +1,250 @@
+//! Simulation statistics and the efficiency metric of Figure 4/5.
+
+use crate::message::MsgState;
+
+/// Results of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimStats {
+    /// Paradigm label.
+    pub paradigm: String,
+    /// Workload name.
+    pub workload: String,
+    /// Messages delivered.
+    pub delivered_messages: u64,
+    /// Payload bytes delivered.
+    pub delivered_bytes: u64,
+    /// Time from simulation start to the last delivery (ns).
+    pub makespan_ns: u64,
+    /// Sum of per-message end-to-end latencies (ns).
+    pub total_latency_ns: u64,
+    /// Largest single-message latency (ns).
+    pub max_latency_ns: u64,
+    /// Number of processors that sent at least one message.
+    pub active_senders: usize,
+    /// Scheduler SL passes executed (0 for preload-only runs).
+    pub sched_passes: u64,
+    /// Connections established dynamically.
+    pub connections_established: u64,
+    /// Connections evicted by the predictor.
+    pub predictor_evictions: u64,
+    /// Configuration-register preload operations.
+    pub preload_loads: u64,
+    /// Dynamic-working-set flushes triggered by the phase detector (§3.3).
+    pub phase_flushes: u64,
+    /// Working-set lookups: messages whose connection was checked against
+    /// `B*` when they first became schedulable (dynamic TDM only).
+    pub ws_lookups: u64,
+    /// Lookups that found their connection already established — the
+    /// paper's "hit rate" for dynamic scheduling of TDM (§5).
+    pub ws_hits: u64,
+    /// All per-message latencies, sorted ascending (for percentiles).
+    pub latency_samples: Vec<u64>,
+}
+
+impl SimStats {
+    /// Collects message-level stats; the caller fills the
+    /// scheduler/predictor counters.
+    pub fn from_messages(
+        paradigm: impl Into<String>,
+        workload: impl Into<String>,
+        messages: &[MsgState],
+    ) -> Self {
+        let mut s = Self {
+            paradigm: paradigm.into(),
+            workload: workload.into(),
+            delivered_messages: 0,
+            delivered_bytes: 0,
+            makespan_ns: 0,
+            total_latency_ns: 0,
+            max_latency_ns: 0,
+            active_senders: 0,
+            sched_passes: 0,
+            connections_established: 0,
+            predictor_evictions: 0,
+            preload_loads: 0,
+            phase_flushes: 0,
+            ws_lookups: 0,
+            ws_hits: 0,
+            latency_samples: Vec::new(),
+        };
+        let mut senders = std::collections::BTreeSet::new();
+        for m in messages {
+            if let Some(done) = m.delivered_at {
+                s.delivered_messages += 1;
+                s.delivered_bytes += m.spec.bytes as u64;
+                s.makespan_ns = s.makespan_ns.max(done);
+                let lat = m.latency_ns();
+                s.total_latency_ns += lat;
+                s.max_latency_ns = s.max_latency_ns.max(lat);
+                s.latency_samples.push(lat);
+                senders.insert(m.spec.src);
+            }
+        }
+        s.latency_samples.sort_unstable();
+        s.active_senders = senders.len();
+        s
+    }
+
+    /// The `q`-quantile of message latency (`q` in [0, 1]), by the
+    /// nearest-rank method. Returns 0 for an empty run.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside [0, 1].
+    pub fn latency_quantile_ns(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.latency_samples.is_empty() {
+            return 0;
+        }
+        let n = self.latency_samples.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        self.latency_samples[rank - 1]
+    }
+
+    /// Median message latency.
+    pub fn p50_latency_ns(&self) -> u64 {
+        self.latency_quantile_ns(0.50)
+    }
+
+    /// 99th-percentile message latency (tail behaviour under contention).
+    pub fn p99_latency_ns(&self) -> u64 {
+        self.latency_quantile_ns(0.99)
+    }
+
+    /// The dynamic working-set hit rate (§5): the fraction of messages
+    /// whose connection was already cached in the network when they became
+    /// schedulable. `None` when no lookups were recorded (preload-only or
+    /// non-TDM runs).
+    pub fn working_set_hit_rate(&self) -> Option<f64> {
+        if self.ws_lookups == 0 {
+            None
+        } else {
+            Some(self.ws_hits as f64 / self.ws_lookups as f64)
+        }
+    }
+
+    /// Mean end-to-end message latency (ns).
+    pub fn mean_latency_ns(&self) -> f64 {
+        if self.delivered_messages == 0 {
+            0.0
+        } else {
+            self.total_latency_ns as f64 / self.delivered_messages as f64
+        }
+    }
+
+    /// The bandwidth-efficiency metric plotted in Figures 4 and 5:
+    /// delivered payload divided by the aggregate capacity of the sending
+    /// processors' links over the run
+    /// (`bytes / (makespan * senders * link_rate)`).
+    ///
+    /// Scatter has one sender, so its denominator is a single link; the
+    /// mesh patterns use all 128.
+    pub fn efficiency(&self, link_bytes_per_ns: f64) -> f64 {
+        if self.makespan_ns == 0 || self.active_senders == 0 {
+            return 0.0;
+        }
+        self.delivered_bytes as f64
+            / (self.makespan_ns as f64 * self.active_senders as f64 * link_bytes_per_ns)
+    }
+
+    /// Aggregate delivered throughput in bytes per ns.
+    pub fn throughput_bytes_per_ns(&self) -> f64 {
+        if self.makespan_ns == 0 {
+            0.0
+        } else {
+            self.delivered_bytes as f64 / self.makespan_ns as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pms_workloads::MsgSpec;
+
+    fn msg(id: usize, src: usize, bytes: u32, t0: u64, t1: u64) -> MsgState {
+        let mut m = MsgState::new(MsgSpec {
+            id,
+            src,
+            dst: (src + 1) % 4,
+            bytes,
+        });
+        m.enqueued_at = Some(t0);
+        m.remaining = 0;
+        m.delivered_at = Some(t1);
+        m
+    }
+
+    #[test]
+    fn aggregates_message_stats() {
+        let msgs = vec![
+            msg(0, 0, 64, 0, 200),
+            msg(1, 1, 64, 0, 400),
+            msg(2, 0, 32, 50, 150),
+        ];
+        let s = SimStats::from_messages("test", "wl", &msgs);
+        assert_eq!(s.delivered_messages, 3);
+        assert_eq!(s.delivered_bytes, 160);
+        assert_eq!(s.makespan_ns, 400);
+        assert_eq!(s.active_senders, 2);
+        assert_eq!(s.max_latency_ns, 400);
+        assert!((s.mean_latency_ns() - (200.0 + 400.0 + 100.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn efficiency_normalizes_by_senders_and_rate() {
+        let msgs = vec![msg(0, 0, 640, 0, 1000)];
+        let s = SimStats::from_messages("test", "wl", &msgs);
+        // 640 bytes over 1000 ns on one 0.8 B/ns link = 80 %.
+        assert!((s.efficiency(0.8) - 0.8).abs() < 1e-9);
+        assert!((s.throughput_bytes_per_ns() - 0.64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_run_is_zero() {
+        let s = SimStats::from_messages("test", "wl", &[]);
+        assert_eq!(s.efficiency(0.8), 0.0);
+        assert_eq!(s.mean_latency_ns(), 0.0);
+        assert_eq!(s.throughput_bytes_per_ns(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank() {
+        let msgs: Vec<MsgState> = (0..100)
+            .map(|i| msg(i, i % 4, 8, 0, (i as u64 + 1) * 10))
+            .collect();
+        let s = SimStats::from_messages("test", "wl", &msgs);
+        assert_eq!(s.p50_latency_ns(), 500);
+        assert_eq!(s.p99_latency_ns(), 990);
+        assert_eq!(s.latency_quantile_ns(0.0), 10);
+        assert_eq!(s.latency_quantile_ns(1.0), 1000);
+        assert_eq!(s.max_latency_ns, 1000);
+    }
+
+    #[test]
+    fn quantiles_of_empty_run_are_zero() {
+        let s = SimStats::from_messages("test", "wl", &[]);
+        assert_eq!(s.p50_latency_ns(), 0);
+        assert_eq!(s.p99_latency_ns(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn bad_quantile_panics() {
+        SimStats::from_messages("t", "w", &[]).latency_quantile_ns(1.5);
+    }
+
+    #[test]
+    fn undelivered_messages_excluded() {
+        let mut pending = MsgState::new(MsgSpec {
+            id: 9,
+            src: 3,
+            dst: 0,
+            bytes: 8,
+        });
+        pending.enqueued_at = Some(0);
+        let msgs = vec![msg(0, 0, 64, 0, 100), pending];
+        let s = SimStats::from_messages("test", "wl", &msgs);
+        assert_eq!(s.delivered_messages, 1);
+        assert_eq!(s.delivered_bytes, 64);
+    }
+}

@@ -1,0 +1,132 @@
+//! The NIC output buffer: `N` logical queues per processor (§4).
+//!
+//! "The output buffer is used to implement N logical queues, one for each
+//! destination." The request signal `R_u` is derived from which queues are
+//! non-empty.
+
+use crate::message::MsgState;
+use pms_bitmat::BitMatrix;
+use std::collections::VecDeque;
+
+/// Virtual output queues for all NICs: one FIFO of message ids per
+/// `(source, destination)` pair.
+#[derive(Debug, Clone)]
+pub struct Voqs {
+    ports: usize,
+    queues: Vec<VecDeque<usize>>,
+    queued: usize,
+}
+
+impl Voqs {
+    /// Creates empty queues for `ports` processors.
+    pub fn new(ports: usize) -> Self {
+        Self {
+            ports,
+            queues: vec![VecDeque::new(); ports * ports],
+            queued: 0,
+        }
+    }
+
+    #[inline]
+    fn idx(&self, u: usize, v: usize) -> usize {
+        debug_assert!(u < self.ports && v < self.ports);
+        u * self.ports + v
+    }
+
+    /// Enqueues message `msg` from `u` to `v`.
+    pub fn push(&mut self, u: usize, v: usize, msg: usize) {
+        let i = self.idx(u, v);
+        self.queues[i].push_back(msg);
+        self.queued += 1;
+    }
+
+    /// The message at the head of queue `(u, v)`.
+    pub fn front(&self, u: usize, v: usize) -> Option<usize> {
+        self.queues[self.idx(u, v)].front().copied()
+    }
+
+    /// Removes and returns the head of queue `(u, v)`.
+    pub fn pop(&mut self, u: usize, v: usize) -> Option<usize> {
+        let i = self.idx(u, v);
+        let m = self.queues[i].pop_front();
+        if m.is_some() {
+            self.queued -= 1;
+        }
+        m
+    }
+
+    /// Queue length for `(u, v)`.
+    pub fn len(&self, u: usize, v: usize) -> usize {
+        self.queues[self.idx(u, v)].len()
+    }
+
+    /// Whether queue `(u, v)` is empty.
+    pub fn is_empty(&self, u: usize, v: usize) -> bool {
+        self.queues[self.idx(u, v)].is_empty()
+    }
+
+    /// Total messages queued across all NICs.
+    pub fn total_queued(&self) -> usize {
+        self.queued
+    }
+
+    /// The destinations with a non-empty queue at source `u` — the bits of
+    /// the request signal `R_u`.
+    pub fn nonempty_dests(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        let base = u * self.ports;
+        (0..self.ports).filter(move |v| !self.queues[base + v].is_empty())
+    }
+
+    /// The request matrix `R` as the scheduler sees it at time `now`: a
+    /// queue's request line is visible one `wire_ns` propagation after its
+    /// head message was enqueued. Shared by the circuit and TDM simulators.
+    pub fn visible_requests(&self, msgs: &[MsgState], wire_ns: u64, now: u64) -> BitMatrix {
+        let mut r = BitMatrix::square(self.ports);
+        for u in 0..self.ports {
+            for v in self.nonempty_dests(u) {
+                let head = self.front(u, v).expect("non-empty queue");
+                let seen = msgs[head].enqueued_at.expect("queued => enqueued") + wire_ns;
+                if seen <= now {
+                    r.set(u, v, true);
+                }
+            }
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_per_destination() {
+        let mut q = Voqs::new(4);
+        q.push(0, 1, 10);
+        q.push(0, 1, 11);
+        q.push(0, 2, 12);
+        assert_eq!(q.total_queued(), 3);
+        assert_eq!(q.front(0, 1), Some(10));
+        assert_eq!(q.pop(0, 1), Some(10));
+        assert_eq!(q.front(0, 1), Some(11));
+        assert_eq!(q.len(0, 1), 1);
+        assert!(!q.is_empty(0, 2));
+        assert_eq!(q.total_queued(), 2);
+    }
+
+    #[test]
+    fn nonempty_dests_builds_request_row() {
+        let mut q = Voqs::new(4);
+        q.push(1, 0, 0);
+        q.push(1, 3, 1);
+        assert_eq!(q.nonempty_dests(1).collect::<Vec<_>>(), vec![0, 3]);
+        assert_eq!(q.nonempty_dests(0).count(), 0);
+    }
+
+    #[test]
+    fn pop_empty_is_none() {
+        let mut q = Voqs::new(2);
+        assert_eq!(q.pop(0, 1), None);
+        assert_eq!(q.total_queued(), 0);
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests over the simulators: conservation, determinism, and
+//! latency sanity for random small workloads under every paradigm.
+
+use pms_sim::{Paradigm, PredictorKind, SimParams};
+use pms_workloads::{Program, Workload};
+use proptest::prelude::*;
+
+const PORTS: usize = 8;
+
+#[derive(Debug, Clone)]
+enum Cmd {
+    Send { dst: usize, bytes: u32 },
+    Delay { ns: u64 },
+}
+
+fn cmd_strategy() -> impl Strategy<Value = Cmd> {
+    prop_oneof![
+        4 => (0..PORTS, prop::sample::select(vec![8u32, 24, 64, 200, 512]))
+            .prop_map(|(dst, bytes)| Cmd::Send { dst, bytes }),
+        1 => (1u64..2_000).prop_map(|ns| Cmd::Delay { ns }),
+    ]
+}
+
+fn workload_strategy() -> impl Strategy<Value = Workload> {
+    prop::collection::vec(prop::collection::vec(cmd_strategy(), 0..10), PORTS).prop_map(
+        |proc_cmds| {
+            let programs: Vec<Program> = proc_cmds
+                .into_iter()
+                .enumerate()
+                .map(|(p, cmds)| {
+                    let mut prog = Program::new();
+                    for c in cmds {
+                        match c {
+                            Cmd::Send { dst, bytes } => {
+                                // Skew self-sends to the next port.
+                                let d = if dst == p { (dst + 1) % PORTS } else { dst };
+                                prog.send(d, bytes);
+                            }
+                            Cmd::Delay { ns } => {
+                                prog.delay(ns);
+                            }
+                        }
+                    }
+                    prog
+                })
+                .collect();
+            Workload::new("prop", PORTS, programs)
+        },
+    )
+}
+
+fn paradigms() -> Vec<Paradigm> {
+    vec![
+        Paradigm::Wormhole,
+        Paradigm::Circuit,
+        Paradigm::DynamicTdm(PredictorKind::Drop),
+        Paradigm::DynamicTdm(PredictorKind::Timeout(300)),
+        Paradigm::PreloadTdm,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every paradigm delivers every byte of every message, and latencies
+    /// are at least the physical path latency.
+    #[test]
+    fn all_paradigms_conserve_and_terminate(w in workload_strategy()) {
+        let params = SimParams::default().with_ports(PORTS);
+        for p in paradigms() {
+            let stats = p.run(&w, &params);
+            prop_assert_eq!(
+                stats.delivered_messages as usize,
+                w.message_count(),
+                "{} lost messages", p.label()
+            );
+            prop_assert_eq!(stats.delivered_bytes, w.total_bytes());
+            if w.message_count() > 0 {
+                // No message can beat serialization + wire propagation.
+                prop_assert!(
+                    stats.latency_samples[0] >= params.link.path_latency_lvds_ns(),
+                    "{}: latency below physical floor", p.label()
+                );
+            }
+        }
+    }
+
+    /// Bit-identical reruns: the simulators have no hidden state.
+    #[test]
+    fn reruns_are_bit_identical(w in workload_strategy()) {
+        let params = SimParams::default().with_ports(PORTS);
+        for p in paradigms() {
+            let a = p.run(&w, &params);
+            let b = p.run(&w, &params);
+            prop_assert_eq!(a, b, "{} differs between runs", p.label());
+        }
+    }
+
+    /// With a single sender, no paradigm exceeds the sender's link rate.
+    #[test]
+    fn single_sender_bounded_by_link_rate(
+        sends in prop::collection::vec(
+            (1..PORTS, prop::sample::select(vec![64u32, 512, 2048])), 1..12)
+    ) {
+        let mut programs = vec![Program::new(); PORTS];
+        for (dst, bytes) in sends {
+            programs[0].send(dst, bytes);
+        }
+        let w = Workload::new("single-sender", PORTS, programs);
+        let params = SimParams::default().with_ports(PORTS);
+        for p in paradigms() {
+            let stats = p.run(&w, &params);
+            let eff = stats.efficiency(params.link.bytes_per_ns());
+            prop_assert!(eff <= 1.0 + 1e-9, "{}: efficiency {eff} > 1", p.label());
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Per-processor command programs.
+
+/// One command in a processor's command file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Command {
+    /// Enqueue a `bytes`-byte message to processor `dst`.
+    Send {
+        /// Destination processor.
+        dst: usize,
+        /// Message size in bytes.
+        bytes: u32,
+    },
+    /// Pause this processor for `ns` nanoseconds (models computation).
+    Delay {
+        /// Pause length in nanoseconds.
+        ns: u64,
+    },
+    /// Global barrier: wait until every processor reaches its barrier and
+    /// the network has drained.
+    Barrier,
+    /// Ask the scheduler to flush all dynamically scheduled connections
+    /// (the compiler-inserted phase boundary of §3.3).
+    Flush,
+    /// Ask the scheduler to preload pattern `pattern` from the workload's
+    /// pattern table (compiled communication, §3.1).
+    Preload {
+        /// Index into [`Workload::patterns`](crate::Workload::patterns).
+        pattern: usize,
+    },
+}
+
+/// A processor's command file: the sequence of communications it performs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// The commands, executed in order.
+    pub cmds: Vec<Command>,
+}
+
+impl Program {
+    /// An empty program (an idle processor).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Convenience: appends a send.
+    pub fn send(&mut self, dst: usize, bytes: u32) -> &mut Self {
+        self.cmds.push(Command::Send { dst, bytes });
+        self
+    }
+
+    /// Convenience: appends a delay.
+    pub fn delay(&mut self, ns: u64) -> &mut Self {
+        self.cmds.push(Command::Delay { ns });
+        self
+    }
+
+    /// Convenience: appends a barrier.
+    pub fn barrier(&mut self) -> &mut Self {
+        self.cmds.push(Command::Barrier);
+        self
+    }
+
+    /// Number of `Send` commands.
+    pub fn send_count(&self) -> usize {
+        self.cmds
+            .iter()
+            .filter(|c| matches!(c, Command::Send { .. }))
+            .count()
+    }
+
+    /// Total payload bytes this program sends.
+    pub fn total_bytes(&self) -> u64 {
+        self.cmds
+            .iter()
+            .map(|c| match c {
+                Command::Send { bytes, .. } => *bytes as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_appends_in_order() {
+        let mut p = Program::new();
+        p.send(3, 64).delay(100).barrier().send(4, 8);
+        assert_eq!(p.cmds.len(), 4);
+        assert_eq!(p.send_count(), 2);
+        assert_eq!(p.total_bytes(), 72);
+        assert_eq!(p.cmds[0], Command::Send { dst: 3, bytes: 64 });
+        assert_eq!(p.cmds[2], Command::Barrier);
+    }
+
+    #[test]
+    fn empty_program_is_idle() {
+        let p = Program::new();
+        assert_eq!(p.send_count(), 0);
+        assert_eq!(p.total_bytes(), 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # pms — Predictive Multiplexed Switching
+//!
+//! Reproduction of *"Switch Design to Enable Predictive Multiplexed
+//! Switching in Multiprocessor Networks"* (IPPS 2005). This root crate
+//! re-exports [`pms_core`] — see the README for the architecture overview
+//! and `EXPERIMENTS.md` for the paper-versus-measured record.
+//!
+//! ```
+//! use pms::{SystemBuilder, Paradigm, PredictorKind, SimParams};
+//! use pms::workloads::scatter;
+//!
+//! // Hardware-level API: drive a switch directly.
+//! let mut sys = SystemBuilder::new(8).slots(4).build();
+//! sys.request(0, 5);
+//! sys.sl_pass();
+//! assert!(sys.established(0, 5));
+//!
+//! // Evaluation API: simulate a full workload under a paradigm.
+//! let stats = Paradigm::DynamicTdm(PredictorKind::Drop)
+//!     .run(&scatter(8, 64), &SimParams::default().with_ports(8));
+//! assert_eq!(stats.delivered_messages, 7);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use pms_core::*;

@@ -1,0 +1,126 @@
+//! End-to-end §3.1 + §3.3: a structured source program, compiled with
+//! flush/preload insertion, executed by the TDM simulator.
+
+use pms::compile::lang::{CommPattern, Cond, SourceProgram, Stmt};
+use pms::compile::{lower, CompileOptions};
+use pms::{Paradigm, PredictorKind, SimParams};
+
+fn comm(pattern: CommPattern) -> Stmt {
+    Stmt::Comm { pattern, bytes: 64 }
+}
+
+/// The §3.3 motivating program: two consecutive loops with different
+/// communication patterns.
+fn two_loop_program(n: usize) -> SourceProgram {
+    SourceProgram::new(
+        n,
+        vec![
+            Stmt::Loop {
+                times: 4,
+                body: vec![comm(CommPattern::Shift(1)), Stmt::Compute { ns: 400 }],
+            },
+            Stmt::Loop {
+                times: 4,
+                body: vec![comm(CommPattern::Shift(5)), Stmt::Compute { ns: 400 }],
+            },
+        ],
+    )
+}
+
+#[test]
+fn compiled_program_runs_under_every_tdm_mode() {
+    let (workload, report) = lower(&two_loop_program(16), CompileOptions::default());
+    assert_eq!(report.flushes, 1);
+    assert_eq!(report.preloads, 2);
+    let params = SimParams::default().with_ports(16);
+    for paradigm in [
+        Paradigm::DynamicTdm(PredictorKind::Drop),
+        Paradigm::DynamicTdm(PredictorKind::Timeout(1_000)),
+        Paradigm::PreloadTdm,
+        Paradigm::Wormhole,
+        Paradigm::Circuit,
+    ] {
+        let stats = paradigm.run(&workload, &params);
+        assert_eq!(
+            stats.delivered_messages as usize,
+            workload.message_count(),
+            "{}",
+            paradigm.label()
+        );
+    }
+}
+
+#[test]
+fn compiler_flush_rescues_the_never_evict_policy() {
+    // With NeverEvict latching and NO compiler flush, the second loop's
+    // +5 connections must squeeze into whatever registers the stale +1
+    // working set left free. With the compiler flush the network is clean
+    // at the boundary. Flushing must never be slower, and the run must
+    // complete either way (K=4 leaves room, so this measures overhead, not
+    // deadlock).
+    let n = 16;
+    let with = lower(&two_loop_program(n), CompileOptions::default()).0;
+    let without = lower(
+        &two_loop_program(n),
+        CompileOptions {
+            k_max: 4,
+            insert_flushes: false,
+            insert_preloads: false,
+        },
+    )
+    .0;
+    let params = SimParams::default().with_ports(n);
+    let run = |w: &pms::Workload| {
+        Paradigm::DynamicTdm(PredictorKind::Never)
+            .run(w, &params)
+            .makespan_ns
+    };
+    let flushed = run(&with);
+    let unflushed = run(&without);
+    assert!(
+        flushed <= unflushed,
+        "compiler flush must not hurt: {flushed} vs {unflushed}"
+    );
+}
+
+#[test]
+fn conditional_program_preloads_both_levels() {
+    // §3.3's two-level working set: the conditional's pattern is preloaded
+    // when the branch flips, from the compiled pattern cache.
+    let prog = SourceProgram::new(
+        16,
+        vec![Stmt::Loop {
+            times: 6,
+            body: vec![
+                Stmt::IfElse {
+                    cond: Cond::Periodic {
+                        period: 2,
+                        phase: 1,
+                    },
+                    then_body: vec![comm(CommPattern::Transpose { m: 4 })],
+                    else_body: vec![comm(CommPattern::Shift(1))],
+                },
+                Stmt::Compute { ns: 300 },
+            ],
+        }],
+    );
+    let (workload, report) = lower(&prog, CompileOptions::default());
+    assert_eq!(report.patterns, 2, "both levels compiled once");
+    assert!(report.preloads >= 5, "preload at every branch flip");
+    let stats = Paradigm::DynamicTdm(PredictorKind::Drop)
+        .run(&workload, &SimParams::default().with_ports(16));
+    assert_eq!(stats.delivered_messages as usize, workload.message_count());
+    assert!(
+        stats.preload_loads > 0,
+        "preload directives reached the scheduler"
+    );
+}
+
+#[test]
+fn static_regions_match_lowered_boundaries() {
+    let prog = two_loop_program(16);
+    let regions = pms::compile::regions(&prog);
+    assert_eq!(regions.len(), 2);
+    assert!(regions[0].contains(0, 1));
+    assert!(regions[1].contains(0, 5));
+}

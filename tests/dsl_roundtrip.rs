@@ -1,0 +1,67 @@
+//! Integration: command-file DSL -> parsed programs -> full simulation.
+
+use pms::workloads::{format_program, parse_program, scatter, Program, Workload};
+use pms::{Paradigm, PredictorKind, SimParams};
+
+#[test]
+fn generated_workloads_roundtrip_through_the_dsl() {
+    let w = scatter(8, 64);
+    let reparsed: Vec<Program> = w
+        .programs
+        .iter()
+        .map(|p| parse_program(&format_program(p)).expect("self-generated text parses"))
+        .collect();
+    assert_eq!(w.programs, reparsed);
+}
+
+#[test]
+fn hand_written_command_files_simulate() {
+    // Four processors: a small halo exchange written by hand, as a user
+    // would provide per-processor command files.
+    let files = [
+        "send 1 128\ndelay 200\nsend 3 128\nbarrier\nsend 2 64\n",
+        "send 2 128\ndelay 200\nsend 0 128\nbarrier\nsend 3 64\n",
+        "send 3 128\ndelay 200\nsend 1 128\nbarrier\nsend 0 64\n",
+        "send 0 128\ndelay 200\nsend 2 128\nbarrier\nsend 1 64\n",
+    ];
+    let programs: Vec<Program> = files
+        .iter()
+        .map(|f| parse_program(f).expect("valid command file"))
+        .collect();
+    let w = Workload::new("hand-written", 4, programs);
+    assert_eq!(w.message_count(), 12);
+
+    let params = SimParams::default().with_ports(4);
+    for paradigm in [
+        Paradigm::Wormhole,
+        Paradigm::Circuit,
+        Paradigm::DynamicTdm(PredictorKind::Drop),
+        Paradigm::PreloadTdm,
+    ] {
+        let stats = paradigm.run(&w, &params);
+        assert_eq!(stats.delivered_messages, 12, "{}", paradigm.label());
+        assert_eq!(stats.delivered_bytes, w.total_bytes());
+    }
+}
+
+#[test]
+fn flush_directive_reaches_the_scheduler() {
+    // A flush between two bursts releases cached state in dynamic TDM.
+    let text = "send 1 64\nbarrier\nflush\nsend 2 64\n";
+    let mut programs = vec![parse_program(text).unwrap()];
+    for _ in 1..4 {
+        programs.push(parse_program("barrier\n").unwrap());
+    }
+    let w = Workload::new("flush-test", 4, programs);
+    let stats =
+        Paradigm::DynamicTdm(PredictorKind::Never).run(&w, &SimParams::default().with_ports(4));
+    assert_eq!(stats.delivered_messages, 2);
+}
+
+#[test]
+fn dsl_errors_carry_line_numbers() {
+    let err = parse_program("send 1 64\nsend 2\n").unwrap_err();
+    assert_eq!(err.line, 2);
+    let err = parse_program("send 1 64\n\n# c\nbogus\n").unwrap_err();
+    assert_eq!(err.line, 4);
+}

@@ -1,0 +1,100 @@
+//! Integration: every configuration the scheduler emits must be loadable
+//! into the fabric models, across random request workouts.
+
+use pms::bitmat::BitMatrix;
+use pms::fabric::{Crossbar, Fabric, FabricState, FatTree, OmegaNetwork, Technology};
+use pms::sched::{Scheduler, SchedulerConfig};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+fn random_requests(n: usize, rng: &mut StdRng, density: usize) -> BitMatrix {
+    let mut r = BitMatrix::square(n);
+    for _ in 0..density {
+        r.set(rng.gen_range(0..n), rng.gen_range(0..n), true);
+    }
+    r
+}
+
+#[test]
+fn scheduler_output_always_loads_into_crossbar() {
+    let n = 32;
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut sched = Scheduler::new(SchedulerConfig::new(n, 4));
+    let mut fabric = FabricState::new(Crossbar::new(n, Technology::Lvds));
+    for _ in 0..200 {
+        let r = random_requests(n, &mut rng, 48);
+        sched.pass(&r);
+        // Loading panics if any slot config is not a partial permutation.
+        for s in 0..sched.slots() {
+            fabric.load(sched.config(s));
+        }
+    }
+}
+
+#[test]
+fn crossbar_accepts_everything_omega_does_not() {
+    // The scheduler targets a crossbar; an Omega network accepts only a
+    // subset of its configurations — quantify that gap.
+    let n = 16;
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut sched = Scheduler::new(SchedulerConfig::new(n, 2));
+    let crossbar = Crossbar::new(n, Technology::Digital);
+    let omega = OmegaNetwork::new(n);
+    let mut omega_rejects = 0;
+    let mut total = 0;
+    for _ in 0..100 {
+        let r = random_requests(n, &mut rng, 24);
+        sched.pass(&r);
+        for s in 0..sched.slots() {
+            let cfg = sched.config(s);
+            assert!(crossbar.is_valid(cfg), "crossbar must accept");
+            total += 1;
+            if !omega.is_valid(cfg) {
+                omega_rejects += 1;
+            }
+        }
+        sched.flush_dynamic();
+    }
+    assert!(
+        omega_rejects > 0,
+        "an Omega fabric must block some of {total} crossbar configurations"
+    );
+}
+
+#[test]
+fn full_bisection_fat_tree_accepts_all_scheduler_output() {
+    let n = 16;
+    let mut rng = StdRng::seed_from_u64(11);
+    let mut sched = Scheduler::new(SchedulerConfig::new(n, 3));
+    let ft = FatTree::full_bisection(n, 4);
+    for _ in 0..100 {
+        let r = random_requests(n, &mut rng, 32);
+        sched.pass(&r);
+        for s in 0..sched.slots() {
+            assert!(ft.is_valid(sched.config(s)));
+        }
+    }
+}
+
+#[test]
+fn oversubscribed_fat_tree_rejects_some_scheduler_output() {
+    let n = 16;
+    let mut rng = StdRng::seed_from_u64(13);
+    let mut sched = Scheduler::new(SchedulerConfig::new(n, 2));
+    let ft = FatTree::oversubscribed(n, 4, 4); // single up-link per leaf
+    let mut rejects = 0;
+    for _ in 0..100 {
+        let r = random_requests(n, &mut rng, 32);
+        sched.pass(&r);
+        for s in 0..sched.slots() {
+            if !ft.is_valid(sched.config(s)) {
+                rejects += 1;
+            }
+        }
+        sched.flush_dynamic();
+    }
+    assert!(
+        rejects > 0,
+        "4:1 oversubscription must reject cross traffic"
+    );
+}
