@@ -1,0 +1,43 @@
+//! Criterion bench: tracing overhead on the TDM hot loop.
+//!
+//! Compares the default [`Tracer::Null`] (every `emit` site is guarded by
+//! `tracer.enabled()`, so disabled tracing builds no event payloads)
+//! against a [`RingTracer`] that retains the most recent 4096 records.
+//! The observability contract is that the Null case stays within 1 % of
+//! an untraced run; `Paradigm::run` *is* the untraced baseline here since
+//! it delegates to `run_traced` with `Tracer::Null`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pms_sim::{Paradigm, PredictorKind, SimParams};
+use pms_trace::Tracer;
+use pms_workloads::{ordered_mesh, MeshSpec};
+use std::hint::black_box;
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tdm_trace_overhead");
+    group.sample_size(20);
+    let mesh = MeshSpec::for_ports(32);
+    let workload = ordered_mesh(mesh, 64, 2, 500, 100);
+    let params = SimParams::default().with_ports(32);
+    let paradigm = Paradigm::DynamicTdm(PredictorKind::Drop);
+    group.throughput(Throughput::Elements(workload.message_count() as u64));
+
+    type MakeTracer = fn() -> Tracer;
+    let tracers: [(&str, MakeTracer); 2] = [
+        ("null", || Tracer::Null),
+        ("ring4096", || Tracer::ring(4096)),
+    ];
+    for (name, make) in tracers {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &make, |b, make| {
+            b.iter(|| {
+                let (stats, tracer) =
+                    paradigm.run_traced(black_box(&workload), black_box(&params), make());
+                black_box((stats.delivered_bytes, tracer.records().len()))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

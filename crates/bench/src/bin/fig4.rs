@@ -9,9 +9,13 @@
 //!
 //! `--quick` runs 32 processors with fewer sizes (CI-friendly). Results
 //! are printed as tables and written to `results/fig4.json`.
+//! `--trace OUT.json` additionally re-runs one representative cell
+//! (Scatter, 64 B, Dynamic TDM) with the event tracer attached and
+//! writes a Chrome Trace Event file.
 
 use pms_bench::run_grid;
 use pms_sim::{Paradigm, PredictorKind, SimParams};
+use pms_trace::{write_chrome_trace, Json, Tracer};
 use pms_workloads::{ordered_mesh, random_mesh, scatter, two_phase, MeshSpec, Workload};
 
 /// Per-round computation and per-message software gap used by the mesh
@@ -58,7 +62,7 @@ fn main() {
         ),
     ];
 
-    let mut json = serde_json::Map::new();
+    let mut json: Vec<(String, Json)> = Vec::new();
     for (name, gen) in &patterns {
         let jobs: Vec<(u64, Workload, Paradigm)> = sizes
             .iter()
@@ -70,16 +74,16 @@ fn main() {
 
         let mut rows = Vec::new();
         for cell in &table.cells {
-            rows.push(serde_json::json!({
-                "bytes": cell.row,
-                "paradigm": cell.col,
-                "efficiency": cell.stats.efficiency(rate),
-                "mean_latency_ns": cell.stats.mean_latency_ns(),
-                "makespan_ns": cell.stats.makespan_ns,
-                "delivered_bytes": cell.stats.delivered_bytes,
-            }));
+            rows.push(Json::obj([
+                ("bytes", cell.row.into()),
+                ("paradigm", cell.col.as_str().into()),
+                ("efficiency", cell.stats.efficiency(rate).into()),
+                ("mean_latency_ns", cell.stats.mean_latency_ns().into()),
+                ("makespan_ns", cell.stats.makespan_ns.into()),
+                ("delivered_bytes", cell.stats.delivered_bytes.into()),
+            ]));
         }
-        json.insert(name.to_string(), serde_json::Value::Array(rows));
+        json.push((name.to_string(), Json::Array(rows)));
 
         // Shape checks from the §5 prose, reported inline.
         if *name == "Scatter" && !quick {
@@ -96,10 +100,23 @@ fn main() {
     }
 
     std::fs::create_dir_all("results").expect("create results dir");
-    std::fs::write(
-        "results/fig4.json",
-        serde_json::to_string_pretty(&serde_json::Value::Object(json)).unwrap(),
-    )
-    .expect("write results/fig4.json");
+    std::fs::write("results/fig4.json", Json::Object(json).render_pretty())
+        .expect("write results/fig4.json");
     println!("results written to results/fig4.json");
+
+    let argv: Vec<String> = std::env::args().collect();
+    if let Some(i) = argv.iter().position(|a| a == "--trace") {
+        let path = argv.get(i + 1).expect("--trace needs a path");
+        let (_, tracer) = Paradigm::DynamicTdm(PredictorKind::Drop).run_traced(
+            &scatter(ports, 64),
+            &params,
+            Tracer::vec(),
+        );
+        let records = tracer.records();
+        write_chrome_trace(path, &records).expect("write trace file");
+        println!(
+            "trace: scatter/64B dynamic-tdm, {} events -> {path}",
+            records.len()
+        );
+    }
 }

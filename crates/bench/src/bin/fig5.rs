@@ -9,9 +9,13 @@
 //!
 //! Efficiencies are averaged over three workload seeds; results are
 //! written to `results/fig5.json`.
+//! `--trace OUT.json` additionally re-runs one representative cell
+//! (85 % determinism, 1 preloaded slot, seed 1) with the event tracer
+//! attached and writes a Chrome Trace Event file.
 
 use pms_bench::run_grid;
 use pms_sim::{Paradigm, PredictorKind, SimParams};
+use pms_trace::{write_chrome_trace, Json, Tracer};
 use pms_workloads::{hybrid, HybridSpec, Workload};
 
 fn main() {
@@ -59,11 +63,11 @@ fn main() {
                 .sum::<f64>()
                 / table.cells.len() as f64;
             points.push((d, mean));
-            json_rows.push(serde_json::json!({
-                "determinism_pct": d,
-                "preload_slots": k,
-                "efficiency": mean,
-            }));
+            json_rows.push(Json::obj([
+                ("determinism_pct", d.into()),
+                ("preload_slots", k.into()),
+                ("efficiency", mean.into()),
+            ]));
         }
         series.push((k, points));
     }
@@ -104,10 +108,27 @@ fn main() {
     }
 
     std::fs::create_dir_all("results").expect("create results dir");
-    std::fs::write(
-        "results/fig5.json",
-        serde_json::to_string_pretty(&serde_json::Value::Array(json_rows)).unwrap(),
-    )
-    .expect("write results/fig5.json");
+    std::fs::write("results/fig5.json", Json::Array(json_rows).render_pretty())
+        .expect("write results/fig5.json");
     println!("results written to results/fig5.json");
+
+    let argv: Vec<String> = std::env::args().collect();
+    if let Some(i) = argv.iter().position(|a| a == "--trace") {
+        let path = argv.get(i + 1).expect("--trace needs a path");
+        let workload = hybrid(HybridSpec {
+            ports,
+            determinism: 0.85,
+            messages_per_proc: msgs,
+            bytes: 64,
+            seed: 1,
+        });
+        let paradigm = Paradigm::HybridTdm {
+            preload_slots: 1,
+            predictor: PredictorKind::Drop,
+        };
+        let (_, tracer) = paradigm.run_traced(&workload, &params, Tracer::vec());
+        let records = tracer.records();
+        write_chrome_trace(path, &records).expect("write trace file");
+        println!("trace: hybrid 85%/1p, {} events -> {path}", records.len());
+    }
 }

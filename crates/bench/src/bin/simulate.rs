@@ -5,8 +5,16 @@
 //! cargo run --release -p pms-bench --bin simulate -- \
 //!     --pattern ordered-mesh --ports 128 --bytes 512 --paradigm preload
 //! ```
+//!
+//! `--trace out.json` records every simulator event and writes a Chrome
+//! Trace Event file loadable in `chrome://tracing` or Perfetto; `--json`
+//! prints the statistics as one JSON object instead of the text block;
+//! `--phase-detector` attaches the §3.3 miss-rate phase detector to
+//! dynamic TDM runs.
 
-use pms_sim::{Paradigm, PredictorKind, SimParams};
+use pms_predict::PhaseDetectorConfig;
+use pms_sim::{Paradigm, PredictorKind, SimParams, TdmMode, TdmSim};
+use pms_trace::{write_chrome_trace, Tracer};
 use pms_workloads::{
     butterfly, gather, hotspot, ordered_mesh, permutation, random_mesh, ring, scatter, stencil3d,
     transpose, two_phase, uniform, MeshSpec, Workload,
@@ -20,6 +28,9 @@ struct Args {
     slots: usize,
     timeout_ns: u64,
     seed: u64,
+    trace: Option<String>,
+    json: bool,
+    phase_detector: bool,
 }
 
 fn parse_args() -> Args {
@@ -31,6 +42,9 @@ fn parse_args() -> Args {
         slots: 4,
         timeout_ns: 0,
         seed: 17,
+        trace: None,
+        json: false,
+        phase_detector: false,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -41,6 +55,16 @@ fn parse_args() -> Args {
                 .unwrap_or_else(|| usage())
         };
         match argv[i].as_str() {
+            "--json" => {
+                args.json = true;
+                i += 1;
+                continue;
+            }
+            "--phase-detector" => {
+                args.phase_detector = true;
+                i += 1;
+                continue;
+            }
             "--pattern" => args.pattern = value(i).to_string(),
             "--ports" => args.ports = value(i).parse().unwrap_or_else(|_| usage()),
             "--bytes" => args.bytes = value(i).parse().unwrap_or_else(|_| usage()),
@@ -48,6 +72,7 @@ fn parse_args() -> Args {
             "--slots" => args.slots = value(i).parse().unwrap_or_else(|_| usage()),
             "--timeout" => args.timeout_ns = value(i).parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = value(i).parse().unwrap_or_else(|_| usage()),
+            "--trace" => args.trace = Some(value(i).to_string()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -63,9 +88,13 @@ fn usage() -> ! {
     eprintln!(
         "usage: simulate [--pattern P] [--ports N] [--bytes B] [--paradigm X]\n\
          \x20               [--slots K] [--timeout NS] [--seed S]\n\
+         \x20               [--trace OUT.json] [--json] [--phase-detector]\n\
          patterns : scatter gather ring uniform hotspot permutation butterfly\n\
          \x20          transpose stencil3d ordered-mesh random-mesh two-phase\n\
-         paradigms: wormhole circuit dynamic preload hybrid0 hybrid1 hybrid2"
+         paradigms: wormhole circuit dynamic preload hybrid0 hybrid1 hybrid2\n\
+         --trace  : write a Chrome Trace Event file (chrome://tracing, Perfetto)\n\
+         --json   : print statistics as one JSON object\n\
+         --phase-detector : attach the miss-rate phase detector (dynamic TDM)"
     );
     std::process::exit(2);
 }
@@ -133,6 +162,26 @@ fn build_paradigm(a: &Args) -> Paradigm {
     }
 }
 
+/// Maps the paradigm flag to a [`TdmMode`] for direct [`TdmSim`]
+/// construction (needed by `--phase-detector`, which is a `TdmSim`
+/// builder method, not reachable through [`Paradigm`]).
+fn tdm_mode(a: &Args) -> TdmMode {
+    match build_paradigm(a) {
+        Paradigm::DynamicTdm(predictor) => TdmMode::Dynamic { predictor },
+        Paradigm::HybridTdm {
+            preload_slots,
+            predictor,
+        } => TdmMode::Hybrid {
+            preload_slots,
+            predictor,
+        },
+        _ => {
+            eprintln!("--phase-detector needs a dynamic TDM paradigm (dynamic or hybrid0-2)");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let args = parse_args();
     let workload = build_workload(&args);
@@ -142,7 +191,33 @@ fn main() {
         .with_tdm_slots(args.slots);
     let rate = params.link.bytes_per_ns();
 
-    let stats = paradigm.run(&workload, &params);
+    let tracer = if args.trace.is_some() {
+        Tracer::vec()
+    } else {
+        Tracer::Null
+    };
+    let (stats, tracer) = if args.phase_detector {
+        TdmSim::new(&workload, &params, tdm_mode(&args))
+            .with_phase_detector(PhaseDetectorConfig {
+                window: 8,
+                miss_threshold: 0.75,
+                cooldown: 16,
+            })
+            .with_tracer(tracer)
+            .run_traced()
+    } else {
+        paradigm.run_traced(&workload, &params, tracer)
+    };
+    if let Some(path) = &args.trace {
+        let records = tracer.records();
+        write_chrome_trace(path, &records)
+            .unwrap_or_else(|e| panic!("cannot write trace {path}: {e}"));
+        eprintln!("trace        : {} events -> {path}", records.len());
+    }
+    if args.json {
+        println!("{}", stats.to_json().render_pretty());
+        return;
+    }
     println!("workload     : {}", stats.workload);
     println!("paradigm     : {}", stats.paradigm);
     println!("messages     : {}", stats.delivered_messages);

@@ -1,13 +1,12 @@
 //! Parallel sweep driver: run (workload, paradigm) grids across threads.
 //!
 //! Every grid cell is an independent deterministic simulation, so the
-//! sweep parallelizes with scoped threads; results land in a shared table
-//! behind a mutex (crossbeam for structure, parking_lot for the lock —
-//! see DESIGN.md §7).
+//! sweep parallelizes with `std::thread::scope`; results land in a shared
+//! table behind a `std::sync::Mutex` (see DESIGN.md §7).
 
-use parking_lot::Mutex;
 use pms_sim::{Paradigm, SimParams, SimStats};
 use pms_workloads::Workload;
+use std::sync::Mutex;
 
 /// One completed grid cell.
 #[derive(Debug, Clone)]
@@ -87,25 +86,24 @@ pub fn run_grid(jobs: Vec<(u64, Workload, Paradigm)>, params: &SimParams) -> Fig
         .unwrap_or(4)
         .min(jobs.len().max(1));
     let queue = Mutex::new(jobs.into_iter());
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
-                let job = queue.lock().next();
+            scope.spawn(|| loop {
+                let job = queue.lock().expect("sweep queue poisoned").next();
                 let Some((row, workload, paradigm)) = job else {
                     break;
                 };
                 let p = params.clone().with_ports(workload.ports);
                 let stats = paradigm.run(&workload, &p);
-                results.lock().push(Cell {
+                results.lock().expect("sweep results poisoned").push(Cell {
                     row,
                     col: paradigm.label(),
                     stats,
                 });
             });
         }
-    })
-    .expect("sweep worker panicked");
-    let mut cells = results.into_inner();
+    });
+    let mut cells = results.into_inner().expect("sweep results poisoned");
     cells.sort_by(|a, b| (a.row, &a.col).cmp(&(b.row, &b.col)));
     FigureTable { cells }
 }

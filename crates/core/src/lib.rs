@@ -46,6 +46,7 @@ pub use pms_fabric as fabric;
 pub use pms_predict as predict;
 pub use pms_sched as sched;
 pub use pms_sim as sim;
+pub use pms_trace as trace;
 pub use pms_workloads as workloads;
 
 pub use pms_bitmat::{BitMatrix, BitVec};

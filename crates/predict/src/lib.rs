@@ -31,6 +31,7 @@ mod timeout;
 mod twolevel;
 
 pub use phase::{PhaseDetector, PhaseDetectorConfig};
+pub use pms_trace::EvictCause;
 pub use refcount::RefCountPredictor;
 pub use timeout::TimeoutPredictor;
 pub use twolevel::TwoLevelWorkingSet;
@@ -56,6 +57,12 @@ pub trait ConnectionPredictor {
 
     /// Predictor name for reports.
     fn name(&self) -> &'static str;
+
+    /// The cause tag stamped on trace `ConnEvicted` events for evictions
+    /// this predictor produces from [`take_evictions`](Self::take_evictions).
+    fn eviction_cause(&self) -> EvictCause {
+        EvictCause::Drop
+    }
 }
 
 /// A predictor that never evicts: connections stay cached until an
@@ -100,5 +107,18 @@ mod tests {
             p.on_establish(1, 2, 0);
             let _ = p.take_evictions(100);
         }
+    }
+
+    #[test]
+    fn eviction_causes_tag_the_policy() {
+        assert_eq!(NeverEvict.eviction_cause(), EvictCause::Drop);
+        assert_eq!(
+            TimeoutPredictor::new(10).eviction_cause(),
+            EvictCause::Timeout
+        );
+        assert_eq!(
+            RefCountPredictor::new(4).eviction_cause(),
+            EvictCause::RefCount
+        );
     }
 }

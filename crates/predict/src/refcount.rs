@@ -81,6 +81,10 @@ impl ConnectionPredictor for RefCountPredictor {
     fn name(&self) -> &'static str {
         "refcount"
     }
+
+    fn eviction_cause(&self) -> crate::EvictCause {
+        crate::EvictCause::RefCount
+    }
 }
 
 #[cfg(test)]

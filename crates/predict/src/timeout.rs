@@ -79,6 +79,10 @@ impl ConnectionPredictor for TimeoutPredictor {
     fn name(&self) -> &'static str {
         "timeout"
     }
+
+    fn eviction_cause(&self) -> crate::EvictCause {
+        crate::EvictCause::Timeout
+    }
 }
 
 #[cfg(test)]

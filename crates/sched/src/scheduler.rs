@@ -108,6 +108,11 @@ pub struct PassReport {
     /// scheduling; empty for plain passes). These requests stay pending
     /// and retry on later passes, which target other slots.
     pub admission_denied: Vec<(usize, usize)>,
+    /// Number of SL cells the availability ripple visited this pass — the
+    /// dynamic ripple depth, bounded by `2N`. Feed it to
+    /// [`SlTimingModel::latency_for_depth_ns`](crate::SlTimingModel::latency_for_depth_ns)
+    /// for a data-dependent pass latency.
+    pub ripple_depth: usize,
 }
 
 impl PassReport {
@@ -118,6 +123,7 @@ impl PassReport {
             released: Vec::new(),
             denied: Vec::new(),
             admission_denied: Vec::new(),
+            ripple_depth: 0,
         }
     }
 }
@@ -307,15 +313,23 @@ impl Scheduler {
 
     /// Clears every *dynamic* (non-preloaded) register and all request
     /// latches — the compiler-inserted flush of extension 4 / §3.3.
-    pub fn flush_dynamic(&mut self) {
+    ///
+    /// Returns the connections that were cleared (sorted, deduplicated),
+    /// so callers can account for or trace each eviction.
+    pub fn flush_dynamic(&mut self) -> Vec<(usize, usize)> {
+        let mut cleared = Vec::new();
         for s in 0..self.cfg.slots {
             if !self.preloaded[s] {
+                cleared.extend(self.configs[s].iter_ones());
                 self.configs[s].clear();
             }
         }
+        cleared.sort_unstable();
+        cleared.dedup();
         self.latched.clear();
         self.stats.flushes += 1;
         self.recompute_b_star();
+        cleared
     }
 
     /// Clears everything, including preloaded configurations.
@@ -443,6 +457,7 @@ impl Scheduler {
             released: out.released,
             denied: out.denied,
             admission_denied: Vec::new(),
+            ripple_depth: out.cells_visited,
         }
     }
 
@@ -648,11 +663,27 @@ mod tests {
         let mut s = Scheduler::new(SchedulerConfig::new(8, 3));
         s.preload(2, BitMatrix::from_pairs(8, 8, [(7, 7)]));
         s.pass(&reqs(8, &[(0, 1)]));
-        s.flush_dynamic();
+        let cleared = s.flush_dynamic();
+        assert_eq!(cleared, vec![(0, 1)], "flush reports the evicted pairs");
         assert!(!s.established(0, 1));
         assert!(s.established(7, 7));
         assert_eq!(s.stats().flushes, 1);
         s.check_invariants();
+    }
+
+    #[test]
+    fn pass_reports_ripple_depth() {
+        let mut s = Scheduler::new(SchedulerConfig::new(8, 2));
+        // Two fresh requests: the ripple visits both L=1 cells.
+        let rep = s.pass(&reqs(8, &[(0, 1), (2, 3)]));
+        assert_eq!(rep.ripple_depth, 2);
+        // Persisting connections produce no change requests -> no cells.
+        let rep = s.pass(&reqs(8, &[(0, 1), (2, 3)]));
+        assert_eq!(rep.ripple_depth, 0);
+        // An all-preloaded scheduler has no dynamic pass at all.
+        let mut p = Scheduler::new(SchedulerConfig::new(4, 1));
+        p.preload(0, BitMatrix::square(4));
+        assert_eq!(p.pass(&reqs(4, &[(0, 1)])).ripple_depth, 0);
     }
 
     #[test]

@@ -41,6 +41,10 @@ pub struct SlPassOutput {
     pub released: Vec<(usize, usize)>,
     /// Requests denied this pass (port unavailable).
     pub denied: Vec<(usize, usize)>,
+    /// Number of `L = 1` cells the availability ripple actually visited —
+    /// the dynamic ripple depth of this pass (the worst case is `2N`
+    /// cells; see [`SlTimingModel`](crate::SlTimingModel)).
+    pub cells_visited: usize,
 }
 
 impl SlPassOutput {
@@ -78,6 +82,7 @@ pub fn sl_pass(l: &BitMatrix, b_s: &BitMatrix, priority: Priority) -> SlPassOutp
     let mut established = Vec::new();
     let mut released = Vec::new();
     let mut denied = Vec::new();
+    let mut cells_visited = 0usize;
 
     for du in 0..n {
         let u = (priority.row + du) % n;
@@ -90,6 +95,7 @@ pub fn sl_pass(l: &BitMatrix, b_s: &BitMatrix, priority: Priority) -> SlPassOutp
 
         let mut d = row_busy_init.get(u);
         for v in cols {
+            cells_visited += 1;
             let out = sl_cell(CellInput {
                 l: true,
                 a: col_busy.get(v),
@@ -115,6 +121,7 @@ pub fn sl_pass(l: &BitMatrix, b_s: &BitMatrix, priority: Priority) -> SlPassOutp
         established,
         released,
         denied,
+        cells_visited,
     }
 }
 
@@ -239,6 +246,25 @@ mod tests {
         let out = pass(&[(1, 1)], &mut b, Priority::default());
         assert!(out.is_quiescent());
         assert!(b.get(1, 1));
+    }
+
+    #[test]
+    fn ripple_depth_counts_visited_cells() {
+        let mut b = BitMatrix::square(8);
+        // Quiescent request set: pre-scheduling filters everything out.
+        let out = pass(&[], &mut b, Priority::default());
+        assert_eq!(out.cells_visited, 0);
+        // Three change requests -> three L=1 cells on the ripple path.
+        let out = pass(&[(0, 1), (1, 2), (7, 0)], &mut b, Priority::default());
+        assert_eq!(out.cells_visited, 3);
+        // Persisting connections are not revisited; a fourth request adds
+        // exactly one cell.
+        let out = pass(
+            &[(0, 1), (1, 2), (7, 0), (2, 4)],
+            &mut b,
+            Priority::default(),
+        );
+        assert_eq!(out.cells_visited, 1);
     }
 
     #[test]

@@ -66,6 +66,22 @@ impl SlTimingModel {
         self.latency_ns(n).round() as u64
     }
 
+    /// Data-dependent pass latency: like [`latency_ns`](Self::latency_ns)
+    /// but with the ripple term scaled by the number of `L = 1` cells the
+    /// pass actually visited (`PassReport::ripple_depth`) instead of the
+    /// `2N` worst case. `depth` is clamped to `2N`, so this never exceeds
+    /// the critical-path figure; a quiescent pass (`depth == 0`) still
+    /// pays the fixed and OR-tree terms.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn latency_for_depth_ns(&self, n: usize, depth: usize) -> f64 {
+        assert!(n > 0, "scheduler needs at least one port");
+        let log2n = (usize::BITS - (n - 1).leading_zeros()).max(1) as f64;
+        let depth = depth.min(2 * n) as f64;
+        self.fixed_ns + depth * self.cell_ns + log2n * self.or_stage_ns
+    }
+
     /// The same structure scaled by an FPGA-to-ASIC factor.
     pub fn derated(&self, factor: f64) -> SlTimingModel {
         assert!(factor > 0.0, "derate factor must be positive");
@@ -150,5 +166,25 @@ mod tests {
     #[should_panic(expected = "at least one port")]
     fn zero_ports_rejected() {
         FPGA_STRATIX.latency_ns(0);
+    }
+
+    #[test]
+    fn depth_latency_bounded_by_critical_path() {
+        let n = 128;
+        let full = FPGA_STRATIX.latency_ns(n);
+        // depth == 2N reproduces the worst case exactly; larger depths clamp.
+        assert!((FPGA_STRATIX.latency_for_depth_ns(n, 2 * n) - full).abs() < 1e-9);
+        assert!((FPGA_STRATIX.latency_for_depth_ns(n, 10 * n) - full).abs() < 1e-9);
+        // A quiescent pass still pays fixed + OR-tree.
+        let quiescent = FPGA_STRATIX.latency_for_depth_ns(n, 0);
+        assert!(quiescent < full);
+        assert!(quiescent > FPGA_STRATIX.fixed_ns);
+        // Monotone in depth.
+        let mut prev = 0.0;
+        for d in [0, 1, 16, 64, 256] {
+            let l = FPGA_STRATIX.latency_for_depth_ns(n, d);
+            assert!(l > prev);
+            prev = l;
+        }
     }
 }

@@ -49,7 +49,9 @@ fn run_ops(mut sched: Scheduler, n: usize, ops: &[Op]) {
                 let r = BitMatrix::from_pairs(n, n, pairs.iter().copied());
                 sched.pass(&r);
             }
-            Op::Flush => sched.flush_dynamic(),
+            Op::Flush => {
+                sched.flush_dynamic();
+            }
             Op::Preload(s, pairs) => sched.preload(*s, to_partial_perm(n, pairs)),
             Op::Unload(s) => sched.unload(*s),
             Op::ClearLatch(u, v) => sched.clear_latch(*u, *v),

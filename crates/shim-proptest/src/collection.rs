@@ -1,0 +1,136 @@
+//! Collection strategies (`prop::collection::vec`, `btree_set`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+/// A half-open size range for generated collections; a plain `usize`
+/// means an exact size.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut TestRng) -> usize {
+        if self.lo + 1 >= self.hi {
+            self.lo
+        } else {
+            rng.range_usize(self.lo, self.hi)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty collection size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Generates a `Vec` of `size` elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = self.size.sample(rng);
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Generates a `BTreeSet` with a size in `size`, deduplicating draws.
+///
+/// If the element domain is too small to reach the sampled size, the set
+/// is returned as large as the draw budget allowed (upstream proptest
+/// rejects instead; no workspace test depends on the difference).
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// See [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let target = self.size.sample(rng);
+        let mut set = BTreeSet::new();
+        let mut budget = target * 8 + 16;
+        while set.len() < target && budget > 0 {
+            set.insert(self.element.generate(rng));
+            budget -= 1;
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(99)
+    }
+
+    #[test]
+    fn vec_exact_and_ranged_sizes() {
+        let mut r = rng();
+        assert_eq!(vec(0usize..5, 7).generate(&mut r).len(), 7);
+        for _ in 0..200 {
+            let v = vec(0usize..5, 2..6).generate(&mut r);
+            assert!((2..6).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn btree_set_is_deduplicated_and_bounded() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = btree_set(0usize..8, 1..8).generate(&mut r);
+            assert!(!s.is_empty() && s.len() < 8);
+            assert!(s.iter().all(|&v| v < 8));
+        }
+        // Domain smaller than target: returns what it can.
+        let s = btree_set(0usize..3, 3).generate(&mut r);
+        assert!(s.len() <= 3);
+    }
+}

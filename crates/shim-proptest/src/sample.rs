@@ -1,0 +1,47 @@
+//! Sampling strategies (`prop::sample::select`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniformly selects one of the given options.
+///
+/// # Panics
+/// Panics (on generation) if `options` is empty.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    Select { options }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        assert!(!self.options.is_empty(), "select() over an empty list");
+        self.options[rng.range_usize(0, self.options.len())].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn select_hits_every_option() {
+        let s = select(vec![2u32, 4, 8]);
+        let mut rng = TestRng::from_seed(5);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            match s.generate(&mut rng) {
+                2 => seen[0] = true,
+                4 => seen[1] = true,
+                8 => seen[2] = true,
+                other => panic!("unexpected value {other}"),
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+}

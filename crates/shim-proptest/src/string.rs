@@ -1,0 +1,218 @@
+//! String strategies from regex-like patterns.
+//!
+//! Upstream proptest treats `&str` as a strategy generating strings that
+//! match the pattern. This shim supports the subset the workspace uses
+//! (and a little margin): literal characters, `.`, the Unicode class
+//! escape `\PC` (printable, i.e. *not* category C), the escapes
+//! `\d`/`\w`/`\s`, simple classes `[abc]`/`[a-z0-9]`, and the
+//! quantifiers `{n}`, `{m,n}`, `?`, `*`, `+` (unbounded repeats are
+//! capped at 16). Unsupported syntax panics at generation time so a test
+//! relying on it fails loudly instead of silently testing nothing.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Printable sample alphabet for `\PC` / `.`: ASCII printables plus a
+/// few multi-byte code points to exercise UTF-8 handling.
+const PRINTABLE_EXTRA: &[char] = &['é', 'ß', 'π', '\u{00A0}', '\u{4E2D}', '\u{1F600}'];
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Printable,
+    Digit,
+    Word,
+    Space,
+    Class(Vec<(char, char)>),
+}
+
+impl Atom {
+    fn generate(&self, rng: &mut TestRng) -> char {
+        match self {
+            Atom::Literal(c) => *c,
+            Atom::Printable => {
+                // 1-in-8 chance of a non-ASCII printable.
+                if rng.below(8) == 0 {
+                    PRINTABLE_EXTRA[rng.range_usize(0, PRINTABLE_EXTRA.len())]
+                } else {
+                    char::from_u32(0x20 + rng.below(0x7F - 0x20) as u32).expect("ascii printable")
+                }
+            }
+            Atom::Digit => char::from_u32('0' as u32 + rng.below(10) as u32).expect("digit"),
+            Atom::Word => {
+                let alphabet = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_";
+                alphabet[rng.range_usize(0, alphabet.len())] as char
+            }
+            Atom::Space => *[' ', '\t'].get(rng.range_usize(0, 2)).expect("space"),
+            Atom::Class(ranges) => {
+                let (lo, hi) = ranges[rng.range_usize(0, ranges.len())];
+                char::from_u32(lo as u32 + rng.below((hi as u32 - lo as u32 + 1) as u64) as u32)
+                    .unwrap_or(lo)
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let mut chars = pattern.chars().peekable();
+    let mut pieces = Vec::new();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '\\' => match chars.next() {
+                Some('P') => match chars.next() {
+                    Some('C') => Atom::Printable,
+                    other => panic!("unsupported \\P class {other:?} in pattern {pattern:?}"),
+                },
+                Some('d') => Atom::Digit,
+                Some('w') => Atom::Word,
+                Some('s') => Atom::Space,
+                Some(c @ ('\\' | '.' | '{' | '}' | '[' | ']' | '?' | '*' | '+' | '(' | ')')) => {
+                    Atom::Literal(c)
+                }
+                other => panic!("unsupported escape \\{other:?} in pattern {pattern:?}"),
+            },
+            '.' => Atom::Printable,
+            '[' => {
+                let mut ranges = Vec::new();
+                loop {
+                    match chars.next() {
+                        Some(']') => break,
+                        Some(lo) => {
+                            if chars.peek() == Some(&'-') {
+                                chars.next();
+                                let hi = chars
+                                    .next()
+                                    .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+                                assert!(hi != ']', "bad range in class in {pattern:?}");
+                                ranges.push((lo, hi));
+                            } else {
+                                ranges.push((lo, lo));
+                            }
+                        }
+                        None => panic!("unterminated class in pattern {pattern:?}"),
+                    }
+                }
+                assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+                Atom::Class(ranges)
+            }
+            c @ ('{' | '}' | '?' | '*' | '+' | '(' | ')' | '|') => {
+                panic!("unsupported regex syntax {c:?} in pattern {pattern:?}")
+            }
+            c => Atom::Literal(c),
+        };
+        // Optional quantifier.
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut spec = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        break;
+                    }
+                    spec.push(c);
+                }
+                if let Some((lo, hi)) = spec.split_once(',') {
+                    let lo: usize = lo.trim().parse().expect("bad {m,n} quantifier");
+                    let hi: usize = hi.trim().parse().expect("bad {m,n} quantifier");
+                    (lo, hi)
+                } else {
+                    let n: usize = spec.trim().parse().expect("bad {n} quantifier");
+                    (n, n)
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 16)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 16)
+            }
+            _ => (1, 1),
+        };
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Generates one string matching the supported pattern subset.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for piece in parse(pattern) {
+        let n = if piece.min >= piece.max {
+            piece.min
+        } else {
+            rng.range_usize(piece.min, piece.max + 1)
+        };
+        for _ in 0..n {
+            out.push(piece.atom.generate(rng));
+        }
+    }
+    out
+}
+
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_matching(self, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::from_seed(77)
+    }
+
+    #[test]
+    fn printable_class_respects_bounds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = generate_matching("\\PC{0,200}", &mut r);
+            assert!(s.chars().count() <= 200);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literals_and_counts() {
+        let mut r = rng();
+        assert_eq!(generate_matching("abc", &mut r), "abc");
+        assert_eq!(generate_matching("a{3}", &mut r), "aaa");
+        let s = generate_matching("x\\d{2}", &mut r);
+        assert_eq!(s.len(), 3);
+        assert!(s.starts_with('x') && s[1..].chars().all(|c| c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn classes_and_quantifiers() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = generate_matching("[a-c]{1,4}", &mut r);
+            assert!((1..=4).contains(&s.len()));
+            assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+            let t = generate_matching("[xyz]?q+", &mut r);
+            assert!(t.contains('q'));
+        }
+    }
+
+    #[test]
+    fn strategy_impl_for_str_works() {
+        let mut r = rng();
+        let s = "\\w{5}".generate(&mut r);
+        assert_eq!(s.len(), 5);
+    }
+}

@@ -20,6 +20,7 @@ use crate::stats::SimStats;
 use crate::voq::Voqs;
 use pms_bitmat::BitMatrix;
 use pms_sched::{Scheduler, SchedulerConfig};
+use pms_trace::{EvictCause, TraceEvent, Tracer};
 use pms_workloads::Workload;
 use std::collections::{HashMap, HashSet};
 
@@ -39,6 +40,9 @@ pub struct CircuitSim {
     /// flows — pure per-message circuit switching (§5).
     pending_release: HashSet<(usize, usize)>,
     undelivered: usize,
+    /// Event sink; circuit switching has no TDM slots, so records are
+    /// stamped `slot = 0`.
+    tracer: Tracer,
 }
 
 impl CircuitSim {
@@ -61,11 +65,25 @@ impl CircuitSim {
             usable_from: HashMap::new(),
             pending_release: HashSet::new(),
             undelivered: 0,
+            tracer: Tracer::Null,
         }
     }
 
+    /// Attaches an event tracer; retrieve it via
+    /// [`run_traced`](Self::run_traced).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
     /// Runs to completion and returns the statistics.
-    pub fn run(mut self) -> SimStats {
+    pub fn run(self) -> SimStats {
+        self.run_traced().0
+    }
+
+    /// Like [`run`](Self::run) but also returns the tracer and its
+    /// collected records.
+    pub fn run_traced(mut self) -> (SimStats, Tracer) {
         let window = self.params.sched_ns;
         let mut t = 0u64;
         loop {
@@ -84,20 +102,62 @@ impl CircuitSim {
             // circuits become usable one grant-propagation later.
             let visible = self.request_matrix(t + window);
             let report = self.scheduler.pass(&visible);
+            // Circuit switching passes every window; only non-trivial
+            // passes are worth a record.
+            let active = !(report.established.is_empty()
+                && report.released.is_empty()
+                && report.denied.is_empty());
+            if self.tracer.enabled() && active {
+                self.tracer.emit(
+                    t + window,
+                    0,
+                    TraceEvent::SchedPass {
+                        passes: self.scheduler.stats().passes,
+                        ripple_depth: report.ripple_depth as u32,
+                        established: report.established.len() as u32,
+                        released: report.released.len() as u32,
+                        denied: report.denied.len() as u32,
+                    },
+                );
+            }
             for &(u, v) in &report.established {
                 self.usable_from
                     .insert((u, v), t + window + self.params.request_wire_ns);
+                if self.tracer.enabled() {
+                    self.tracer.emit(
+                        t + window,
+                        0,
+                        TraceEvent::ConnEstablished {
+                            src: u as u32,
+                            dst: v as u32,
+                            slot_idx: 0,
+                        },
+                    );
+                }
             }
             for &(u, v) in &report.released {
                 self.usable_from.remove(&(u, v));
                 self.pending_release.remove(&(u, v));
+                if self.tracer.enabled() {
+                    self.tracer.emit(
+                        t + window,
+                        0,
+                        TraceEvent::ConnEvicted {
+                            src: u as u32,
+                            dst: v as u32,
+                            cause: EvictCause::Drop,
+                        },
+                    );
+                }
             }
             t += window;
         }
         let mut stats = SimStats::from_messages("circuit", self.workload_name, &self.msgs);
         stats.sched_passes = self.scheduler.stats().passes;
         stats.connections_established = self.scheduler.stats().establishes;
-        stats
+        let mut tracer = self.tracer;
+        let _ = tracer.finish();
+        (stats, tracer)
     }
 
     fn poll_engine(&mut self, now: u64) {
@@ -107,8 +167,30 @@ impl CircuitSim {
                 Effect::Inject(id) => {
                     let spec = self.msgs[id].spec;
                     self.msgs[id].enqueued_at = Some(te);
-                    self.voqs.push(spec.src, spec.dst, id);
+                    let new_request = self.voqs.push(spec.src, spec.dst, id);
                     self.undelivered += 1;
+                    if self.tracer.enabled() {
+                        self.tracer.emit(
+                            te,
+                            0,
+                            TraceEvent::MsgInjected {
+                                src: spec.src as u32,
+                                dst: spec.dst as u32,
+                                bytes: spec.bytes,
+                                msg: id as u32,
+                            },
+                        );
+                        if new_request {
+                            self.tracer.emit(
+                                te,
+                                0,
+                                TraceEvent::ConnRequested {
+                                    src: spec.src as u32,
+                                    dst: spec.dst as u32,
+                                },
+                            );
+                        }
+                    }
                 }
                 // Circuit switching has no multi-slot state to manage.
                 Effect::Flush | Effect::Preload(_) => {}
@@ -160,6 +242,20 @@ impl CircuitSim {
                     self.msgs[head].delivered_at = Some(cursor + path);
                     self.voqs.pop(u, v);
                     self.undelivered -= 1;
+                    if self.tracer.enabled() {
+                        let spec = self.msgs[head].spec;
+                        self.tracer.emit(
+                            cursor + path,
+                            0,
+                            TraceEvent::MsgDelivered {
+                                src: spec.src as u32,
+                                dst: spec.dst as u32,
+                                bytes: spec.bytes,
+                                msg: head as u32,
+                                latency_ns: self.msgs[head].latency_ns(),
+                            },
+                        );
+                    }
                     // Per-message circuit switching: the NIC drops the
                     // request; the circuit is torn down by the next pass.
                     self.pending_release.insert((u, v));

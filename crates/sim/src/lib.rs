@@ -96,13 +96,44 @@ impl Paradigm {
 
     /// Runs the workload under this paradigm and returns the statistics.
     pub fn run(&self, workload: &Workload, params: &SimParams) -> SimStats {
+        self.run_traced(workload, params, pms_trace::Tracer::Null).0
+    }
+
+    /// Runs the workload with the given event tracer attached; returns the
+    /// statistics and the tracer (with its collected records).
+    ///
+    /// ```
+    /// use pms_sim::{Paradigm, PredictorKind, SimParams};
+    /// use pms_trace::Tracer;
+    /// use pms_workloads::scatter;
+    ///
+    /// let params = SimParams::default().with_ports(8);
+    /// let (stats, tracer) = Paradigm::DynamicTdm(PredictorKind::Drop)
+    ///     .run_traced(&scatter(8, 64), &params, Tracer::vec());
+    /// assert_eq!(stats.delivered_messages, 7);
+    /// assert!(!tracer.records().is_empty());
+    /// ```
+    pub fn run_traced(
+        &self,
+        workload: &Workload,
+        params: &SimParams,
+        tracer: pms_trace::Tracer,
+    ) -> (SimStats, pms_trace::Tracer) {
         match self {
-            Paradigm::Wormhole => WormholeSim::new(workload, params).run(),
-            Paradigm::Circuit => CircuitSim::new(workload, params).run(),
+            Paradigm::Wormhole => WormholeSim::new(workload, params)
+                .with_tracer(tracer)
+                .run_traced(),
+            Paradigm::Circuit => CircuitSim::new(workload, params)
+                .with_tracer(tracer)
+                .run_traced(),
             Paradigm::DynamicTdm(pred) => {
-                TdmSim::new(workload, params, TdmMode::Dynamic { predictor: *pred }).run()
+                TdmSim::new(workload, params, TdmMode::Dynamic { predictor: *pred })
+                    .with_tracer(tracer)
+                    .run_traced()
             }
-            Paradigm::PreloadTdm => TdmSim::new(workload, params, TdmMode::Preload).run(),
+            Paradigm::PreloadTdm => TdmSim::new(workload, params, TdmMode::Preload)
+                .with_tracer(tracer)
+                .run_traced(),
             Paradigm::HybridTdm {
                 preload_slots,
                 predictor,
@@ -114,7 +145,8 @@ impl Paradigm {
                     predictor: *predictor,
                 },
             )
-            .run(),
+            .with_tracer(tracer)
+            .run_traced(),
         }
     }
 }

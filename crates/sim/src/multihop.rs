@@ -22,6 +22,7 @@ use crate::message::MsgState;
 use crate::params::SimParams;
 use crate::stats::SimStats;
 use pms_fabric::TorusNetwork;
+use pms_trace::{TraceEvent, Tracer};
 use pms_workloads::Workload;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -70,6 +71,9 @@ pub struct MultihopWormholeSim {
     dest_busy: Vec<bool>,
     undelivered: usize,
     hops_traversed: u64,
+    /// Event sink; multi-hop wormhole has no TDM slots, so records are
+    /// stamped `slot = 0`.
+    tracer: Tracer,
 }
 
 impl MultihopWormholeSim {
@@ -107,6 +111,7 @@ impl MultihopWormholeSim {
             dest_busy: vec![false; hosts],
             undelivered: 0,
             hops_traversed: 0,
+            tracer: Tracer::Null,
         }
     }
 
@@ -115,8 +120,21 @@ impl MultihopWormholeSim {
         self.events.push(Reverse((t, self.seq, ev)));
     }
 
+    /// Attaches an event tracer; retrieve it via
+    /// [`run_traced`](Self::run_traced).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
     /// Runs to completion.
-    pub fn run(mut self) -> SimStats {
+    pub fn run(self) -> SimStats {
+        self.run_traced().0
+    }
+
+    /// Like [`run`](Self::run) but also returns the tracer and its
+    /// collected records.
+    pub fn run_traced(mut self) -> (SimStats, Tracer) {
         self.poll_engine(0);
         while let Some(Reverse((t, _, ev))) = self.events.pop() {
             assert!(
@@ -139,7 +157,9 @@ impl MultihopWormholeSim {
         let mut stats =
             SimStats::from_messages("multihop-wormhole", self.workload_name, &self.msgs);
         stats.sched_passes = self.hops_traversed;
-        stats
+        let mut tracer = self.tracer;
+        let _ = tracer.finish();
+        (stats, tracer)
     }
 
     fn poll_engine(&mut self, now: u64) {
@@ -161,6 +181,26 @@ impl MultihopWormholeSim {
         let spec = self.msgs[id].spec;
         self.msgs[id].enqueued_at = Some(t);
         self.undelivered += 1;
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                t,
+                0,
+                TraceEvent::MsgInjected {
+                    src: spec.src as u32,
+                    dst: spec.dst as u32,
+                    bytes: spec.bytes,
+                    msg: id as u32,
+                },
+            );
+            self.tracer.emit(
+                t,
+                0,
+                TraceEvent::ConnRequested {
+                    src: spec.src as u32,
+                    dst: spec.dst as u32,
+                },
+            );
+        }
         let mut left = spec.bytes;
         while left > 0 {
             let chunk = left.min(self.params.worm_max_bytes);
@@ -260,6 +300,20 @@ impl MultihopWormholeSim {
             let tail = self.params.link.s2p_ns + self.params.nic_cycle_ns;
             self.msgs[worm.msg].delivered_at = Some(now + tail);
             self.undelivered -= 1;
+            if self.tracer.enabled() {
+                let spec = self.msgs[worm.msg].spec;
+                self.tracer.emit(
+                    now + tail,
+                    0,
+                    TraceEvent::MsgDelivered {
+                        src: spec.src as u32,
+                        dst: spec.dst as u32,
+                        bytes: spec.bytes,
+                        msg: worm.msg as u32,
+                        latency_ns: self.msgs[worm.msg].latency_ns(),
+                    },
+                );
+            }
             self.poll_engine(now);
         }
         self.try_dest(dst, now);

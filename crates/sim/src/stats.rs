@@ -1,6 +1,7 @@
 //! Simulation statistics and the efficiency metric of Figure 4/5.
 
 use crate::message::MsgState;
+use pms_trace::{Histogram, Json, MetricsRegistry};
 
 /// Results of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,11 +38,26 @@ pub struct SimStats {
     /// Lookups that found their connection already established — the
     /// paper's "hit rate" for dynamic scheduling of TDM (§5).
     pub ws_hits: u64,
-    /// All per-message latencies, sorted ascending (for percentiles).
+    /// Per-message latencies, sorted ascending, for exact percentiles.
+    ///
+    /// Capped at [`SimStats::MAX_EXACT_SAMPLES`] to bound memory on very
+    /// large runs: when a run delivers more messages than the cap, only
+    /// the first `MAX_EXACT_SAMPLES` latencies (in delivery-table order)
+    /// are retained and [`latency_quantile_ns`](Self::latency_quantile_ns)
+    /// switches to the log2 histogram instead.
     pub latency_samples: Vec<u64>,
+    /// Log2-bucketed latency histogram over *all* delivered messages
+    /// (never capped); the quantile source for runs past the sample cap.
+    pub latency_histogram: Histogram,
 }
 
 impl SimStats {
+    /// Exact per-message latencies are kept only up to this many
+    /// deliveries (64 Ki samples = 512 KiB); beyond it, quantiles come
+    /// from [`latency_histogram`](Self::latency_histogram) with at most
+    /// ~2x relative error (geometric-midpoint log2 buckets).
+    pub const MAX_EXACT_SAMPLES: usize = 65_536;
+
     /// Collects message-level stats; the caller fills the
     /// scheduler/predictor counters.
     pub fn from_messages(
@@ -66,6 +82,7 @@ impl SimStats {
             ws_lookups: 0,
             ws_hits: 0,
             latency_samples: Vec::new(),
+            latency_histogram: Histogram::new(),
         };
         let mut senders = std::collections::BTreeSet::new();
         for m in messages {
@@ -76,7 +93,10 @@ impl SimStats {
                 let lat = m.latency_ns();
                 s.total_latency_ns += lat;
                 s.max_latency_ns = s.max_latency_ns.max(lat);
-                s.latency_samples.push(lat);
+                s.latency_histogram.record(lat);
+                if s.latency_samples.len() < Self::MAX_EXACT_SAMPLES {
+                    s.latency_samples.push(lat);
+                }
                 senders.insert(m.spec.src);
             }
         }
@@ -85,8 +105,13 @@ impl SimStats {
         s
     }
 
-    /// The `q`-quantile of message latency (`q` in [0, 1]), by the
-    /// nearest-rank method. Returns 0 for an empty run.
+    /// The `q`-quantile of message latency (`q` in [0, 1]). Returns 0 for
+    /// an empty run.
+    ///
+    /// Exact (nearest-rank over the full sample set) while the run
+    /// delivered at most [`MAX_EXACT_SAMPLES`](Self::MAX_EXACT_SAMPLES)
+    /// messages; approximate (log2-histogram, ≤ ~2x relative error)
+    /// beyond that.
     ///
     /// # Panics
     /// Panics if `q` is outside [0, 1].
@@ -94,6 +119,10 @@ impl SimStats {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
         if self.latency_samples.is_empty() {
             return 0;
+        }
+        let delivered = self.delivered_messages as usize;
+        if delivered > Self::MAX_EXACT_SAMPLES {
+            return self.latency_histogram.quantile(q);
         }
         let n = self.latency_samples.len();
         let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
@@ -153,6 +182,68 @@ impl SimStats {
         } else {
             self.delivered_bytes as f64 / self.makespan_ns as f64
         }
+    }
+
+    /// Serializes the run (raw counters plus derived metrics and the
+    /// latency histogram) as one JSON object — the payload behind
+    /// `simulate --json`.
+    pub fn to_json(&self) -> Json {
+        let hit_rate = self.working_set_hit_rate().map_or(Json::Null, Json::from);
+        Json::obj([
+            ("paradigm", Json::str(&self.paradigm)),
+            ("workload", Json::str(&self.workload)),
+            ("delivered_messages", self.delivered_messages.into()),
+            ("delivered_bytes", self.delivered_bytes.into()),
+            ("makespan_ns", self.makespan_ns.into()),
+            ("mean_latency_ns", self.mean_latency_ns().into()),
+            ("p50_latency_ns", self.p50_latency_ns().into()),
+            ("p99_latency_ns", self.p99_latency_ns().into()),
+            ("max_latency_ns", self.max_latency_ns.into()),
+            ("active_senders", self.active_senders.into()),
+            ("sched_passes", self.sched_passes.into()),
+            (
+                "connections_established",
+                self.connections_established.into(),
+            ),
+            ("predictor_evictions", self.predictor_evictions.into()),
+            ("preload_loads", self.preload_loads.into()),
+            ("phase_flushes", self.phase_flushes.into()),
+            ("ws_lookups", self.ws_lookups.into()),
+            ("ws_hits", self.ws_hits.into()),
+            ("ws_hit_rate", hit_rate),
+            (
+                "throughput_bytes_per_ns",
+                self.throughput_bytes_per_ns().into(),
+            ),
+            ("latency_histogram", self.latency_histogram.to_json()),
+        ])
+    }
+
+    /// Exports the run's counters and the latency histogram into a
+    /// [`MetricsRegistry`] under `sim.*` names, so simulator results and
+    /// any other instrumented component share one metrics namespace.
+    pub fn registry(&self) -> MetricsRegistry {
+        let mut reg = MetricsRegistry::new();
+        for (name, value) in [
+            ("sim.delivered_messages", self.delivered_messages),
+            ("sim.delivered_bytes", self.delivered_bytes),
+            ("sim.makespan_ns", self.makespan_ns),
+            ("sim.sched_passes", self.sched_passes),
+            ("sim.connections_established", self.connections_established),
+            ("sim.predictor_evictions", self.predictor_evictions),
+            ("sim.preload_loads", self.preload_loads),
+            ("sim.phase_flushes", self.phase_flushes),
+            ("sim.ws_lookups", self.ws_lookups),
+            ("sim.ws_hits", self.ws_hits),
+        ] {
+            let id = reg.counter(name);
+            reg.set(id, value);
+        }
+        let h = reg.histogram("sim.latency_ns");
+        for &lat in &self.latency_samples {
+            reg.observe(h, lat);
+        }
+        reg
     }
 }
 
@@ -231,6 +322,61 @@ mod tests {
     #[should_panic(expected = "quantile")]
     fn bad_quantile_panics() {
         SimStats::from_messages("t", "w", &[]).latency_quantile_ns(1.5);
+    }
+
+    #[test]
+    fn histogram_tracks_every_delivery() {
+        let msgs: Vec<MsgState> = (0..50)
+            .map(|i| msg(i, i % 4, 8, 0, (i as u64 + 1) * 10))
+            .collect();
+        let s = SimStats::from_messages("test", "wl", &msgs);
+        assert_eq!(s.latency_histogram.count(), 50);
+        assert_eq!(s.latency_histogram.min(), 10);
+        assert_eq!(s.latency_histogram.max(), 500);
+    }
+
+    #[test]
+    fn quantiles_fall_back_to_histogram_past_the_cap() {
+        // Simulate a run past the cap without building 65k messages: the
+        // exact path is active iff delivered_messages <= MAX_EXACT_SAMPLES.
+        let msgs: Vec<MsgState> = (0..100)
+            .map(|i| msg(i, i % 4, 8, 0, (i as u64 + 1) * 10))
+            .collect();
+        let mut s = SimStats::from_messages("test", "wl", &msgs);
+        let exact = s.p99_latency_ns();
+        assert_eq!(exact, 990);
+        s.delivered_messages = SimStats::MAX_EXACT_SAMPLES as u64 + 1;
+        let approx = s.p99_latency_ns();
+        assert_eq!(approx, s.latency_histogram.quantile(0.99));
+        // Log2 buckets: the approximation stays within 2x of the truth.
+        assert!(
+            approx >= exact / 2 && approx <= exact * 2,
+            "approx {approx}"
+        );
+    }
+
+    #[test]
+    fn json_export_round_trips_key_fields() {
+        let msgs = vec![msg(0, 0, 64, 0, 200), msg(1, 1, 64, 0, 400)];
+        let s = SimStats::from_messages("circuit", "wl", &msgs);
+        let j = s.to_json().render();
+        assert!(j.contains(r#""paradigm":"circuit""#), "{j}");
+        assert!(j.contains(r#""delivered_messages":2"#));
+        assert!(j.contains(r#""ws_hit_rate":null"#), "no lookups -> null");
+        assert!(j.contains(r#""latency_histogram""#));
+    }
+
+    #[test]
+    fn registry_export_carries_counters_and_histogram() {
+        let msgs = vec![msg(0, 0, 64, 0, 200), msg(1, 1, 64, 0, 400)];
+        let mut s = SimStats::from_messages("test", "wl", &msgs);
+        s.sched_passes = 7;
+        let reg = s.registry();
+        assert_eq!(reg.counter_value("sim.delivered_messages"), Some(2));
+        assert_eq!(reg.counter_value("sim.sched_passes"), Some(7));
+        let h = reg.histogram_values("sim.latency_ns").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), 400);
     }
 
     #[test]

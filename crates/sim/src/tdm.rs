@@ -33,6 +33,7 @@ use pms_predict::{
     TimeoutPredictor,
 };
 use pms_sched::{HoldPolicy, Scheduler, SchedulerConfig, TdmCounter};
+use pms_trace::{EvictCause, TraceEvent, Tracer};
 use pms_workloads::Workload;
 use std::collections::HashMap;
 
@@ -142,6 +143,12 @@ pub struct TdmSim {
     /// Optional admission filter for fabrics with internal blocking
     /// (§6): a slot configuration is only committed if this accepts it.
     admission: Option<AdmissionFilter>,
+    /// Event sink; [`Tracer::Null`] (the default) makes every emit site a
+    /// single predicted branch.
+    tracer: Tracer,
+    /// The TDM register most recently driving the crossbar, used to stamp
+    /// trace records.
+    cur_slot: u32,
 }
 
 impl TdmSim {
@@ -296,6 +303,8 @@ impl TdmSim {
             ws_lookups: 0,
             ws_hits: 0,
             admission: None,
+            tracer: Tracer::Null,
+            cur_slot: 0,
         }
     }
 
@@ -312,6 +321,14 @@ impl TdmSim {
         self
     }
 
+    /// Attaches an event tracer; see [`pms_trace::Tracer`] for the sinks.
+    /// Retrieve it (with the collected records) via
+    /// [`run_traced`](Self::run_traced).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
     /// Attaches a §3.3 phase detector: every first lookup of a message's
     /// connection counts as a working-set hit or miss, and a detected
     /// phase change flushes all dynamically scheduled connections.
@@ -325,7 +342,14 @@ impl TdmSim {
     }
 
     /// Runs to completion and returns the statistics.
-    pub fn run(mut self) -> SimStats {
+    pub fn run(self) -> SimStats {
+        self.run_traced().0
+    }
+
+    /// Like [`run`](Self::run) but also returns the tracer (and the
+    /// records it collected). JSONL output is flushed before returning.
+    pub fn run_traced(mut self) -> (SimStats, Tracer) {
+        self.trace_initial_preloads();
         let slot_ns = self.params.slot_ns;
         let sched_ns = self.params.sched_ns;
         let mut t = 0u64;
@@ -377,7 +401,59 @@ impl TdmSim {
         stats.phase_flushes = self.phase_flushes;
         stats.ws_lookups = self.ws_lookups;
         stats.ws_hits = self.ws_hits;
-        stats
+        let mut tracer = self.tracer;
+        let _ = tracer.finish();
+        (stats, tracer)
+    }
+
+    /// Emits `PreloadApplied`/`ConnEstablished` for the configurations
+    /// already resident when the simulation starts (hybrid preloads, the
+    /// initial preload-stream window).
+    fn trace_initial_preloads(&mut self) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let tracer = &mut self.tracer;
+        let mut apply = |t: u64, slot_idx: u32, cfg: &BitMatrix| {
+            let pairs: Vec<(usize, usize)> = cfg.iter_ones().collect();
+            tracer.emit(
+                t,
+                slot_idx,
+                TraceEvent::PreloadApplied {
+                    slot_idx,
+                    connections: pairs.len() as u32,
+                },
+            );
+            for (u, v) in pairs {
+                tracer.emit(
+                    t,
+                    slot_idx,
+                    TraceEvent::ConnEstablished {
+                        src: u as u32,
+                        dst: v as u32,
+                        slot_idx,
+                    },
+                );
+            }
+        };
+        match &self.backend {
+            Backend::Scheduled { scheduler, .. } => {
+                for s in 0..scheduler.slots() {
+                    if scheduler.is_preloaded(s) {
+                        apply(0, s as u32, scheduler.config(s));
+                    }
+                }
+            }
+            Backend::Stream {
+                registers, configs, ..
+            } => {
+                for (reg, slot) in registers.iter().enumerate() {
+                    if let Some(slot) = slot {
+                        apply(slot.ready_at, reg as u32, &configs[slot.config_idx]);
+                    }
+                }
+            }
+        }
     }
 
     fn poll_engine(&mut self, now: u64) {
@@ -388,12 +464,54 @@ impl TdmSim {
                 Effect::Inject(id) => {
                     let spec = self.msgs[id].spec;
                     self.msgs[id].enqueued_at = Some(te);
-                    self.voqs.push(spec.src, spec.dst, id);
+                    let new_request = self.voqs.push(spec.src, spec.dst, id);
                     self.undelivered += 1;
+                    if self.tracer.enabled() {
+                        self.tracer.emit(
+                            te,
+                            self.cur_slot,
+                            TraceEvent::MsgInjected {
+                                src: spec.src as u32,
+                                dst: spec.dst as u32,
+                                bytes: spec.bytes,
+                                msg: id as u32,
+                            },
+                        );
+                        if new_request {
+                            self.tracer.emit(
+                                te,
+                                self.cur_slot,
+                                TraceEvent::ConnRequested {
+                                    src: spec.src as u32,
+                                    dst: spec.dst as u32,
+                                },
+                            );
+                        }
+                    }
                 }
                 Effect::Flush => {
                     if let Backend::Scheduled { scheduler, .. } = &mut self.backend {
-                        scheduler.flush_dynamic();
+                        let cleared = scheduler.flush_dynamic();
+                        if self.tracer.enabled() {
+                            self.tracer.emit(
+                                te,
+                                self.cur_slot,
+                                TraceEvent::PhaseFlush {
+                                    cleared: cleared.len() as u32,
+                                },
+                            );
+                            for (u, v) in cleared {
+                                self.tracer.emit(
+                                    te,
+                                    self.cur_slot,
+                                    TraceEvent::ConnEvicted {
+                                        src: u as u32,
+                                        dst: v as u32,
+                                        cause: EvictCause::PhaseFlush,
+                                    },
+                                );
+                            }
+                        }
                     }
                 }
                 Effect::Preload(pat) => {
@@ -405,11 +523,45 @@ impl TdmSim {
                         // registers and dynamic scheduling gets the rest.
                         for s in 0..scheduler.slots() {
                             if scheduler.is_preloaded(s) {
+                                if self.tracer.enabled() {
+                                    for (u, v) in scheduler.config(s).iter_ones() {
+                                        self.tracer.emit(
+                                            te,
+                                            s as u32,
+                                            TraceEvent::ConnEvicted {
+                                                src: u as u32,
+                                                dst: v as u32,
+                                                cause: EvictCause::PhaseFlush,
+                                            },
+                                        );
+                                    }
+                                }
                                 scheduler.unload(s);
                             }
                         }
                         for (s, cfg) in configs.into_iter().enumerate() {
                             if s < scheduler.slots() {
+                                if self.tracer.enabled() {
+                                    self.tracer.emit(
+                                        te,
+                                        s as u32,
+                                        TraceEvent::PreloadApplied {
+                                            slot_idx: s as u32,
+                                            connections: cfg.iter_ones().count() as u32,
+                                        },
+                                    );
+                                    for (u, v) in cfg.iter_ones() {
+                                        self.tracer.emit(
+                                            te,
+                                            s as u32,
+                                            TraceEvent::ConnEstablished {
+                                                src: u as u32,
+                                                dst: v as u32,
+                                                slot_idx: s as u32,
+                                            },
+                                        );
+                                    }
+                                }
                                 scheduler.preload(s, cfg);
                                 self.preload_loads += 1;
                             }
@@ -432,9 +584,13 @@ impl TdmSim {
             None,
             Config(usize),
         }
-        let (pairs, gate): (Vec<(usize, usize)>, Gate) = match &mut self.backend {
+        let (pairs, gate, active_slot): (Vec<(usize, usize)>, Gate, u32) = match &mut self.backend {
             Backend::Scheduled { scheduler, tdm, .. } => match tdm.advance(scheduler.configs()) {
-                Some(s) => (scheduler.config(s).iter_ones().collect(), Gate::None),
+                Some(s) => (
+                    scheduler.config(s).iter_ones().collect(),
+                    Gate::None,
+                    s as u32,
+                ),
                 None => return,
             },
             Backend::Stream {
@@ -460,12 +616,23 @@ impl TdmSim {
                         (
                             configs[cfg_idx].iter_ones().collect(),
                             Gate::Config(cfg_idx),
+                            reg as u32,
                         )
                     }
                     None => return,
                 }
             }
         };
+        self.cur_slot = active_slot;
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                t,
+                active_slot,
+                TraceEvent::SlotAdvanced {
+                    slot_idx: active_slot,
+                },
+            );
+        }
 
         let mut used_pairs: Vec<(usize, usize)> = Vec::new();
         let mut delivered: Vec<(usize, u64)> = Vec::new(); // (msg, time)
@@ -495,6 +662,22 @@ impl TdmSim {
                 self.voqs.pop(u, v);
                 self.undelivered -= 1;
                 delivered.push((head, done));
+            }
+        }
+        if self.tracer.enabled() {
+            for &(msg, done) in &delivered {
+                let spec = self.msgs[msg].spec;
+                self.tracer.emit(
+                    done,
+                    active_slot,
+                    TraceEvent::MsgDelivered {
+                        src: spec.src as u32,
+                        dst: spec.dst as u32,
+                        bytes: spec.bytes,
+                        msg: msg as u32,
+                        latency_ns: self.msgs[msg].latency_ns(),
+                    },
+                );
             }
         }
 
@@ -530,6 +713,28 @@ impl TdmSim {
                                 config_idx: *next_config,
                                 ready_at: done_at + self.params.preload_cfg_ns,
                             });
+                            if self.tracer.enabled() {
+                                let cfg = &configs[*next_config];
+                                self.tracer.emit(
+                                    done_at,
+                                    reg as u32,
+                                    TraceEvent::PreloadApplied {
+                                        slot_idx: reg as u32,
+                                        connections: cfg.iter_ones().count() as u32,
+                                    },
+                                );
+                                for (u, v) in cfg.iter_ones() {
+                                    self.tracer.emit(
+                                        done_at,
+                                        reg as u32,
+                                        TraceEvent::ConnEstablished {
+                                            src: u as u32,
+                                            dst: v as u32,
+                                            slot_idx: reg as u32,
+                                        },
+                                    );
+                                }
+                            }
                             *next_config += 1;
                             self.preload_loads += 1;
                         } else {
@@ -582,13 +787,72 @@ impl TdmSim {
             }
         }
         if flush {
-            scheduler.flush_dynamic();
+            let cleared = scheduler.flush_dynamic();
             self.phase_flushes += 1;
+            if self.tracer.enabled() {
+                self.tracer.emit(
+                    t,
+                    self.cur_slot,
+                    TraceEvent::PhaseFlush {
+                        cleared: cleared.len() as u32,
+                    },
+                );
+                for (u, v) in cleared {
+                    self.tracer.emit(
+                        t,
+                        self.cur_slot,
+                        TraceEvent::ConnEvicted {
+                            src: u as u32,
+                            dst: v as u32,
+                            cause: EvictCause::PhaseFlush,
+                        },
+                    );
+                }
+            }
         }
         let report = match &self.admission {
             Some(admit) => scheduler.pass_admitted(&r, admit),
             None => scheduler.pass(&r),
         };
+        if self.tracer.enabled() {
+            let pass_slot = report.slot.map_or(self.cur_slot, |s| s as u32);
+            self.tracer.emit(
+                t,
+                pass_slot,
+                TraceEvent::SchedPass {
+                    passes: scheduler.stats().passes,
+                    ripple_depth: report.ripple_depth as u32,
+                    established: report.established.len() as u32,
+                    released: report.released.len() as u32,
+                    denied: (report.denied.len() + report.admission_denied.len()) as u32,
+                },
+            );
+            for &(u, v) in &report.established {
+                self.tracer.emit(
+                    t,
+                    pass_slot,
+                    TraceEvent::ConnEstablished {
+                        src: u as u32,
+                        dst: v as u32,
+                        slot_idx: pass_slot,
+                    },
+                );
+            }
+            if predictor.is_none() {
+                // Drop policy: a release *is* the eviction.
+                for &(u, v) in &report.released {
+                    self.tracer.emit(
+                        t,
+                        pass_slot,
+                        TraceEvent::ConnEvicted {
+                            src: u as u32,
+                            dst: v as u32,
+                            cause: EvictCause::Drop,
+                        },
+                    );
+                }
+            }
+        }
         if let Some(pred) = predictor {
             for &(u, v) in &report.established {
                 pred.on_establish(u, v, t);
@@ -596,9 +860,21 @@ impl TdmSim {
             for &(u, v) in &report.released {
                 pred.on_release(u, v);
             }
+            let cause = pred.eviction_cause();
             for (u, v) in pred.take_evictions(t) {
                 scheduler.clear_latch(u, v);
                 self.evictions += 1;
+                if self.tracer.enabled() {
+                    self.tracer.emit(
+                        t,
+                        self.cur_slot,
+                        TraceEvent::ConnEvicted {
+                            src: u as u32,
+                            dst: v as u32,
+                            cause,
+                        },
+                    );
+                }
             }
         }
     }

@@ -33,11 +33,15 @@ impl Voqs {
         u * self.ports + v
     }
 
-    /// Enqueues message `msg` from `u` to `v`.
-    pub fn push(&mut self, u: usize, v: usize, msg: usize) {
+    /// Enqueues message `msg` from `u` to `v`. Returns whether the queue
+    /// was empty — i.e. whether this push raises a *new* request line
+    /// (the edge the tracer reports as `ConnRequested`).
+    pub fn push(&mut self, u: usize, v: usize, msg: usize) -> bool {
         let i = self.idx(u, v);
+        let was_empty = self.queues[i].is_empty();
         self.queues[i].push_back(msg);
         self.queued += 1;
+        was_empty
     }
 
     /// The message at the head of queue `(u, v)`.
@@ -102,9 +106,9 @@ mod tests {
     #[test]
     fn fifo_per_destination() {
         let mut q = Voqs::new(4);
-        q.push(0, 1, 10);
-        q.push(0, 1, 11);
-        q.push(0, 2, 12);
+        assert!(q.push(0, 1, 10), "first push raises the request line");
+        assert!(!q.push(0, 1, 11), "second push is not a new request");
+        assert!(q.push(0, 2, 12));
         assert_eq!(q.total_queued(), 3);
         assert_eq!(q.front(0, 1), Some(10));
         assert_eq!(q.pop(0, 1), Some(10));

@@ -20,6 +20,7 @@ use crate::engine::{Effect, Engine};
 use crate::message::MsgState;
 use crate::params::SimParams;
 use crate::stats::SimStats;
+use pms_trace::{EvictCause, TraceEvent, Tracer};
 use pms_workloads::Workload;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -85,6 +86,9 @@ pub struct WormholeSim {
     out_busy: Vec<u64>,
     undelivered: usize,
     grants: u64,
+    /// Event sink; a wormhole switch has no TDM slots, so records are
+    /// stamped `slot = 0`.
+    tracer: Tracer,
 }
 
 impl WormholeSim {
@@ -127,6 +131,7 @@ impl WormholeSim {
             out_busy: vec![0; n],
             undelivered: 0,
             grants: 0,
+            tracer: Tracer::Null,
         }
     }
 
@@ -135,8 +140,21 @@ impl WormholeSim {
         self.events.push(Reverse((t, self.seq, ev)));
     }
 
+    /// Attaches an event tracer; retrieve it via
+    /// [`run_traced`](Self::run_traced).
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
     /// Runs to completion and returns the statistics.
-    pub fn run(mut self) -> SimStats {
+    pub fn run(self) -> SimStats {
+        self.run_traced().0
+    }
+
+    /// Like [`run`](Self::run) but also returns the tracer and its
+    /// collected records.
+    pub fn run_traced(mut self) -> (SimStats, Tracer) {
         self.poll_engine(0);
         while let Some(Reverse((t, _, ev))) = self.events.pop() {
             assert!(
@@ -157,7 +175,9 @@ impl WormholeSim {
         );
         let mut stats = SimStats::from_messages("wormhole", self.workload_name, &self.msgs);
         stats.sched_passes = self.grants;
-        stats
+        let mut tracer = self.tracer;
+        let _ = tracer.finish();
+        (stats, tracer)
     }
 
     fn poll_engine(&mut self, now: u64) {
@@ -182,6 +202,26 @@ impl WormholeSim {
         let spec = self.msgs[id].spec;
         self.msgs[id].enqueued_at = Some(t);
         self.undelivered += 1;
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                t,
+                0,
+                TraceEvent::MsgInjected {
+                    src: spec.src as u32,
+                    dst: spec.dst as u32,
+                    bytes: spec.bytes,
+                    msg: id as u32,
+                },
+            );
+            self.tracer.emit(
+                t,
+                0,
+                TraceEvent::ConnRequested {
+                    src: spec.src as u32,
+                    dst: spec.dst as u32,
+                },
+            );
+        }
         // Cut into worms of at most `worm_max_bytes`.
         let mut left = spec.bytes;
         let max = self.params.worm_max_bytes;
@@ -282,6 +322,17 @@ impl WormholeSim {
         // Grant: 80 ns to schedule the head flit, then one flit per 10 ns.
         self.grants += 1;
         self.draining[u] = Some(worm);
+        if self.tracer.enabled() {
+            self.tracer.emit(
+                now,
+                0,
+                TraceEvent::ConnEstablished {
+                    src: u as u32,
+                    dst: v as u32,
+                    slot_idx: 0,
+                },
+            );
+        }
         let end = now + self.params.sched_ns + self.params.worm_stream_ns(worm.bytes);
         self.out_busy[v] = end;
         self.push_event(end, Ev::DrainDone(u, v));
@@ -289,12 +340,38 @@ impl WormholeSim {
 
     fn drain_done(&mut self, u: usize, v: usize, now: u64) {
         let worm = self.draining[u].take().expect("a worm was draining");
+        if self.tracer.enabled() {
+            // The crossbar path is held only for the worm's drain.
+            self.tracer.emit(
+                now,
+                0,
+                TraceEvent::ConnEvicted {
+                    src: u as u32,
+                    dst: v as u32,
+                    cause: EvictCause::Drop,
+                },
+            );
+        }
         if worm.last {
             // Tail latency: second wire hop + deserialization + NIC receive.
             let tail =
                 self.params.link.wire_ns + self.params.link.s2p_ns + self.params.nic_cycle_ns;
             self.msgs[worm.msg].delivered_at = Some(now + tail);
             self.undelivered -= 1;
+            if self.tracer.enabled() {
+                let spec = self.msgs[worm.msg].spec;
+                self.tracer.emit(
+                    now + tail,
+                    0,
+                    TraceEvent::MsgDelivered {
+                        src: spec.src as u32,
+                        dst: spec.dst as u32,
+                        bytes: spec.bytes,
+                        msg: worm.msg as u32,
+                        latency_ns: self.msgs[worm.msg].latency_ns(),
+                    },
+                );
+            }
         }
         // Wake everyone waiting for this output: with VOQ bypass a woken
         // input may grant a different output, so waking only one waiter

@@ -1,0 +1,297 @@
+//! Chrome-trace export: renders a recorded timeline as the JSON array
+//! flavor of the Trace Event Format, loadable in `chrome://tracing` and
+//! Perfetto's legacy importer.
+//!
+//! Mapping:
+//!
+//! * every record becomes an instant event (`"ph": "i"`, thread scope)
+//!   named after [`TraceEvent::kind`], with the payload under `args`;
+//! * `msg-delivered` additionally emits a complete event (`"ph": "X"`)
+//!   spanning injection to delivery, so message lifetimes render as bars;
+//! * `tid` groups events by actor: the source port for per-message and
+//!   per-connection events, the scheduler pseudo-thread for scheduler
+//!   events. `pid` is always 0.
+//!
+//! Timestamps are microseconds (floats), as the format requires.
+
+use crate::event::{TraceEvent, TraceRecord};
+use crate::json::Json;
+use std::io;
+use std::path::Path;
+
+/// Pseudo-thread id used for scheduler/slot/phase events.
+const SCHED_TID: u64 = 9_999;
+
+fn us(t_ns: u64) -> f64 {
+    t_ns as f64 / 1e3
+}
+
+fn instant(rec: &TraceRecord, tid: u64, args: Vec<(&'static str, Json)>) -> Json {
+    let mut fields = vec![
+        ("name", Json::str(rec.event.kind())),
+        ("ph", Json::str("i")),
+        ("s", Json::str("t")),
+        ("ts", Json::Float(us(rec.t_ns))),
+        ("pid", Json::UInt(0)),
+        ("tid", Json::UInt(tid)),
+    ];
+    let mut all_args = vec![("slot", Json::UInt(rec.slot as u64))];
+    all_args.extend(args);
+    fields.push(("args", Json::obj(all_args)));
+    Json::obj(fields)
+}
+
+/// Renders records as a Chrome trace JSON array.
+pub fn chrome_trace_json(records: &[TraceRecord]) -> Json {
+    let mut events = Vec::with_capacity(records.len() + records.len() / 4);
+    for rec in records {
+        match rec.event {
+            TraceEvent::MsgInjected {
+                src,
+                dst,
+                bytes,
+                msg,
+            } => {
+                events.push(instant(
+                    rec,
+                    src as u64,
+                    vec![
+                        ("src", src.into()),
+                        ("dst", dst.into()),
+                        ("bytes", bytes.into()),
+                        ("msg", msg.into()),
+                    ],
+                ));
+            }
+            TraceEvent::MsgDelivered {
+                src,
+                dst,
+                bytes,
+                msg,
+                latency_ns,
+            } => {
+                events.push(instant(
+                    rec,
+                    src as u64,
+                    vec![
+                        ("src", src.into()),
+                        ("dst", dst.into()),
+                        ("bytes", bytes.into()),
+                        ("msg", msg.into()),
+                        ("latency_ns", latency_ns.into()),
+                    ],
+                ));
+                // The message's lifetime as a duration bar on its source
+                // port's row.
+                events.push(Json::obj([
+                    ("name", Json::str(format!("msg {msg} -> {dst}"))),
+                    ("cat", Json::str("message")),
+                    ("ph", Json::str("X")),
+                    ("ts", Json::Float(us(rec.t_ns.saturating_sub(latency_ns)))),
+                    ("dur", Json::Float(latency_ns as f64 / 1e3)),
+                    ("pid", Json::UInt(0)),
+                    ("tid", Json::UInt(src as u64)),
+                    (
+                        "args",
+                        Json::obj([("bytes", bytes.into()), ("latency_ns", latency_ns.into())]),
+                    ),
+                ]));
+            }
+            TraceEvent::ConnRequested { src, dst } => {
+                events.push(instant(
+                    rec,
+                    src as u64,
+                    vec![("src", src.into()), ("dst", dst.into())],
+                ));
+            }
+            TraceEvent::ConnEstablished { src, dst, slot_idx } => {
+                events.push(instant(
+                    rec,
+                    src as u64,
+                    vec![
+                        ("src", src.into()),
+                        ("dst", dst.into()),
+                        ("slot_idx", slot_idx.into()),
+                    ],
+                ));
+            }
+            TraceEvent::ConnEvicted { src, dst, cause } => {
+                events.push(instant(
+                    rec,
+                    src as u64,
+                    vec![
+                        ("src", src.into()),
+                        ("dst", dst.into()),
+                        ("cause", Json::str(cause.label())),
+                    ],
+                ));
+            }
+            TraceEvent::SlotAdvanced { slot_idx } => {
+                events.push(instant(rec, SCHED_TID, vec![("slot_idx", slot_idx.into())]));
+            }
+            TraceEvent::SchedPass {
+                passes,
+                ripple_depth,
+                established,
+                released,
+                denied,
+            } => {
+                events.push(instant(
+                    rec,
+                    SCHED_TID,
+                    vec![
+                        ("passes", passes.into()),
+                        ("ripple_depth", ripple_depth.into()),
+                        ("established", established.into()),
+                        ("released", released.into()),
+                        ("denied", denied.into()),
+                    ],
+                ));
+            }
+            TraceEvent::PreloadApplied {
+                slot_idx,
+                connections,
+            } => {
+                events.push(instant(
+                    rec,
+                    SCHED_TID,
+                    vec![
+                        ("slot_idx", slot_idx.into()),
+                        ("connections", connections.into()),
+                    ],
+                ));
+            }
+            TraceEvent::PhaseFlush { cleared } => {
+                events.push(instant(rec, SCHED_TID, vec![("cleared", cleared.into())]));
+            }
+        }
+    }
+    Json::Array(events)
+}
+
+/// Writes records to `path` as a Chrome trace JSON array.
+pub fn write_chrome_trace(path: impl AsRef<Path>, records: &[TraceRecord]) -> io::Result<()> {
+    std::fs::write(path, chrome_trace_json(records).render_pretty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EvictCause;
+
+    fn sample_records() -> Vec<TraceRecord> {
+        let mk = |t_ns, slot, event| TraceRecord { t_ns, slot, event };
+        vec![
+            mk(
+                0,
+                0,
+                TraceEvent::MsgInjected {
+                    src: 0,
+                    dst: 5,
+                    bytes: 64,
+                    msg: 0,
+                },
+            ),
+            mk(10, 0, TraceEvent::ConnRequested { src: 0, dst: 5 }),
+            mk(
+                90,
+                0,
+                TraceEvent::SchedPass {
+                    passes: 1,
+                    ripple_depth: 1,
+                    established: 1,
+                    released: 0,
+                    denied: 0,
+                },
+            ),
+            mk(
+                90,
+                0,
+                TraceEvent::ConnEstablished {
+                    src: 0,
+                    dst: 5,
+                    slot_idx: 0,
+                },
+            ),
+            mk(100, 1, TraceEvent::SlotAdvanced { slot_idx: 1 }),
+            mk(
+                120,
+                1,
+                TraceEvent::PreloadApplied {
+                    slot_idx: 2,
+                    connections: 8,
+                },
+            ),
+            mk(
+                300,
+                2,
+                TraceEvent::MsgDelivered {
+                    src: 0,
+                    dst: 5,
+                    bytes: 64,
+                    msg: 0,
+                    latency_ns: 300,
+                },
+            ),
+            mk(
+                400,
+                2,
+                TraceEvent::ConnEvicted {
+                    src: 0,
+                    dst: 5,
+                    cause: EvictCause::Timeout,
+                },
+            ),
+            mk(500, 3, TraceEvent::PhaseFlush { cleared: 4 }),
+        ]
+    }
+
+    #[test]
+    fn all_nine_kinds_appear_in_the_export() {
+        let json = chrome_trace_json(&sample_records());
+        let Json::Array(events) = &json else {
+            panic!("chrome trace must be a JSON array")
+        };
+        // 9 instants + 1 duration bar for the delivery.
+        assert_eq!(events.len(), 10);
+        let rendered = json.render();
+        for kind in [
+            "msg-injected",
+            "msg-delivered",
+            "conn-requested",
+            "conn-established",
+            "conn-evicted",
+            "slot-advanced",
+            "sched-pass",
+            "preload-applied",
+            "phase-flush",
+        ] {
+            assert!(rendered.contains(kind), "missing event kind {kind}");
+        }
+    }
+
+    #[test]
+    fn timestamps_are_microseconds() {
+        let json = chrome_trace_json(&sample_records());
+        let rendered = json.render();
+        // 90 ns -> 0.09 us.
+        assert!(rendered.contains(r#""ts":0.09"#), "{rendered}");
+    }
+
+    #[test]
+    fn delivery_emits_a_duration_bar() {
+        let rendered = chrome_trace_json(&sample_records()).render();
+        assert!(rendered.contains(r#""ph":"X""#));
+        assert!(rendered.contains(r#""dur":0.3"#));
+    }
+
+    #[test]
+    fn export_writes_a_loadable_file() {
+        let path = std::env::temp_dir().join("pms-trace-chrome-test.json");
+        write_chrome_trace(&path, &sample_records()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.trim_start().starts_with('['));
+        assert!(text.trim_end().ends_with(']'));
+        std::fs::remove_file(&path).ok();
+    }
+}

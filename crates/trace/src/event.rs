@@ -1,0 +1,217 @@
+//! The event taxonomy: everything the simulators can say about a run.
+
+/// Why a cached connection was evicted from the working set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EvictCause {
+    /// A [`TimeoutPredictor`](../pms_predict) decided the connection was
+    /// idle too long (§3.2).
+    Timeout,
+    /// A reference-count predictor's counter crossed its threshold
+    /// (§3.2).
+    RefCount,
+    /// The §3.3 phase detector (or an explicit engine flush) dropped the
+    /// whole dynamic working set at a phase boundary.
+    PhaseFlush,
+    /// The connection is torn down as soon as its message completes
+    /// (non-predictive paradigms: circuit switching, `PredictorKind::Drop`).
+    Drop,
+}
+
+impl EvictCause {
+    /// Stable lower-case label for export.
+    pub fn label(self) -> &'static str {
+        match self {
+            EvictCause::Timeout => "timeout",
+            EvictCause::RefCount => "refcount",
+            EvictCause::PhaseFlush => "phase-flush",
+            EvictCause::Drop => "drop",
+        }
+    }
+}
+
+/// One typed simulator event. All payloads are plain integers so that
+/// recording an event never allocates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A message entered its source NIC queue.
+    MsgInjected {
+        /// Source port.
+        src: u32,
+        /// Destination port.
+        dst: u32,
+        /// Payload size.
+        bytes: u32,
+        /// Workload-global message id.
+        msg: u32,
+    },
+    /// A message's last byte reached its destination.
+    MsgDelivered {
+        /// Source port.
+        src: u32,
+        /// Destination port.
+        dst: u32,
+        /// Payload size.
+        bytes: u32,
+        /// Workload-global message id.
+        msg: u32,
+        /// Injection-to-delivery latency.
+        latency_ns: u64,
+    },
+    /// A connection request first became visible to the scheduler (a VOQ
+    /// went non-empty, or a circuit/wormhole setup was issued).
+    ConnRequested {
+        /// Requesting input port.
+        src: u32,
+        /// Requested output port.
+        dst: u32,
+    },
+    /// The scheduler (or a preload stream) established `src -> dst`.
+    ConnEstablished {
+        /// Input port.
+        src: u32,
+        /// Output port.
+        dst: u32,
+        /// TDM configuration register the connection landed in.
+        slot_idx: u32,
+    },
+    /// An established connection was removed from the working set.
+    ConnEvicted {
+        /// Input port.
+        src: u32,
+        /// Output port.
+        dst: u32,
+        /// Which policy evicted it.
+        cause: EvictCause,
+    },
+    /// The TDM counter moved to the next configuration register.
+    SlotAdvanced {
+        /// The register now driving the crossbar.
+        slot_idx: u32,
+    },
+    /// One SL array scheduling pass completed.
+    SchedPass {
+        /// Cumulative pass count for this run.
+        passes: u64,
+        /// Cells the availability ripple traversed (the combinational
+        /// depth of this pass; feeds the Table-3 timing model).
+        ripple_depth: u32,
+        /// Connections established this pass.
+        established: u32,
+        /// Connections released this pass.
+        released: u32,
+        /// Requests denied this pass.
+        denied: u32,
+    },
+    /// A compiled configuration was loaded into a TDM register.
+    PreloadApplied {
+        /// Target configuration register.
+        slot_idx: u32,
+        /// Connections in the loaded configuration.
+        connections: u32,
+    },
+    /// The dynamic working set was flushed at a phase boundary.
+    PhaseFlush {
+        /// Connections cleared by the flush.
+        cleared: u32,
+    },
+}
+
+impl TraceEvent {
+    /// Stable kebab-case event name used by the exporters.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::MsgInjected { .. } => "msg-injected",
+            TraceEvent::MsgDelivered { .. } => "msg-delivered",
+            TraceEvent::ConnRequested { .. } => "conn-requested",
+            TraceEvent::ConnEstablished { .. } => "conn-established",
+            TraceEvent::ConnEvicted { .. } => "conn-evicted",
+            TraceEvent::SlotAdvanced { .. } => "slot-advanced",
+            TraceEvent::SchedPass { .. } => "sched-pass",
+            TraceEvent::PreloadApplied { .. } => "preload-applied",
+            TraceEvent::PhaseFlush { .. } => "phase-flush",
+        }
+    }
+
+    /// Number of distinct event kinds (exporter sanity checks).
+    pub const KIND_COUNT: usize = 9;
+}
+
+/// A [`TraceEvent`] stamped with when (simulation ns) and where (active
+/// TDM slot) it happened.
+///
+/// Paradigms without TDM slots (wormhole, circuit) stamp `slot = 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Simulation time in nanoseconds.
+    pub t_ns: u64,
+    /// TDM slot active when the event fired.
+    pub slot: u32,
+    /// The event payload.
+    pub event: TraceEvent,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_are_distinct_and_complete() {
+        let events = [
+            TraceEvent::MsgInjected {
+                src: 0,
+                dst: 1,
+                bytes: 64,
+                msg: 0,
+            },
+            TraceEvent::MsgDelivered {
+                src: 0,
+                dst: 1,
+                bytes: 64,
+                msg: 0,
+                latency_ns: 10,
+            },
+            TraceEvent::ConnRequested { src: 0, dst: 1 },
+            TraceEvent::ConnEstablished {
+                src: 0,
+                dst: 1,
+                slot_idx: 0,
+            },
+            TraceEvent::ConnEvicted {
+                src: 0,
+                dst: 1,
+                cause: EvictCause::Timeout,
+            },
+            TraceEvent::SlotAdvanced { slot_idx: 1 },
+            TraceEvent::SchedPass {
+                passes: 1,
+                ripple_depth: 3,
+                established: 1,
+                released: 0,
+                denied: 0,
+            },
+            TraceEvent::PreloadApplied {
+                slot_idx: 2,
+                connections: 8,
+            },
+            TraceEvent::PhaseFlush { cleared: 5 },
+        ];
+        let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds.len(), TraceEvent::KIND_COUNT);
+        kinds.sort_unstable();
+        kinds.dedup();
+        assert_eq!(kinds.len(), TraceEvent::KIND_COUNT, "duplicate kind labels");
+    }
+
+    #[test]
+    fn evict_cause_labels_are_distinct() {
+        let labels: std::collections::BTreeSet<&str> = [
+            EvictCause::Timeout.label(),
+            EvictCause::RefCount.label(),
+            EvictCause::PhaseFlush.label(),
+            EvictCause::Drop.label(),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

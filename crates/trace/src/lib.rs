@@ -1,0 +1,37 @@
+//! Observability for the PMS simulator stack: typed trace events, sinks,
+//! a metrics registry, and Chrome-trace/JSONL export.
+//!
+//! The paper's evaluation (§5) turns on *why* a switching paradigm wins —
+//! working-set hits, SL scheduling passes, predictor evictions — which an
+//! aggregate like `SimStats` cannot explain after the fact. This crate
+//! provides the timeline: every simulator emits [`TraceEvent`]s stamped
+//! with simulation time and the active TDM slot, a [`Tracer`] sink
+//! collects (or drops) them, and [`chrome`] renders the result so it can
+//! be loaded straight into `chrome://tracing` / Perfetto.
+//!
+//! Design rules:
+//!
+//! * **Zero overhead when off** — [`Tracer::Null`] is a single
+//!   always-false [`Tracer::enabled`] check at every emit site; callers
+//!   guard event construction behind it, so the hot loops do no
+//!   formatting, no allocation, and no writes.
+//! * **No floats, no strings on the hot path** — events are plain
+//!   integer structs; [`metrics::Histogram`] uses log2 buckets.
+//! * **Zero dependencies** — including JSON: [`json`] is a small
+//!   hand-rolled value tree + renderer (the build environment has no
+//!   registry access, and a trace writer has no business pulling one in).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod sink;
+
+pub use chrome::{chrome_trace_json, write_chrome_trace};
+pub use event::{EvictCause, TraceEvent, TraceRecord};
+pub use json::Json;
+pub use metrics::{Histogram, MetricsRegistry};
+pub use sink::{JsonlTracer, NullTracer, RingTracer, TraceSink, Tracer, VecTracer};

@@ -1,0 +1,390 @@
+//! Trace sinks: where emitted events go.
+//!
+//! Simulators hold a concrete [`Tracer`] enum rather than a
+//! `Box<dyn TraceSink>` so the disabled path is one perfectly-predicted
+//! branch (`enabled()` returning `false`) instead of a virtual call.
+//! Emit sites are written as
+//!
+//! ```ignore
+//! if self.tracer.enabled() {
+//!     self.tracer.emit(now, slot, TraceEvent::SlotAdvanced { slot_idx });
+//! }
+//! ```
+//!
+//! so with [`Tracer::Null`] no event is even constructed.
+
+use crate::event::{TraceEvent, TraceRecord};
+use crate::json;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+/// Anything that can receive trace records.
+pub trait TraceSink {
+    /// Receives one record.
+    fn record(&mut self, rec: TraceRecord);
+
+    /// Whether recording does anything; callers may skip event
+    /// construction when `false`.
+    fn enabled(&self) -> bool {
+        true
+    }
+}
+
+/// Discards everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullTracer;
+
+impl TraceSink for NullTracer {
+    fn record(&mut self, _rec: TraceRecord) {}
+    fn enabled(&self) -> bool {
+        false
+    }
+}
+
+/// Fixed-capacity ring buffer keeping the most recent records.
+///
+/// Appends never allocate after construction; once full, the oldest
+/// record is overwritten. Suited to flight-recorder style debugging of
+/// long runs.
+#[derive(Debug, Clone)]
+pub struct RingTracer {
+    buf: Vec<TraceRecord>,
+    cap: usize,
+    next: usize,
+    total: u64,
+}
+
+impl RingTracer {
+    /// Ring holding the last `cap` records (`cap` must be nonzero).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "ring capacity must be nonzero");
+        RingTracer {
+            buf: Vec::with_capacity(cap),
+            cap,
+            next: 0,
+            total: 0,
+        }
+    }
+
+    /// Total records ever recorded (including overwritten ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+
+    /// Records currently held, oldest first.
+    pub fn records(&self) -> Vec<TraceRecord> {
+        if self.buf.len() < self.cap {
+            self.buf.clone()
+        } else {
+            let mut out = Vec::with_capacity(self.cap);
+            out.extend_from_slice(&self.buf[self.next..]);
+            out.extend_from_slice(&self.buf[..self.next]);
+            out
+        }
+    }
+}
+
+impl TraceSink for RingTracer {
+    #[inline]
+    fn record(&mut self, rec: TraceRecord) {
+        if self.buf.len() < self.cap {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.next] = rec;
+            self.next = (self.next + 1) % self.cap;
+        }
+        self.total += 1;
+    }
+}
+
+/// Unbounded in-memory sink for tests: keeps every record in order.
+#[derive(Debug, Clone, Default)]
+pub struct VecTracer {
+    /// All records, in emission order.
+    pub records: Vec<TraceRecord>,
+}
+
+impl VecTracer {
+    /// An empty sink.
+    pub fn new() -> Self {
+        VecTracer::default()
+    }
+}
+
+impl TraceSink for VecTracer {
+    #[inline]
+    fn record(&mut self, rec: TraceRecord) {
+        self.records.push(rec);
+    }
+}
+
+/// Streams records as JSON Lines (one record object per line) through a
+/// buffered writer. Useful for runs too long to hold in memory.
+#[derive(Debug)]
+pub struct JsonlTracer {
+    out: BufWriter<File>,
+    written: u64,
+}
+
+impl JsonlTracer {
+    /// Creates/truncates `path` and streams records to it.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(JsonlTracer {
+            out: BufWriter::new(File::create(path)?),
+            written: 0,
+        })
+    }
+
+    /// Records written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes buffered lines to disk.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.out.flush()
+    }
+}
+
+impl TraceSink for JsonlTracer {
+    fn record(&mut self, rec: TraceRecord) {
+        let line = record_json(&rec).render();
+        // A full disk mid-trace should not take the simulation down.
+        let _ = writeln!(self.out, "{line}");
+        self.written += 1;
+    }
+}
+
+/// Renders one record as a JSON object (used by JSONL and tests).
+pub fn record_json(rec: &TraceRecord) -> json::Json {
+    use json::Json;
+    let mut fields: Vec<(String, Json)> = vec![
+        ("kind".to_string(), Json::str(rec.event.kind())),
+        ("t_ns".to_string(), Json::UInt(rec.t_ns)),
+        ("slot".to_string(), Json::UInt(rec.slot as u64)),
+    ];
+    let mut push = |k: &str, v: Json| fields.push((k.to_string(), v));
+    match rec.event {
+        TraceEvent::MsgInjected {
+            src,
+            dst,
+            bytes,
+            msg,
+        } => {
+            push("src", src.into());
+            push("dst", dst.into());
+            push("bytes", bytes.into());
+            push("msg", msg.into());
+        }
+        TraceEvent::MsgDelivered {
+            src,
+            dst,
+            bytes,
+            msg,
+            latency_ns,
+        } => {
+            push("src", src.into());
+            push("dst", dst.into());
+            push("bytes", bytes.into());
+            push("msg", msg.into());
+            push("latency_ns", latency_ns.into());
+        }
+        TraceEvent::ConnRequested { src, dst } => {
+            push("src", src.into());
+            push("dst", dst.into());
+        }
+        TraceEvent::ConnEstablished { src, dst, slot_idx } => {
+            push("src", src.into());
+            push("dst", dst.into());
+            push("slot_idx", slot_idx.into());
+        }
+        TraceEvent::ConnEvicted { src, dst, cause } => {
+            push("src", src.into());
+            push("dst", dst.into());
+            push("cause", Json::str(cause.label()));
+        }
+        TraceEvent::SlotAdvanced { slot_idx } => {
+            push("slot_idx", slot_idx.into());
+        }
+        TraceEvent::SchedPass {
+            passes,
+            ripple_depth,
+            established,
+            released,
+            denied,
+        } => {
+            push("passes", passes.into());
+            push("ripple_depth", ripple_depth.into());
+            push("established", established.into());
+            push("released", released.into());
+            push("denied", denied.into());
+        }
+        TraceEvent::PreloadApplied {
+            slot_idx,
+            connections,
+        } => {
+            push("slot_idx", slot_idx.into());
+            push("connections", connections.into());
+        }
+        TraceEvent::PhaseFlush { cleared } => {
+            push("cleared", cleared.into());
+        }
+    }
+    Json::Object(fields)
+}
+
+/// The concrete sink carried by the simulators.
+///
+/// [`Tracer::enabled`] and [`Tracer::emit`] are `#[inline]`, so the
+/// `Null` arm costs one predictable branch per emit site and the event
+/// payload is never built.
+#[derive(Debug, Default)]
+pub enum Tracer {
+    /// Tracing off (the default): every emit is a no-op.
+    #[default]
+    Null,
+    /// Keep the last N records in a ring.
+    Ring(RingTracer),
+    /// Keep every record in memory (tests, exporters).
+    Vec(VecTracer),
+    /// Stream records to a JSONL file.
+    Jsonl(JsonlTracer),
+}
+
+impl Tracer {
+    /// A [`VecTracer`]-backed tracer.
+    pub fn vec() -> Self {
+        Tracer::Vec(VecTracer::new())
+    }
+
+    /// A [`RingTracer`]-backed tracer with the given capacity.
+    pub fn ring(cap: usize) -> Self {
+        Tracer::Ring(RingTracer::new(cap))
+    }
+
+    /// Whether emitting does anything; guard event construction on this.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        !matches!(self, Tracer::Null)
+    }
+
+    /// Records an event stamped with time and slot.
+    #[inline]
+    pub fn emit(&mut self, t_ns: u64, slot: u32, event: TraceEvent) {
+        match self {
+            Tracer::Null => {}
+            Tracer::Ring(t) => t.record(TraceRecord { t_ns, slot, event }),
+            Tracer::Vec(t) => t.record(TraceRecord { t_ns, slot, event }),
+            Tracer::Jsonl(t) => t.record(TraceRecord { t_ns, slot, event }),
+        }
+    }
+
+    /// The collected records, oldest first (empty for `Null`/`Jsonl` —
+    /// JSONL records are already on disk).
+    pub fn records(&self) -> Vec<TraceRecord> {
+        match self {
+            Tracer::Null => Vec::new(),
+            Tracer::Ring(t) => t.records(),
+            Tracer::Vec(t) => t.records.clone(),
+            Tracer::Jsonl(_) => Vec::new(),
+        }
+    }
+
+    /// Flushes any buffered output (JSONL).
+    pub fn finish(&mut self) -> io::Result<()> {
+        match self {
+            Tracer::Jsonl(t) => t.flush(),
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t_ns: u64) -> TraceRecord {
+        TraceRecord {
+            t_ns,
+            slot: 0,
+            event: TraceEvent::SlotAdvanced { slot_idx: 0 },
+        }
+    }
+
+    #[test]
+    fn null_tracer_is_disabled() {
+        let mut t = Tracer::Null;
+        assert!(!t.enabled());
+        t.emit(1, 0, TraceEvent::PhaseFlush { cleared: 1 });
+        assert!(t.records().is_empty());
+    }
+
+    #[test]
+    fn vec_tracer_keeps_order() {
+        let mut t = Tracer::vec();
+        assert!(t.enabled());
+        for i in 0..5 {
+            t.emit(i, 0, TraceEvent::SlotAdvanced { slot_idx: i as u32 });
+        }
+        let recs = t.records();
+        assert_eq!(recs.len(), 5);
+        assert!(recs.windows(2).all(|w| w[0].t_ns < w[1].t_ns));
+    }
+
+    #[test]
+    fn ring_tracer_keeps_most_recent() {
+        let mut ring = RingTracer::new(4);
+        for i in 0..10u64 {
+            ring.record(rec(i));
+        }
+        assert_eq!(ring.total_recorded(), 10);
+        let recs = ring.records();
+        assert_eq!(
+            recs.iter().map(|r| r.t_ns).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+    }
+
+    #[test]
+    fn ring_tracer_partial_fill() {
+        let mut ring = RingTracer::new(8);
+        ring.record(rec(1));
+        ring.record(rec(2));
+        assert_eq!(ring.records().len(), 2);
+    }
+
+    #[test]
+    fn record_json_has_kind_time_slot() {
+        let j = record_json(&TraceRecord {
+            t_ns: 42,
+            slot: 3,
+            event: TraceEvent::ConnEvicted {
+                src: 1,
+                dst: 2,
+                cause: crate::event::EvictCause::PhaseFlush,
+            },
+        });
+        let s = j.render();
+        assert!(s.contains(r#""kind":"conn-evicted""#), "{s}");
+        assert!(s.contains(r#""t_ns":42"#));
+        assert!(s.contains(r#""slot":3"#));
+        assert!(s.contains(r#""cause":"phase-flush""#));
+    }
+
+    #[test]
+    fn jsonl_tracer_writes_lines() {
+        let path = std::env::temp_dir().join("pms-trace-jsonl-test.jsonl");
+        {
+            let mut t = Tracer::Jsonl(JsonlTracer::create(&path).unwrap());
+            t.emit(1, 0, TraceEvent::SlotAdvanced { slot_idx: 0 });
+            t.emit(2, 1, TraceEvent::PhaseFlush { cleared: 3 });
+            t.finish().unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with('{') && lines[0].ends_with('}'));
+        std::fs::remove_file(&path).ok();
+    }
+}

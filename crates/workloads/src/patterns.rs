@@ -58,7 +58,13 @@ pub fn scatter(ports: usize, bytes: u32) -> Workload {
     for dst in 1..ports {
         programs[0].send(dst, bytes);
     }
-    Workload::new(format!("scatter/{bytes}B"), ports, programs)
+    // Preloadable as a stream: the root reaches one destination per
+    // config, cycling 0->1, 0->2, ... (a crossbar config is a partial
+    // permutation, so the fan-out cannot share one config).
+    let stream: Vec<BitMatrix> = (1..ports)
+        .map(|dst| BitMatrix::from_pairs(ports, ports, [(0, dst)]))
+        .collect();
+    Workload::new(format!("scatter/{bytes}B"), ports, programs).with_patterns(vec![stream])
 }
 
 /// Ordered Mesh (§5): nearest-neighbor exchange where every processor

@@ -102,6 +102,61 @@ fn gather_exposes_output_port_serialization() {
 }
 
 #[test]
+fn trace_orders_injection_establishment_delivery() {
+    // Causality in the event stream: every delivery is preceded by its
+    // injection, and (for the connection-oriented paradigms) by an
+    // establishment of its (src, dst) connection.
+    use pms::trace::{TraceEvent, Tracer};
+    use std::collections::HashSet;
+
+    let w = scatter(16, 96);
+    let params = SimParams::default().with_ports(16);
+    for paradigm in all_paradigms() {
+        let (stats, tracer) = paradigm.run_traced(&w, &params, Tracer::vec());
+        let records = tracer.records();
+        assert!(
+            !records.is_empty(),
+            "{} produced no trace records",
+            paradigm.label()
+        );
+        let mut injected: HashSet<u32> = HashSet::new();
+        let mut established: HashSet<(u32, u32)> = HashSet::new();
+        let mut delivered = 0u64;
+        for rec in &records {
+            match rec.event {
+                TraceEvent::MsgInjected { msg, .. } => {
+                    injected.insert(msg);
+                }
+                TraceEvent::ConnEstablished { src, dst, .. } => {
+                    established.insert((src, dst));
+                }
+                TraceEvent::MsgDelivered { src, dst, msg, .. } => {
+                    delivered += 1;
+                    assert!(
+                        injected.contains(&msg),
+                        "{}: msg {msg} delivered before its injection event",
+                        paradigm.label()
+                    );
+                    assert!(
+                        established.contains(&(src, dst)),
+                        "{}: msg {msg} ({src} -> {dst}) delivered before its \
+                         connection was established",
+                        paradigm.label()
+                    );
+                }
+                _ => {}
+            }
+        }
+        assert_eq!(
+            delivered,
+            stats.delivered_messages,
+            "{}: trace deliveries disagree with stats",
+            paradigm.label()
+        );
+    }
+}
+
+#[test]
 fn hybrid_paradigm_runs_with_all_preload_counts() {
     let w = pms::workloads::hybrid(pms::workloads::HybridSpec {
         ports: 16,
