@@ -1,0 +1,120 @@
+//! Replay a JSONL trace into utilization/contention reports.
+//!
+//! ```text
+//! analyze TRACE.jsonl [--report PATH] [--heatmap-csv PATH]
+//!                     [--window NS] [--ports N] [--quiet]
+//! ```
+//!
+//! Prints the human-readable report to stdout and optionally writes the
+//! deterministic JSON report (byte-identical to what the simulator's
+//! `--report` flag writes for the same trace) and the sparse heatmap
+//! CSV.
+
+use pms_analyze::{build_report, parse_jsonl, ReportConfig};
+use std::fs;
+use std::process::ExitCode;
+
+struct Args {
+    trace: String,
+    report: Option<String>,
+    heatmap_csv: Option<String>,
+    window_ns: u64,
+    ports: Option<usize>,
+    quiet: bool,
+}
+
+const USAGE: &str = "usage: analyze TRACE.jsonl [--report PATH] [--heatmap-csv PATH] \
+                     [--window NS] [--ports N] [--quiet]";
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        trace: String::new(),
+        report: None,
+        heatmap_csv: None,
+        window_ns: ReportConfig::default().premature_window_ns,
+        ports: None,
+        quiet: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match arg.as_str() {
+            "--report" => args.report = Some(value("--report")?),
+            "--heatmap-csv" => args.heatmap_csv = Some(value("--heatmap-csv")?),
+            "--window" => {
+                args.window_ns = value("--window")?
+                    .parse()
+                    .map_err(|e| format!("--window: {e}"))?
+            }
+            "--ports" => {
+                args.ports = Some(
+                    value("--ports")?
+                        .parse()
+                        .map_err(|e| format!("--ports: {e}"))?,
+                )
+            }
+            "--quiet" | "-q" => args.quiet = true,
+            "--help" | "-h" => return Err(USAGE.into()),
+            _ if arg.starts_with('-') => return Err(format!("unknown flag {arg}\n{USAGE}")),
+            _ if args.trace.is_empty() => args.trace = arg,
+            _ => return Err(format!("unexpected argument {arg}\n{USAGE}")),
+        }
+    }
+    if args.trace.is_empty() {
+        return Err(USAGE.into());
+    }
+    Ok(args)
+}
+
+fn run(args: &Args) -> Result<(), String> {
+    let text =
+        fs::read_to_string(&args.trace).map_err(|e| format!("cannot read {}: {e}", args.trace))?;
+    let replay = parse_jsonl(&text).map_err(|e| format!("{}: {e}", args.trace))?;
+    let cfg = ReportConfig {
+        ports: args.ports,
+        premature_window_ns: args.window_ns,
+        ..ReportConfig::default()
+    };
+    let report = build_report(&replay.records, &cfg);
+    if !args.quiet {
+        print!("{}", report.render_text());
+        if replay.skipped_unknown > 0 {
+            println!(
+                "(skipped {} record(s) of unknown kind)",
+                replay.skipped_unknown
+            );
+        }
+    }
+    if let Some(path) = &args.report {
+        fs::write(path, report.to_json().render_pretty())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        if !args.quiet {
+            println!("report written to {path}");
+        }
+    }
+    if let Some(path) = &args.heatmap_csv {
+        fs::write(path, report.heatmap.to_csv())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        if !args.quiet {
+            println!("heatmap CSV written to {path}");
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("analyze: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! Predictor churn accounting: who evicts, why, and how often too early.
+//!
+//! The §3.2 predictors trade working-set registers for reconfiguration
+//! transactions; the signal for tuning them is not the raw eviction
+//! count but the **premature eviction rate** — evictions of connections
+//! the workload turned around and asked for again within a short window.
+//! A too-aggressive timeout predictor shows up here directly: every
+//! premature eviction is a connection the switch tore down and then
+//! paid a full setup for, exactly the churn hybrid-circuit schedulers
+//! (Costly Circuits, Submodular Schedules) penalize as reconfiguration
+//! cost.
+
+use pms_trace::{EvictCause, Json, TraceEvent, TraceRecord};
+use std::collections::HashMap;
+
+/// Eviction accounting for one cause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CauseChurn {
+    /// The eviction cause label.
+    pub cause: &'static str,
+    /// Evictions attributed to this cause.
+    pub evictions: u64,
+    /// Of those, how many were followed by a request or establishment
+    /// of the same (src, dst) within the window.
+    pub premature: u64,
+}
+
+impl CauseChurn {
+    /// Premature fraction for this cause (0 when it never evicted).
+    pub fn rate(&self) -> f64 {
+        if self.evictions == 0 {
+            0.0
+        } else {
+            self.premature as f64 / self.evictions as f64
+        }
+    }
+}
+
+/// The churn report: per-cause and aggregate premature-eviction rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnReport {
+    /// The re-request window used (ns).
+    pub window_ns: u64,
+    /// Per-cause accounting, in [`EvictCause::ALL`] label order.
+    pub by_cause: Vec<CauseChurn>,
+    /// Total evictions across all causes.
+    pub total_evictions: u64,
+    /// Total premature evictions across all causes.
+    pub total_premature: u64,
+}
+
+impl ChurnReport {
+    /// Aggregate premature-eviction rate.
+    pub fn premature_rate(&self) -> f64 {
+        if self.total_evictions == 0 {
+            0.0
+        } else {
+            self.total_premature as f64 / self.total_evictions as f64
+        }
+    }
+
+    /// JSON rendering (deterministic; used by the report).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("window_ns", self.window_ns.into()),
+            ("total_evictions", self.total_evictions.into()),
+            ("total_premature", self.total_premature.into()),
+            ("premature_rate", self.premature_rate().into()),
+            (
+                "by_cause",
+                Json::Array(
+                    self.by_cause
+                        .iter()
+                        .map(|c| {
+                            Json::obj([
+                                ("cause", Json::str(c.cause)),
+                                ("evictions", c.evictions.into()),
+                                ("premature", c.premature.into()),
+                                ("rate", c.rate().into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Computes churn over an event stream: an eviction at time `t` is
+/// premature when the same (src, dst) is requested or re-established in
+/// `(t, t + window_ns]`.
+pub fn churn(records: &[TraceRecord], window_ns: u64) -> ChurnReport {
+    // Per pair: the (time, cause) of each eviction and the sorted times
+    // of each revival signal (request or establish).
+    let mut evictions: HashMap<(u32, u32), Vec<(u64, EvictCause)>> = HashMap::new();
+    let mut revivals: HashMap<(u32, u32), Vec<u64>> = HashMap::new();
+    for rec in records {
+        match rec.event {
+            TraceEvent::ConnEvicted { src, dst, cause } => {
+                evictions
+                    .entry((src, dst))
+                    .or_default()
+                    .push((rec.t_ns, cause));
+            }
+            TraceEvent::ConnRequested { src, dst } => {
+                revivals.entry((src, dst)).or_default().push(rec.t_ns);
+            }
+            TraceEvent::ConnEstablished { src, dst, .. } => {
+                revivals.entry((src, dst)).or_default().push(rec.t_ns);
+            }
+            _ => {}
+        }
+    }
+    let mut counts: HashMap<&'static str, (u64, u64)> = HashMap::new();
+    for (pair, evs) in &evictions {
+        let times = revivals.get(pair).map(Vec::as_slice).unwrap_or(&[]);
+        for &(t, cause) in evs {
+            // Events arrive in time order per pair, so a binary search
+            // finds the first revival strictly after the eviction.
+            let i = times.partition_point(|&r| r <= t);
+            let premature = times
+                .get(i)
+                .is_some_and(|&r| r - t <= window_ns && window_ns > 0);
+            let e = counts.entry(cause.label()).or_default();
+            e.0 += 1;
+            if premature {
+                e.1 += 1;
+            }
+        }
+    }
+    let by_cause: Vec<CauseChurn> = EvictCause::ALL
+        .iter()
+        .map(|c| {
+            let (evictions, premature) = counts.get(c.label()).copied().unwrap_or((0, 0));
+            CauseChurn {
+                cause: c.label(),
+                evictions,
+                premature,
+            }
+        })
+        .collect();
+    ChurnReport {
+        window_ns,
+        total_evictions: by_cause.iter().map(|c| c.evictions).sum(),
+        total_premature: by_cause.iter().map(|c| c.premature).sum(),
+        by_cause,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t_ns: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            t_ns,
+            slot: 0,
+            event,
+        }
+    }
+
+    fn evict(t: u64, cause: EvictCause) -> TraceRecord {
+        rec(
+            t,
+            TraceEvent::ConnEvicted {
+                src: 0,
+                dst: 1,
+                cause,
+            },
+        )
+    }
+
+    fn request(t: u64) -> TraceRecord {
+        rec(t, TraceEvent::ConnRequested { src: 0, dst: 1 })
+    }
+
+    #[test]
+    fn re_request_within_window_is_premature() {
+        let r = churn(&[evict(1000, EvictCause::Timeout), request(1400)], 500);
+        assert_eq!(r.total_evictions, 1);
+        assert_eq!(r.total_premature, 1);
+        assert_eq!(r.premature_rate(), 1.0);
+        let timeout = r.by_cause.iter().find(|c| c.cause == "timeout").unwrap();
+        assert_eq!((timeout.evictions, timeout.premature), (1, 1));
+    }
+
+    #[test]
+    fn re_request_outside_window_is_fine() {
+        let r = churn(&[evict(1000, EvictCause::Timeout), request(5000)], 500);
+        assert_eq!(r.total_premature, 0);
+        assert_eq!(r.premature_rate(), 0.0);
+    }
+
+    #[test]
+    fn request_before_eviction_does_not_count() {
+        let r = churn(&[request(900), evict(1000, EvictCause::RefCount)], 500);
+        assert_eq!(r.total_premature, 0);
+    }
+
+    #[test]
+    fn only_the_same_pair_revives() {
+        let other = rec(1100, TraceEvent::ConnRequested { src: 5, dst: 6 });
+        let r = churn(&[evict(1000, EvictCause::Drop), other], 500);
+        assert_eq!(r.total_premature, 0);
+    }
+
+    #[test]
+    fn causes_are_separated() {
+        let r = churn(
+            &[
+                evict(100, EvictCause::Timeout),
+                request(150),
+                evict(1000, EvictCause::PhaseFlush),
+            ],
+            100,
+        );
+        let get = |label: &str| {
+            r.by_cause
+                .iter()
+                .find(|c| c.cause == label)
+                .unwrap()
+                .clone()
+        };
+        assert_eq!((get("timeout").evictions, get("timeout").premature), (1, 1));
+        assert_eq!(get("phase-flush").evictions, 1);
+        assert_eq!(get("phase-flush").premature, 0);
+        assert_eq!(get("refcount").evictions, 0);
+        assert!((r.premature_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_trace_is_all_zero() {
+        let r = churn(&[], 500);
+        assert_eq!(r.total_evictions, 0);
+        assert_eq!(r.premature_rate(), 0.0);
+        assert_eq!(r.by_cause.len(), 4);
+    }
+}

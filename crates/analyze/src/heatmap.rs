@@ -1,0 +1,164 @@
+//! Traffic heatmap: message counts and byte volume per (src, dst) pair.
+//!
+//! Built from `msg-injected` events, so it is a *demand* matrix — what
+//! the workload asked of the switch — independent of how well any
+//! paradigm served it. Exportable as JSON (dense row-major matrices) and
+//! CSV (sparse, one non-zero cell per line).
+
+use pms_trace::{Json, TraceEvent, TraceRecord};
+
+/// An N×N demand matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Heatmap {
+    /// Matrix dimension (source and destination port count).
+    pub ports: usize,
+    /// Row-major message counts: `msgs[src * ports + dst]`.
+    pub msgs: Vec<u64>,
+    /// Row-major byte volume: `bytes[src * ports + dst]`.
+    pub bytes: Vec<u64>,
+}
+
+impl Heatmap {
+    /// Messages injected for `src -> dst`.
+    pub fn msg_count(&self, src: usize, dst: usize) -> u64 {
+        self.msgs[src * self.ports + dst]
+    }
+
+    /// Bytes injected for `src -> dst`.
+    pub fn byte_count(&self, src: usize, dst: usize) -> u64 {
+        self.bytes[src * self.ports + dst]
+    }
+
+    /// Total messages across the matrix.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs.iter().sum()
+    }
+
+    /// Total bytes across the matrix.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// (src, dst) pairs with any traffic, sorted hottest-first by bytes
+    /// (ties broken by message count, then pair index for determinism).
+    pub fn hottest(&self, n: usize) -> Vec<(usize, usize, u64, u64)> {
+        let mut pairs: Vec<(usize, usize, u64, u64)> = (0..self.ports * self.ports)
+            .filter(|&i| self.msgs[i] > 0)
+            .map(|i| (i / self.ports, i % self.ports, self.msgs[i], self.bytes[i]))
+            .collect();
+        pairs.sort_by(|a, b| {
+            b.3.cmp(&a.3)
+                .then(b.2.cmp(&a.2))
+                .then((a.0, a.1).cmp(&(b.0, b.1)))
+        });
+        pairs.truncate(n);
+        pairs
+    }
+
+    /// Dense JSON: `{"ports":N,"msgs":[[..],..],"bytes":[[..],..]}`.
+    pub fn to_json(&self) -> Json {
+        let matrix = |data: &[u64]| {
+            Json::Array(
+                (0..self.ports)
+                    .map(|u| {
+                        Json::Array(
+                            (0..self.ports)
+                                .map(|v| data[u * self.ports + v].into())
+                                .collect(),
+                        )
+                    })
+                    .collect(),
+            )
+        };
+        Json::obj([
+            ("ports", self.ports.into()),
+            ("total_msgs", self.total_msgs().into()),
+            ("total_bytes", self.total_bytes().into()),
+            ("msgs", matrix(&self.msgs)),
+            ("bytes", matrix(&self.bytes)),
+        ])
+    }
+
+    /// Sparse CSV: header plus one `src,dst,msgs,bytes` line per
+    /// non-zero cell, in row-major order.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("src,dst,msgs,bytes\n");
+        for u in 0..self.ports {
+            for v in 0..self.ports {
+                let i = u * self.ports + v;
+                if self.msgs[i] > 0 {
+                    out.push_str(&format!("{u},{v},{},{}\n", self.msgs[i], self.bytes[i]));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Accumulates the demand matrix from an event stream.
+pub fn heatmap(records: &[TraceRecord], ports: usize) -> Heatmap {
+    let mut msgs = vec![0u64; ports * ports];
+    let mut bytes = vec![0u64; ports * ports];
+    for rec in records {
+        if let TraceEvent::MsgInjected {
+            src, dst, bytes: b, ..
+        } = rec.event
+        {
+            let i = src as usize * ports + dst as usize;
+            msgs[i] += 1;
+            bytes[i] += b as u64;
+        }
+    }
+    Heatmap { ports, msgs, bytes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn inj(t: u64, src: u32, dst: u32, bytes: u32) -> TraceRecord {
+        TraceRecord {
+            t_ns: t,
+            slot: 0,
+            event: TraceEvent::MsgInjected {
+                src,
+                dst,
+                bytes,
+                msg: 0,
+            },
+        }
+    }
+
+    #[test]
+    fn counts_and_bytes_accumulate() {
+        let h = heatmap(&[inj(0, 0, 1, 64), inj(5, 0, 1, 64), inj(9, 2, 3, 512)], 4);
+        assert_eq!(h.msg_count(0, 1), 2);
+        assert_eq!(h.byte_count(0, 1), 128);
+        assert_eq!(h.msg_count(2, 3), 1);
+        assert_eq!(h.total_msgs(), 3);
+        assert_eq!(h.total_bytes(), 640);
+        assert_eq!(h.msg_count(1, 0), 0);
+    }
+
+    #[test]
+    fn hottest_sorts_by_bytes() {
+        let h = heatmap(&[inj(0, 0, 1, 64), inj(1, 2, 3, 512), inj(2, 1, 2, 64)], 4);
+        let top = h.hottest(2);
+        assert_eq!(top[0], (2, 3, 1, 512));
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn csv_is_sparse_with_header() {
+        let h = heatmap(&[inj(0, 1, 2, 100)], 4);
+        assert_eq!(h.to_csv(), "src,dst,msgs,bytes\n1,2,1,100\n");
+    }
+
+    #[test]
+    fn json_matrices_are_dense() {
+        let h = heatmap(&[inj(0, 0, 1, 8)], 2);
+        let js = h.to_json().render();
+        assert!(js.contains("\"msgs\":[[0,1],[0,0]]"), "{js}");
+        assert!(js.contains("\"bytes\":[[0,8],[0,0]]"), "{js}");
+    }
+}

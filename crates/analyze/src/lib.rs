@@ -1,0 +1,42 @@
+//! `pms-analyze`: derived metrics over `pms-trace` event streams.
+//!
+//! Where `pms-trace` records *what happened* — connection lifecycle,
+//! scheduler passes, slot advances — this crate turns a record stream
+//! (in-memory or replayed from a JSONL file) into the reports an
+//! operator actually reads:
+//!
+//! * [`occupancy`] — per-slot crossbar utilization over time, with
+//!   min/mean/max and a text sparkline per configuration register;
+//! * [`heatmap`] — the N×N traffic demand matrix (messages and bytes
+//!   per source/destination pair), exportable as JSON or CSV;
+//! * [`churn`] — per-cause eviction counts joined with subsequent
+//!   re-requests to yield the premature-eviction rate, the tuning
+//!   signal for the §3.2 connection predictors;
+//! * [`contention`] — setup-latency attribution (alignment vs
+//!   scheduler contention vs slot service) and a head-of-line stall
+//!   detector for the wormhole baseline;
+//! * [`report`] — all of the above assembled into one deterministic
+//!   [`Report`](report::Report), rendered as JSON or terminal text.
+//!
+//! [`replay`] parses JSONL traces (as written by
+//! [`pms_trace::JsonlTracer`] or [`pms_trace::write_jsonl`]) back into
+//! [`pms_trace::TraceRecord`]s, so the `analyze` binary reproduces the
+//! exact report a live `simulate --report` run would have produced:
+//! reports are pure functions of the record stream.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod churn;
+pub mod contention;
+pub mod heatmap;
+pub mod occupancy;
+pub mod replay;
+pub mod report;
+
+pub use churn::{churn, CauseChurn, ChurnReport};
+pub use contention::{contention, ContentionReport, HolReport, HolStall, SetupAttribution};
+pub use heatmap::{heatmap, Heatmap};
+pub use occupancy::{occupancy, OccupancyReport, SlotOccupancy};
+pub use replay::{parse_jsonl, parse_line, Replay};
+pub use report::{build_report, infer_ports, Report, ReportConfig};

@@ -1,0 +1,301 @@
+//! Slot-occupancy timeline: how full each TDM configuration register is
+//! over the run.
+//!
+//! Occupancy of a slot at a sample point is the fraction of crossbar
+//! rows (input ports) carrying an active connection in that slot's
+//! configuration. Samples are taken at each `slot-advanced` event — the
+//! moments the register actually drives the crossbar, so an always-empty
+//! register that the TDM counter skips contributes nothing (exactly the
+//! paper's efficiency accounting: skipped slots cost no time).
+//!
+//! Membership is reconstructed from the connection lifecycle events:
+//! `conn-established {slot_idx}` adds a pair to that slot's
+//! configuration, `conn-evicted` removes it, and `preload-applied`
+//! clears the slot before its new configuration's establishes land (a
+//! preload rewrites the whole register; the stream backend does not emit
+//! per-pair evictions for the configuration it replaces).
+
+use pms_trace::{Json, TraceEvent, TraceRecord};
+use std::collections::HashMap;
+
+/// Blocks for the text sparkline, in increasing fill order.
+const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Occupancy statistics for one TDM slot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlotOccupancy {
+    /// The configuration register index.
+    pub slot: u32,
+    /// Times this slot drove the crossbar (`slot-advanced` count).
+    pub samples: u64,
+    /// Smallest sampled occupancy fraction.
+    pub min: f64,
+    /// Mean sampled occupancy fraction.
+    pub mean: f64,
+    /// Largest sampled occupancy fraction.
+    pub max: f64,
+    /// Text sparkline of mean occupancy over time buckets (`·` marks a
+    /// bucket in which this slot was never active).
+    pub sparkline: String,
+}
+
+/// The per-slot occupancy report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OccupancyReport {
+    /// Crossbar rows used as the occupancy denominator.
+    pub ports: usize,
+    /// Per-slot statistics, by slot index (only slots that were ever
+    /// sampled or configured appear).
+    pub slots: Vec<SlotOccupancy>,
+    /// Mean occupancy over all samples of all slots.
+    pub overall_mean: f64,
+    /// Total slot visits across the run.
+    pub total_samples: u64,
+}
+
+impl OccupancyReport {
+    /// JSON rendering (deterministic; used by the report).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("ports", self.ports.into()),
+            ("total_samples", self.total_samples.into()),
+            ("overall_mean", self.overall_mean.into()),
+            (
+                "slots",
+                Json::Array(
+                    self.slots
+                        .iter()
+                        .map(|s| {
+                            Json::obj([
+                                ("slot", s.slot.into()),
+                                ("samples", s.samples.into()),
+                                ("min", s.min.into()),
+                                ("mean", s.mean.into()),
+                                ("max", s.max.into()),
+                                ("sparkline", Json::str(s.sparkline.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// One slot's accumulating state during the scan.
+#[derive(Debug, Clone, Default)]
+struct SlotAcc {
+    samples: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+    /// (time, occupancy) series for the sparkline.
+    series: Vec<(u64, f64)>,
+}
+
+/// Builds the occupancy report from an event stream.
+///
+/// `ports` is the occupancy denominator (crossbar rows);
+/// `spark_width` the sparkline's column count.
+pub fn occupancy(records: &[TraceRecord], ports: usize, spark_width: usize) -> OccupancyReport {
+    assert!(ports > 0, "occupancy needs a nonzero port count");
+    // (src, dst) -> slot currently holding the connection.
+    let mut pair_slot: HashMap<(u32, u32), u32> = HashMap::new();
+    // slot -> live connection count.
+    let mut live: HashMap<u32, u64> = HashMap::new();
+    let mut acc: HashMap<u32, SlotAcc> = HashMap::new();
+    for rec in records {
+        match rec.event {
+            TraceEvent::ConnEstablished { src, dst, slot_idx } => {
+                if let Some(prev) = pair_slot.insert((src, dst), slot_idx) {
+                    // Re-established elsewhere: leaves its old register.
+                    if let Some(n) = live.get_mut(&prev) {
+                        *n = n.saturating_sub(1);
+                    }
+                }
+                *live.entry(slot_idx).or_default() += 1;
+            }
+            TraceEvent::ConnEvicted { src, dst, .. } => {
+                if let Some(slot) = pair_slot.remove(&(src, dst)) {
+                    if let Some(n) = live.get_mut(&slot) {
+                        *n = n.saturating_sub(1);
+                    }
+                }
+            }
+            TraceEvent::PreloadApplied { slot_idx, .. } => {
+                // The register is rewritten wholesale: drop everything it
+                // held (its establishes follow this event in the stream).
+                pair_slot.retain(|_, s| *s != slot_idx);
+                live.insert(slot_idx, 0);
+            }
+            TraceEvent::SlotAdvanced { slot_idx } => {
+                let n = live.get(&slot_idx).copied().unwrap_or(0);
+                let frac = (n as f64 / ports as f64).min(1.0);
+                let a = acc.entry(slot_idx).or_insert_with(|| SlotAcc {
+                    min: frac,
+                    max: frac,
+                    ..SlotAcc::default()
+                });
+                a.samples += 1;
+                a.sum += frac;
+                a.min = a.min.min(frac);
+                a.max = a.max.max(frac);
+                a.series.push((rec.t_ns, frac));
+            }
+            _ => {}
+        }
+    }
+    let t_end = records.last().map(|r| r.t_ns).unwrap_or(0);
+    let mut slots: Vec<SlotOccupancy> = acc
+        .into_iter()
+        .map(|(slot, a)| SlotOccupancy {
+            slot,
+            samples: a.samples,
+            min: a.min,
+            mean: a.sum / a.samples as f64,
+            max: a.max,
+            sparkline: sparkline(&a.series, t_end, spark_width),
+        })
+        .collect();
+    slots.sort_by_key(|s| s.slot);
+    let total_samples: u64 = slots.iter().map(|s| s.samples).sum();
+    let overall_mean = if total_samples == 0 {
+        0.0
+    } else {
+        slots.iter().map(|s| s.mean * s.samples as f64).sum::<f64>() / total_samples as f64
+    };
+    OccupancyReport {
+        ports,
+        slots,
+        overall_mean,
+        total_samples,
+    }
+}
+
+/// Renders a `(time, fraction)` series as a fixed-width text sparkline:
+/// each column is the mean of the samples falling in its time bucket.
+fn sparkline(series: &[(u64, f64)], t_end: u64, width: usize) -> String {
+    if series.is_empty() || width == 0 {
+        return String::new();
+    }
+    let t0 = series[0].0;
+    let span = t_end.saturating_sub(t0).max(1);
+    let mut sums = vec![0.0f64; width];
+    let mut counts = vec![0u64; width];
+    for &(t, frac) in series {
+        let col = (((t - t0) as u128 * width as u128) / (span as u128 + 1)) as usize;
+        let col = col.min(width - 1);
+        sums[col] += frac;
+        counts[col] += 1;
+    }
+    (0..width)
+        .map(|i| {
+            if counts[i] == 0 {
+                '·'
+            } else {
+                let mean = sums[i] / counts[i] as f64;
+                let level = (mean * SPARK.len() as f64).ceil() as usize;
+                SPARK[level.clamp(1, SPARK.len()) - 1]
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t_ns: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            t_ns,
+            slot: 0,
+            event,
+        }
+    }
+
+    fn est(t: u64, src: u32, dst: u32, slot_idx: u32) -> TraceRecord {
+        rec(t, TraceEvent::ConnEstablished { src, dst, slot_idx })
+    }
+
+    fn adv(t: u64, slot_idx: u32) -> TraceRecord {
+        rec(t, TraceEvent::SlotAdvanced { slot_idx })
+    }
+
+    #[test]
+    fn occupancy_tracks_establish_and_evict() {
+        let records = vec![
+            est(0, 0, 1, 0),
+            est(0, 2, 3, 0),
+            adv(100, 0), // 2 of 4 rows -> 0.5
+            rec(
+                150,
+                TraceEvent::ConnEvicted {
+                    src: 2,
+                    dst: 3,
+                    cause: pms_trace::EvictCause::Timeout,
+                },
+            ),
+            adv(200, 0), // 1 of 4 -> 0.25
+        ];
+        let r = occupancy(&records, 4, 8);
+        assert_eq!(r.slots.len(), 1);
+        let s = &r.slots[0];
+        assert_eq!(s.samples, 2);
+        assert_eq!(s.min, 0.25);
+        assert_eq!(s.max, 0.5);
+        assert!((s.mean - 0.375).abs() < 1e-12);
+        assert!((r.overall_mean - 0.375).abs() < 1e-12);
+    }
+
+    #[test]
+    fn preload_rewrites_the_whole_register() {
+        let records = vec![
+            est(0, 0, 1, 1),
+            est(0, 2, 3, 1),
+            adv(100, 1), // 2 live
+            rec(
+                150,
+                TraceEvent::PreloadApplied {
+                    slot_idx: 1,
+                    connections: 1,
+                },
+            ),
+            est(150, 3, 0, 1),
+            adv(200, 1), // old config gone: exactly 1 live
+        ];
+        let r = occupancy(&records, 4, 8);
+        let s = &r.slots[0];
+        assert_eq!(s.max, 0.5);
+        assert_eq!(s.min, 0.25);
+    }
+
+    #[test]
+    fn reestablish_in_other_slot_moves_the_pair() {
+        let records = vec![
+            est(0, 0, 1, 0),
+            est(50, 0, 1, 2), // same pair lands in slot 2
+            adv(100, 0),      // slot 0 now empty
+            adv(200, 2),      // slot 2 holds it
+        ];
+        let r = occupancy(&records, 2, 4);
+        assert_eq!(r.slots[0].max, 0.0);
+        assert_eq!(r.slots[1].max, 0.5);
+    }
+
+    #[test]
+    fn sparkline_is_fixed_width_and_leveled() {
+        let series: Vec<(u64, f64)> = (0..100).map(|i| (i * 10, (i % 10) as f64 / 10.0)).collect();
+        let s = sparkline(&series, 1000, 16);
+        assert_eq!(s.chars().count(), 16);
+        assert!(s.chars().all(|c| SPARK.contains(&c) || c == '·'));
+        assert_eq!(sparkline(&[], 0, 16), "");
+    }
+
+    #[test]
+    fn empty_trace_yields_empty_report() {
+        let r = occupancy(&[], 8, 8);
+        assert!(r.slots.is_empty());
+        assert_eq!(r.total_samples, 0);
+        assert_eq!(r.overall_mean, 0.0);
+    }
+}

@@ -1,0 +1,225 @@
+//! Replaying JSONL trace files back into typed [`TraceRecord`]s.
+//!
+//! The inverse of [`pms_trace::record_json`]: each line is parsed with
+//! the hand-rolled JSON parser and matched on its `kind`. Lines with an
+//! unknown kind (e.g. the flight recorder's `flight-trigger` markers, or
+//! kinds added by a newer writer) are *skipped and counted*, not
+//! errors — a replay tool must be able to read traces from its future.
+//! Malformed JSON or a known kind with missing fields is an error: that
+//! trace is corrupt, and silently dropping records would skew every
+//! derived metric.
+
+use pms_trace::{EvictCause, Json, TraceEvent, TraceRecord};
+
+/// The outcome of replaying a JSONL document.
+#[derive(Debug, Clone, Default)]
+pub struct Replay {
+    /// Records in file order.
+    pub records: Vec<TraceRecord>,
+    /// Lines skipped because their `kind` was not recognized.
+    pub skipped_unknown: u64,
+}
+
+/// Parses one JSONL line. Returns `Ok(None)` for unknown kinds.
+pub fn parse_line(line: &str) -> Result<Option<TraceRecord>, String> {
+    let v = Json::parse(line).map_err(|e| e.to_string())?;
+    let kind = v
+        .get("kind")
+        .and_then(Json::as_str)
+        .ok_or("missing `kind` field")?;
+    let field = |name: &str| -> Result<u64, String> {
+        v.get(name)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("`{kind}` record missing integer field `{name}`"))
+    };
+    let field32 = |name: &str| -> Result<u32, String> { field(name).map(|x| x as u32) };
+    let event = match kind {
+        "msg-injected" => TraceEvent::MsgInjected {
+            src: field32("src")?,
+            dst: field32("dst")?,
+            bytes: field32("bytes")?,
+            msg: field32("msg")?,
+        },
+        "msg-delivered" => TraceEvent::MsgDelivered {
+            src: field32("src")?,
+            dst: field32("dst")?,
+            bytes: field32("bytes")?,
+            msg: field32("msg")?,
+            latency_ns: field("latency_ns")?,
+        },
+        "conn-requested" => TraceEvent::ConnRequested {
+            src: field32("src")?,
+            dst: field32("dst")?,
+        },
+        "conn-established" => TraceEvent::ConnEstablished {
+            src: field32("src")?,
+            dst: field32("dst")?,
+            slot_idx: field32("slot_idx")?,
+        },
+        "conn-evicted" => {
+            let label = v
+                .get("cause")
+                .and_then(Json::as_str)
+                .ok_or("`conn-evicted` record missing `cause`")?;
+            TraceEvent::ConnEvicted {
+                src: field32("src")?,
+                dst: field32("dst")?,
+                cause: EvictCause::from_label(label)
+                    .ok_or_else(|| format!("unknown eviction cause `{label}`"))?,
+            }
+        }
+        "slot-advanced" => TraceEvent::SlotAdvanced {
+            slot_idx: field32("slot_idx")?,
+        },
+        "sched-pass" => TraceEvent::SchedPass {
+            passes: field("passes")?,
+            ripple_depth: field32("ripple_depth")?,
+            established: field32("established")?,
+            released: field32("released")?,
+            denied: field32("denied")?,
+        },
+        "preload-applied" => TraceEvent::PreloadApplied {
+            slot_idx: field32("slot_idx")?,
+            connections: field32("connections")?,
+        },
+        "phase-flush" => TraceEvent::PhaseFlush {
+            cleared: field32("cleared")?,
+        },
+        _ => return Ok(None),
+    };
+    Ok(Some(TraceRecord {
+        t_ns: field("t_ns")?,
+        slot: field32("slot")?,
+        event,
+    }))
+}
+
+/// Replays a whole JSONL document (one record per non-empty line).
+/// Errors carry the 1-based line number.
+pub fn parse_jsonl(text: &str) -> Result<Replay, String> {
+    let mut out = Replay::default();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_line(line).map_err(|e| format!("line {}: {e}", i + 1))? {
+            Some(rec) => out.records.push(rec),
+            None => out.skipped_unknown += 1,
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pms_trace::record_json;
+
+    fn sample_records() -> Vec<TraceRecord> {
+        let mk = |t_ns, slot, event| TraceRecord { t_ns, slot, event };
+        vec![
+            mk(
+                0,
+                0,
+                TraceEvent::MsgInjected {
+                    src: 3,
+                    dst: 7,
+                    bytes: 512,
+                    msg: 0,
+                },
+            ),
+            mk(80, 0, TraceEvent::ConnRequested { src: 3, dst: 7 }),
+            mk(
+                160,
+                1,
+                TraceEvent::SchedPass {
+                    passes: 2,
+                    ripple_depth: 5,
+                    established: 1,
+                    released: 0,
+                    denied: 2,
+                },
+            ),
+            mk(
+                160,
+                1,
+                TraceEvent::ConnEstablished {
+                    src: 3,
+                    dst: 7,
+                    slot_idx: 1,
+                },
+            ),
+            mk(200, 1, TraceEvent::SlotAdvanced { slot_idx: 1 }),
+            mk(
+                u64::MAX,
+                2,
+                TraceEvent::MsgDelivered {
+                    src: 3,
+                    dst: 7,
+                    bytes: 512,
+                    msg: 0,
+                    latency_ns: u64::MAX - 1,
+                },
+            ),
+            mk(
+                300,
+                2,
+                TraceEvent::PreloadApplied {
+                    slot_idx: 2,
+                    connections: 16,
+                },
+            ),
+            mk(
+                400,
+                0,
+                TraceEvent::ConnEvicted {
+                    src: 3,
+                    dst: 7,
+                    cause: EvictCause::RefCount,
+                },
+            ),
+            mk(500, 0, TraceEvent::PhaseFlush { cleared: 9 }),
+        ]
+    }
+
+    #[test]
+    fn every_kind_roundtrips_through_jsonl() {
+        let records = sample_records();
+        let text: String = records
+            .iter()
+            .map(|r| record_json(r).render() + "\n")
+            .collect();
+        let replay = parse_jsonl(&text).unwrap();
+        assert_eq!(replay.records, records);
+        assert_eq!(replay.skipped_unknown, 0);
+    }
+
+    #[test]
+    fn unknown_kinds_are_skipped_not_fatal() {
+        let text = "{\"kind\":\"flight-trigger\",\"t_ns\":1,\"slot\":0}\n\
+                    {\"kind\":\"slot-advanced\",\"t_ns\":5,\"slot\":2,\"slot_idx\":2}\n";
+        let replay = parse_jsonl(text).unwrap();
+        assert_eq!(replay.records.len(), 1);
+        assert_eq!(replay.skipped_unknown, 1);
+    }
+
+    #[test]
+    fn corrupt_lines_are_errors_with_line_numbers() {
+        let good = "{\"kind\":\"slot-advanced\",\"t_ns\":5,\"slot\":2,\"slot_idx\":2}";
+        let err = parse_jsonl(&format!("{good}\n{{truncated")).unwrap_err();
+        assert!(err.starts_with("line 2:"), "{err}");
+        // A known kind missing a required field is also corrupt.
+        let err = parse_jsonl("{\"kind\":\"conn-requested\",\"t_ns\":1,\"slot\":0}").unwrap_err();
+        assert!(err.contains("missing integer field `src`"), "{err}");
+        // An unknown eviction cause is corrupt (causes are a closed set).
+        let bad =
+            "{\"kind\":\"conn-evicted\",\"t_ns\":1,\"slot\":0,\"src\":0,\"dst\":1,\"cause\":\"x\"}";
+        assert!(parse_jsonl(bad).unwrap_err().contains("eviction cause"));
+    }
+
+    #[test]
+    fn blank_lines_are_ignored() {
+        let replay = parse_jsonl("\n\n").unwrap();
+        assert!(replay.records.is_empty());
+    }
+}

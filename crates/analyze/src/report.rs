@@ -1,0 +1,395 @@
+//! The combined analysis report: everything `analyze` and the
+//! simulators' `--report` flag produce.
+//!
+//! A report is a pure function of the record stream and the
+//! [`ReportConfig`] — no wall-clock timestamps, no environment — so the
+//! same trace always renders byte-identical output whether it was
+//! analyzed in-process (`simulate --report`) or replayed from JSONL
+//! (`analyze`). CI leans on that determinism to diff the two paths.
+
+use crate::churn::{churn, ChurnReport};
+use crate::contention::{contention, ContentionReport};
+use crate::heatmap::{heatmap, Heatmap};
+use crate::occupancy::{occupancy, OccupancyReport};
+use pms_trace::{Json, TraceEvent, TraceRecord};
+
+/// Report tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ReportConfig {
+    /// Port count override; inferred from the trace when `None`.
+    pub ports: Option<usize>,
+    /// Premature-eviction re-request window (ns).
+    pub premature_window_ns: u64,
+    /// Sparkline width in columns.
+    pub spark_width: usize,
+    /// HOL detector: latency multiple of the median that flags a stall.
+    pub hol_factor: f64,
+    /// HOL detector: how many suspects to list.
+    pub max_hol_stalls: usize,
+}
+
+impl Default for ReportConfig {
+    fn default() -> Self {
+        ReportConfig {
+            ports: None,
+            premature_window_ns: 5_000,
+            spark_width: 48,
+            hol_factor: 2.0,
+            max_hol_stalls: 16,
+        }
+    }
+}
+
+/// The assembled report.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Port count used by the matrix-shaped sections.
+    pub ports: usize,
+    /// Records analyzed.
+    pub records: u64,
+    /// Event counts per kind, in kind-label order.
+    pub event_counts: Vec<(&'static str, u64)>,
+    /// Slot-occupancy timeline.
+    pub occupancy: OccupancyReport,
+    /// Traffic demand matrix.
+    pub heatmap: Heatmap,
+    /// Eviction churn and premature-eviction rates.
+    pub churn: ChurnReport,
+    /// Setup-latency attribution and HOL stalls.
+    pub contention: ContentionReport,
+}
+
+/// Infers the crossbar size from a trace: one more than the largest
+/// port index mentioned by any event.
+pub fn infer_ports(records: &[TraceRecord]) -> usize {
+    let mut max_port = 0u32;
+    for rec in records {
+        let (src, dst) = match rec.event {
+            TraceEvent::MsgInjected { src, dst, .. }
+            | TraceEvent::MsgDelivered { src, dst, .. }
+            | TraceEvent::ConnRequested { src, dst }
+            | TraceEvent::ConnEstablished { src, dst, .. }
+            | TraceEvent::ConnEvicted { src, dst, .. } => (src, dst),
+            _ => continue,
+        };
+        max_port = max_port.max(src).max(dst);
+    }
+    max_port as usize + 1
+}
+
+/// Builds the full report over an in-memory record stream.
+pub fn build_report(records: &[TraceRecord], cfg: &ReportConfig) -> Report {
+    let ports = cfg.ports.unwrap_or_else(|| infer_ports(records));
+    let mut event_counts: Vec<(&'static str, u64)> = Vec::new();
+    for rec in records {
+        let kind = rec.event.kind();
+        match event_counts.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, n)) => *n += 1,
+            None => event_counts.push((kind, 1)),
+        }
+    }
+    event_counts.sort_by_key(|(k, _)| *k);
+    Report {
+        ports,
+        records: records.len() as u64,
+        event_counts,
+        occupancy: occupancy(records, ports, cfg.spark_width),
+        heatmap: heatmap(records, ports),
+        churn: churn(records, cfg.premature_window_ns),
+        contention: contention(records, cfg.hol_factor, cfg.max_hol_stalls),
+    }
+}
+
+impl Report {
+    /// The full report as one JSON object (deterministic).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("ports", self.ports.into()),
+            ("records", self.records.into()),
+            (
+                "event_counts",
+                Json::Object(
+                    self.event_counts
+                        .iter()
+                        .map(|(k, n)| (k.to_string(), Json::UInt(*n)))
+                        .collect(),
+                ),
+            ),
+            ("occupancy", self.occupancy.to_json()),
+            ("heatmap", self.heatmap.to_json()),
+            ("churn", self.churn.to_json()),
+            ("contention", self.contention.to_json()),
+        ])
+    }
+
+    /// Human-readable rendering for terminals.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let push = |out: &mut String, s: String| {
+            out.push_str(&s);
+            out.push('\n');
+        };
+        push(
+            &mut out,
+            format!(
+                "== trace report ({} records, {} ports) ==",
+                self.records, self.ports
+            ),
+        );
+        push(&mut out, "-- events --".into());
+        for (kind, n) in &self.event_counts {
+            push(&mut out, format!("  {kind:<18} {n:>10}"));
+        }
+
+        push(&mut out, "-- slot occupancy --".into());
+        if self.occupancy.slots.is_empty() {
+            push(&mut out, "  (no slot-advanced events in trace)".into());
+        }
+        for s in &self.occupancy.slots {
+            push(
+                &mut out,
+                format!(
+                    "  slot {:>2}: {:>8} visits  min {:>5.1}%  mean {:>5.1}%  max {:>5.1}%  |{}|",
+                    s.slot,
+                    s.samples,
+                    s.min * 100.0,
+                    s.mean * 100.0,
+                    s.max * 100.0,
+                    s.sparkline
+                ),
+            );
+        }
+        if self.occupancy.total_samples > 0 {
+            push(
+                &mut out,
+                format!(
+                    "  overall: mean {:.1}% over {} slot visits",
+                    self.occupancy.overall_mean * 100.0,
+                    self.occupancy.total_samples
+                ),
+            );
+        }
+
+        push(&mut out, "-- traffic heatmap (hottest pairs) --".into());
+        push(
+            &mut out,
+            format!(
+                "  {} msgs, {} bytes over {} active pairs",
+                self.heatmap.total_msgs(),
+                self.heatmap.total_bytes(),
+                self.heatmap.hottest(usize::MAX).len()
+            ),
+        );
+        for (src, dst, msgs, bytes) in self.heatmap.hottest(8) {
+            push(
+                &mut out,
+                format!("  {src:>4} -> {dst:<4} {msgs:>8} msgs {bytes:>12} B"),
+            );
+        }
+
+        push(
+            &mut out,
+            format!("-- predictor churn (window {} ns) --", self.churn.window_ns),
+        );
+        for c in &self.churn.by_cause {
+            if c.evictions > 0 {
+                push(
+                    &mut out,
+                    format!(
+                        "  {:<12} {:>8} evictions, {:>8} premature ({:>5.1}%)",
+                        c.cause,
+                        c.evictions,
+                        c.premature,
+                        c.rate() * 100.0
+                    ),
+                );
+            }
+        }
+        push(
+            &mut out,
+            format!(
+                "  total: {} evictions, {} premature, rate {:.1}%",
+                self.churn.total_evictions,
+                self.churn.total_premature,
+                self.churn.premature_rate() * 100.0
+            ),
+        );
+
+        let s = &self.contention.setup;
+        push(&mut out, "-- setup-latency attribution --".into());
+        push(
+            &mut out,
+            format!(
+                "  {} setups, mean wait {:.0} ns, max {} ns",
+                s.setups, s.mean_wait_ns, s.max_wait_ns
+            ),
+        );
+        let total = (s.alignment_ns + s.contention_ns).max(1);
+        push(
+            &mut out,
+            format!(
+                "  alignment  {:>12} ns ({:>5.1}%)  waiting for an SL pass",
+                s.alignment_ns,
+                s.alignment_ns as f64 * 100.0 / total as f64
+            ),
+        );
+        push(
+            &mut out,
+            format!(
+                "  contention {:>12} ns ({:>5.1}%)  denied by passes (mean ripple {:.1})",
+                s.contention_ns,
+                s.contention_ns as f64 * 100.0 / total as f64,
+                s.mean_ripple_depth
+            ),
+        );
+        push(
+            &mut out,
+            format!(
+                "  service    {:>12} ns           established, awaiting slot",
+                s.service_ns
+            ),
+        );
+
+        let h = &self.contention.hol;
+        push(
+            &mut out,
+            format!(
+                "-- head-of-line stalls (> {:.1}x median {} ns) --",
+                h.factor, h.median_latency_ns
+            ),
+        );
+        if h.stalls.is_empty() {
+            push(&mut out, "  none detected".into());
+        }
+        for st in &h.stalls {
+            push(
+                &mut out,
+                format!(
+                    "  msg {:>6} {:>4} -> {:<4} latency {:>10} ns, {} blocker(s)",
+                    st.msg, st.src, st.dst, st.latency_ns, st.blockers
+                ),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pms_trace::EvictCause;
+
+    fn small_trace() -> Vec<TraceRecord> {
+        let rec = |t_ns, event| TraceRecord {
+            t_ns,
+            slot: 0,
+            event,
+        };
+        vec![
+            rec(
+                0,
+                TraceEvent::MsgInjected {
+                    src: 0,
+                    dst: 3,
+                    bytes: 64,
+                    msg: 0,
+                },
+            ),
+            rec(0, TraceEvent::ConnRequested { src: 0, dst: 3 }),
+            rec(
+                80,
+                TraceEvent::SchedPass {
+                    passes: 1,
+                    ripple_depth: 2,
+                    established: 1,
+                    released: 0,
+                    denied: 0,
+                },
+            ),
+            rec(
+                80,
+                TraceEvent::ConnEstablished {
+                    src: 0,
+                    dst: 3,
+                    slot_idx: 0,
+                },
+            ),
+            rec(100, TraceEvent::SlotAdvanced { slot_idx: 0 }),
+            rec(
+                180,
+                TraceEvent::MsgDelivered {
+                    src: 0,
+                    dst: 3,
+                    bytes: 64,
+                    msg: 0,
+                    latency_ns: 180,
+                },
+            ),
+            rec(
+                500,
+                TraceEvent::ConnEvicted {
+                    src: 0,
+                    dst: 3,
+                    cause: EvictCause::Timeout,
+                },
+            ),
+        ]
+    }
+
+    #[test]
+    fn report_is_deterministic_and_complete() {
+        let records = small_trace();
+        let cfg = ReportConfig::default();
+        let a = build_report(&records, &cfg).to_json().render_pretty();
+        let b = build_report(&records, &cfg).to_json().render_pretty();
+        assert_eq!(a, b);
+        for section in ["occupancy", "heatmap", "churn", "contention"] {
+            assert!(a.contains(&format!("\"{section}\"")), "missing {section}");
+        }
+    }
+
+    #[test]
+    fn ports_are_inferred_from_the_trace() {
+        let records = small_trace();
+        assert_eq!(infer_ports(&records), 4);
+        let r = build_report(&records, &ReportConfig::default());
+        assert_eq!(r.ports, 4);
+        assert_eq!(r.heatmap.msg_count(0, 3), 1);
+    }
+
+    #[test]
+    fn explicit_ports_override_inference() {
+        let r = build_report(
+            &small_trace(),
+            &ReportConfig {
+                ports: Some(16),
+                ..ReportConfig::default()
+            },
+        );
+        assert_eq!(r.ports, 16);
+        assert_eq!(r.heatmap.ports, 16);
+    }
+
+    #[test]
+    fn text_rendering_names_every_section() {
+        let text = build_report(&small_trace(), &ReportConfig::default()).render_text();
+        for needle in [
+            "slot occupancy",
+            "traffic heatmap",
+            "predictor churn",
+            "setup-latency attribution",
+            "head-of-line stalls",
+        ] {
+            assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn empty_trace_reports_cleanly() {
+        let r = build_report(&[], &ReportConfig::default());
+        assert_eq!(r.records, 0);
+        assert_eq!(r.ports, 1);
+        assert!(!r.render_text().is_empty());
+        r.to_json().render();
+    }
+}

@@ -1,0 +1,80 @@
+//! Predictor-tuning signal end to end: an aggressive timeout predictor
+//! must show a strictly higher premature-eviction rate than a generous
+//! one on a workload with bursty reuse of the same connections.
+
+use pms_analyze::{build_report, churn, ReportConfig};
+use pms_sim::{Paradigm, PredictorKind, SimParams};
+use pms_trace::Tracer;
+use pms_workloads::{Program, Workload};
+
+/// Every processor repeatedly sends to a fixed partner, with an idle gap
+/// between sends that an aggressive timeout treats as abandonment.
+fn bursty_reuse(ports: usize, rounds: usize, gap_ns: u64) -> Workload {
+    let programs = (0..ports)
+        .map(|p| {
+            let mut prog = Program::new();
+            for _ in 0..rounds {
+                prog.send((p + 1) % ports, 256).delay(gap_ns);
+            }
+            prog
+        })
+        .collect();
+    Workload::new("bursty-reuse", ports, programs)
+}
+
+fn premature_rate(timeout_ns: u64, workload: &Workload, params: &SimParams) -> (f64, u64) {
+    let (_, tracer) = Paradigm::DynamicTdm(PredictorKind::Timeout(timeout_ns)).run_traced(
+        workload,
+        params,
+        Tracer::vec(),
+    );
+    let report = churn(&tracer.records(), 5_000);
+    (report.premature_rate(), report.total_evictions)
+}
+
+#[test]
+fn aggressive_timeout_has_higher_premature_eviction_rate() {
+    let workload = bursty_reuse(8, 24, 3_000);
+    let params = SimParams::default().with_ports(8);
+
+    // Evicts well inside the reuse gap: every eviction is premature.
+    let (aggressive_rate, aggressive_evictions) = premature_rate(400, &workload, &params);
+    // Outlives the gap: connections stay latched across rounds.
+    let (generous_rate, _) = premature_rate(1_000_000, &workload, &params);
+
+    assert!(
+        aggressive_evictions > 0,
+        "aggressive predictor never evicted; the workload gap is too short"
+    );
+    assert!(
+        aggressive_rate > generous_rate,
+        "aggressive rate {aggressive_rate} not above generous rate {generous_rate}"
+    );
+}
+
+#[test]
+fn full_report_carries_the_same_signal() {
+    let workload = bursty_reuse(8, 24, 3_000);
+    let params = SimParams::default().with_ports(8);
+    let (_, tracer) = Paradigm::DynamicTdm(PredictorKind::Timeout(400)).run_traced(
+        &workload,
+        &params,
+        Tracer::vec(),
+    );
+    let report = build_report(&tracer.records(), &ReportConfig::default());
+    assert_eq!(report.ports, 8);
+    assert!(report.churn.total_evictions > 0);
+    assert!(report.churn.premature_rate() > 0.0);
+    let timeout = report
+        .churn
+        .by_cause
+        .iter()
+        .find(|c| c.cause == "timeout")
+        .unwrap();
+    assert!(timeout.premature > 0);
+    // The demand matrix matches the workload shape: each port sends only
+    // to its fixed partner.
+    for p in 0..8usize {
+        assert_eq!(report.heatmap.msg_count(p, (p + 1) % 8), 24);
+    }
+}

@@ -9,13 +9,15 @@
 //!
 //! `--quick` runs 32 processors with fewer sizes (CI-friendly). Results
 //! are printed as tables and written to `results/fig4.json`.
-//! `--trace OUT.json` additionally re-runs one representative cell
+//! `--trace OUT` additionally re-runs one representative cell
 //! (Scatter, 64 B, Dynamic TDM) with the event tracer attached and
-//! writes a Chrome Trace Event file.
+//! writes a Chrome Trace Event file (or replayable JSONL when the path
+//! ends in `.jsonl`); `--report OUT.json` writes the `pms-analyze`
+//! report over the same cell's events.
 
-use pms_bench::run_grid;
+use pms_bench::{run_grid, trace_and_report_flags};
 use pms_sim::{Paradigm, PredictorKind, SimParams};
-use pms_trace::{write_chrome_trace, Json, Tracer};
+use pms_trace::{Json, Tracer};
 use pms_workloads::{ordered_mesh, random_mesh, scatter, two_phase, MeshSpec, Workload};
 
 /// Per-round computation and per-message software gap used by the mesh
@@ -105,18 +107,13 @@ fn main() {
     println!("results written to results/fig4.json");
 
     let argv: Vec<String> = std::env::args().collect();
-    if let Some(i) = argv.iter().position(|a| a == "--trace") {
-        let path = argv.get(i + 1).expect("--trace needs a path");
-        let (_, tracer) = Paradigm::DynamicTdm(PredictorKind::Drop).run_traced(
+    trace_and_report_flags(&argv, "scatter/64B dynamic-tdm", || {
+        let (_, mut tracer) = Paradigm::DynamicTdm(PredictorKind::Drop).run_traced(
             &scatter(ports, 64),
             &params,
             Tracer::vec(),
         );
-        let records = tracer.records();
-        write_chrome_trace(path, &records).expect("write trace file");
-        println!(
-            "trace: scatter/64B dynamic-tdm, {} events -> {path}",
-            records.len()
-        );
-    }
+        tracer.finish().expect("flush tracer");
+        tracer.records()
+    });
 }

@@ -9,13 +9,15 @@
 //!
 //! Efficiencies are averaged over three workload seeds; results are
 //! written to `results/fig5.json`.
-//! `--trace OUT.json` additionally re-runs one representative cell
+//! `--trace OUT` additionally re-runs one representative cell
 //! (85 % determinism, 1 preloaded slot, seed 1) with the event tracer
-//! attached and writes a Chrome Trace Event file.
+//! attached and writes a Chrome Trace Event file (or replayable JSONL
+//! when the path ends in `.jsonl`); `--report OUT.json` writes the
+//! `pms-analyze` report over the same cell's events.
 
-use pms_bench::run_grid;
+use pms_bench::{run_grid, trace_and_report_flags};
 use pms_sim::{Paradigm, PredictorKind, SimParams};
-use pms_trace::{write_chrome_trace, Json, Tracer};
+use pms_trace::{Json, Tracer};
 use pms_workloads::{hybrid, HybridSpec, Workload};
 
 fn main() {
@@ -113,8 +115,7 @@ fn main() {
     println!("results written to results/fig5.json");
 
     let argv: Vec<String> = std::env::args().collect();
-    if let Some(i) = argv.iter().position(|a| a == "--trace") {
-        let path = argv.get(i + 1).expect("--trace needs a path");
+    trace_and_report_flags(&argv, "hybrid 85%/1p", || {
         let workload = hybrid(HybridSpec {
             ports,
             determinism: 0.85,
@@ -126,9 +127,8 @@ fn main() {
             preload_slots: 1,
             predictor: PredictorKind::Drop,
         };
-        let (_, tracer) = paradigm.run_traced(&workload, &params, Tracer::vec());
-        let records = tracer.records();
-        write_chrome_trace(path, &records).expect("write trace file");
-        println!("trace: hybrid 85%/1p, {} events -> {path}", records.len());
-    }
+        let (_, mut tracer) = paradigm.run_traced(&workload, &params, Tracer::vec());
+        tracer.finish().expect("flush tracer");
+        tracer.records()
+    });
 }

@@ -7,14 +7,24 @@
 //! ```
 //!
 //! `--trace out.json` records every simulator event and writes a Chrome
-//! Trace Event file loadable in `chrome://tracing` or Perfetto; `--json`
+//! Trace Event file loadable in `chrome://tracing` or Perfetto; with a
+//! `.jsonl` extension it writes the replayable line-per-record format
+//! consumed by the `analyze` binary instead. `--report out.json` runs
+//! the full `pms-analyze` report (slot occupancy, traffic heatmap,
+//! predictor churn, setup-latency attribution) over the run's events,
+//! prints it, and writes the JSON — byte-identical to replaying the
+//! `.jsonl` trace through `analyze`. `--flight-recorder out.jsonl`
+//! attaches the bounded-ring anomaly recorder instead of a full tracer:
+//! nothing is written unless a setup-latency outlier fires. `--json`
 //! prints the statistics as one JSON object instead of the text block;
 //! `--phase-detector` attaches the §3.3 miss-rate phase detector to
 //! dynamic TDM runs.
 
+use pms_analyze::ReportConfig;
+use pms_bench::{write_report_file, write_trace_file};
 use pms_predict::PhaseDetectorConfig;
 use pms_sim::{Paradigm, PredictorKind, SimParams, TdmMode, TdmSim};
-use pms_trace::{write_chrome_trace, Tracer};
+use pms_trace::{FlightConfig, Tracer};
 use pms_workloads::{
     butterfly, gather, hotspot, ordered_mesh, permutation, random_mesh, ring, scatter, stencil3d,
     transpose, two_phase, uniform, MeshSpec, Workload,
@@ -29,6 +39,8 @@ struct Args {
     timeout_ns: u64,
     seed: u64,
     trace: Option<String>,
+    report: Option<String>,
+    flight: Option<String>,
     json: bool,
     phase_detector: bool,
 }
@@ -43,6 +55,8 @@ fn parse_args() -> Args {
         timeout_ns: 0,
         seed: 17,
         trace: None,
+        report: None,
+        flight: None,
         json: false,
         phase_detector: false,
     };
@@ -73,6 +87,8 @@ fn parse_args() -> Args {
             "--timeout" => args.timeout_ns = value(i).parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = value(i).parse().unwrap_or_else(|_| usage()),
             "--trace" => args.trace = Some(value(i).to_string()),
+            "--report" => args.report = Some(value(i).to_string()),
+            "--flight-recorder" => args.flight = Some(value(i).to_string()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -81,6 +97,13 @@ fn parse_args() -> Args {
         }
         i += 2;
     }
+    if args.flight.is_some() && (args.trace.is_some() || args.report.is_some()) {
+        eprintln!(
+            "--flight-recorder keeps only a bounded ring of recent events; \
+             it cannot be combined with --trace or --report"
+        );
+        usage()
+    }
     args
 }
 
@@ -88,11 +111,16 @@ fn usage() -> ! {
     eprintln!(
         "usage: simulate [--pattern P] [--ports N] [--bytes B] [--paradigm X]\n\
          \x20               [--slots K] [--timeout NS] [--seed S]\n\
-         \x20               [--trace OUT.json] [--json] [--phase-detector]\n\
+         \x20               [--trace OUT] [--report OUT.json]\n\
+         \x20               [--flight-recorder OUT.jsonl] [--json] [--phase-detector]\n\
          patterns : scatter gather ring uniform hotspot permutation butterfly\n\
          \x20          transpose stencil3d ordered-mesh random-mesh two-phase\n\
          paradigms: wormhole circuit dynamic preload hybrid0 hybrid1 hybrid2\n\
-         --trace  : write a Chrome Trace Event file (chrome://tracing, Perfetto)\n\
+         --trace  : write a trace file; .jsonl -> replayable records (for the\n\
+         \x20          analyze binary), otherwise Chrome Trace Event format\n\
+         --report : run the pms-analyze report over the run and write its JSON\n\
+         --flight-recorder : bounded-ring anomaly recorder; dumps the ring to\n\
+         \x20          the given JSONL only when a setup-latency outlier fires\n\
          --json   : print statistics as one JSON object\n\
          --phase-detector : attach the miss-rate phase detector (dynamic TDM)"
     );
@@ -191,12 +219,14 @@ fn main() {
         .with_tdm_slots(args.slots);
     let rate = params.link.bytes_per_ns();
 
-    let tracer = if args.trace.is_some() {
+    let tracer = if let Some(path) = &args.flight {
+        Tracer::flight(path.clone(), FlightConfig::default())
+    } else if args.trace.is_some() || args.report.is_some() {
         Tracer::vec()
     } else {
         Tracer::Null
     };
-    let (stats, tracer) = if args.phase_detector {
+    let (stats, mut tracer) = if args.phase_detector {
         TdmSim::new(&workload, &params, tdm_mode(&args))
             .with_phase_detector(PhaseDetectorConfig {
                 window: 8,
@@ -208,11 +238,32 @@ fn main() {
     } else {
         paradigm.run_traced(&workload, &params, tracer)
     };
+    tracer
+        .finish()
+        .unwrap_or_else(|e| panic!("cannot flush tracer: {e}"));
     if let Some(path) = &args.trace {
         let records = tracer.records();
-        write_chrome_trace(path, &records)
+        write_trace_file(path, &records)
             .unwrap_or_else(|e| panic!("cannot write trace {path}: {e}"));
         eprintln!("trace        : {} events -> {path}", records.len());
+    }
+    if let Tracer::Flight(fr) = &tracer {
+        if fr.triggers() > 0 {
+            eprintln!(
+                "flight       : {} trigger(s), {} records -> {}",
+                fr.triggers(),
+                fr.written(),
+                args.flight.as_deref().unwrap_or("?")
+            );
+        } else {
+            eprintln!("flight       : no anomalies; nothing written");
+        }
+    }
+    if let Some(path) = &args.report {
+        let report = write_report_file(path, &tracer.records(), &ReportConfig::default())
+            .unwrap_or_else(|e| panic!("cannot write report {path}: {e}"));
+        eprint!("{}", report.render_text());
+        eprintln!("report       : -> {path}");
     }
     if args.json {
         println!("{}", stats.to_json().render_pretty());

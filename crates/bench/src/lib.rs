@@ -13,6 +13,8 @@
 //!
 //! The library part holds the shared sweep driver so binaries stay thin.
 
+pub mod reporting;
 pub mod sweep;
 
+pub use reporting::{trace_and_report_flags, write_report_file, write_trace_file};
 pub use sweep::{run_grid, Cell, FigureTable};

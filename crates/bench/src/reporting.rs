@@ -1,0 +1,71 @@
+//! Shared trace/report plumbing for the experiment binaries.
+//!
+//! All three traced binaries (`simulate`, `fig4`, `fig5`) funnel through
+//! these helpers so trace files and analysis reports come out identical
+//! no matter which binary produced them.
+
+use pms_analyze::{build_report, Report, ReportConfig};
+use pms_trace::{write_chrome_trace, write_jsonl, TraceRecord};
+use std::io;
+
+/// Handles the figure binaries' `--trace OUT` / `--report OUT` flags:
+/// when either is present in `argv`, `run` re-runs the figure's
+/// representative cell once with tracing attached, and the records are
+/// written as a trace file and/or analysis report. `label` names the
+/// cell in the progress lines.
+pub fn trace_and_report_flags(
+    argv: &[String],
+    label: &str,
+    run: impl FnOnce() -> Vec<TraceRecord>,
+) {
+    let flag_value = |flag: &str| {
+        argv.iter().position(|a| a == flag).map(|i| {
+            argv.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{flag} needs a path");
+                std::process::exit(2);
+            })
+        })
+    };
+    let trace = flag_value("--trace");
+    let report = flag_value("--report");
+    if trace.is_none() && report.is_none() {
+        return;
+    }
+    let records = run();
+    if let Some(path) = trace {
+        write_trace_file(&path, &records)
+            .unwrap_or_else(|e| panic!("cannot write trace {path}: {e}"));
+        println!("trace: {label}, {} events -> {path}", records.len());
+    }
+    if let Some(path) = report {
+        write_report_file(&path, &records, &ReportConfig::default())
+            .unwrap_or_else(|e| panic!("cannot write report {path}: {e}"));
+        println!("report: {label} -> {path}");
+    }
+}
+
+/// Writes a trace file in the format implied by the path's extension:
+/// `.jsonl` gets the line-per-record replay format (readable by the
+/// `analyze` binary), anything else the Chrome Trace Event format
+/// (loadable in `chrome://tracing` / Perfetto).
+pub fn write_trace_file(path: &str, records: &[TraceRecord]) -> io::Result<()> {
+    if path.ends_with(".jsonl") {
+        write_jsonl(path, records)
+    } else {
+        write_chrome_trace(path, records)
+    }
+}
+
+/// Builds the standard analysis report over `records` and writes its
+/// JSON rendering to `path`. The written bytes are identical to what
+/// `analyze` produces when replaying the same records from a `.jsonl`
+/// trace (reports are pure functions of the record stream).
+pub fn write_report_file(
+    path: &str,
+    records: &[TraceRecord],
+    cfg: &ReportConfig,
+) -> io::Result<Report> {
+    let report = build_report(records, cfg);
+    std::fs::write(path, report.to_json().render_pretty())?;
+    Ok(report)
+}

@@ -27,6 +27,25 @@ impl EvictCause {
             EvictCause::Drop => "drop",
         }
     }
+
+    /// Inverse of [`label`](Self::label), for trace replay.
+    pub fn from_label(label: &str) -> Option<EvictCause> {
+        match label {
+            "timeout" => Some(EvictCause::Timeout),
+            "refcount" => Some(EvictCause::RefCount),
+            "phase-flush" => Some(EvictCause::PhaseFlush),
+            "drop" => Some(EvictCause::Drop),
+            _ => None,
+        }
+    }
+
+    /// All causes, in label order (report tables iterate this).
+    pub const ALL: [EvictCause; 4] = [
+        EvictCause::Drop,
+        EvictCause::PhaseFlush,
+        EvictCause::RefCount,
+        EvictCause::Timeout,
+    ];
 }
 
 /// One typed simulator event. All payloads are plain integers so that
@@ -213,5 +232,13 @@ mod tests {
         .into_iter()
         .collect();
         assert_eq!(labels.len(), 4);
+    }
+
+    #[test]
+    fn evict_cause_labels_roundtrip() {
+        for cause in EvictCause::ALL {
+            assert_eq!(EvictCause::from_label(cause.label()), Some(cause));
+        }
+        assert_eq!(EvictCause::from_label("nonsense"), None);
     }
 }

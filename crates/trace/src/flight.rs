@@ -1,0 +1,299 @@
+//! The flight recorder: a bounded ring of recent events that is flushed
+//! to JSONL only when an anomaly detector fires.
+//!
+//! Long runs cannot afford to stream every event to disk, but the events
+//! *leading up to* a pathology (a connection that waited far longer than
+//! its peers to be established) are exactly what a post-mortem needs.
+//! The recorder keeps the last `capacity` records in memory, watches
+//! every `ConnRequested -> ConnEstablished` pair online, and when a setup
+//! latency lands above the configured quantile of all setups seen so far
+//! (after a warmup, and above an absolute floor), dumps the ring to the
+//! output file as JSON Lines — prefixed by a `flight-trigger` marker line
+//! identifying the offending connection and the threshold it breached.
+//!
+//! The detector is integer-only on the hot path: the quantile comes from
+//! the same log2 [`Histogram`] the metrics registry uses, so arming and
+//! checking cost a `leading_zeros` and two comparisons.
+
+use crate::event::TraceEvent;
+use crate::metrics::Histogram;
+use crate::sink::{record_json, RingTracer, TraceSink};
+use crate::{Json, TraceRecord};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::PathBuf;
+
+/// Tuning for the [`FlightRecorder`]'s anomaly detector.
+#[derive(Debug, Clone)]
+pub struct FlightConfig {
+    /// Ring capacity: how many recent records each dump carries.
+    pub capacity: usize,
+    /// Setup-latency quantile that arms the trigger (e.g. `0.99`).
+    pub quantile: f64,
+    /// Setup samples required before the detector may fire (a cold
+    /// histogram would flag the very first latency as anomalous).
+    pub warmup_samples: u64,
+    /// Absolute floor: latencies at or below this never fire, whatever
+    /// the quantile says (suppresses noise on uniformly fast runs).
+    pub min_latency_ns: u64,
+}
+
+impl Default for FlightConfig {
+    fn default() -> Self {
+        FlightConfig {
+            capacity: 4096,
+            quantile: 0.99,
+            warmup_samples: 32,
+            min_latency_ns: 0,
+        }
+    }
+}
+
+/// A [`TraceSink`] implementing the flight-recorder pattern.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    ring: RingTracer,
+    cfg: FlightConfig,
+    path: PathBuf,
+    /// Opened lazily on the first trigger, so an anomaly-free run leaves
+    /// no file behind.
+    out: Option<BufWriter<File>>,
+    /// Outstanding `ConnRequested` times per (src, dst).
+    pending: HashMap<(u32, u32), u64>,
+    setup: Histogram,
+    triggers: u64,
+    written: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder dumping to `path` with the given detector tuning.
+    pub fn new(path: impl Into<PathBuf>, cfg: FlightConfig) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&cfg.quantile),
+            "quantile {} outside [0, 1]",
+            cfg.quantile
+        );
+        FlightRecorder {
+            ring: RingTracer::new(cfg.capacity),
+            cfg,
+            path: path.into(),
+            out: None,
+            pending: HashMap::new(),
+            setup: Histogram::new(),
+            triggers: 0,
+            written: 0,
+        }
+    }
+
+    /// Times the anomaly detector has fired.
+    pub fn triggers(&self) -> u64 {
+        self.triggers
+    }
+
+    /// JSONL lines written across all dumps (markers + records).
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Setup latencies observed so far (the detector's evidence).
+    pub fn setup_histogram(&self) -> &Histogram {
+        &self.setup
+    }
+
+    /// The records currently buffered (oldest first).
+    pub fn records(&self) -> Vec<TraceRecord> {
+        self.ring.records()
+    }
+
+    /// Flushes buffered output, if any dump has opened the file.
+    pub fn flush(&mut self) -> io::Result<()> {
+        match &mut self.out {
+            Some(w) => w.flush(),
+            None => Ok(()),
+        }
+    }
+
+    fn dump(&mut self, trigger: TraceRecord, latency_ns: u64, threshold_ns: u64) {
+        // A full disk must not take the simulation down: I/O errors are
+        // swallowed (matching JsonlTracer), the trigger is still counted.
+        self.triggers += 1;
+        if self.out.is_none() {
+            match File::create(&self.path) {
+                Ok(f) => self.out = Some(BufWriter::new(f)),
+                Err(_) => return,
+            }
+        }
+        let out = self.out.as_mut().expect("opened above");
+        let (src, dst) = match trigger.event {
+            TraceEvent::ConnEstablished { src, dst, .. } => (src, dst),
+            _ => unreachable!("only establishes trigger dumps"),
+        };
+        let marker = Json::obj([
+            ("kind", Json::str("flight-trigger")),
+            ("t_ns", trigger.t_ns.into()),
+            ("slot", trigger.slot.into()),
+            ("src", src.into()),
+            ("dst", dst.into()),
+            ("setup_latency_ns", latency_ns.into()),
+            ("threshold_ns", threshold_ns.into()),
+            ("trigger_seq", self.triggers.into()),
+            ("events", self.ring.records().len().into()),
+        ]);
+        let mut lines = 1u64;
+        let _ = writeln!(out, "{}", marker.render());
+        for rec in self.ring.records() {
+            let _ = writeln!(out, "{}", record_json(&rec).render());
+            lines += 1;
+        }
+        self.written += lines;
+        // The window is consumed: the next dump starts fresh rather than
+        // re-reporting the same events.
+        self.ring.clear();
+    }
+}
+
+impl TraceSink for FlightRecorder {
+    fn record(&mut self, rec: TraceRecord) {
+        self.ring.record(rec);
+        match rec.event {
+            TraceEvent::ConnRequested { src, dst } => {
+                self.pending.entry((src, dst)).or_insert(rec.t_ns);
+            }
+            TraceEvent::ConnEstablished { src, dst, .. } => {
+                if let Some(t0) = self.pending.remove(&(src, dst)) {
+                    let latency = rec.t_ns.saturating_sub(t0);
+                    let armed = self.setup.count() >= self.cfg.warmup_samples;
+                    let threshold = self
+                        .setup
+                        .quantile(self.cfg.quantile)
+                        .max(self.cfg.min_latency_ns);
+                    // Strictly above: a fleet of identical latencies sits
+                    // *at* its own quantile and must not fire.
+                    if armed && latency > threshold {
+                        self.dump(rec, latency, threshold);
+                    }
+                    self.setup.record(latency);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+impl Drop for FlightRecorder {
+    fn drop(&mut self) {
+        let _ = self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    fn req(t: u64, src: u32, dst: u32) -> TraceRecord {
+        TraceRecord {
+            t_ns: t,
+            slot: 0,
+            event: TraceEvent::ConnRequested { src, dst },
+        }
+    }
+
+    fn est(t: u64, src: u32, dst: u32) -> TraceRecord {
+        TraceRecord {
+            t_ns: t,
+            slot: 0,
+            event: TraceEvent::ConnEstablished {
+                src,
+                dst,
+                slot_idx: 0,
+            },
+        }
+    }
+
+    fn tmpfile(name: &str) -> PathBuf {
+        std::env::temp_dir().join(name)
+    }
+
+    #[test]
+    fn uniform_latencies_never_fire() {
+        let path = tmpfile("pms-flight-uniform.jsonl");
+        std::fs::remove_file(&path).ok();
+        let mut fr = FlightRecorder::new(
+            &path,
+            FlightConfig {
+                warmup_samples: 4,
+                ..FlightConfig::default()
+            },
+        );
+        for i in 0..100u64 {
+            fr.record(req(i * 1000, (i % 8) as u32, ((i + 1) % 8) as u32));
+            fr.record(est(i * 1000 + 80, (i % 8) as u32, ((i + 1) % 8) as u32));
+        }
+        assert_eq!(fr.triggers(), 0);
+        assert!(!path.exists(), "no anomaly, no file");
+    }
+
+    #[test]
+    fn outlier_setup_latency_dumps_ring() {
+        let path = tmpfile("pms-flight-outlier.jsonl");
+        std::fs::remove_file(&path).ok();
+        let mut fr = FlightRecorder::new(
+            &path,
+            FlightConfig {
+                capacity: 16,
+                warmup_samples: 8,
+                quantile: 0.9,
+                min_latency_ns: 0,
+            },
+        );
+        // 20 fast setups (80 ns), then one pathological 100 µs setup.
+        for i in 0..20u64 {
+            fr.record(req(i * 1000, 0, 1));
+            fr.record(est(i * 1000 + 80, 0, 1));
+        }
+        fr.record(req(50_000, 2, 3));
+        fr.record(est(150_000, 2, 3));
+        assert_eq!(fr.triggers(), 1);
+        fr.flush().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        // Marker + up to `capacity` ring records, every line valid JSON.
+        assert!(lines.len() > 1 && lines.len() as u64 == fr.written());
+        let marker = Json::parse(lines[0]).unwrap();
+        assert_eq!(
+            marker.get("kind").and_then(Json::as_str),
+            Some("flight-trigger")
+        );
+        assert_eq!(
+            marker.get("setup_latency_ns").and_then(Json::as_u64),
+            Some(100_000)
+        );
+        for line in &lines[1..] {
+            Json::parse(line).unwrap_or_else(|e| panic!("bad line {line}: {e}"));
+        }
+        // The ring was consumed by the dump.
+        assert!(fr.records().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn warmup_suppresses_early_fires() {
+        let path = tmpfile("pms-flight-warmup.jsonl");
+        std::fs::remove_file(&path).ok();
+        let mut fr = FlightRecorder::new(
+            &path,
+            FlightConfig {
+                warmup_samples: 100,
+                ..FlightConfig::default()
+            },
+        );
+        fr.record(req(0, 0, 1));
+        fr.record(est(10, 0, 1));
+        fr.record(req(20, 0, 2));
+        fr.record(est(1_000_000, 0, 2)); // huge, but the detector is cold
+        assert_eq!(fr.triggers(), 0);
+        assert!(!path.exists());
+    }
+}

@@ -26,12 +26,16 @@
 
 pub mod chrome;
 pub mod event;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod sink;
 
 pub use chrome::{chrome_trace_json, write_chrome_trace};
 pub use event::{EvictCause, TraceEvent, TraceRecord};
-pub use json::Json;
+pub use flight::{FlightConfig, FlightRecorder};
+pub use json::{Json, ParseError};
 pub use metrics::{Histogram, MetricsRegistry};
-pub use sink::{JsonlTracer, NullTracer, RingTracer, TraceSink, Tracer, VecTracer};
+pub use sink::{
+    record_json, write_jsonl, JsonlTracer, NullTracer, RingTracer, TraceSink, Tracer, VecTracer,
+};

@@ -83,6 +83,13 @@ impl RingTracer {
             out
         }
     }
+
+    /// Drops all held records (capacity and total count are kept; the
+    /// flight recorder empties its window after each dump).
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.next = 0;
+    }
 }
 
 impl TraceSink for RingTracer {
@@ -154,6 +161,27 @@ impl TraceSink for JsonlTracer {
         let _ = writeln!(self.out, "{line}");
         self.written += 1;
     }
+}
+
+impl Drop for JsonlTracer {
+    /// Best-effort flush so a tracer dropped without an explicit
+    /// [`Tracer::finish`] still leaves complete final lines on disk
+    /// (binaries should still call `finish()` to *observe* I/O errors —
+    /// a drop can only swallow them).
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Writes a slice of records to `path` as JSON Lines — the batch
+/// counterpart of streaming through a [`JsonlTracer`]; both produce
+/// byte-identical files for the same records.
+pub fn write_jsonl(path: impl AsRef<Path>, records: &[TraceRecord]) -> io::Result<()> {
+    let mut t = JsonlTracer::create(path)?;
+    for rec in records {
+        t.record(*rec);
+    }
+    t.flush()
 }
 
 /// Renders one record as a JSON object (used by JSONL and tests).
@@ -250,6 +278,8 @@ pub enum Tracer {
     Vec(VecTracer),
     /// Stream records to a JSONL file.
     Jsonl(JsonlTracer),
+    /// Flight recorder: ring buffer dumped to JSONL on anomalies.
+    Flight(Box<crate::flight::FlightRecorder>),
 }
 
 impl Tracer {
@@ -261,6 +291,11 @@ impl Tracer {
     /// A [`RingTracer`]-backed tracer with the given capacity.
     pub fn ring(cap: usize) -> Self {
         Tracer::Ring(RingTracer::new(cap))
+    }
+
+    /// A flight-recorder tracer dumping anomaly windows to `path`.
+    pub fn flight(path: impl Into<std::path::PathBuf>, cfg: crate::flight::FlightConfig) -> Self {
+        Tracer::Flight(Box::new(crate::flight::FlightRecorder::new(path, cfg)))
     }
 
     /// Whether emitting does anything; guard event construction on this.
@@ -277,24 +312,28 @@ impl Tracer {
             Tracer::Ring(t) => t.record(TraceRecord { t_ns, slot, event }),
             Tracer::Vec(t) => t.record(TraceRecord { t_ns, slot, event }),
             Tracer::Jsonl(t) => t.record(TraceRecord { t_ns, slot, event }),
+            Tracer::Flight(t) => t.record(TraceRecord { t_ns, slot, event }),
         }
     }
 
     /// The collected records, oldest first (empty for `Null`/`Jsonl` —
-    /// JSONL records are already on disk).
+    /// JSONL records are already on disk; the flight recorder reports
+    /// its current, not-yet-dumped window).
     pub fn records(&self) -> Vec<TraceRecord> {
         match self {
             Tracer::Null => Vec::new(),
             Tracer::Ring(t) => t.records(),
             Tracer::Vec(t) => t.records.clone(),
             Tracer::Jsonl(_) => Vec::new(),
+            Tracer::Flight(t) => t.records(),
         }
     }
 
-    /// Flushes any buffered output (JSONL).
+    /// Flushes any buffered output (JSONL, flight-recorder dumps).
     pub fn finish(&mut self) -> io::Result<()> {
         match self {
             Tracer::Jsonl(t) => t.flush(),
+            Tracer::Flight(t) => t.flush(),
             _ => Ok(()),
         }
     }

@@ -23,4 +23,5 @@
 
 #![forbid(unsafe_code)]
 
+pub use pms_analyze as analyze;
 pub use pms_core::*;
