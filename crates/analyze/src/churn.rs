@@ -233,6 +233,6 @@ mod tests {
         let r = churn(&[], 500);
         assert_eq!(r.total_evictions, 0);
         assert_eq!(r.premature_rate(), 0.0);
-        assert_eq!(r.by_cause.len(), 4);
+        assert_eq!(r.by_cause.len(), 5);
     }
 }

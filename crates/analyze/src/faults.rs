@@ -1,0 +1,375 @@
+//! Fault-impact accounting: what broke, what it cost, how fast the
+//! fabric recovered.
+//!
+//! Built from the four `pms-faults` trace events. Three questions:
+//!
+//! * **Exposure** — how much of the run had at least one fault active
+//!   (merged over overlapping windows), per fault class.
+//! * **Efficiency loss** — delivered bytes per ns inside fault windows
+//!   versus outside them. This is the degradation the `degradation`
+//!   bench sweeps; here it is measured post-hoc from any trace.
+//! * **Recovery latency** — `FaultCleared` to the first
+//!   `ConnEstablished` on the same pair, i.e. how long the scheduler
+//!   took to rebuild a torn-down pipe once the hardware healed.
+
+use pms_trace::{FaultClass, Json, TraceEvent, TraceRecord};
+use std::collections::HashMap;
+
+/// Injection/clear counts for one fault class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassFaults {
+    /// The class label.
+    pub class: &'static str,
+    /// `FaultInjected` events of this class.
+    pub injected: u64,
+    /// `FaultCleared` events of this class.
+    pub cleared: u64,
+}
+
+/// The fault-impact report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultsReport {
+    /// Per-class accounting, in [`FaultClass::ALL`] label order.
+    pub by_class: Vec<ClassFaults>,
+    /// Total fault injections.
+    pub injected: u64,
+    /// Total fault clears.
+    pub cleared: u64,
+    /// `MsgRetried` events (dropped grants and failed completions).
+    pub msg_retries: u64,
+    /// `MsgAbandoned` events (retry budget exhausted).
+    pub msgs_abandoned: u64,
+    /// Nanoseconds with at least one fault active (windows merged).
+    pub fault_ns: u64,
+    /// Nanoseconds with no fault active, up to the last trace event.
+    pub clean_ns: u64,
+    /// Bytes whose delivery completed inside a fault window.
+    pub faulted_bytes: u64,
+    /// Bytes delivered while no fault was active.
+    pub clean_bytes: u64,
+    /// Cleared faults whose pair re-established afterwards.
+    pub recoveries: u64,
+    /// Cleared faults whose pair never re-established in the trace.
+    pub unrecovered: u64,
+    /// Mean clear-to-reestablish latency over [`recoveries`](Self::recoveries).
+    pub mean_recovery_ns: f64,
+    /// Worst clear-to-reestablish latency.
+    pub max_recovery_ns: u64,
+}
+
+impl FaultsReport {
+    /// Delivered bytes per ns inside fault windows.
+    pub fn faulted_rate(&self) -> f64 {
+        if self.fault_ns == 0 {
+            0.0
+        } else {
+            self.faulted_bytes as f64 / self.fault_ns as f64
+        }
+    }
+
+    /// Delivered bytes per ns outside fault windows.
+    pub fn clean_rate(&self) -> f64 {
+        if self.clean_ns == 0 {
+            0.0
+        } else {
+            self.clean_bytes as f64 / self.clean_ns as f64
+        }
+    }
+
+    /// Fractional throughput lost inside fault windows relative to the
+    /// clean baseline (0 when the trace has no usable baseline; negative
+    /// when faulted windows happened to carry more traffic).
+    pub fn efficiency_loss(&self) -> f64 {
+        let clean = self.clean_rate();
+        if self.fault_ns == 0 || clean == 0.0 {
+            0.0
+        } else {
+            1.0 - self.faulted_rate() / clean
+        }
+    }
+
+    /// JSON rendering (deterministic; used by the report).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("injected", self.injected.into()),
+            ("cleared", self.cleared.into()),
+            ("msg_retries", self.msg_retries.into()),
+            ("msgs_abandoned", self.msgs_abandoned.into()),
+            ("fault_ns", self.fault_ns.into()),
+            ("clean_ns", self.clean_ns.into()),
+            ("faulted_bytes", self.faulted_bytes.into()),
+            ("clean_bytes", self.clean_bytes.into()),
+            ("faulted_rate", self.faulted_rate().into()),
+            ("clean_rate", self.clean_rate().into()),
+            ("efficiency_loss", self.efficiency_loss().into()),
+            ("recoveries", self.recoveries.into()),
+            ("unrecovered", self.unrecovered.into()),
+            ("mean_recovery_ns", self.mean_recovery_ns.into()),
+            ("max_recovery_ns", self.max_recovery_ns.into()),
+            (
+                "by_class",
+                Json::Array(
+                    self.by_class
+                        .iter()
+                        .map(|c| {
+                            Json::obj([
+                                ("class", Json::str(c.class)),
+                                ("injected", c.injected.into()),
+                                ("cleared", c.cleared.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+/// Computes the fault-impact report over an event stream.
+///
+/// Fault windows are merged by a depth sweep over
+/// `FaultInjected`/`FaultCleared`; a fault still active at the last
+/// trace event is closed there. Recovery pairs each `FaultCleared` on a
+/// link pair (`NicTransient` has none) with the first later
+/// `ConnEstablished` of the same pair.
+pub fn faults(records: &[TraceRecord]) -> FaultsReport {
+    let horizon = records.iter().map(|r| r.t_ns).max().unwrap_or(0);
+
+    let mut class_counts: HashMap<&'static str, (u64, u64)> = HashMap::new();
+    let mut msg_retries = 0u64;
+    let mut msgs_abandoned = 0u64;
+
+    // Depth sweep for merged fault exposure.
+    let mut depth = 0u64;
+    let mut window_start = 0u64;
+    let mut fault_ns = 0u64;
+    let in_window = |windows: &[(u64, u64)], t: u64| {
+        // Delivery at the window-end boundary is already clean: windows
+        // are [start, end).
+        windows.iter().any(|&(s, e)| s <= t && t < e)
+    };
+    let mut windows: Vec<(u64, u64)> = Vec::new();
+
+    // Recovery pairing: per pair, clears awaiting a re-establish.
+    let mut pending: HashMap<(u32, u32), Vec<u64>> = HashMap::new();
+    let mut recoveries = 0u64;
+    let mut recovery_sum = 0u64;
+    let mut max_recovery_ns = 0u64;
+
+    for rec in records {
+        match rec.event {
+            TraceEvent::FaultInjected { class, .. } => {
+                class_counts.entry(class.label()).or_default().0 += 1;
+                if depth == 0 {
+                    window_start = rec.t_ns;
+                }
+                depth += 1;
+            }
+            TraceEvent::FaultCleared {
+                class, src, dst, ..
+            } => {
+                class_counts.entry(class.label()).or_default().1 += 1;
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    fault_ns += rec.t_ns - window_start;
+                    windows.push((window_start, rec.t_ns));
+                }
+                if class != FaultClass::NicTransient {
+                    pending.entry((src, dst)).or_default().push(rec.t_ns);
+                }
+            }
+            TraceEvent::ConnEstablished { src, dst, .. } => {
+                if let Some(clears) = pending.get_mut(&(src, dst)) {
+                    clears.retain(|&c| {
+                        if c <= rec.t_ns {
+                            let lat = rec.t_ns - c;
+                            recoveries += 1;
+                            recovery_sum += lat;
+                            max_recovery_ns = max_recovery_ns.max(lat);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
+            }
+            TraceEvent::MsgRetried { .. } => msg_retries += 1,
+            TraceEvent::MsgAbandoned { .. } => msgs_abandoned += 1,
+            _ => {}
+        }
+    }
+    if depth > 0 {
+        fault_ns += horizon - window_start;
+        windows.push((window_start, horizon));
+    }
+
+    let mut faulted_bytes = 0u64;
+    let mut clean_bytes = 0u64;
+    for rec in records {
+        if let TraceEvent::MsgDelivered { bytes, .. } = rec.event {
+            if in_window(&windows, rec.t_ns) {
+                faulted_bytes += bytes as u64;
+            } else {
+                clean_bytes += bytes as u64;
+            }
+        }
+    }
+
+    let by_class: Vec<ClassFaults> = FaultClass::ALL
+        .iter()
+        .map(|c| {
+            let (injected, cleared) = class_counts.get(c.label()).copied().unwrap_or((0, 0));
+            ClassFaults {
+                class: c.label(),
+                injected,
+                cleared,
+            }
+        })
+        .collect();
+    FaultsReport {
+        injected: by_class.iter().map(|c| c.injected).sum(),
+        cleared: by_class.iter().map(|c| c.cleared).sum(),
+        by_class,
+        msg_retries,
+        msgs_abandoned,
+        fault_ns,
+        clean_ns: horizon - fault_ns,
+        faulted_bytes,
+        clean_bytes,
+        recoveries,
+        unrecovered: pending.values().map(|v| v.len() as u64).sum(),
+        mean_recovery_ns: if recoveries == 0 {
+            0.0
+        } else {
+            recovery_sum as f64 / recoveries as f64
+        },
+        max_recovery_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t_ns: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            t_ns,
+            slot: 0,
+            event,
+        }
+    }
+
+    fn inject(t: u64, class: FaultClass) -> TraceRecord {
+        rec(
+            t,
+            TraceEvent::FaultInjected {
+                fault: 0,
+                class,
+                src: 0,
+                dst: 1,
+            },
+        )
+    }
+
+    fn clear(t: u64, class: FaultClass) -> TraceRecord {
+        rec(
+            t,
+            TraceEvent::FaultCleared {
+                fault: 0,
+                class,
+                src: 0,
+                dst: 1,
+            },
+        )
+    }
+
+    fn deliver(t: u64, bytes: u32) -> TraceRecord {
+        rec(
+            t,
+            TraceEvent::MsgDelivered {
+                src: 2,
+                dst: 3,
+                bytes,
+                msg: 0,
+                latency_ns: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn exposure_merges_overlapping_windows() {
+        let r = faults(&[
+            inject(100, FaultClass::LinkDown),
+            inject(200, FaultClass::StuckGrant),
+            clear(300, FaultClass::LinkDown),
+            clear(500, FaultClass::StuckGrant),
+            deliver(1000, 0), // horizon
+        ]);
+        assert_eq!(r.fault_ns, 400, "one merged [100, 500) window");
+        assert_eq!(r.clean_ns, 600);
+        assert_eq!(r.injected, 2);
+        assert_eq!(r.cleared, 2);
+        let ld = r.by_class.iter().find(|c| c.class == "link-down").unwrap();
+        assert_eq!((ld.injected, ld.cleared), (1, 1));
+    }
+
+    #[test]
+    fn never_cleared_fault_extends_to_horizon() {
+        let r = faults(&[inject(100, FaultClass::NicTransient), deliver(600, 64)]);
+        assert_eq!(r.fault_ns, 500);
+        assert_eq!(r.clean_ns, 100);
+        assert_eq!(r.unrecovered, 0, "NIC faults have no pipe to rebuild");
+    }
+
+    #[test]
+    fn efficiency_loss_compares_faulted_and_clean_rates() {
+        let r = faults(&[
+            deliver(50, 400), // clean: 400 B over [0, 100) ∪ [300, 400)
+            inject(100, FaultClass::LinkDown),
+            deliver(200, 100), // faulted: 100 B over [100, 300)
+            clear(300, FaultClass::LinkDown),
+            deliver(400, 0),
+        ]);
+        assert_eq!(r.faulted_bytes, 100);
+        assert_eq!(r.clean_bytes, 400);
+        assert!((r.faulted_rate() - 0.5).abs() < 1e-12);
+        assert!((r.clean_rate() - 2.0).abs() < 1e-12);
+        assert!((r.efficiency_loss() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recovery_latency_pairs_clear_with_next_establish() {
+        let est = |t| {
+            rec(
+                t,
+                TraceEvent::ConnEstablished {
+                    src: 0,
+                    dst: 1,
+                    slot_idx: 0,
+                },
+            )
+        };
+        let r = faults(&[
+            inject(100, FaultClass::LinkDown),
+            clear(300, FaultClass::LinkDown),
+            est(450),
+            inject(1000, FaultClass::StuckGrant),
+            clear(1200, FaultClass::StuckGrant),
+            // never re-established
+        ]);
+        assert_eq!(r.recoveries, 1);
+        assert_eq!(r.unrecovered, 1);
+        assert_eq!(r.max_recovery_ns, 150);
+        assert!((r.mean_recovery_ns - 150.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faultless_trace_is_all_zero() {
+        let r = faults(&[deliver(100, 64)]);
+        assert_eq!(r.injected, 0);
+        assert_eq!(r.fault_ns, 0);
+        assert_eq!(r.clean_bytes, 64);
+        assert_eq!(r.efficiency_loss(), 0.0);
+        assert_eq!(r.by_class.len(), 5);
+    }
+}

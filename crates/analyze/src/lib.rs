@@ -15,6 +15,9 @@
 //! * [`contention`] — setup-latency attribution (alignment vs
 //!   scheduler contention vs slot service) and a head-of-line stall
 //!   detector for the wormhole baseline;
+//! * [`faults`] — fault exposure, efficiency loss inside fault windows
+//!   versus clean operation, and clear-to-reestablish recovery latency
+//!   (the graceful-degradation signal for `pms-faults` runs);
 //! * [`report`] — all of the above assembled into one deterministic
 //!   [`Report`](report::Report), rendered as JSON or terminal text.
 //!
@@ -29,6 +32,7 @@
 
 pub mod churn;
 pub mod contention;
+pub mod faults;
 pub mod heatmap;
 pub mod occupancy;
 pub mod replay;
@@ -36,6 +40,7 @@ pub mod report;
 
 pub use churn::{churn, CauseChurn, ChurnReport};
 pub use contention::{contention, ContentionReport, HolReport, HolStall, SetupAttribution};
+pub use faults::{faults, ClassFaults, FaultsReport};
 pub use heatmap::{heatmap, Heatmap};
 pub use occupancy::{occupancy, OccupancyReport, SlotOccupancy};
 pub use replay::{parse_jsonl, parse_line, Replay};

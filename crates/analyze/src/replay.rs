@@ -9,7 +9,7 @@
 //! trace is corrupt, and silently dropping records would skew every
 //! derived metric.
 
-use pms_trace::{EvictCause, Json, TraceEvent, TraceRecord};
+use pms_trace::{EvictCause, FaultClass, Json, TraceEvent, TraceRecord};
 
 /// The outcome of replaying a JSONL document.
 #[derive(Debug, Clone, Default)]
@@ -84,6 +84,42 @@ pub fn parse_line(line: &str) -> Result<Option<TraceRecord>, String> {
         },
         "phase-flush" => TraceEvent::PhaseFlush {
             cleared: field32("cleared")?,
+        },
+        "fault-injected" | "fault-cleared" => {
+            let label = v
+                .get("class")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("`{kind}` record missing `class`"))?;
+            let class = FaultClass::from_label(label)
+                .ok_or_else(|| format!("unknown fault class `{label}`"))?;
+            let (fault, src, dst) = (field32("fault")?, field32("src")?, field32("dst")?);
+            if kind == "fault-injected" {
+                TraceEvent::FaultInjected {
+                    fault,
+                    class,
+                    src,
+                    dst,
+                }
+            } else {
+                TraceEvent::FaultCleared {
+                    fault,
+                    class,
+                    src,
+                    dst,
+                }
+            }
+        }
+        "msg-retried" => TraceEvent::MsgRetried {
+            src: field32("src")?,
+            dst: field32("dst")?,
+            msg: field32("msg")?,
+            attempt: field32("attempt")?,
+        },
+        "msg-abandoned" => TraceEvent::MsgAbandoned {
+            src: field32("src")?,
+            dst: field32("dst")?,
+            msg: field32("msg")?,
+            retries: field32("retries")?,
         },
         _ => return Ok(None),
     };
@@ -179,6 +215,46 @@ mod tests {
                 },
             ),
             mk(500, 0, TraceEvent::PhaseFlush { cleared: 9 }),
+            mk(
+                600,
+                1,
+                TraceEvent::FaultInjected {
+                    fault: 2,
+                    class: pms_trace::FaultClass::LinkDown,
+                    src: 3,
+                    dst: 7,
+                },
+            ),
+            mk(
+                650,
+                1,
+                TraceEvent::MsgRetried {
+                    src: 3,
+                    dst: 7,
+                    msg: 0,
+                    attempt: 1,
+                },
+            ),
+            mk(
+                700,
+                2,
+                TraceEvent::MsgAbandoned {
+                    src: 3,
+                    dst: 7,
+                    msg: 0,
+                    retries: 4,
+                },
+            ),
+            mk(
+                800,
+                2,
+                TraceEvent::FaultCleared {
+                    fault: 2,
+                    class: pms_trace::FaultClass::LinkDown,
+                    src: 3,
+                    dst: 7,
+                },
+            ),
         ]
     }
 
@@ -215,6 +291,10 @@ mod tests {
         let bad =
             "{\"kind\":\"conn-evicted\",\"t_ns\":1,\"slot\":0,\"src\":0,\"dst\":1,\"cause\":\"x\"}";
         assert!(parse_jsonl(bad).unwrap_err().contains("eviction cause"));
+        // An unknown fault class is corrupt too (classes are a closed set).
+        let bad = "{\"kind\":\"fault-injected\",\"t_ns\":1,\"slot\":0,\
+                   \"fault\":0,\"class\":\"gremlin\",\"src\":0,\"dst\":1}";
+        assert!(parse_jsonl(bad).unwrap_err().contains("fault class"));
     }
 
     #[test]

@@ -9,6 +9,7 @@
 
 use crate::churn::{churn, ChurnReport};
 use crate::contention::{contention, ContentionReport};
+use crate::faults::{faults, FaultsReport};
 use crate::heatmap::{heatmap, Heatmap};
 use crate::occupancy::{occupancy, OccupancyReport};
 use pms_trace::{Json, TraceEvent, TraceRecord};
@@ -57,6 +58,8 @@ pub struct Report {
     pub churn: ChurnReport,
     /// Setup-latency attribution and HOL stalls.
     pub contention: ContentionReport,
+    /// Fault exposure, efficiency loss, and recovery latency.
+    pub faults: FaultsReport,
 }
 
 /// Infers the crossbar size from a trace: one more than the largest
@@ -97,6 +100,7 @@ pub fn build_report(records: &[TraceRecord], cfg: &ReportConfig) -> Report {
         heatmap: heatmap(records, ports),
         churn: churn(records, cfg.premature_window_ns),
         contention: contention(records, cfg.hol_factor, cfg.max_hol_stalls),
+        faults: faults(records),
     }
 }
 
@@ -119,6 +123,7 @@ impl Report {
             ("heatmap", self.heatmap.to_json()),
             ("churn", self.churn.to_json()),
             ("contention", self.contention.to_json()),
+            ("faults", self.faults.to_json()),
         ])
     }
 
@@ -270,6 +275,47 @@ impl Report {
                 ),
             );
         }
+
+        let f = &self.faults;
+        push(&mut out, "-- fault impact --".into());
+        if f.injected == 0 {
+            push(&mut out, "  no faults injected".into());
+        } else {
+            for c in &f.by_class {
+                if c.injected > 0 {
+                    push(
+                        &mut out,
+                        format!(
+                            "  {:<14} {:>6} injected, {:>6} cleared",
+                            c.class, c.injected, c.cleared
+                        ),
+                    );
+                }
+            }
+            push(
+                &mut out,
+                format!(
+                    "  exposure: {} ns faulted vs {} ns clean; {} retries, {} abandoned",
+                    f.fault_ns, f.clean_ns, f.msg_retries, f.msgs_abandoned
+                ),
+            );
+            push(
+                &mut out,
+                format!(
+                    "  throughput {:.3} B/ns faulted vs {:.3} B/ns clean: {:.1}% efficiency loss",
+                    f.faulted_rate(),
+                    f.clean_rate(),
+                    f.efficiency_loss() * 100.0
+                ),
+            );
+            push(
+                &mut out,
+                format!(
+                    "  recovery: {} pipes rebuilt (mean {:.0} ns, max {} ns), {} unrecovered",
+                    f.recoveries, f.mean_recovery_ns, f.max_recovery_ns, f.unrecovered
+                ),
+            );
+        }
         out
     }
 }
@@ -343,7 +389,7 @@ mod tests {
         let a = build_report(&records, &cfg).to_json().render_pretty();
         let b = build_report(&records, &cfg).to_json().render_pretty();
         assert_eq!(a, b);
-        for section in ["occupancy", "heatmap", "churn", "contention"] {
+        for section in ["occupancy", "heatmap", "churn", "contention", "faults"] {
             assert!(a.contains(&format!("\"{section}\"")), "missing {section}");
         }
     }
@@ -379,6 +425,7 @@ mod tests {
             "predictor churn",
             "setup-latency attribution",
             "head-of-line stalls",
+            "fault impact",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }

@@ -1,0 +1,50 @@
+//! Graceful-degradation sweep: efficiency versus blackout duty cycle
+//! for all four switching paradigms (see `pms_bench::degradation`).
+//!
+//! ```text
+//! cargo run --release -p pms-bench --bin degradation [--ports N] [--bytes B]
+//! ```
+//!
+//! Every ordered link is taken down for `duty`% of each 2 us period by
+//! a scripted `pms-faults` plan; the table shows how much efficiency
+//! each paradigm retains. The curve falls monotonically with the duty
+//! cycle and all traffic is still delivered — degradation, not loss.
+
+use pms_bench::{degradation_sweep, render_degradation};
+use pms_sim::{Paradigm, PredictorKind, SimParams};
+use pms_workloads::scatter;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str, default: usize| -> usize {
+        argv.iter()
+            .position(|a| a == name)
+            .and_then(|i| argv.get(i + 1))
+            .map(|v| {
+                v.parse().unwrap_or_else(|_| {
+                    eprintln!("{name} needs an integer, got `{v}`");
+                    std::process::exit(2);
+                })
+            })
+            .unwrap_or(default)
+    };
+    let ports = flag("--ports", 8);
+    let bytes = flag("--bytes", 256) as u32;
+
+    let w = scatter(ports, bytes);
+    let mut params = SimParams::default().with_ports(ports);
+    params.tdm_slots = ports.max(2);
+    let paradigms = [
+        Paradigm::Wormhole,
+        Paradigm::Circuit,
+        Paradigm::DynamicTdm(PredictorKind::Drop),
+        Paradigm::PreloadTdm,
+    ];
+    let duties = [0, 10, 20, 30, 40, 50, 60];
+    let rows = degradation_sweep(&w, &params, &paradigms, &duties, 2_000);
+    println!(
+        "blackout degradation: {} ({} ports, {} B, 2000 ns period)",
+        w.name, ports, bytes
+    );
+    print!("{}", render_degradation(&rows, params.link.bytes_per_ns()));
+}

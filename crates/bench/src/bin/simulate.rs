@@ -11,17 +11,20 @@
 //! `.jsonl` extension it writes the replayable line-per-record format
 //! consumed by the `analyze` binary instead. `--report out.json` runs
 //! the full `pms-analyze` report (slot occupancy, traffic heatmap,
-//! predictor churn, setup-latency attribution) over the run's events,
+//! predictor churn, setup-latency attribution, fault impact) over the
+//! run's events,
 //! prints it, and writes the JSON — byte-identical to replaying the
 //! `.jsonl` trace through `analyze`. `--flight-recorder out.jsonl`
 //! attaches the bounded-ring anomaly recorder instead of a full tracer:
 //! nothing is written unless a setup-latency outlier fires. `--json`
 //! prints the statistics as one JSON object instead of the text block;
 //! `--phase-detector` attaches the §3.3 miss-rate phase detector to
-//! dynamic TDM runs.
+//! dynamic TDM runs. `--faults plan.txt` injects the deterministic
+//! fault schedule parsed from the given `pms-faults` plan file.
 
 use pms_analyze::ReportConfig;
 use pms_bench::{write_report_file, write_trace_file};
+use pms_faults::FaultPlan;
 use pms_predict::PhaseDetectorConfig;
 use pms_sim::{Paradigm, PredictorKind, SimParams, TdmMode, TdmSim};
 use pms_trace::{FlightConfig, Tracer};
@@ -41,8 +44,16 @@ struct Args {
     trace: Option<String>,
     report: Option<String>,
     flight: Option<String>,
+    faults: Option<String>,
     json: bool,
     phase_detector: bool,
+}
+
+/// A CLI-level failure (unreadable file, malformed plan): report it and
+/// exit non-zero instead of panicking with a backtrace.
+fn die(msg: String) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(1);
 }
 
 fn parse_args() -> Args {
@@ -57,6 +68,7 @@ fn parse_args() -> Args {
         trace: None,
         report: None,
         flight: None,
+        faults: None,
         json: false,
         phase_detector: false,
     };
@@ -89,6 +101,7 @@ fn parse_args() -> Args {
             "--trace" => args.trace = Some(value(i).to_string()),
             "--report" => args.report = Some(value(i).to_string()),
             "--flight-recorder" => args.flight = Some(value(i).to_string()),
+            "--faults" => args.faults = Some(value(i).to_string()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -111,7 +124,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: simulate [--pattern P] [--ports N] [--bytes B] [--paradigm X]\n\
          \x20               [--slots K] [--timeout NS] [--seed S]\n\
-         \x20               [--trace OUT] [--report OUT.json]\n\
+         \x20               [--trace OUT] [--report OUT.json] [--faults PLAN.txt]\n\
          \x20               [--flight-recorder OUT.jsonl] [--json] [--phase-detector]\n\
          patterns : scatter gather ring uniform hotspot permutation butterfly\n\
          \x20          transpose stencil3d ordered-mesh random-mesh two-phase\n\
@@ -119,6 +132,7 @@ fn usage() -> ! {
          --trace  : write a trace file; .jsonl -> replayable records (for the\n\
          \x20          analyze binary), otherwise Chrome Trace Event format\n\
          --report : run the pms-analyze report over the run and write its JSON\n\
+         --faults : inject the deterministic fault plan parsed from PLAN.txt\n\
          --flight-recorder : bounded-ring anomaly recorder; dumps the ring to\n\
          \x20          the given JSONL only when a setup-latency outlier fires\n\
          --json   : print statistics as one JSON object\n\
@@ -132,18 +146,23 @@ fn build_workload(a: &Args) -> Workload {
     // dump_cmdfiles tool) instead of generating a pattern.
     if let Some(dir) = a.pattern.strip_prefix("dir:") {
         let mut paths: Vec<_> = std::fs::read_dir(dir)
-            .unwrap_or_else(|e| panic!("cannot read {dir}: {e}"))
+            .unwrap_or_else(|e| die(format!("cannot read {dir}: {e}")))
             .map(|e| e.expect("dir entry").path())
             .filter(|p| p.extension().is_some_and(|x| x == "cmd"))
             .collect();
         paths.sort();
-        assert!(!paths.is_empty(), "no .cmd files in {dir}");
+        if paths.is_empty() {
+            die(format!("no .cmd files in {dir}"));
+        }
         let files: Vec<String> = paths
             .iter()
-            .map(|p| std::fs::read_to_string(p).expect("readable command file"))
+            .map(|p| {
+                std::fs::read_to_string(p)
+                    .unwrap_or_else(|e| die(format!("cannot read {}: {e}", p.display())))
+            })
             .collect();
         return Workload::from_command_files(format!("dir:{dir}"), &files)
-            .unwrap_or_else(|(p, e)| panic!("processor {p}: {e}"));
+            .unwrap_or_else(|(p, e)| die(format!("processor {p}: {e}")));
     }
     let mesh = || MeshSpec::for_ports(a.ports);
     match a.pattern.as_str() {
@@ -218,6 +237,14 @@ fn main() {
         .with_ports(args.ports)
         .with_tdm_slots(args.slots);
     let rate = params.link.bytes_per_ns();
+    let plan = match &args.faults {
+        Some(path) => {
+            let text = std::fs::read_to_string(path)
+                .unwrap_or_else(|e| die(format!("cannot read fault plan {path}: {e}")));
+            FaultPlan::parse(&text).unwrap_or_else(|e| die(format!("{path}: {e}")))
+        }
+        None => FaultPlan::new(),
+    };
 
     let tracer = if let Some(path) = &args.flight {
         Tracer::flight(path.clone(), FlightConfig::default())
@@ -233,18 +260,19 @@ fn main() {
                 miss_threshold: 0.75,
                 cooldown: 16,
             })
+            .with_faults(plan)
             .with_tracer(tracer)
             .run_traced()
     } else {
-        paradigm.run_traced(&workload, &params, tracer)
+        paradigm.run_faulted(&workload, &params, plan, tracer)
     };
     tracer
         .finish()
-        .unwrap_or_else(|e| panic!("cannot flush tracer: {e}"));
+        .unwrap_or_else(|e| die(format!("cannot flush tracer: {e}")));
     if let Some(path) = &args.trace {
         let records = tracer.records();
         write_trace_file(path, &records)
-            .unwrap_or_else(|e| panic!("cannot write trace {path}: {e}"));
+            .unwrap_or_else(|e| die(format!("cannot write trace {path}: {e}")));
         eprintln!("trace        : {} events -> {path}", records.len());
     }
     if let Tracer::Flight(fr) = &tracer {
@@ -261,7 +289,7 @@ fn main() {
     }
     if let Some(path) = &args.report {
         let report = write_report_file(path, &tracer.records(), &ReportConfig::default())
-            .unwrap_or_else(|e| panic!("cannot write report {path}: {e}"));
+            .unwrap_or_else(|e| die(format!("cannot write report {path}: {e}")));
         eprint!("{}", report.render_text());
         eprintln!("report       : -> {path}");
     }
@@ -290,6 +318,12 @@ fn main() {
     println!("established  : {}", stats.connections_established);
     println!("evictions    : {}", stats.predictor_evictions);
     println!("preloads     : {}", stats.preload_loads);
+    if stats.msg_retries > 0 || stats.msgs_abandoned > 0 {
+        println!(
+            "faults       : {} retries, {} abandoned",
+            stats.msg_retries, stats.msgs_abandoned
+        );
+    }
     if let Some(rate) = stats.working_set_hit_rate() {
         println!("ws hit rate  : {:.1} %", rate * 100.0);
     }

@@ -1,0 +1,149 @@
+//! Graceful-degradation sweep: efficiency versus fault duty cycle.
+//!
+//! The sweep injects periodic whole-fabric blackout windows — every
+//! ordered link goes down for `duty`% of each period — and measures the
+//! efficiency each switching paradigm retains. The plan is fully
+//! scripted, so the curve is deterministic and CI can assert its shape:
+//! efficiency falls monotonically as the duty cycle grows, for every
+//! paradigm (graceful degradation, not collapse).
+
+use pms_faults::{FaultKind, FaultPlan};
+use pms_sim::{Paradigm, SimParams, SimStats};
+use pms_trace::Tracer;
+use pms_workloads::Workload;
+
+/// A periodic blackout plan: every ordered link `(u, v)` is down for
+/// `duty_pct`% of each `period_ns` window, starting at time zero. A
+/// zero duty cycle yields an empty plan (the no-fault baseline).
+///
+/// # Panics
+/// Panics unless `duty_pct < 100` (the clean remainder of each period
+/// is what lets queued traffic drain).
+pub fn blackout_plan(ports: u32, duty_pct: u64, period_ns: u64) -> FaultPlan {
+    assert!(duty_pct < 100, "a 100% duty cycle never heals");
+    let mut plan = FaultPlan::new();
+    if duty_pct == 0 {
+        return plan;
+    }
+    let duration_ns = period_ns * duty_pct / 100;
+    for u in 0..ports {
+        for v in 0..ports {
+            if u != v {
+                plan.push_periodic(
+                    0,
+                    duration_ns,
+                    period_ns,
+                    FaultKind::LinkDown { src: u, dst: v },
+                );
+            }
+        }
+    }
+    plan
+}
+
+/// One sweep row: the duty cycle and each paradigm's results at it.
+#[derive(Debug, Clone)]
+pub struct DegradationRow {
+    /// Blackout duty cycle in percent.
+    pub duty_pct: u64,
+    /// Per-paradigm results, in the order the paradigms were given.
+    pub cells: Vec<(String, SimStats)>,
+}
+
+/// Runs the blackout sweep: every paradigm at every duty cycle.
+pub fn degradation_sweep(
+    workload: &Workload,
+    params: &SimParams,
+    paradigms: &[Paradigm],
+    duties: &[u64],
+    period_ns: u64,
+) -> Vec<DegradationRow> {
+    duties
+        .iter()
+        .map(|&duty_pct| DegradationRow {
+            duty_pct,
+            cells: paradigms
+                .iter()
+                .map(|p| {
+                    let plan = blackout_plan(workload.ports as u32, duty_pct, period_ns);
+                    let (stats, _) = p.run_faulted(workload, params, plan, Tracer::Null);
+                    (p.label(), stats)
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Renders the sweep as a duty-cycle x paradigm efficiency table.
+pub fn render_degradation(rows: &[DegradationRow], rate: f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{:>8}", "duty%"));
+    if let Some(first) = rows.first() {
+        for (label, _) in &first.cells {
+            out.push_str(&format!(" {label:>14}"));
+        }
+    }
+    out.push('\n');
+    for row in rows {
+        out.push_str(&format!("{:>8}", row.duty_pct));
+        for (_, stats) in &row.cells {
+            out.push_str(&format!(" {:>13.1}%", stats.efficiency(rate) * 100.0));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pms_sim::PredictorKind;
+    use pms_workloads::scatter;
+
+    #[test]
+    fn zero_duty_is_an_empty_plan() {
+        assert!(blackout_plan(8, 0, 2_000).is_empty());
+        let p = blackout_plan(4, 50, 2_000);
+        assert_eq!(p.faults.len(), 12, "all ordered links");
+        assert!(p.faults.iter().all(|f| f.duration_ns == 1_000));
+    }
+
+    #[test]
+    fn efficiency_loss_is_monotone_in_fault_rate_for_all_paradigms() {
+        let w = scatter(8, 128);
+        let mut params = SimParams::default().with_ports(8);
+        params.tdm_slots = 8;
+        params.max_sim_ns = 1_000_000;
+        let paradigms = [
+            Paradigm::Wormhole,
+            Paradigm::Circuit,
+            Paradigm::DynamicTdm(PredictorKind::Drop),
+            Paradigm::PreloadTdm,
+        ];
+        let duties = [0, 30, 60];
+        let rows = degradation_sweep(&w, &params, &paradigms, &duties, 2_000);
+        let rate = params.link.bytes_per_ns();
+        for (col, (label, _)) in rows[0].cells.iter().enumerate() {
+            let effs: Vec<f64> = rows
+                .iter()
+                .map(|r| r.cells[col].1.efficiency(rate))
+                .collect();
+            for pair in effs.windows(2) {
+                assert!(
+                    pair[1] <= pair[0] + 1e-9,
+                    "{label}: efficiency rose with fault rate: {effs:?}"
+                );
+            }
+            assert!(
+                effs[duties.len() - 1] < effs[0],
+                "{label}: no loss at 60% duty: {effs:?}"
+            );
+            // Degradation stays graceful: everything still gets delivered.
+            for r in &rows {
+                assert_eq!(r.cells[col].1.delivered_messages, 7, "{label}");
+            }
+        }
+        let text = render_degradation(&rows, rate);
+        assert!(text.contains("wormhole") && text.contains("preload-tdm"));
+    }
+}

@@ -9,12 +9,16 @@
 //! * `fig5` — the hybrid preload/dynamic determinism sweep;
 //! * `table_logic` — Tables 1 and 2 (the scheduling logic truth tables);
 //! * `ablate` — ablations: coloring algorithms, predictor policies,
-//!   priority rotation.
+//!   priority rotation;
+//! * `degradation` — graceful-degradation sweep: efficiency vs fault
+//!   duty cycle under the `pms-faults` blackout plan.
 //!
 //! The library part holds the shared sweep driver so binaries stay thin.
 
+pub mod degradation;
 pub mod reporting;
 pub mod sweep;
 
+pub use degradation::{blackout_plan, degradation_sweep, render_degradation, DegradationRow};
 pub use reporting::{trace_and_report_flags, write_report_file, write_trace_file};
 pub use sweep::{run_grid, Cell, FigureTable};

@@ -32,14 +32,20 @@ pub fn trace_and_report_flags(
         return;
     }
     let records = run();
+    // I/O failures here are CLI errors (bad path, full disk), not bugs:
+    // report them and exit non-zero rather than panicking.
     if let Some(path) = trace {
-        write_trace_file(&path, &records)
-            .unwrap_or_else(|e| panic!("cannot write trace {path}: {e}"));
+        write_trace_file(&path, &records).unwrap_or_else(|e| {
+            eprintln!("cannot write trace {path}: {e}");
+            std::process::exit(1);
+        });
         println!("trace: {label}, {} events -> {path}", records.len());
     }
     if let Some(path) = report {
-        write_report_file(&path, &records, &ReportConfig::default())
-            .unwrap_or_else(|e| panic!("cannot write report {path}: {e}"));
+        write_report_file(&path, &records, &ReportConfig::default()).unwrap_or_else(|e| {
+            eprintln!("cannot write report {path}: {e}");
+            std::process::exit(1);
+        });
         println!("report: {label} -> {path}");
     }
 }

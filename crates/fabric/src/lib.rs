@@ -23,6 +23,7 @@
 
 mod crossbar;
 mod fattree;
+mod masked;
 mod omega;
 mod state;
 mod technology;
@@ -30,6 +31,7 @@ mod torus;
 
 pub use crossbar::Crossbar;
 pub use fattree::FatTree;
+pub use masked::MaskedFabric;
 pub use omega::OmegaNetwork;
 pub use state::FabricState;
 pub use technology::Technology;

@@ -1,0 +1,116 @@
+//! A fabric with a dynamic fault mask ANDed into its validity.
+
+use crate::{check_dims, Fabric};
+use pms_bitmat::BitMatrix;
+
+/// Wraps any [`Fabric`] with a link-availability mask: a configuration is
+/// valid iff the inner fabric accepts it **and** it uses no masked-out
+/// link (`config ⊆ mask`, where `mask[u][v] = 1` means usable).
+///
+/// This is how fault injection reaches fabric validity without the fabric
+/// models knowing about faults: the fault state owns the mask and swaps
+/// it via [`set_mask`](MaskedFabric::set_mask) as fault windows open and
+/// close. Masking only ever *removes* links, so the wrapped validity
+/// stays subset-closed — the invariant `Scheduler::pass_admitted` relies
+/// on.
+#[derive(Debug, Clone)]
+pub struct MaskedFabric<F: Fabric> {
+    inner: F,
+    mask: BitMatrix,
+}
+
+impl<F: Fabric> MaskedFabric<F> {
+    /// Wraps `inner` with an all-ones (no-fault) mask.
+    pub fn new(inner: F) -> Self {
+        let n = inner.ports();
+        let mut mask = BitMatrix::square(n);
+        for u in 0..n {
+            for v in 0..n {
+                mask.set(u, v, true);
+            }
+        }
+        MaskedFabric { inner, mask }
+    }
+
+    /// Replaces the availability mask (`1` = usable).
+    ///
+    /// # Panics
+    /// Panics if the mask's dimensions don't match the fabric.
+    pub fn set_mask(&mut self, mask: BitMatrix) {
+        check_dims(self.inner.ports(), &mask);
+        self.mask = mask;
+    }
+
+    /// The current availability mask.
+    pub fn mask(&self) -> &BitMatrix {
+        &self.mask
+    }
+
+    /// The wrapped fabric.
+    pub fn inner(&self) -> &F {
+        &self.inner
+    }
+}
+
+impl<F: Fabric> Fabric for MaskedFabric<F> {
+    fn ports(&self) -> usize {
+        self.inner.ports()
+    }
+
+    fn is_valid(&self, config: &BitMatrix) -> bool {
+        check_dims(self.inner.ports(), config);
+        for r in 0..config.rows() {
+            let c = config.row_words(r);
+            let m = self.mask.row_words(r);
+            for (cw, mw) in c.iter().zip(m) {
+                if cw & !mw != 0 {
+                    return false;
+                }
+            }
+        }
+        self.inner.is_valid(config)
+    }
+
+    fn propagation_delay_ns(&self) -> u64 {
+        self.inner.propagation_delay_ns()
+    }
+
+    fn reserializes(&self) -> bool {
+        self.inner.reserializes()
+    }
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Crossbar, Technology};
+
+    #[test]
+    fn all_ones_mask_changes_nothing() {
+        let f = MaskedFabric::new(Crossbar::new(8, Technology::Lvds));
+        let cfg = BitMatrix::from_pairs(8, 8, [(0, 1), (2, 3)]);
+        assert!(f.is_valid(&cfg));
+        assert!(f.is_valid(&BitMatrix::square(8)));
+        assert_eq!(f.ports(), 8);
+        assert_eq!(f.name(), f.inner().name());
+    }
+
+    #[test]
+    fn masked_link_invalidates_configs_using_it() {
+        let mut f = MaskedFabric::new(Crossbar::new(8, Technology::Lvds));
+        let mut mask = f.mask().clone();
+        mask.set(2, 3, false);
+        f.set_mask(mask);
+        assert!(f.is_valid(&BitMatrix::from_pairs(8, 8, [(0, 1)])));
+        assert!(!f.is_valid(&BitMatrix::from_pairs(8, 8, [(0, 1), (2, 3)])));
+        // Restoring the mask re-admits the config.
+        let mut restored = f.mask().clone();
+        restored.set(2, 3, true);
+        f.set_mask(restored);
+        assert!(f.is_valid(&BitMatrix::from_pairs(8, 8, [(0, 1), (2, 3)])));
+    }
+}

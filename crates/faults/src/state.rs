@@ -1,0 +1,329 @@
+//! Replaying a [`FaultPlan`] against simulation time.
+
+use crate::plan::{FaultKind, FaultPlan, RetryPolicy};
+use pms_bitmat::BitMatrix;
+
+/// One fault boundary crossing, reported by [`FaultState::poll`].
+///
+/// `t_ns` is the *scheduled* boundary, not the poll time: simulators with
+/// different polling cadences emit identical trace timestamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// The fault's stable id (its index in [`FaultPlan::faults`]).
+    pub fault: u32,
+    /// The exact nanosecond of the boundary.
+    pub t_ns: u64,
+    /// What misbehaves.
+    pub kind: FaultKind,
+    /// `true` when the fault just became active, `false` when it cleared.
+    pub injected: bool,
+}
+
+/// Live fault state: the plan replayed up to the last polled instant.
+///
+/// Simulators call [`poll`](FaultState::poll) whenever simulation time
+/// advances, apply the returned transitions (trace events, revocations),
+/// and consult the predicates (`link_ok`, `stuck_release`, …) on their
+/// hot paths. [`next_change`](FaultState::next_change) bounds how far an
+/// event-driven simulator may sleep without missing a boundary.
+#[derive(Debug, Clone)]
+pub struct FaultState {
+    plan: FaultPlan,
+    ports: usize,
+    /// Per fault: currently active?
+    active: Vec<bool>,
+    /// Per fault: the next boundary to process, `None` when it never
+    /// changes again.
+    next_toggle: Vec<Option<u64>>,
+    /// `1` = usable. A pair is masked out while any `LinkDown` or
+    /// `StuckGrant` fault covers it.
+    grant_mask: BitMatrix,
+    /// Per-pair active-fault counts (faults may overlap).
+    block_count: Vec<u16>,
+    stuck_release_count: Vec<u16>,
+    grant_drop_count: Vec<u16>,
+    /// Per-port active `NicTransient` counts.
+    nic_count: Vec<u16>,
+    /// Total active faults (fast "anything wrong?" check).
+    active_total: usize,
+}
+
+impl FaultState {
+    /// Builds the state for a switch with `ports` ports, with every fault
+    /// pending (poll from `t = 0`).
+    ///
+    /// # Panics
+    /// Panics if the plan references a port `>= ports`.
+    pub fn new(ports: usize, plan: FaultPlan) -> Self {
+        assert!(
+            plan.ports_spanned() as usize <= ports,
+            "fault plan touches port {} but the switch has {} ports",
+            plan.ports_spanned().saturating_sub(1),
+            ports
+        );
+        let mut grant_mask = BitMatrix::square(ports);
+        for u in 0..ports {
+            for v in 0..ports {
+                grant_mask.set(u, v, true);
+            }
+        }
+        let n = plan.faults.len();
+        let next_toggle = plan.faults.iter().map(|f| Some(f.start_ns)).collect();
+        FaultState {
+            plan,
+            ports,
+            active: vec![false; n],
+            next_toggle,
+            grant_mask,
+            block_count: vec![0; ports * ports],
+            stuck_release_count: vec![0; ports * ports],
+            grant_drop_count: vec![0; ports * ports],
+            nic_count: vec![0; ports],
+            active_total: 0,
+        }
+    }
+
+    /// The plan's retry discipline.
+    pub fn retry(&self) -> RetryPolicy {
+        self.plan.retry
+    }
+
+    /// Advances the replay to `now`, returning every boundary crossed
+    /// (in time order; ties broken by fault id) since the previous poll.
+    pub fn poll(&mut self, now: u64) -> Vec<Transition> {
+        let mut out = Vec::new();
+        loop {
+            let mut best: Option<(u64, usize)> = None;
+            for (i, t) in self.next_toggle.iter().enumerate() {
+                if let Some(t) = *t {
+                    if t <= now && best.is_none_or(|(bt, _)| t < bt) {
+                        best = Some((t, i));
+                    }
+                }
+            }
+            let Some((t, i)) = best else { break };
+            let injected = !self.active[i];
+            self.active[i] = injected;
+            let kind = self.plan.faults[i].kind;
+            self.apply(kind, injected);
+            self.next_toggle[i] = self.plan.faults[i].next_change_after(t);
+            out.push(Transition {
+                fault: i as u32,
+                t_ns: t,
+                kind,
+                injected,
+            });
+        }
+        out
+    }
+
+    fn apply(&mut self, kind: FaultKind, injected: bool) {
+        if injected {
+            self.active_total += 1;
+        } else {
+            self.active_total -= 1;
+        }
+        let idx = |u: u32, v: u32| u as usize * self.ports + v as usize;
+        match kind {
+            FaultKind::LinkDown { src, dst } | FaultKind::StuckGrant { src, dst } => {
+                let i = idx(src, dst);
+                if injected {
+                    self.block_count[i] += 1;
+                    self.grant_mask.set(src as usize, dst as usize, false);
+                } else {
+                    self.block_count[i] -= 1;
+                    if self.block_count[i] == 0 {
+                        self.grant_mask.set(src as usize, dst as usize, true);
+                    }
+                }
+            }
+            FaultKind::StuckRelease { src, dst } => {
+                let i = idx(src, dst);
+                if injected {
+                    self.stuck_release_count[i] += 1;
+                } else {
+                    self.stuck_release_count[i] -= 1;
+                }
+            }
+            FaultKind::GrantDrop { src, dst } => {
+                let i = idx(src, dst);
+                if injected {
+                    self.grant_drop_count[i] += 1;
+                } else {
+                    self.grant_drop_count[i] -= 1;
+                }
+            }
+            FaultKind::NicTransient { port } => {
+                if injected {
+                    self.nic_count[port as usize] += 1;
+                } else {
+                    self.nic_count[port as usize] -= 1;
+                }
+            }
+        }
+    }
+
+    /// The earliest unprocessed fault boundary, or `None` when the plan
+    /// has fully played out. After `poll(now)` this is strictly > `now`.
+    pub fn next_change(&self) -> Option<u64> {
+        self.next_toggle.iter().flatten().min().copied()
+    }
+
+    /// Any fault currently active?
+    pub fn any_active(&self) -> bool {
+        self.active_total > 0
+    }
+
+    /// Is any grant-blocking fault (`LinkDown`/`StuckGrant`) active?
+    pub fn any_grant_blocked(&self) -> bool {
+        self.block_count.iter().any(|&c| c > 0)
+    }
+
+    /// May `u -> v` be granted right now?
+    pub fn link_ok(&self, u: usize, v: usize) -> bool {
+        self.grant_mask.get(u, v)
+    }
+
+    /// Is the SL cell `(u, v)` stuck closed (releases suppressed)?
+    pub fn stuck_release(&self, u: usize, v: usize) -> bool {
+        self.stuck_release_count[u * self.ports + v] > 0
+    }
+
+    /// Is the grant line for `u -> v` currently dropping grants?
+    pub fn grant_drop(&self, u: usize, v: usize) -> bool {
+        self.grant_drop_count[u * self.ports + v] > 0
+    }
+
+    /// Is `port`'s NIC currently failing completions?
+    pub fn nic_faulty(&self, port: usize) -> bool {
+        self.nic_count[port] > 0
+    }
+
+    /// The dynamic grant mask: `1` = usable.
+    pub fn grant_mask(&self) -> &BitMatrix {
+        &self.grant_mask
+    }
+
+    /// Is `config` free of dead links (`config ⊆ grant_mask`)?
+    ///
+    /// Word-parallel and allocation-free: this is the admission closure's
+    /// hot path.
+    pub fn admits(&self, config: &BitMatrix) -> bool {
+        for r in 0..config.rows() {
+            let c = config.row_words(r);
+            let m = self.grant_mask.row_words(r);
+            for (cw, mw) in c.iter().zip(m) {
+                if cw & !mw != 0 {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultKind;
+
+    fn link(src: u32, dst: u32) -> FaultKind {
+        FaultKind::LinkDown { src, dst }
+    }
+
+    #[test]
+    fn poll_reports_boundaries_in_time_order() {
+        let mut plan = FaultPlan::new();
+        plan.push(100, 50, link(0, 1));
+        plan.push(50, 200, FaultKind::NicTransient { port: 2 });
+        let mut st = FaultState::new(4, plan);
+        assert_eq!(st.next_change(), Some(50));
+
+        let ts: Vec<(u64, u32, bool)> = st
+            .poll(300)
+            .iter()
+            .map(|t| (t.t_ns, t.fault, t.injected))
+            .collect();
+        assert_eq!(
+            ts,
+            vec![
+                (50, 1, true),
+                (100, 0, true),
+                (150, 0, false),
+                (250, 1, false)
+            ]
+        );
+        assert!(!st.any_active());
+        assert_eq!(st.next_change(), None);
+        assert!(st.poll(10_000).is_empty(), "plan fully played out");
+    }
+
+    #[test]
+    fn grant_mask_tracks_overlapping_blockers() {
+        let mut plan = FaultPlan::new();
+        plan.push(0, 100, link(1, 2));
+        plan.push(50, 100, FaultKind::StuckGrant { src: 1, dst: 2 });
+        let mut st = FaultState::new(4, plan);
+        st.poll(60);
+        assert!(!st.link_ok(1, 2));
+        st.poll(120);
+        assert!(!st.link_ok(1, 2), "stuck-grant still covers the pair");
+        st.poll(160);
+        assert!(st.link_ok(1, 2), "both cleared");
+        assert!(st.link_ok(0, 0) && st.link_ok(3, 3));
+    }
+
+    #[test]
+    fn admits_rejects_configs_over_dead_links() {
+        let mut plan = FaultPlan::new();
+        plan.push(0, 1000, link(2, 3));
+        let mut st = FaultState::new(8, plan);
+        st.poll(0);
+        let good = BitMatrix::from_pairs(8, 8, [(0, 1), (4, 5)]);
+        let bad = BitMatrix::from_pairs(8, 8, [(0, 1), (2, 3)]);
+        assert!(st.admits(&good));
+        assert!(!st.admits(&bad));
+        st.poll(1000);
+        assert!(st.admits(&bad), "cleared fault readmits the link");
+    }
+
+    #[test]
+    fn per_pair_and_per_port_predicates() {
+        let mut plan = FaultPlan::new();
+        plan.push(0, 100, FaultKind::StuckRelease { src: 0, dst: 1 });
+        plan.push(0, 100, FaultKind::GrantDrop { src: 2, dst: 0 });
+        plan.push(0, 100, FaultKind::NicTransient { port: 3 });
+        let mut st = FaultState::new(4, plan);
+        st.poll(0);
+        assert!(st.stuck_release(0, 1) && !st.stuck_release(1, 0));
+        assert!(st.grant_drop(2, 0) && !st.grant_drop(0, 2));
+        assert!(st.nic_faulty(3) && !st.nic_faulty(0));
+        assert!(st.link_ok(0, 1), "none of these block grants");
+        assert!(st.any_active() && !st.any_grant_blocked());
+        st.poll(100);
+        assert!(!st.any_active());
+    }
+
+    #[test]
+    fn periodic_fault_toggles_forever() {
+        let mut plan = FaultPlan::new();
+        plan.push_periodic(0, 10, 100, link(0, 1));
+        let mut st = FaultState::new(2, plan);
+        for k in 0..50u64 {
+            let trs = st.poll(k * 100);
+            assert!(trs.iter().any(|t| t.injected && t.t_ns == k * 100));
+            assert!(!st.link_ok(0, 1));
+            let trs = st.poll(k * 100 + 10);
+            assert!(trs.iter().any(|t| !t.injected && t.t_ns == k * 100 + 10));
+            assert!(st.link_ok(0, 1));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "touches port 7")]
+    fn plan_wider_than_switch_is_rejected() {
+        let mut plan = FaultPlan::new();
+        plan.push(0, 10, link(0, 7));
+        FaultState::new(4, plan);
+    }
+}

@@ -52,6 +52,15 @@ pub trait ConnectionPredictor {
     /// Connection `u -> v` was released/evicted; forget its state.
     fn on_release(&mut self, u: usize, v: usize);
 
+    /// Connection `u -> v` was torn down by a hardware fault (not by this
+    /// predictor). Default: identical to [`on_release`](Self::on_release)
+    /// — the predictor must forget the pair so a post-fault re-establish
+    /// starts with fresh state rather than inheriting a pre-fault idle
+    /// clock or counter.
+    fn on_fault(&mut self, u: usize, v: usize) {
+        self.on_release(u, v);
+    }
+
     /// Drains the set of connections that should be evicted as of `now`.
     fn take_evictions(&mut self, now: u64) -> Vec<(usize, usize)>;
 
@@ -107,6 +116,19 @@ mod tests {
             p.on_establish(1, 2, 0);
             let _ = p.take_evictions(100);
         }
+    }
+
+    #[test]
+    fn on_fault_defaults_to_release() {
+        // A timeout predictor that saw a fault on (0, 1) must not evict it
+        // again after the pair is gone.
+        let mut p = TimeoutPredictor::new(10);
+        p.on_establish(0, 1, 0);
+        p.on_fault(0, 1);
+        assert!(
+            p.take_evictions(u64::MAX).is_empty(),
+            "faulted pair left predictor state behind"
+        );
     }
 
     #[test]

@@ -14,11 +14,13 @@
 //! release rule.
 
 use crate::engine::{Effect, Engine};
+use crate::faultrt::{FaultRt, NicOutcome};
 use crate::message::MsgState;
 use crate::params::SimParams;
 use crate::stats::SimStats;
 use crate::voq::Voqs;
 use pms_bitmat::BitMatrix;
+use pms_faults::{FaultKind, FaultPlan};
 use pms_sched::{Scheduler, SchedulerConfig};
 use pms_trace::{EvictCause, TraceEvent, Tracer};
 use pms_workloads::Workload;
@@ -40,6 +42,11 @@ pub struct CircuitSim {
     /// flows — pure per-message circuit switching (§5).
     pending_release: HashSet<(usize, usize)>,
     undelivered: usize,
+    /// Optional fault-injection runtime; `None` (also for an empty plan)
+    /// takes exactly the unfaulted code path.
+    faults: Option<FaultRt>,
+    msg_retries: u64,
+    msgs_abandoned: u64,
     /// Event sink; circuit switching has no TDM slots, so records are
     /// stamped `slot = 0`.
     tracer: Tracer,
@@ -65,8 +72,19 @@ impl CircuitSim {
             usable_from: HashMap::new(),
             pending_release: HashSet::new(),
             undelivered: 0,
+            faults: None,
+            msg_retries: 0,
+            msgs_abandoned: 0,
             tracer: Tracer::Null,
         }
+    }
+
+    /// Attaches a deterministic fault plan. An empty plan is a strict
+    /// no-op: the simulator takes exactly the unfaulted code path and
+    /// produces byte-identical statistics and traces.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = FaultRt::new(self.params.ports, plan, self.msgs.len());
+        self
     }
 
     /// Attaches an event tracer; retrieve it via
@@ -93,6 +111,7 @@ impl CircuitSim {
                 self.params.max_sim_ns
             );
             self.poll_engine(t);
+            self.poll_faults(t);
             if self.engine.all_done() && self.undelivered == 0 {
                 break;
             }
@@ -101,12 +120,69 @@ impl CircuitSim {
             // One SL pass at the end of the window; newly established
             // circuits become usable one grant-propagation later.
             let visible = self.request_matrix(t + window);
-            let report = self.scheduler.pass(&visible);
+            let report = {
+                let fault_admit = self.faults.as_ref().filter(|f| f.any_grant_blocked());
+                match fault_admit {
+                    Some(f) => self.scheduler.pass_admitted(&visible, |cfg| f.admits(cfg)),
+                    None => self.scheduler.pass(&visible),
+                }
+            };
+            // Fault post-processing: what the NIC observes may differ
+            // from what the SL array computed.
+            let mut established = report.established.clone();
+            let mut released = report.released.clone();
+            let mut dropped: Vec<(usize, usize, u32)> = Vec::new();
+            if let Some(f) = &mut self.faults {
+                if let Some(slot) = report.slot {
+                    // Never-release cells: the circuit stays closed until
+                    // the fault clears (unless the pass re-used the ports).
+                    released.retain(|&(u, v)| {
+                        if f.stuck_release(u, v) {
+                            let cfg = self.scheduler.config(slot);
+                            let free = cfg.iter_row_ones(u).next().is_none()
+                                && (0..cfg.rows()).all(|rr| !cfg.get(rr, v));
+                            if free {
+                                self.scheduler.restore(slot, u, v);
+                                return false;
+                            }
+                        }
+                        true
+                    });
+                    // Dropped grant lines: the NIC never learns of the
+                    // circuit; revoke it and back the request off.
+                    established.retain(|&(u, v)| {
+                        if f.grant_drop(u, v) {
+                            let (attempt, _) = f.grant_dropped(u, v, t + window);
+                            self.scheduler.revoke(slot, u, v);
+                            self.scheduler.clear_latch(u, v);
+                            dropped.push((u, v, attempt));
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                }
+            }
+            for &(u, v, attempt) in &dropped {
+                self.msg_retries += 1;
+                if self.tracer.enabled() {
+                    let msg = self.voqs.front(u, v).map_or(u32::MAX, |m| m as u32);
+                    self.tracer.emit(
+                        t + window,
+                        0,
+                        TraceEvent::MsgRetried {
+                            src: u as u32,
+                            dst: v as u32,
+                            msg,
+                            attempt,
+                        },
+                    );
+                }
+            }
             // Circuit switching passes every window; only non-trivial
             // passes are worth a record.
-            let active = !(report.established.is_empty()
-                && report.released.is_empty()
-                && report.denied.is_empty());
+            let active =
+                !(established.is_empty() && released.is_empty() && report.denied.is_empty());
             if self.tracer.enabled() && active {
                 self.tracer.emit(
                     t + window,
@@ -114,13 +190,13 @@ impl CircuitSim {
                     TraceEvent::SchedPass {
                         passes: self.scheduler.stats().passes,
                         ripple_depth: report.ripple_depth as u32,
-                        established: report.established.len() as u32,
-                        released: report.released.len() as u32,
-                        denied: report.denied.len() as u32,
+                        established: established.len() as u32,
+                        released: released.len() as u32,
+                        denied: (report.denied.len() + report.admission_denied.len()) as u32,
                     },
                 );
             }
-            for &(u, v) in &report.established {
+            for &(u, v) in &established {
                 self.usable_from
                     .insert((u, v), t + window + self.params.request_wire_ns);
                 if self.tracer.enabled() {
@@ -135,7 +211,7 @@ impl CircuitSim {
                     );
                 }
             }
-            for &(u, v) in &report.released {
+            for &(u, v) in &released {
                 self.usable_from.remove(&(u, v));
                 self.pending_release.remove(&(u, v));
                 if self.tracer.enabled() {
@@ -155,9 +231,54 @@ impl CircuitSim {
         let mut stats = SimStats::from_messages("circuit", self.workload_name, &self.msgs);
         stats.sched_passes = self.scheduler.stats().passes;
         stats.connections_established = self.scheduler.stats().establishes;
+        stats.msg_retries = self.msg_retries;
+        stats.msgs_abandoned = self.msgs_abandoned;
         let mut tracer = self.tracer;
         let _ = tracer.finish();
         (stats, tracer)
+    }
+
+    /// Replays fault boundaries up to `t`: trace events plus teardown of
+    /// circuits over links that just died. The NIC's request stays up, so
+    /// a torn circuit re-establishes once the link heals.
+    fn poll_faults(&mut self, t: u64) {
+        let transitions = match &mut self.faults {
+            Some(f) => f.poll(t),
+            None => return,
+        };
+        for tr in transitions {
+            FaultRt::trace_transition(&mut self.tracer, 0, &tr);
+            let (u32u, u32v) = tr.kind.pair();
+            let (u, v) = (u32u as usize, u32v as usize);
+            match tr.kind {
+                FaultKind::LinkDown { .. } | FaultKind::StuckGrant { .. } if tr.injected => {
+                    for s in self.scheduler.slots_of(u, v) {
+                        self.scheduler.revoke(s, u, v);
+                        if self.tracer.enabled() {
+                            self.tracer.emit(
+                                tr.t_ns,
+                                0,
+                                TraceEvent::ConnEvicted {
+                                    src: u as u32,
+                                    dst: v as u32,
+                                    cause: EvictCause::Fault,
+                                },
+                            );
+                        }
+                    }
+                    self.usable_from.remove(&(u, v));
+                    self.pending_release.remove(&(u, v));
+                }
+                FaultKind::GrantDrop { .. } if !tr.injected => {
+                    if let Some(f) = &mut self.faults {
+                        f.clear_drop_state(u, v);
+                    }
+                }
+                // Stuck-release and NIC faults act in the pass/transfer
+                // paths.
+                _ => {}
+            }
+        }
     }
 
     fn poll_engine(&mut self, now: u64) {
@@ -208,6 +329,15 @@ impl CircuitSim {
         for &(u, v) in &self.pending_release {
             r.set(u, v, false);
         }
+        if let Some(f) = &self.faults {
+            // Grant-drop backoff: the NIC holds its request line down
+            // until the retry timer expires.
+            for (u, v) in r.iter_ones().collect::<Vec<_>>() {
+                if f.request_suppressed(u, v, now) {
+                    r.set(u, v, false);
+                }
+            }
+        }
         r
     }
 
@@ -220,6 +350,9 @@ impl CircuitSim {
             if self.pending_release.contains(&(u, v)) {
                 continue; // circuit is logically torn down
             }
+            if self.faults.as_ref().is_some_and(|f| !f.link_ok(u, v)) {
+                continue; // dead link carries no data
+            }
             let start = match self.usable_from.get(&(u, v)) {
                 Some(&s) if s < to => s.max(from),
                 _ => continue,
@@ -227,8 +360,12 @@ impl CircuitSim {
             let mut cursor = start;
             if let Some(head) = self.voqs.front(u, v) {
                 let enq = self.msgs[head].enqueued_at.expect("queued => enqueued");
-                if enq > cursor {
-                    continue; // head not yet in the NIC at this instant
+                let ready = self
+                    .faults
+                    .as_ref()
+                    .map_or(enq, |f| enq.max(f.msg_ready_at(head)));
+                if ready > cursor {
+                    continue; // head not yet in the NIC (or backing off)
                 }
                 let remaining = self.msgs[head].remaining;
                 let budget_bytes = ((to - cursor) as f64 * rate).floor() as u32;
@@ -238,27 +375,75 @@ impl CircuitSim {
                 if remaining <= budget_bytes {
                     let dur = (remaining as f64 / rate).ceil() as u64;
                     cursor += dur;
-                    self.msgs[head].remaining = 0;
-                    self.msgs[head].delivered_at = Some(cursor + path);
-                    self.voqs.pop(u, v);
-                    self.undelivered -= 1;
-                    if self.tracer.enabled() {
-                        let spec = self.msgs[head].spec;
-                        self.tracer.emit(
-                            cursor + path,
-                            0,
-                            TraceEvent::MsgDelivered {
-                                src: spec.src as u32,
-                                dst: spec.dst as u32,
-                                bytes: spec.bytes,
-                                msg: head as u32,
-                                latency_ns: self.msgs[head].latency_ns(),
-                            },
-                        );
+                    let done = cursor + path;
+                    let outcome = self
+                        .faults
+                        .as_mut()
+                        .map_or(NicOutcome::Deliver, |f| f.nic_completion(head, u, done));
+                    let spec = self.msgs[head].spec;
+                    match outcome {
+                        NicOutcome::Deliver => {
+                            self.msgs[head].remaining = 0;
+                            self.msgs[head].delivered_at = Some(done);
+                            self.voqs.pop(u, v);
+                            self.undelivered -= 1;
+                            if self.tracer.enabled() {
+                                self.tracer.emit(
+                                    done,
+                                    0,
+                                    TraceEvent::MsgDelivered {
+                                        src: spec.src as u32,
+                                        dst: spec.dst as u32,
+                                        bytes: spec.bytes,
+                                        msg: head as u32,
+                                        latency_ns: self.msgs[head].latency_ns(),
+                                    },
+                                );
+                            }
+                            // Per-message circuit switching: the NIC drops
+                            // the request; the circuit is torn down by the
+                            // next pass.
+                            self.pending_release.insert((u, v));
+                        }
+                        NicOutcome::Retry { attempt, .. } => {
+                            // Corrupted frame: the request stays up, the
+                            // circuit stays closed, and the whole message
+                            // retransmits after backoff.
+                            self.msgs[head].remaining = spec.bytes;
+                            self.msg_retries += 1;
+                            if self.tracer.enabled() {
+                                self.tracer.emit(
+                                    done,
+                                    0,
+                                    TraceEvent::MsgRetried {
+                                        src: spec.src as u32,
+                                        dst: spec.dst as u32,
+                                        msg: head as u32,
+                                        attempt,
+                                    },
+                                );
+                            }
+                        }
+                        NicOutcome::Abandon { retries } => {
+                            self.msgs[head].remaining = 0;
+                            self.voqs.pop(u, v);
+                            self.undelivered -= 1;
+                            self.msgs_abandoned += 1;
+                            if self.tracer.enabled() {
+                                self.tracer.emit(
+                                    done,
+                                    0,
+                                    TraceEvent::MsgAbandoned {
+                                        src: spec.src as u32,
+                                        dst: spec.dst as u32,
+                                        msg: head as u32,
+                                        retries,
+                                    },
+                                );
+                            }
+                            self.pending_release.insert((u, v));
+                        }
                     }
-                    // Per-message circuit switching: the NIC drops the
-                    // request; the circuit is torn down by the next pass.
-                    self.pending_release.insert((u, v));
                 } else {
                     self.msgs[head].remaining = remaining - budget_bytes;
                 }

@@ -28,6 +28,7 @@
 
 pub mod circuit;
 pub mod engine;
+pub mod faultrt;
 pub mod guard;
 pub mod message;
 pub mod multihop;
@@ -39,6 +40,7 @@ pub mod wormhole;
 
 pub use circuit::CircuitSim;
 pub use engine::{Effect, Engine};
+pub use faultrt::{FaultRt, NicOutcome};
 pub use guard::GuardBand;
 pub use message::MsgState;
 pub use multihop::MultihopWormholeSim;
@@ -119,19 +121,37 @@ impl Paradigm {
         params: &SimParams,
         tracer: pms_trace::Tracer,
     ) -> (SimStats, pms_trace::Tracer) {
+        self.run_faulted(workload, params, pms_faults::FaultPlan::new(), tracer)
+    }
+
+    /// Runs the workload with a deterministic fault plan injected; see
+    /// `pms_faults`. An empty plan is a strict no-op — the run is
+    /// byte-identical to [`run_traced`](Self::run_traced) — so this is
+    /// the single dispatch point for faulted and unfaulted runs alike.
+    pub fn run_faulted(
+        &self,
+        workload: &Workload,
+        params: &SimParams,
+        plan: pms_faults::FaultPlan,
+        tracer: pms_trace::Tracer,
+    ) -> (SimStats, pms_trace::Tracer) {
         match self {
             Paradigm::Wormhole => WormholeSim::new(workload, params)
+                .with_faults(plan)
                 .with_tracer(tracer)
                 .run_traced(),
             Paradigm::Circuit => CircuitSim::new(workload, params)
+                .with_faults(plan)
                 .with_tracer(tracer)
                 .run_traced(),
             Paradigm::DynamicTdm(pred) => {
                 TdmSim::new(workload, params, TdmMode::Dynamic { predictor: *pred })
+                    .with_faults(plan)
                     .with_tracer(tracer)
                     .run_traced()
             }
             Paradigm::PreloadTdm => TdmSim::new(workload, params, TdmMode::Preload)
+                .with_faults(plan)
                 .with_tracer(tracer)
                 .run_traced(),
             Paradigm::HybridTdm {
@@ -145,6 +165,7 @@ impl Paradigm {
                     predictor: *predictor,
                 },
             )
+            .with_faults(plan)
             .with_tracer(tracer)
             .run_traced(),
         }

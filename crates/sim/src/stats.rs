@@ -38,6 +38,12 @@ pub struct SimStats {
     /// Lookups that found their connection already established — the
     /// paper's "hit rate" for dynamic scheduling of TDM (§5).
     pub ws_hits: u64,
+    /// Message retransmissions forced by injected faults (dropped grants
+    /// and NIC transients). Zero on fault-free runs.
+    pub msg_retries: u64,
+    /// Messages abandoned after exhausting their fault retry budget.
+    /// Abandoned messages are excluded from every delivery aggregate.
+    pub msgs_abandoned: u64,
     /// Per-message latencies, sorted ascending, for exact percentiles.
     ///
     /// Capped at [`SimStats::MAX_EXACT_SAMPLES`] to bound memory on very
@@ -81,6 +87,8 @@ impl SimStats {
             phase_flushes: 0,
             ws_lookups: 0,
             ws_hits: 0,
+            msg_retries: 0,
+            msgs_abandoned: 0,
             latency_samples: Vec::new(),
             latency_histogram: Histogram::new(),
         };
@@ -211,6 +219,8 @@ impl SimStats {
             ("ws_lookups", self.ws_lookups.into()),
             ("ws_hits", self.ws_hits.into()),
             ("ws_hit_rate", hit_rate),
+            ("msg_retries", self.msg_retries.into()),
+            ("msgs_abandoned", self.msgs_abandoned.into()),
             (
                 "throughput_bytes_per_ns",
                 self.throughput_bytes_per_ns().into(),
@@ -235,6 +245,8 @@ impl SimStats {
             ("sim.phase_flushes", self.phase_flushes),
             ("sim.ws_lookups", self.ws_lookups),
             ("sim.ws_hits", self.ws_hits),
+            ("sim.msg_retries", self.msg_retries),
+            ("sim.msgs_abandoned", self.msgs_abandoned),
         ] {
             let id = reg.counter(name);
             reg.set(id, value);

@@ -22,12 +22,14 @@
 //! visible to the scheduler 80 ns after the head message is enqueued.
 
 use crate::engine::{Effect, Engine};
+use crate::faultrt::{FaultRt, NicOutcome};
 use crate::message::MsgState;
 use crate::params::SimParams;
 use crate::stats::SimStats;
 use crate::voq::Voqs;
 use pms_bitmat::BitMatrix;
 use pms_compile::partition_phases;
+use pms_faults::{FaultKind, FaultPlan};
 use pms_predict::{
     ConnectionPredictor, NeverEvict, PhaseDetector, PhaseDetectorConfig, RefCountPredictor,
     TimeoutPredictor,
@@ -35,7 +37,7 @@ use pms_predict::{
 use pms_sched::{HoldPolicy, Scheduler, SchedulerConfig, TdmCounter};
 use pms_trace::{EvictCause, TraceEvent, Tracer};
 use pms_workloads::Workload;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Eviction policy for dynamically scheduled connections.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -143,6 +145,21 @@ pub struct TdmSim {
     /// Optional admission filter for fabrics with internal blocking
     /// (§6): a slot configuration is only committed if this accepts it.
     admission: Option<AdmissionFilter>,
+    /// Optional fault-injection runtime; `None` (also for an empty plan)
+    /// takes exactly the unfaulted code path.
+    faults: Option<FaultRt>,
+    /// `(slot, u, v)` preloaded-register connections revoked by a fault,
+    /// restored when the pair's link heals (if the register still has
+    /// room for them).
+    fault_restores: Vec<(usize, usize, usize)>,
+    /// Stream mode: loaded pairs whose fault eviction was traced, awaiting
+    /// the fault to clear.
+    stream_broken: BTreeSet<(usize, usize)>,
+    /// Stream mode: healed pairs awaiting their re-establish event on the
+    /// next visit of a configuration containing them.
+    stream_healed: BTreeSet<(usize, usize)>,
+    msg_retries: u64,
+    msgs_abandoned: u64,
     /// Event sink; [`Tracer::Null`] (the default) makes every emit site a
     /// single predicted branch.
     tracer: Tracer,
@@ -303,9 +320,30 @@ impl TdmSim {
             ws_lookups: 0,
             ws_hits: 0,
             admission: None,
+            faults: None,
+            fault_restores: Vec::new(),
+            stream_broken: BTreeSet::new(),
+            stream_healed: BTreeSet::new(),
+            msg_retries: 0,
+            msgs_abandoned: 0,
             tracer: Tracer::Null,
             cur_slot: 0,
         }
+    }
+
+    /// Attaches a deterministic fault plan. An empty plan is a strict
+    /// no-op: the simulator takes exactly the unfaulted code path and
+    /// produces byte-identical statistics and traces.
+    ///
+    /// Preload (stream) mode has no grant lines and never releases, so
+    /// `GrantDrop` and `StuckRelease` faults are inert there; link and
+    /// NIC faults apply to every mode. A link that stays dead past the
+    /// simulation horizon while traffic is queued on it deadlocks the
+    /// run (caught by the `max_sim_ns` assertion) — bound fault windows
+    /// in the plan.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = FaultRt::new(self.params.ports, plan, self.msgs.len());
+        self
     }
 
     /// Constrains dynamic scheduling to configurations accepted by
@@ -362,6 +400,7 @@ impl TdmSim {
                 self.params.max_sim_ns
             );
             self.poll_engine(t);
+            self.poll_faults(t);
             if self.engine.all_done() && self.undelivered == 0 {
                 break;
             }
@@ -385,6 +424,9 @@ impl TdmSim {
             if let Some(w) = self.engine.next_wake() {
                 tn = tn.min(w);
             }
+            if let Some(c) = self.faults.as_ref().and_then(|f| f.next_change()) {
+                tn = tn.min(c);
+            }
             t = tn.max(t + 1);
         }
         let mut stats = SimStats::from_messages(
@@ -397,6 +439,8 @@ impl TdmSim {
             stats.connections_established = scheduler.stats().establishes;
         }
         stats.predictor_evictions = self.evictions;
+        stats.msg_retries = self.msg_retries;
+        stats.msgs_abandoned = self.msgs_abandoned;
         stats.preload_loads = self.preload_loads;
         stats.phase_flushes = self.phase_flushes;
         stats.ws_lookups = self.ws_lookups;
@@ -572,6 +616,150 @@ impl TdmSim {
         }
     }
 
+    /// Replays fault boundaries up to `t`: trace events, teardown of
+    /// broken connections, restoration of healed preloaded pairs.
+    fn poll_faults(&mut self, t: u64) {
+        let transitions = match &mut self.faults {
+            Some(f) => f.poll(t),
+            None => return,
+        };
+        for tr in transitions {
+            FaultRt::trace_transition(&mut self.tracer, self.cur_slot, &tr);
+            let (u32u, u32v) = tr.kind.pair();
+            let (u, v) = (u32u as usize, u32v as usize);
+            match tr.kind {
+                FaultKind::LinkDown { .. } | FaultKind::StuckGrant { .. } => {
+                    if tr.injected {
+                        self.break_pair(tr.t_ns, u, v);
+                    } else {
+                        self.heal_pair(tr.t_ns, u, v);
+                    }
+                }
+                FaultKind::GrantDrop { .. } if !tr.injected => {
+                    // Next incident on this pair starts a fresh backoff
+                    // ladder.
+                    if let Some(f) = &mut self.faults {
+                        f.clear_drop_state(u, v);
+                    }
+                }
+                // Stuck-release injection acts in the pass path (releases
+                // are suppressed while active; the first pass after the
+                // clear releases naturally). Transient NIC faults act at
+                // message completion. Grant-drop injection acts on the
+                // next grant.
+                _ => {}
+            }
+        }
+    }
+
+    /// A grant-blocking fault opened on `(u, v)`: tear down whatever the
+    /// switch currently carries for the pair. Request latches stay set so
+    /// pending traffic re-establishes naturally once the link heals.
+    fn break_pair(&mut self, t: u64, u: usize, v: usize) {
+        match &mut self.backend {
+            Backend::Scheduled {
+                scheduler,
+                predictor,
+                ..
+            } => {
+                let slots = scheduler.slots_of(u, v);
+                for &s in &slots {
+                    if scheduler.is_preloaded(s) {
+                        self.fault_restores.push((s, u, v));
+                    }
+                    scheduler.revoke(s, u, v);
+                    if self.tracer.enabled() {
+                        self.tracer.emit(
+                            t,
+                            s as u32,
+                            TraceEvent::ConnEvicted {
+                                src: u as u32,
+                                dst: v as u32,
+                                cause: EvictCause::Fault,
+                            },
+                        );
+                    }
+                }
+                if !slots.is_empty() {
+                    if let Some(pred) = predictor {
+                        pred.on_fault(u, v);
+                    }
+                }
+            }
+            Backend::Stream {
+                registers, configs, ..
+            } => {
+                if self.stream_broken.contains(&(u, v)) {
+                    return; // an overlapping fault already tore it down
+                }
+                let loaded = registers
+                    .iter()
+                    .position(|r| r.map(|s| configs[s.config_idx].get(u, v)) == Some(true));
+                if let Some(reg) = loaded {
+                    self.stream_broken.insert((u, v));
+                    self.stream_healed.remove(&(u, v));
+                    if self.tracer.enabled() {
+                        self.tracer.emit(
+                            t,
+                            reg as u32,
+                            TraceEvent::ConnEvicted {
+                                src: u as u32,
+                                dst: v as u32,
+                                cause: EvictCause::Fault,
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// A grant-blocking fault on `(u, v)` cleared. If no overlapping
+    /// fault still covers the pair, restore healed preloaded connections
+    /// (when the register still has row/column room — a fault that handed
+    /// the ports to other traffic drops the restoration silently) and
+    /// queue the stream-mode re-establish event.
+    fn heal_pair(&mut self, t: u64, u: usize, v: usize) {
+        if self.faults.as_ref().is_some_and(|f| !f.link_ok(u, v)) {
+            return;
+        }
+        match &mut self.backend {
+            Backend::Scheduled { scheduler, .. } => {
+                let mut kept = Vec::new();
+                for (s, ru, rv) in std::mem::take(&mut self.fault_restores) {
+                    if (ru, rv) != (u, v) {
+                        kept.push((s, ru, rv));
+                        continue;
+                    }
+                    let cfg = scheduler.config(s);
+                    let free = scheduler.is_preloaded(s)
+                        && cfg.iter_row_ones(u).next().is_none()
+                        && (0..self.params.ports).all(|r| !cfg.get(r, v));
+                    if free {
+                        scheduler.restore(s, u, v);
+                        if self.tracer.enabled() {
+                            self.tracer.emit(
+                                t,
+                                s as u32,
+                                TraceEvent::ConnEstablished {
+                                    src: u as u32,
+                                    dst: v as u32,
+                                    slot_idx: s as u32,
+                                },
+                            );
+                        }
+                    }
+                }
+                self.fault_restores = kept;
+            }
+            Backend::Stream { .. } => {
+                if self.stream_broken.remove(&(u, v)) {
+                    self.stream_healed.insert((u, v));
+                }
+            }
+        }
+    }
+
     /// One 100 ns time slot: the TDM counter picks the next non-empty
     /// configuration and every connection in it moves one message fragment.
     fn do_slot(&mut self, t: u64) {
@@ -633,15 +821,48 @@ impl TdmSim {
                 },
             );
         }
+        if !self.stream_healed.is_empty() {
+            // A healed preloaded pair re-joins the fabric the first time a
+            // resident configuration containing it drives the crossbar —
+            // within one TDM period of the clear, traffic or not.
+            for &(u, v) in &pairs {
+                if self.stream_healed.remove(&(u, v)) && self.tracer.enabled() {
+                    self.tracer.emit(
+                        t,
+                        active_slot,
+                        TraceEvent::ConnEstablished {
+                            src: u as u32,
+                            dst: v as u32,
+                            slot_idx: active_slot,
+                        },
+                    );
+                }
+            }
+        }
 
         let mut used_pairs: Vec<(usize, usize)> = Vec::new();
         let mut delivered: Vec<(usize, u64)> = Vec::new(); // (msg, time)
+        let mut abandoned: Vec<(usize, u64)> = Vec::new(); // (msg, time)
         for (u, v) in pairs {
+            if let Some(f) = &self.faults {
+                // A dead link carries no data even if a (stream-mode)
+                // configuration still names the pair.
+                if !f.link_ok(u, v) {
+                    continue;
+                }
+            }
             let Some(head) = self.voqs.front(u, v) else {
                 continue;
             };
             if self.msgs[head].enqueued_at.expect("queued => enqueued") > t {
                 continue;
+            }
+            if self
+                .faults
+                .as_ref()
+                .is_some_and(|f| f.msg_ready_at(head) > t)
+            {
+                continue; // retransmission still backing off
             }
             if let Gate::Config(c) = gate {
                 // Preload mode: the head must belong to this configuration
@@ -658,10 +879,54 @@ impl TdmSim {
             used_pairs.push((u, v));
             if self.msgs[head].remaining == 0 {
                 let done = t + (take as f64 / rate).ceil() as u64 + path;
-                self.msgs[head].delivered_at = Some(done);
-                self.voqs.pop(u, v);
-                self.undelivered -= 1;
-                delivered.push((head, done));
+                let outcome = self
+                    .faults
+                    .as_mut()
+                    .map_or(NicOutcome::Deliver, |f| f.nic_completion(head, u, done));
+                match outcome {
+                    NicOutcome::Deliver => {
+                        self.msgs[head].delivered_at = Some(done);
+                        self.voqs.pop(u, v);
+                        self.undelivered -= 1;
+                        delivered.push((head, done));
+                    }
+                    NicOutcome::Retry { attempt, .. } => {
+                        // Corrupted frame: retransmit the whole message
+                        // after backoff; it stays at its queue head.
+                        self.msgs[head].remaining = self.msgs[head].spec.bytes;
+                        self.msg_retries += 1;
+                        if self.tracer.enabled() {
+                            self.tracer.emit(
+                                done,
+                                active_slot,
+                                TraceEvent::MsgRetried {
+                                    src: u as u32,
+                                    dst: v as u32,
+                                    msg: head as u32,
+                                    attempt,
+                                },
+                            );
+                        }
+                    }
+                    NicOutcome::Abandon { retries } => {
+                        self.voqs.pop(u, v);
+                        self.undelivered -= 1;
+                        self.msgs_abandoned += 1;
+                        abandoned.push((head, done));
+                        if self.tracer.enabled() {
+                            self.tracer.emit(
+                                done,
+                                active_slot,
+                                TraceEvent::MsgAbandoned {
+                                    src: u as u32,
+                                    dst: v as u32,
+                                    msg: head as u32,
+                                    retries,
+                                },
+                            );
+                        }
+                    }
+                }
             }
         }
         if self.tracer.enabled() {
@@ -698,7 +963,10 @@ impl TdmSim {
                 next_config,
                 ..
             } => {
-                for &(msg, done_at) in &delivered {
+                // Abandoned messages leave the stream the same way
+                // delivered ones do: their configuration's outstanding
+                // count must reach zero or the register never frees.
+                for &(msg, done_at) in delivered.iter().chain(abandoned.iter()) {
                     let c = msg_config[msg];
                     remaining_per_config[c] -= 1;
                     if remaining_per_config[c] == 0 {
@@ -748,7 +1016,16 @@ impl TdmSim {
 
     /// One 80 ns SL pass on the next dynamic register.
     fn do_pass(&mut self, t: u64) {
-        let r = self.request_matrix(t);
+        let mut r = self.request_matrix(t);
+        if let Some(f) = &self.faults {
+            // Grant-drop backoff: the NIC holds its request line down
+            // until the retry timer expires.
+            for (u, v) in r.iter_ones().collect::<Vec<_>>() {
+                if f.request_suppressed(u, v, t) {
+                    r.set(u, v, false);
+                }
+            }
+        }
         // Classify each newly visible head message as a working-set hit or
         // miss: the hit rate is the §5 metric, and misses feed the §3.3
         // phase detector when one is attached.
@@ -810,24 +1087,90 @@ impl TdmSim {
                 }
             }
         }
-        let report = match &self.admission {
-            Some(admit) => scheduler.pass_admitted(&r, admit),
-            None => scheduler.pass(&r),
+        let report = {
+            // Grant-blocking faults join the (§6) admission filter: both
+            // are subset-closed, so their conjunction is too.
+            let fault_admit = self.faults.as_ref().filter(|f| f.any_grant_blocked());
+            match (&self.admission, fault_admit) {
+                (Some(admit), Some(f)) => {
+                    scheduler.pass_admitted(&r, |cfg| f.admits(cfg) && admit(cfg))
+                }
+                (Some(admit), None) => scheduler.pass_admitted(&r, admit),
+                (None, Some(f)) => scheduler.pass_admitted(&r, |cfg| f.admits(cfg)),
+                (None, None) => scheduler.pass(&r),
+            }
         };
+        // Fault post-processing on the pass outcome: what the NIC/fabric
+        // actually observes may differ from what the SL array computed.
+        let mut established = report.established.clone();
+        let mut released = report.released.clone();
+        let mut dropped: Vec<(usize, usize, u32)> = Vec::new(); // (u, v, attempt)
+        if let Some(f) = &mut self.faults {
+            if let Some(slot) = report.slot {
+                // Never-release cells: the cross-point cannot open, so the
+                // "release" did not happen — put the connection back and
+                // tell no one. If the same pass already handed the row or
+                // column to another connection, the rearrangement wins and
+                // the release stands.
+                released.retain(|&(u, v)| {
+                    if f.stuck_release(u, v) {
+                        let cfg = scheduler.config(slot);
+                        let free = cfg.iter_row_ones(u).next().is_none()
+                            && (0..cfg.rows()).all(|rr| !cfg.get(rr, v));
+                        if free {
+                            scheduler.restore(slot, u, v);
+                            return false;
+                        }
+                    }
+                    true
+                });
+                // Dropped grant lines: the switch committed the connection
+                // but the NIC never learned; revoke it and back the request
+                // off. The latch is cleared so the retry goes through the
+                // (suppressed) request line, honoring the backoff.
+                established.retain(|&(u, v)| {
+                    if f.grant_drop(u, v) {
+                        let (attempt, _) = f.grant_dropped(u, v, t);
+                        scheduler.revoke(slot, u, v);
+                        scheduler.clear_latch(u, v);
+                        dropped.push((u, v, attempt));
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+        }
+        let pass_slot = report.slot.map_or(self.cur_slot, |s| s as u32);
+        for &(u, v, attempt) in &dropped {
+            self.msg_retries += 1;
+            if self.tracer.enabled() {
+                let msg = self.voqs.front(u, v).map_or(u32::MAX, |m| m as u32);
+                self.tracer.emit(
+                    t,
+                    pass_slot,
+                    TraceEvent::MsgRetried {
+                        src: u as u32,
+                        dst: v as u32,
+                        msg,
+                        attempt,
+                    },
+                );
+            }
+        }
         if self.tracer.enabled() {
-            let pass_slot = report.slot.map_or(self.cur_slot, |s| s as u32);
             self.tracer.emit(
                 t,
                 pass_slot,
                 TraceEvent::SchedPass {
                     passes: scheduler.stats().passes,
                     ripple_depth: report.ripple_depth as u32,
-                    established: report.established.len() as u32,
-                    released: report.released.len() as u32,
+                    established: established.len() as u32,
+                    released: released.len() as u32,
                     denied: (report.denied.len() + report.admission_denied.len()) as u32,
                 },
             );
-            for &(u, v) in &report.established {
+            for &(u, v) in &established {
                 self.tracer.emit(
                     t,
                     pass_slot,
@@ -840,7 +1183,7 @@ impl TdmSim {
             }
             if predictor.is_none() {
                 // Drop policy: a release *is* the eviction.
-                for &(u, v) in &report.released {
+                for &(u, v) in &released {
                     self.tracer.emit(
                         t,
                         pass_slot,
@@ -854,10 +1197,10 @@ impl TdmSim {
             }
         }
         if let Some(pred) = predictor {
-            for &(u, v) in &report.established {
+            for &(u, v) in &established {
                 pred.on_establish(u, v, t);
             }
-            for &(u, v) in &report.released {
+            for &(u, v) in &released {
                 pred.on_release(u, v);
             }
             let cause = pred.eviction_cause();

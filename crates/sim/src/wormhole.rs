@@ -17,9 +17,11 @@
 //! flit plus 10 ns per flit. Blocked worms wait in FIFO arrival order.
 
 use crate::engine::{Effect, Engine};
+use crate::faultrt::{FaultRt, NicOutcome};
 use crate::message::MsgState;
 use crate::params::SimParams;
 use crate::stats::SimStats;
+use pms_faults::{FaultKind, FaultPlan};
 use pms_trace::{EvictCause, TraceEvent, Tracer};
 use pms_workloads::Workload;
 use std::cmp::Reverse;
@@ -55,6 +57,12 @@ enum Ev {
     UploadDone(usize),
     /// The worm draining from input `u` through output `v` finished.
     DrainDone(usize, usize),
+    /// A fault boundary is due: poll the fault replay.
+    FaultWake,
+    /// Grant-drop backoff on input `u` expired: retry the grant.
+    GrantRetry(usize),
+    /// A NIC-corrupted message retransmits: re-cut it into worms.
+    Reinject(usize),
 }
 
 /// The wormhole-routing simulator.
@@ -86,6 +94,16 @@ pub struct WormholeSim {
     out_busy: Vec<u64>,
     undelivered: usize,
     grants: u64,
+    /// Optional fault-injection runtime; `None` (also for an empty plan)
+    /// takes exactly the unfaulted code path.
+    faults: Option<FaultRt>,
+    /// Per output: the input whose path is held open by a stuck-release
+    /// fault (the worm drained but the cross-point cannot open).
+    held: Vec<Option<usize>>,
+    /// The fault boundary a `FaultWake` event is already scheduled for.
+    fault_wake_at: Option<u64>,
+    msg_retries: u64,
+    msgs_abandoned: u64,
     /// Event sink; a wormhole switch has no TDM slots, so records are
     /// stamped `slot = 0`.
     tracer: Tracer,
@@ -131,8 +149,22 @@ impl WormholeSim {
             out_busy: vec![0; n],
             undelivered: 0,
             grants: 0,
+            faults: None,
+            held: vec![None; n],
+            fault_wake_at: None,
+            msg_retries: 0,
+            msgs_abandoned: 0,
             tracer: Tracer::Null,
         }
+    }
+
+    /// Attaches a deterministic fault plan. An empty plan is a strict
+    /// no-op (byte-identical stats and traces). A worm already granted
+    /// drains to completion; faults take effect at the next grant
+    /// decision.
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = FaultRt::new(self.params.ports, plan, self.msgs.len());
+        self
     }
 
     fn push_event(&mut self, t: u64, ev: Ev) {
@@ -155,17 +187,28 @@ impl WormholeSim {
     /// Like [`run`](Self::run) but also returns the tracer and its
     /// collected records.
     pub fn run_traced(mut self) -> (SimStats, Tracer) {
+        self.poll_faults(0);
         self.poll_engine(0);
         while let Some(Reverse((t, _, ev))) = self.events.pop() {
+            if self.engine.all_done() && self.undelivered == 0 {
+                // Only stale wake-ups remain (fault boundaries can extend
+                // far past the last delivery).
+                break;
+            }
             assert!(
                 t <= self.params.max_sim_ns,
                 "wormhole simulation exceeded {} ns (deadlock?)",
                 self.params.max_sim_ns
             );
+            self.poll_faults(t);
             match ev {
                 Ev::EngineWake => self.poll_engine(t),
                 Ev::UploadDone(u) => self.upload_done(u, t),
                 Ev::DrainDone(u, v) => self.drain_done(u, v, t),
+                // Handled by the poll_faults above.
+                Ev::FaultWake => {}
+                Ev::GrantRetry(u) => self.try_grant(u, t),
+                Ev::Reinject(msg) => self.reinject(msg, t),
             }
         }
         assert!(
@@ -175,6 +218,8 @@ impl WormholeSim {
         );
         let mut stats = SimStats::from_messages("wormhole", self.workload_name, &self.msgs);
         stats.sched_passes = self.grants;
+        stats.msg_retries = self.msg_retries;
+        stats.msgs_abandoned = self.msgs_abandoned;
         let mut tracer = self.tracer;
         let _ = tracer.finish();
         (stats, tracer)
@@ -222,7 +267,13 @@ impl WormholeSim {
                 },
             );
         }
-        // Cut into worms of at most `worm_max_bytes`.
+        self.queue_worms(id, t);
+    }
+
+    /// Cuts message `id` into worms of at most `worm_max_bytes` and
+    /// queues them at its source input.
+    fn queue_worms(&mut self, id: usize, t: u64) {
+        let spec = self.msgs[id].spec;
         let mut left = spec.bytes;
         let max = self.params.worm_max_bytes;
         let lane = match self.queueing {
@@ -239,6 +290,79 @@ impl WormholeSim {
             });
         }
         self.try_upload(spec.src, t);
+    }
+
+    /// A NIC-corrupted message retransmits from scratch after backoff.
+    fn reinject(&mut self, msg: usize, t: u64) {
+        self.msgs[msg].remaining = self.msgs[msg].spec.bytes;
+        self.queue_worms(msg, t);
+    }
+
+    /// Replays fault boundaries up to `now`: trace events, releasing
+    /// stuck outputs, resetting grant-drop backoff, and re-kicking every
+    /// input after a clear (a fault-blocked input has nothing else to
+    /// wake it).
+    fn poll_faults(&mut self, now: u64) {
+        let transitions = match &mut self.faults {
+            Some(f) => f.poll(now),
+            None => return,
+        };
+        let mut kick = false;
+        for tr in transitions {
+            FaultRt::trace_transition(&mut self.tracer, 0, &tr);
+            let (u32u, u32v) = tr.kind.pair();
+            let (u, v) = (u32u as usize, u32v as usize);
+            match tr.kind {
+                FaultKind::LinkDown { .. } | FaultKind::StuckGrant { .. } if !tr.injected => {
+                    kick = true;
+                }
+                FaultKind::GrantDrop { .. } if !tr.injected => {
+                    if let Some(f) = &mut self.faults {
+                        f.clear_drop_state(u, v);
+                    }
+                    kick = true;
+                }
+                FaultKind::StuckRelease { .. } if !tr.injected => {
+                    let still_stuck = self.faults.as_ref().is_some_and(|f| f.stuck_release(u, v));
+                    if self.held[v] == Some(u) && !still_stuck {
+                        self.held[v] = None;
+                        self.out_busy[v] = now;
+                        if self.tracer.enabled() {
+                            self.tracer.emit(
+                                tr.t_ns,
+                                0,
+                                TraceEvent::ConnEvicted {
+                                    src: u as u32,
+                                    dst: v as u32,
+                                    cause: EvictCause::Fault,
+                                },
+                            );
+                        }
+                        kick = true;
+                    }
+                }
+                _ => {}
+            }
+        }
+        if kick {
+            for u in 0..self.params.ports {
+                self.try_grant(u, now);
+                self.try_upload(u, now);
+            }
+        }
+        self.schedule_fault_wake();
+    }
+
+    /// Keeps one `FaultWake` event pending for the next fault boundary so
+    /// the event loop cannot sleep through it.
+    fn schedule_fault_wake(&mut self) {
+        let Some(c) = self.faults.as_ref().and_then(|f| f.next_change()) else {
+            return;
+        };
+        if self.fault_wake_at != Some(c) {
+            self.fault_wake_at = Some(c);
+            self.push_event(c, Ev::FaultWake);
+        }
     }
 
     /// Starts uploading the next worm if the link is idle and the staging
@@ -304,11 +428,18 @@ impl WormholeSim {
         };
         let pick = (0..candidates).find(|&i| {
             let worm = self.staged[u][i];
-            self.out_busy[self.msgs[worm.msg].spec.dst] <= now
+            let v = self.msgs[worm.msg].spec.dst;
+            self.out_busy[v] <= now
+                && self.faults.as_ref().is_none_or(|f| {
+                    // Dead links cannot be granted; grant-drop backoff
+                    // keeps the request line down until the timer expires.
+                    f.link_ok(u, v) && !f.request_suppressed(u, v, now)
+                })
         });
         let Some(i) = pick else {
             // Everything eligible is blocked: park behind the head's output
-            // (at most one registration at a time).
+            // (at most one registration at a time). Fault-blocked inputs
+            // are re-kicked by `poll_faults` when the fault clears.
             if !self.waiting[u] {
                 let head = self.staged[u][0];
                 let v = self.msgs[head.msg].spec.dst;
@@ -317,6 +448,35 @@ impl WormholeSim {
             }
             return;
         };
+        {
+            let worm = self.staged[u][i];
+            let v = self.msgs[worm.msg].spec.dst;
+            if self.faults.as_ref().is_some_and(|f| f.grant_drop(u, v)) {
+                // The switch would commit the connection but the grant
+                // line eats the notification: the worm stays staged and
+                // the NIC retries after exponential backoff.
+                let (attempt, resume_at) = self
+                    .faults
+                    .as_mut()
+                    .expect("checked above")
+                    .grant_dropped(u, v, now);
+                self.msg_retries += 1;
+                if self.tracer.enabled() {
+                    self.tracer.emit(
+                        now,
+                        0,
+                        TraceEvent::MsgRetried {
+                            src: u as u32,
+                            dst: v as u32,
+                            msg: worm.msg as u32,
+                            attempt,
+                        },
+                    );
+                }
+                self.push_event(resume_at, Ev::GrantRetry(u));
+                return;
+            }
+        }
         let worm = self.staged[u].remove(i).expect("index in range");
         let v = self.msgs[worm.msg].spec.dst;
         // Grant: 80 ns to schedule the head flit, then one flit per 10 ns.
@@ -340,7 +500,14 @@ impl WormholeSim {
 
     fn drain_done(&mut self, u: usize, v: usize, now: u64) {
         let worm = self.draining[u].take().expect("a worm was draining");
-        if self.tracer.enabled() {
+        // A never-release SL cell keeps the cross-point closed: the output
+        // stays occupied (and its eviction untraced) until the fault
+        // clears in `poll_faults`.
+        let stuck = self.faults.as_ref().is_some_and(|f| f.stuck_release(u, v));
+        if stuck {
+            self.held[v] = Some(u);
+            self.out_busy[v] = u64::MAX;
+        } else if self.tracer.enabled() {
             // The crossbar path is held only for the worm's drain.
             self.tracer.emit(
                 now,
@@ -356,30 +523,73 @@ impl WormholeSim {
             // Tail latency: second wire hop + deserialization + NIC receive.
             let tail =
                 self.params.link.wire_ns + self.params.link.s2p_ns + self.params.nic_cycle_ns;
-            self.msgs[worm.msg].delivered_at = Some(now + tail);
-            self.undelivered -= 1;
-            if self.tracer.enabled() {
-                let spec = self.msgs[worm.msg].spec;
-                self.tracer.emit(
-                    now + tail,
-                    0,
-                    TraceEvent::MsgDelivered {
-                        src: spec.src as u32,
-                        dst: spec.dst as u32,
-                        bytes: spec.bytes,
-                        msg: worm.msg as u32,
-                        latency_ns: self.msgs[worm.msg].latency_ns(),
-                    },
-                );
+            let outcome = self.faults.as_mut().map_or(NicOutcome::Deliver, |f| {
+                f.nic_completion(worm.msg, u, now + tail)
+            });
+            let spec = self.msgs[worm.msg].spec;
+            match outcome {
+                NicOutcome::Deliver => {
+                    self.msgs[worm.msg].delivered_at = Some(now + tail);
+                    self.undelivered -= 1;
+                    if self.tracer.enabled() {
+                        self.tracer.emit(
+                            now + tail,
+                            0,
+                            TraceEvent::MsgDelivered {
+                                src: spec.src as u32,
+                                dst: spec.dst as u32,
+                                bytes: spec.bytes,
+                                msg: worm.msg as u32,
+                                latency_ns: self.msgs[worm.msg].latency_ns(),
+                            },
+                        );
+                    }
+                }
+                NicOutcome::Retry { resume_at, attempt } => {
+                    // Corrupted serialization: the whole message goes
+                    // again after backoff.
+                    self.msg_retries += 1;
+                    if self.tracer.enabled() {
+                        self.tracer.emit(
+                            now + tail,
+                            0,
+                            TraceEvent::MsgRetried {
+                                src: spec.src as u32,
+                                dst: spec.dst as u32,
+                                msg: worm.msg as u32,
+                                attempt,
+                            },
+                        );
+                    }
+                    self.push_event(resume_at, Ev::Reinject(worm.msg));
+                }
+                NicOutcome::Abandon { retries } => {
+                    self.undelivered -= 1;
+                    self.msgs_abandoned += 1;
+                    if self.tracer.enabled() {
+                        self.tracer.emit(
+                            now + tail,
+                            0,
+                            TraceEvent::MsgAbandoned {
+                                src: spec.src as u32,
+                                dst: spec.dst as u32,
+                                msg: worm.msg as u32,
+                                retries,
+                            },
+                        );
+                    }
+                }
             }
         }
-        // Wake everyone waiting for this output: with VOQ bypass a woken
-        // input may grant a different output, so waking only one waiter
-        // could strand the port. Blocked inputs simply re-register.
-        let waiters: Vec<usize> = self.out_waiters[v].drain(..).collect();
-        for w in waiters {
-            self.waiting[w] = false;
-            self.try_grant(w, now);
+        if !stuck {
+            // Wake everyone waiting for this output: with VOQ bypass a
+            // woken input may grant a different output, so waking only one
+            // waiter could strand the port. Blocked inputs re-register.
+            let waiters: Vec<usize> = self.out_waiters[v].drain(..).collect();
+            for w in waiters {
+                self.waiting[w] = false;
+                self.try_grant(w, now);
+            }
         }
         self.try_grant(u, now);
         self.try_upload(u, now);

@@ -164,6 +164,63 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> Json {
             TraceEvent::PhaseFlush { cleared } => {
                 events.push(instant(rec, SCHED_TID, vec![("cleared", cleared.into())]));
             }
+            TraceEvent::FaultInjected {
+                fault,
+                class,
+                src,
+                dst,
+            }
+            | TraceEvent::FaultCleared {
+                fault,
+                class,
+                src,
+                dst,
+            } => {
+                events.push(instant(
+                    rec,
+                    src as u64,
+                    vec![
+                        ("fault", fault.into()),
+                        ("class", Json::str(class.label())),
+                        ("src", src.into()),
+                        ("dst", dst.into()),
+                    ],
+                ));
+            }
+            TraceEvent::MsgRetried {
+                src,
+                dst,
+                msg,
+                attempt,
+            } => {
+                events.push(instant(
+                    rec,
+                    src as u64,
+                    vec![
+                        ("src", src.into()),
+                        ("dst", dst.into()),
+                        ("msg", msg.into()),
+                        ("attempt", attempt.into()),
+                    ],
+                ));
+            }
+            TraceEvent::MsgAbandoned {
+                src,
+                dst,
+                msg,
+                retries,
+            } => {
+                events.push(instant(
+                    rec,
+                    src as u64,
+                    vec![
+                        ("src", src.into()),
+                        ("dst", dst.into()),
+                        ("msg", msg.into()),
+                        ("retries", retries.into()),
+                    ],
+                ));
+            }
         }
     }
     Json::Array(events)
@@ -177,7 +234,7 @@ pub fn write_chrome_trace(path: impl AsRef<Path>, records: &[TraceRecord]) -> io
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::event::EvictCause;
+    use crate::event::{EvictCause, FaultClass};
 
     fn sample_records() -> Vec<TraceRecord> {
         let mk = |t_ns, slot, event| TraceRecord { t_ns, slot, event };
@@ -243,17 +300,57 @@ mod tests {
                 },
             ),
             mk(500, 3, TraceEvent::PhaseFlush { cleared: 4 }),
+            mk(
+                600,
+                3,
+                TraceEvent::FaultInjected {
+                    fault: 1,
+                    class: FaultClass::LinkDown,
+                    src: 0,
+                    dst: 5,
+                },
+            ),
+            mk(
+                650,
+                3,
+                TraceEvent::MsgRetried {
+                    src: 0,
+                    dst: 5,
+                    msg: 1,
+                    attempt: 1,
+                },
+            ),
+            mk(
+                700,
+                3,
+                TraceEvent::MsgAbandoned {
+                    src: 0,
+                    dst: 5,
+                    msg: 1,
+                    retries: 3,
+                },
+            ),
+            mk(
+                800,
+                4,
+                TraceEvent::FaultCleared {
+                    fault: 1,
+                    class: FaultClass::LinkDown,
+                    src: 0,
+                    dst: 5,
+                },
+            ),
         ]
     }
 
     #[test]
-    fn all_nine_kinds_appear_in_the_export() {
+    fn every_kind_appears_in_the_export() {
         let json = chrome_trace_json(&sample_records());
         let Json::Array(events) = &json else {
             panic!("chrome trace must be a JSON array")
         };
-        // 9 instants + 1 duration bar for the delivery.
-        assert_eq!(events.len(), 10);
+        // 13 instants + 1 duration bar for the delivery.
+        assert_eq!(events.len(), 14);
         let rendered = json.render();
         for kind in [
             "msg-injected",
@@ -265,6 +362,10 @@ mod tests {
             "sched-pass",
             "preload-applied",
             "phase-flush",
+            "fault-injected",
+            "fault-cleared",
+            "msg-retried",
+            "msg-abandoned",
         ] {
             assert!(rendered.contains(kind), "missing event kind {kind}");
         }

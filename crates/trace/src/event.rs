@@ -15,6 +15,10 @@ pub enum EvictCause {
     /// The connection is torn down as soon as its message completes
     /// (non-predictive paradigms: circuit switching, `PredictorKind::Drop`).
     Drop,
+    /// An injected hardware fault (dead link or stuck SL cell) forcibly
+    /// tore the connection down, or a stuck-release cell held it past its
+    /// natural release and the fault clearing finally freed it.
+    Fault,
 }
 
 impl EvictCause {
@@ -25,6 +29,7 @@ impl EvictCause {
             EvictCause::RefCount => "refcount",
             EvictCause::PhaseFlush => "phase-flush",
             EvictCause::Drop => "drop",
+            EvictCause::Fault => "fault",
         }
     }
 
@@ -35,16 +40,75 @@ impl EvictCause {
             "refcount" => Some(EvictCause::RefCount),
             "phase-flush" => Some(EvictCause::PhaseFlush),
             "drop" => Some(EvictCause::Drop),
+            "fault" => Some(EvictCause::Fault),
             _ => None,
         }
     }
 
     /// All causes, in label order (report tables iterate this).
-    pub const ALL: [EvictCause; 4] = [
+    pub const ALL: [EvictCause; 5] = [
         EvictCause::Drop,
+        EvictCause::Fault,
         EvictCause::PhaseFlush,
         EvictCause::RefCount,
         EvictCause::Timeout,
+    ];
+}
+
+/// The kind of injected hardware fault a `FaultInjected`/`FaultCleared`
+/// event describes. Mirrors `pms-faults`'s fault taxonomy without a
+/// dependency on that crate (trace stays dependency-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// A link or cross-point is dead: no grant, no data, for `src -> dst`.
+    LinkDown,
+    /// The SL cell for `src -> dst` is stuck at "never grant": the
+    /// cross-point cannot close, which also breaks an established path.
+    StuckGrant,
+    /// The SL cell is stuck at "never release": the connection cannot be
+    /// torn down while the fault is active, wasting slot capacity.
+    StuckRelease,
+    /// The grant line for `src -> dst` drops grants: the switch commits
+    /// the connection but the NIC never learns, forcing a retry with
+    /// exponential backoff.
+    GrantDrop,
+    /// The source NIC's serializer produces corrupted frames: message
+    /// completions from `src` fail and are retried against a per-message
+    /// retry budget (`src == dst` == the faulted port).
+    NicTransient,
+}
+
+impl FaultClass {
+    /// Stable lower-case label for export.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultClass::LinkDown => "link-down",
+            FaultClass::StuckGrant => "stuck-grant",
+            FaultClass::StuckRelease => "stuck-release",
+            FaultClass::GrantDrop => "grant-drop",
+            FaultClass::NicTransient => "nic-transient",
+        }
+    }
+
+    /// Inverse of [`label`](Self::label), for trace replay.
+    pub fn from_label(label: &str) -> Option<FaultClass> {
+        match label {
+            "link-down" => Some(FaultClass::LinkDown),
+            "stuck-grant" => Some(FaultClass::StuckGrant),
+            "stuck-release" => Some(FaultClass::StuckRelease),
+            "grant-drop" => Some(FaultClass::GrantDrop),
+            "nic-transient" => Some(FaultClass::NicTransient),
+            _ => None,
+        }
+    }
+
+    /// All classes, in label order (report tables iterate this).
+    pub const ALL: [FaultClass; 5] = [
+        FaultClass::GrantDrop,
+        FaultClass::LinkDown,
+        FaultClass::NicTransient,
+        FaultClass::StuckGrant,
+        FaultClass::StuckRelease,
     ];
 }
 
@@ -133,6 +197,52 @@ pub enum TraceEvent {
         /// Connections cleared by the flush.
         cleared: u32,
     },
+    /// An injected hardware fault became active.
+    FaultInjected {
+        /// Plan-assigned fault id (stable across repeats of a periodic
+        /// fault; pairs this event with its `FaultCleared`).
+        fault: u32,
+        /// What broke.
+        class: FaultClass,
+        /// Affected input port (or the faulted NIC port).
+        src: u32,
+        /// Affected output port (`== src` for NIC faults).
+        dst: u32,
+    },
+    /// A previously injected fault went away.
+    FaultCleared {
+        /// Plan-assigned fault id.
+        fault: u32,
+        /// What had broken.
+        class: FaultClass,
+        /// Affected input port.
+        src: u32,
+        /// Affected output port.
+        dst: u32,
+    },
+    /// A message transmission failed (dropped grant or corrupted
+    /// serialization) and the NIC is retrying after backoff.
+    MsgRetried {
+        /// Source port.
+        src: u32,
+        /// Destination port.
+        dst: u32,
+        /// Workload-global message id.
+        msg: u32,
+        /// Retry attempt number (1 = first retry).
+        attempt: u32,
+    },
+    /// A message exhausted its retry budget and was dropped by the NIC.
+    MsgAbandoned {
+        /// Source port.
+        src: u32,
+        /// Destination port.
+        dst: u32,
+        /// Workload-global message id.
+        msg: u32,
+        /// Retries spent before giving up.
+        retries: u32,
+    },
 }
 
 impl TraceEvent {
@@ -148,11 +258,15 @@ impl TraceEvent {
             TraceEvent::SchedPass { .. } => "sched-pass",
             TraceEvent::PreloadApplied { .. } => "preload-applied",
             TraceEvent::PhaseFlush { .. } => "phase-flush",
+            TraceEvent::FaultInjected { .. } => "fault-injected",
+            TraceEvent::FaultCleared { .. } => "fault-cleared",
+            TraceEvent::MsgRetried { .. } => "msg-retried",
+            TraceEvent::MsgAbandoned { .. } => "msg-abandoned",
         }
     }
 
     /// Number of distinct event kinds (exporter sanity checks).
-    pub const KIND_COUNT: usize = 9;
+    pub const KIND_COUNT: usize = 13;
 }
 
 /// A [`TraceEvent`] stamped with when (simulation ns) and where (active
@@ -213,6 +327,30 @@ mod tests {
                 connections: 8,
             },
             TraceEvent::PhaseFlush { cleared: 5 },
+            TraceEvent::FaultInjected {
+                fault: 0,
+                class: FaultClass::LinkDown,
+                src: 0,
+                dst: 1,
+            },
+            TraceEvent::FaultCleared {
+                fault: 0,
+                class: FaultClass::LinkDown,
+                src: 0,
+                dst: 1,
+            },
+            TraceEvent::MsgRetried {
+                src: 0,
+                dst: 1,
+                msg: 0,
+                attempt: 1,
+            },
+            TraceEvent::MsgAbandoned {
+                src: 0,
+                dst: 1,
+                msg: 0,
+                retries: 3,
+            },
         ];
         let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), TraceEvent::KIND_COUNT);
@@ -223,15 +361,9 @@ mod tests {
 
     #[test]
     fn evict_cause_labels_are_distinct() {
-        let labels: std::collections::BTreeSet<&str> = [
-            EvictCause::Timeout.label(),
-            EvictCause::RefCount.label(),
-            EvictCause::PhaseFlush.label(),
-            EvictCause::Drop.label(),
-        ]
-        .into_iter()
-        .collect();
-        assert_eq!(labels.len(), 4);
+        let labels: std::collections::BTreeSet<&str> =
+            EvictCause::ALL.into_iter().map(EvictCause::label).collect();
+        assert_eq!(labels.len(), EvictCause::ALL.len());
     }
 
     #[test]
@@ -240,5 +372,16 @@ mod tests {
             assert_eq!(EvictCause::from_label(cause.label()), Some(cause));
         }
         assert_eq!(EvictCause::from_label("nonsense"), None);
+    }
+
+    #[test]
+    fn fault_class_labels_roundtrip_and_are_distinct() {
+        let labels: std::collections::BTreeSet<&str> =
+            FaultClass::ALL.into_iter().map(FaultClass::label).collect();
+        assert_eq!(labels.len(), FaultClass::ALL.len());
+        for class in FaultClass::ALL {
+            assert_eq!(FaultClass::from_label(class.label()), Some(class));
+        }
+        assert_eq!(FaultClass::from_label("nonsense"), None);
     }
 }

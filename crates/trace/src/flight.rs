@@ -16,13 +16,66 @@
 //! checking cost a `leading_zeros` and two comparisons.
 
 use crate::event::TraceEvent;
+use crate::json::ParseError;
 use crate::metrics::Histogram;
 use crate::sink::{record_json, RingTracer, TraceSink};
 use crate::{Json, TraceRecord};
 use std::collections::HashMap;
+use std::fmt;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::PathBuf;
+
+/// A malformed line in a flight-recorder dump: which line (1-based), what
+/// it contained, and the underlying JSON error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightParseError {
+    /// 1-based line number within the dump text.
+    pub line: usize,
+    /// The offending line, verbatim.
+    pub context: String,
+    /// The JSON parse error for that line.
+    pub error: ParseError,
+}
+
+impl fmt::Display for FlightParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "flight dump line {}: {} in {:?}",
+            self.line, self.error, self.context
+        )
+    }
+}
+
+impl std::error::Error for FlightParseError {}
+
+/// Parses a flight-recorder JSONL dump back into one [`Json`] value per
+/// line (markers included, blank lines skipped).
+///
+/// A replay must not die mid-stream without saying *where*: a bad line is
+/// reported with its 1-based line number and verbatim content rather than
+/// a bare [`ParseError`] whose byte offset is relative to a line the
+/// caller can no longer identify.
+pub fn parse_flight_dump(text: &str) -> Result<Vec<Json>, FlightParseError> {
+    let mut docs = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match Json::parse(line) {
+            Ok(v) => docs.push(v),
+            Err(error) => {
+                return Err(FlightParseError {
+                    line: idx + 1,
+                    context: line.to_string(),
+                    error,
+                })
+            }
+        }
+    }
+    Ok(docs)
+}
 
 /// Tuning for the [`FlightRecorder`]'s anomaly detector.
 #[derive(Debug, Clone)]
@@ -270,12 +323,21 @@ mod tests {
             marker.get("setup_latency_ns").and_then(Json::as_u64),
             Some(100_000)
         );
-        for line in &lines[1..] {
-            Json::parse(line).unwrap_or_else(|e| panic!("bad line {line}: {e}"));
-        }
+        let docs = parse_flight_dump(&text).unwrap_or_else(|e| panic!("{e}"));
+        assert_eq!(docs.len(), lines.len(), "one document per dump line");
         // The ring was consumed by the dump.
         assert!(fr.records().is_empty());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn corrupt_dump_line_is_located_not_fatal() {
+        let text = "{\"kind\":\"flight-trigger\"}\n{\"kind\":\"slot-start\"}\n{oops\n";
+        let err = parse_flight_dump(text).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert_eq!(err.context, "{oops");
+        let msg = err.to_string();
+        assert!(msg.contains("line 3") && msg.contains("{oops"), "{msg}");
     }
 
     #[test]

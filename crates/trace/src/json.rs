@@ -550,6 +550,73 @@ mod tests {
     }
 
     #[test]
+    fn fault_event_jsonl_roundtrips() {
+        use crate::event::{FaultClass, TraceEvent, TraceRecord};
+        use crate::sink::record_json;
+        let recs = [
+            TraceRecord {
+                t_ns: 100,
+                slot: 1,
+                event: TraceEvent::FaultInjected {
+                    fault: 7,
+                    class: FaultClass::LinkDown,
+                    src: 2,
+                    dst: 3,
+                },
+            },
+            TraceRecord {
+                t_ns: 200,
+                slot: 2,
+                event: TraceEvent::FaultCleared {
+                    fault: 7,
+                    class: FaultClass::StuckRelease,
+                    src: 2,
+                    dst: 3,
+                },
+            },
+            TraceRecord {
+                t_ns: 300,
+                slot: 3,
+                event: TraceEvent::MsgRetried {
+                    src: 0,
+                    dst: 5,
+                    msg: 42,
+                    attempt: 2,
+                },
+            },
+            TraceRecord {
+                t_ns: 400,
+                slot: 4,
+                event: TraceEvent::MsgAbandoned {
+                    src: 0,
+                    dst: 5,
+                    msg: 42,
+                    retries: 8,
+                },
+            },
+        ];
+        for rec in &recs {
+            let doc = record_json(rec);
+            let line = doc.render();
+            let parsed = Json::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(parsed, doc, "JSONL round-trip failed for {line}");
+            assert_eq!(
+                parsed.get("kind").and_then(Json::as_str),
+                Some(rec.event.kind())
+            );
+            assert_eq!(parsed.get("t_ns").and_then(Json::as_u64), Some(rec.t_ns));
+        }
+        // The fault class travels as its label and parses back to the enum.
+        let injected = Json::parse(&record_json(&recs[0]).render()).unwrap();
+        let label = injected.get("class").and_then(Json::as_str).unwrap();
+        assert_eq!(FaultClass::from_label(label), Some(FaultClass::LinkDown));
+        let retried = Json::parse(&record_json(&recs[2]).render()).unwrap();
+        assert_eq!(retried.get("attempt").and_then(Json::as_u64), Some(2));
+        let abandoned = Json::parse(&record_json(&recs[3]).render()).unwrap();
+        assert_eq!(abandoned.get("retries").and_then(Json::as_u64), Some(8));
+    }
+
+    #[test]
     fn parse_unicode_escapes() {
         assert_eq!(Json::parse(r#""\u0041""#).unwrap(), Json::str("A"));
         // Surrogate pair for 🚀 (U+1F680).

@@ -32,8 +32,8 @@ pub mod metrics;
 pub mod sink;
 
 pub use chrome::{chrome_trace_json, write_chrome_trace};
-pub use event::{EvictCause, TraceEvent, TraceRecord};
-pub use flight::{FlightConfig, FlightRecorder};
+pub use event::{EvictCause, FaultClass, TraceEvent, TraceRecord};
+pub use flight::{parse_flight_dump, FlightConfig, FlightParseError, FlightRecorder};
 pub use json::{Json, ParseError};
 pub use metrics::{Histogram, MetricsRegistry};
 pub use sink::{

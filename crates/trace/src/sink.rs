@@ -258,6 +258,45 @@ pub fn record_json(rec: &TraceRecord) -> json::Json {
         TraceEvent::PhaseFlush { cleared } => {
             push("cleared", cleared.into());
         }
+        TraceEvent::FaultInjected {
+            fault,
+            class,
+            src,
+            dst,
+        }
+        | TraceEvent::FaultCleared {
+            fault,
+            class,
+            src,
+            dst,
+        } => {
+            push("fault", fault.into());
+            push("class", Json::str(class.label()));
+            push("src", src.into());
+            push("dst", dst.into());
+        }
+        TraceEvent::MsgRetried {
+            src,
+            dst,
+            msg,
+            attempt,
+        } => {
+            push("src", src.into());
+            push("dst", dst.into());
+            push("msg", msg.into());
+            push("attempt", attempt.into());
+        }
+        TraceEvent::MsgAbandoned {
+            src,
+            dst,
+            msg,
+            retries,
+        } => {
+            push("src", src.into());
+            push("dst", dst.into());
+            push("msg", msg.into());
+            push("retries", retries.into());
+        }
     }
     Json::Object(fields)
 }

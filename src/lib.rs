@@ -25,3 +25,4 @@
 
 pub use pms_analyze as analyze;
 pub use pms_core::*;
+pub use pms_faults as faults;
