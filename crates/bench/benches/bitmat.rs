@@ -43,6 +43,43 @@ fn bench_presched_formula(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_reductions_word_vs_naive(c: &mut Criterion) {
+    // The PR-4 headline comparison: word-parallel row/col OR reductions
+    // and conflict tests against the per-bit reference implementations
+    // (`pms_bench::naive`). `bench_baseline` records the same pairs into
+    // `BENCH_pr4.json`.
+    let mut group = c.benchmark_group("bitmat_reduction");
+    for n in [64usize, 128, 256] {
+        let m = dense(n, 3);
+        let other = dense(n, 5);
+        group.throughput(Throughput::Elements((n * n) as u64));
+        group.bench_with_input(BenchmarkId::new("col_or_word", n), &m, |b, m| {
+            b.iter(|| black_box(black_box(m).col_or()));
+        });
+        group.bench_with_input(BenchmarkId::new("col_or_naive", n), &m, |b, m| {
+            b.iter(|| black_box(pms_bench::naive::col_or(black_box(m))));
+        });
+        group.bench_with_input(BenchmarkId::new("row_or_word", n), &m, |b, m| {
+            b.iter(|| black_box(black_box(m).row_or()));
+        });
+        group.bench_with_input(BenchmarkId::new("row_or_naive", n), &m, |b, m| {
+            b.iter(|| black_box(pms_bench::naive::row_or(black_box(m))));
+        });
+        group.bench_with_input(BenchmarkId::new("intersects_word", n), &m, |b, m| {
+            b.iter(|| black_box(black_box(m).intersects(black_box(&other))));
+        });
+        group.bench_with_input(BenchmarkId::new("intersects_naive", n), &m, |b, m| {
+            b.iter(|| {
+                black_box(pms_bench::naive::intersects(
+                    black_box(m),
+                    black_box(&other),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_permutation_check(c: &mut Criterion) {
     let mut group = c.benchmark_group("bitmat_perm_check");
     for n in [128usize, 256] {
@@ -58,6 +95,7 @@ criterion_group!(
     benches,
     bench_union,
     bench_presched_formula,
+    bench_reductions_word_vs_naive,
     bench_permutation_check
 );
 criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion bench: the simulator idle time skip on sparse workloads.
+//!
+//! Sparse workloads — long compute gaps between messages — are exactly
+//! where the step-by-step simulator burns wall-clock ticking empty
+//! slot/pass boundaries. The skip must make those runs cheap while
+//! producing byte-identical outputs (enforced by `tests/idle_skip.rs` in
+//! `pms-sim` and the CI trace check); this bench tracks the wall-clock
+//! side of that contract.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pms_sim::{Paradigm, PredictorKind, SimParams};
+use pms_workloads::{Program, Workload};
+use std::hint::black_box;
+
+/// `msgs` messages spread over four senders, `gap_ns` of compute between
+/// consecutive sends on each.
+fn sparse_workload(ports: usize, msgs: usize, gap_ns: u64) -> Workload {
+    let mut programs = vec![Program::new(); ports];
+    for m in 0..msgs {
+        programs[m % 4].send((m + 1) % ports, 64).delay(gap_ns);
+    }
+    Workload::new("sparse", ports, programs)
+}
+
+fn bench_sparse_tdm(c: &mut Criterion) {
+    let ports = 128;
+    let w = sparse_workload(ports, 8, 200_000);
+    let mut group = c.benchmark_group("idle_skip_sparse_tdm");
+    group.sample_size(10);
+    for (label, skip) in [("skip", true), ("seed_path", false)] {
+        let params = SimParams::default().with_ports(ports).with_idle_skip(skip);
+        group.bench_with_input(BenchmarkId::new(label, ports), &w, |b, w| {
+            b.iter(|| {
+                black_box(Paradigm::DynamicTdm(PredictorKind::Drop).run(black_box(w), &params))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_sparse_circuit(c: &mut Criterion) {
+    let ports = 128;
+    let w = sparse_workload(ports, 8, 200_000);
+    let mut group = c.benchmark_group("idle_skip_sparse_circuit");
+    group.sample_size(10);
+    for (label, skip) in [("skip", true), ("seed_path", false)] {
+        let params = SimParams::default().with_ports(ports).with_idle_skip(skip);
+        group.bench_with_input(BenchmarkId::new(label, ports), &w, |b, w| {
+            b.iter(|| black_box(Paradigm::Circuit.run(black_box(w), &params)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparse_tdm, bench_sparse_circuit);
+criterion_main!(benches);

@@ -44,6 +44,45 @@ fn bench_pass(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_sl_pass_kernel(c: &mut Criterion) {
+    // The raw combinational pass, isolated from the scheduler wrapper:
+    // fast word-scanning `sl_pass` vs the gather-and-sort `reference`
+    // module vs the fully per-bit grid walk (`pms_bench::naive`). The
+    // sparse case is the idle-heavy steady state the simulators hit most.
+    use pms_sched::{sl_pass, slarray::reference, Priority};
+    let mut group = c.benchmark_group("sl_pass_kernel");
+    for n in [64usize, 128, 256] {
+        // Sparse: a handful of change requests across the whole array.
+        let sparse_l = BitMatrix::from_pairs(n, n, (0..8).map(|i| (i * n / 8, (i * 13 + 1) % n)));
+        // Dense: every input has a change request on four columns.
+        let dense_l = dense_requests(n);
+        let b_s = BitMatrix::from_pairs(n, n, (0..n / 3).map(|u| (3 * u % n, (3 * u + 5) % n)));
+        let pri = Priority { row: n / 2, col: 7 };
+        for (tag, l) in [("sparse", &sparse_l), ("dense", &dense_l)] {
+            group.bench_with_input(BenchmarkId::new(format!("fast_{tag}"), n), l, |bch, l| {
+                bch.iter(|| black_box(sl_pass(black_box(l), black_box(&b_s), pri)));
+            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("reference_{tag}"), n),
+                l,
+                |bch, l| {
+                    bch.iter(|| black_box(reference::sl_pass(black_box(l), black_box(&b_s), pri)));
+                },
+            );
+            group.bench_with_input(BenchmarkId::new(format!("naive_{tag}"), n), l, |bch, l| {
+                bch.iter(|| {
+                    black_box(pms_bench::naive::sl_pass(
+                        black_box(l),
+                        black_box(&b_s),
+                        pri,
+                    ))
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_flush(c: &mut Criterion) {
     c.bench_function("flush_dynamic_128", |b| {
         let n = 128;
@@ -56,5 +95,5 @@ fn bench_flush(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_pass, bench_flush);
+criterion_group!(benches, bench_pass, bench_sl_pass_kernel, bench_flush);
 criterion_main!(benches);

@@ -1,0 +1,258 @@
+//! Writes the committed perf baseline (`BENCH_pr4.json`): before/after
+//! numbers for the three optimized layers at the paper's `N = 128`.
+//!
+//! * bit-matrix reductions — word-parallel `pms-bitmat` kernels vs the
+//!   per-bit references in [`pms_bench::naive`];
+//! * the SL array pass — word-scanning `pms_sched::sl_pass` vs the
+//!   per-bit full-grid walk (and the gather-and-sort `reference` module
+//!   as a secondary point);
+//! * the simulator idle skip — sparse-workload TDM/circuit runs with
+//!   `idle_skip` on vs off.
+//!
+//! Usage: `cargo run --release -p pms-bench --bin bench_baseline [-- out.json]`
+//! (default output path `BENCH_pr4.json`). The binary asserts the PR-4
+//! acceptance floors — >= 5x on the reduction and SL-pass kernels, > 1x
+//! on the idle skip — so a regression fails loudly instead of silently
+//! committing a stale baseline.
+
+use pms_bench::naive;
+use pms_bitmat::BitMatrix;
+use pms_sched::{slarray::reference, Priority};
+use pms_sim::{Paradigm, PredictorKind, SimParams};
+use pms_workloads::{Program, Workload};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Median ns per call over several samples; each sample batches calls
+/// until it exceeds a minimum duration so short kernels are resolvable.
+fn measure_ns<F: FnMut()>(mut f: F) -> f64 {
+    let mut iters = 1u64;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if t0.elapsed() >= Duration::from_millis(5) || iters >= 1 << 24 {
+            break;
+        }
+        iters *= 2;
+    }
+    let mut samples: Vec<f64> = (0..5)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                f();
+            }
+            t0.elapsed().as_secs_f64() * 1e9 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    samples[samples.len() / 2]
+}
+
+struct Entry {
+    name: &'static str,
+    before_ns: f64,
+    after_ns: f64,
+    floor: f64,
+}
+
+impl Entry {
+    fn speedup(&self) -> f64 {
+        self.before_ns / self.after_ns
+    }
+}
+
+fn dense(n: usize, stride: usize) -> BitMatrix {
+    BitMatrix::from_pairs(n, n, (0..n).map(|u| (u, (u * stride + 1) % n)))
+}
+
+fn sparse_workload(ports: usize, msgs: usize, gap_ns: u64) -> Workload {
+    let mut programs = vec![Program::new(); ports];
+    for m in 0..msgs {
+        programs[m % 4].send((m + 1) % ports, 64).delay(gap_ns);
+    }
+    Workload::new("sparse", ports, programs)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_pr4.json".into());
+    let n = 128usize;
+    let mut entries: Vec<Entry> = Vec::new();
+
+    // --- bit-matrix reductions -------------------------------------------
+    let m = dense(n, 3);
+    entries.push(Entry {
+        name: "bitmat_col_or",
+        before_ns: measure_ns(|| {
+            black_box(naive::col_or(black_box(&m)));
+        }),
+        after_ns: measure_ns(|| {
+            black_box(black_box(&m).col_or());
+        }),
+        floor: 5.0,
+    });
+    entries.push(Entry {
+        name: "bitmat_row_or",
+        before_ns: measure_ns(|| {
+            black_box(naive::row_or(black_box(&m)));
+        }),
+        after_ns: measure_ns(|| {
+            black_box(black_box(&m).row_or());
+        }),
+        floor: 5.0,
+    });
+    let slots: Vec<BitMatrix> = (1..5).map(|s| dense(n, s)).collect();
+    entries.push(Entry {
+        name: "bitmat_union_bstar",
+        before_ns: measure_ns(|| {
+            black_box(naive::union(black_box(&slots)));
+        }),
+        after_ns: measure_ns(|| {
+            black_box(BitMatrix::union(black_box(&slots)));
+        }),
+        floor: 5.0,
+    });
+    // Disjoint matrices: no overlapping bit, so neither implementation can
+    // short-circuit and the comparison measures the full conflict scan.
+    let even = BitMatrix::from_pairs(n, n, (0..n).map(|u| (u, 2 * (u % (n / 2)))));
+    let odd = BitMatrix::from_pairs(n, n, (0..n).map(|u| (u, 2 * (u % (n / 2)) + 1)));
+    entries.push(Entry {
+        name: "bitmat_intersects",
+        before_ns: measure_ns(|| {
+            black_box(naive::intersects(black_box(&even), black_box(&odd)));
+        }),
+        after_ns: measure_ns(|| {
+            black_box(black_box(&even).intersects(black_box(&odd)));
+        }),
+        floor: 5.0,
+    });
+
+    // --- SL array pass ----------------------------------------------------
+    let sparse_l = BitMatrix::from_pairs(n, n, (0..8).map(|i| (i * n / 8, (i * 13 + 1) % n)));
+    let dense_l = BitMatrix::from_pairs(
+        n,
+        n,
+        (0..n).flat_map(|u| (1..5).map(move |d| (u, (u + d) % n))),
+    );
+    let b_s = BitMatrix::from_pairs(n, n, (0..n / 3).map(|u| (3 * u % n, (3 * u + 5) % n)));
+    let pri = Priority { row: n / 2, col: 7 };
+    entries.push(Entry {
+        name: "sl_pass_sparse",
+        before_ns: measure_ns(|| {
+            black_box(naive::sl_pass(black_box(&sparse_l), black_box(&b_s), pri));
+        }),
+        after_ns: measure_ns(|| {
+            black_box(pms_sched::sl_pass(
+                black_box(&sparse_l),
+                black_box(&b_s),
+                pri,
+            ));
+        }),
+        floor: 5.0,
+    });
+    entries.push(Entry {
+        name: "sl_pass_dense",
+        before_ns: measure_ns(|| {
+            black_box(naive::sl_pass(black_box(&dense_l), black_box(&b_s), pri));
+        }),
+        after_ns: measure_ns(|| {
+            black_box(pms_sched::sl_pass(
+                black_box(&dense_l),
+                black_box(&b_s),
+                pri,
+            ));
+        }),
+        floor: 5.0,
+    });
+    // Secondary point: the gather-and-sort reference (the pre-PR library
+    // pass, which already skipped empty rows via iterators) vs fast.
+    entries.push(Entry {
+        name: "sl_pass_sparse_vs_reference",
+        before_ns: measure_ns(|| {
+            black_box(reference::sl_pass(
+                black_box(&sparse_l),
+                black_box(&b_s),
+                pri,
+            ));
+        }),
+        after_ns: measure_ns(|| {
+            black_box(pms_sched::sl_pass(
+                black_box(&sparse_l),
+                black_box(&b_s),
+                pri,
+            ));
+        }),
+        floor: 1.0,
+    });
+
+    // --- simulator idle skip ---------------------------------------------
+    let w = sparse_workload(n, 8, 200_000);
+    let tdm = Paradigm::DynamicTdm(PredictorKind::Drop);
+    let run = |p: &Paradigm, skip: bool| {
+        let params = SimParams::default().with_ports(n).with_idle_skip(skip);
+        let t0 = Instant::now();
+        let stats = p.run(&w, &params);
+        assert_eq!(stats.delivered_messages, 8, "workload must complete");
+        t0.elapsed().as_secs_f64() * 1e9
+    };
+    // Single runs: the seed path takes long enough that batching is
+    // unnecessary, and both paths are deterministic.
+    entries.push(Entry {
+        name: "sim_sparse_tdm_idle_skip",
+        before_ns: run(&tdm, false),
+        after_ns: run(&tdm, true),
+        floor: 1.0,
+    });
+    entries.push(Entry {
+        name: "sim_sparse_circuit_idle_skip",
+        before_ns: run(&Paradigm::Circuit, false),
+        after_ns: run(&Paradigm::Circuit, true),
+        floor: 1.0,
+    });
+
+    // --- report -----------------------------------------------------------
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"bench\": \"pr4\",\n");
+    json.push_str(&format!("  \"n_ports\": {n},\n"));
+    json.push_str(
+        "  \"generated_by\": \"cargo run --release -p pms-bench --bin bench_baseline\",\n",
+    );
+    json.push_str("  \"kernels\": [\n");
+    for (i, e) in entries.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"before_ns\": {:.1}, \"after_ns\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            e.name,
+            e.before_ns,
+            e.after_ns,
+            e.speedup(),
+            if i + 1 < entries.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    for e in &entries {
+        println!(
+            "{:<32} before {:>14.1} ns  after {:>12.1} ns  speedup {:>8.2}x",
+            e.name,
+            e.before_ns,
+            e.after_ns,
+            e.speedup()
+        );
+    }
+    std::fs::write(&out_path, &json).expect("write baseline json");
+    println!("wrote {out_path}");
+
+    for e in &entries {
+        assert!(
+            e.speedup() >= e.floor,
+            "{}: speedup {:.2}x below the {}x acceptance floor",
+            e.name,
+            e.speedup(),
+            e.floor
+        );
+    }
+}

@@ -73,6 +73,8 @@ fn main() {
         let table = run_grid(jobs, &params);
         println!("Figure 4 — {name} (efficiency, {ports} processors, K=4)");
         println!("{}", table.render("msg bytes", rate));
+        eprintln!("{name} wall-clock per cell:");
+        eprintln!("{}", table.render_wall("msg bytes"));
 
         let mut rows = Vec::new();
         for cell in &table.cells {

@@ -37,6 +37,7 @@ fn main() {
     let mut json_rows = Vec::new();
     for k in 0..=2usize {
         let mut points = Vec::new();
+        let mut k_wall_ns = 0u64;
         for &d in &determinism {
             let jobs: Vec<(u64, Workload, Paradigm)> = seeds
                 .iter()
@@ -70,7 +71,13 @@ fn main() {
                 ("preload_slots", k.into()),
                 ("efficiency", mean.into()),
             ]));
+            k_wall_ns += table.total_wall_ns();
         }
+        eprintln!(
+            "wall-clock: {k}-preload series {:.2} ms across {} points",
+            k_wall_ns as f64 / 1e6,
+            points.len()
+        );
         series.push((k, points));
     }
 

@@ -47,6 +47,7 @@ struct Args {
     faults: Option<String>,
     json: bool,
     phase_detector: bool,
+    idle_skip: bool,
 }
 
 /// A CLI-level failure (unreadable file, malformed plan): report it and
@@ -71,6 +72,7 @@ fn parse_args() -> Args {
         faults: None,
         json: false,
         phase_detector: false,
+        idle_skip: true,
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -88,6 +90,11 @@ fn parse_args() -> Args {
             }
             "--phase-detector" => {
                 args.phase_detector = true;
+                i += 1;
+                continue;
+            }
+            "--no-idle-skip" => {
+                args.idle_skip = false;
                 i += 1;
                 continue;
             }
@@ -126,6 +133,7 @@ fn usage() -> ! {
          \x20               [--slots K] [--timeout NS] [--seed S]\n\
          \x20               [--trace OUT] [--report OUT.json] [--faults PLAN.txt]\n\
          \x20               [--flight-recorder OUT.jsonl] [--json] [--phase-detector]\n\
+         \x20               [--no-idle-skip]\n\
          patterns : scatter gather ring uniform hotspot permutation butterfly\n\
          \x20          transpose stencil3d ordered-mesh random-mesh two-phase\n\
          paradigms: wormhole circuit dynamic preload hybrid0 hybrid1 hybrid2\n\
@@ -136,7 +144,10 @@ fn usage() -> ! {
          --flight-recorder : bounded-ring anomaly recorder; dumps the ring to\n\
          \x20          the given JSONL only when a setup-latency outlier fires\n\
          --json   : print statistics as one JSON object\n\
-         --phase-detector : attach the miss-rate phase detector (dynamic TDM)"
+         --phase-detector : attach the miss-rate phase detector (dynamic TDM)\n\
+         --no-idle-skip : force the pre-optimization stepped main loop\n\
+         \x20          (outputs are byte-identical either way; only wall-clock\n\
+         \x20          changes — see DESIGN.md, Performance model)"
     );
     std::process::exit(2);
 }
@@ -235,7 +246,8 @@ fn main() {
     let paradigm = build_paradigm(&args);
     let params = SimParams::default()
         .with_ports(args.ports)
-        .with_tdm_slots(args.slots);
+        .with_tdm_slots(args.slots)
+        .with_idle_skip(args.idle_skip);
     let rate = params.link.bytes_per_ns();
     let plan = match &args.faults {
         Some(path) => {
@@ -253,6 +265,7 @@ fn main() {
     } else {
         Tracer::Null
     };
+    let wall_start = std::time::Instant::now();
     let (stats, mut tracer) = if args.phase_detector {
         TdmSim::new(&workload, &params, tdm_mode(&args))
             .with_phase_detector(PhaseDetectorConfig {
@@ -266,6 +279,15 @@ fn main() {
     } else {
         paradigm.run_faulted(&workload, &params, plan, tracer)
     };
+    eprintln!(
+        "wall-clock   : {:.3} ms{}",
+        wall_start.elapsed().as_secs_f64() * 1e3,
+        if args.idle_skip {
+            ""
+        } else {
+            " (idle skip off)"
+        }
+    );
     tracer
         .finish()
         .unwrap_or_else(|e| die(format!("cannot flush tracer: {e}")));

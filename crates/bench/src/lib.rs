@@ -16,6 +16,7 @@
 //! The library part holds the shared sweep driver so binaries stay thin.
 
 pub mod degradation;
+pub mod naive;
 pub mod reporting;
 pub mod sweep;
 

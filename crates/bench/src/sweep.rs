@@ -17,6 +17,10 @@ pub struct Cell {
     pub col: String,
     /// Simulation results.
     pub stats: SimStats,
+    /// Wall-clock time this cell's simulation took on the sweep thread
+    /// (ns). Lives on the cell, not in [`SimStats`], so simulator outputs
+    /// stay byte-comparable across runs.
+    pub wall_ns: u64,
 }
 
 /// A rows x columns result table for one figure.
@@ -52,6 +56,43 @@ impl FigureTable {
             }
         }
         cols
+    }
+
+    /// Total wall-clock across all cells (ns) — sweep cost at a glance.
+    pub fn total_wall_ns(&self) -> u64 {
+        self.cells.iter().map(|c| c.wall_ns).sum()
+    }
+
+    /// Renders per-cell wall-clock in milliseconds, same layout as
+    /// [`render`](Self::render) — the criterion-free view of where a
+    /// sweep's time goes (e.g. which paradigm/row dominates a figure run).
+    pub fn render_wall(&self, row_header: &str) -> String {
+        let cols = self.cols();
+        let mut out = String::new();
+        out.push_str(&format!("{row_header:>10}"));
+        for c in &cols {
+            out.push_str(&format!(" {c:>14}"));
+        }
+        out.push('\n');
+        for row in self.rows() {
+            out.push_str(&format!("{row:>10}"));
+            for c in &cols {
+                let cell = self.cells.iter().find(|x| x.row == row && &x.col == c);
+                match cell {
+                    Some(x) => {
+                        out.push_str(&format!(" {:>12.2}ms", x.wall_ns as f64 / 1e6));
+                    }
+                    None => out.push_str(&format!(" {:>14}", "-")),
+                }
+            }
+            out.push('\n');
+        }
+        out.push_str(&format!(
+            "{:>10} total {:.2}ms\n",
+            "",
+            self.total_wall_ns() as f64 / 1e6
+        ));
+        out
     }
 
     /// Renders the table with efficiencies in percent.
@@ -94,11 +135,14 @@ pub fn run_grid(jobs: Vec<(u64, Workload, Paradigm)>, params: &SimParams) -> Fig
                     break;
                 };
                 let p = params.clone().with_ports(workload.ports);
+                let t0 = std::time::Instant::now();
                 let stats = paradigm.run(&workload, &p);
+                let wall_ns = t0.elapsed().as_nanos() as u64;
                 results.lock().expect("sweep results poisoned").push(Cell {
                     row,
                     col: paradigm.label(),
                     stats,
+                    wall_ns,
                 });
             });
         }
@@ -135,5 +179,9 @@ mod tests {
         let rendered = table.render("bytes", 0.8);
         assert!(rendered.contains("wormhole"));
         assert!(rendered.contains('%'));
+        let wall = table.render_wall("bytes");
+        assert!(wall.contains("ms"), "{wall}");
+        assert!(wall.contains("total"), "{wall}");
+        assert!(table.total_wall_ns() > 0);
     }
 }

@@ -53,6 +53,24 @@ impl BitVec {
         v
     }
 
+    /// Adopts pre-packed storage words as a `len`-bit vector. Bits beyond
+    /// `len` in the last word are cleared, so callers may hand over words
+    /// with garbage padding (e.g. an OR accumulator).
+    ///
+    /// # Panics
+    /// Panics if `words.len()` is not exactly the storage size for `len`.
+    pub fn from_words(len: usize, words: Vec<u64>) -> Self {
+        assert_eq!(
+            words.len(),
+            words_for(len),
+            "word count {} does not match {len} bits",
+            words.len()
+        );
+        let mut v = Self { len, words };
+        v.fixup_tail();
+        v
+    }
+
     /// Number of bits in the vector.
     #[inline]
     pub fn len(&self) -> usize {
@@ -293,6 +311,20 @@ mod tests {
     fn from_indices() {
         let v = BitVec::from_indices(16, [1, 5, 9]);
         assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![1, 5, 9]);
+    }
+
+    #[test]
+    fn from_words_masks_tail() {
+        // 70 bits: the 58 padding bits of the second word must be dropped.
+        let v = BitVec::from_words(70, vec![u64::MAX, u64::MAX]);
+        assert_eq!(v.count_ones(), 70);
+        assert_eq!(v, BitVec::ones(70));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_words_wrong_size_panics() {
+        let _ = BitVec::from_words(70, vec![0]);
     }
 
     #[test]

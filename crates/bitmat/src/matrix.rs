@@ -149,14 +149,11 @@ impl BitMatrix {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
     }
 
-    /// Copies row `r` into a new [`BitVec`] of length `cols`.
+    /// Copies row `r` into a new [`BitVec`] of length `cols` (a straight
+    /// word copy of the packed storage).
     pub fn row(&self, r: usize) -> BitVec {
         assert!(r < self.rows, "row {r} out of range");
-        let mut v = BitVec::new(self.cols);
-        for c in self.iter_row_ones(r) {
-            v.set(c, true);
-        }
-        v
+        BitVec::from_words(self.cols, self.row_words(r).to_vec())
     }
 
     /// Raw words of row `r`.
@@ -189,19 +186,21 @@ impl BitMatrix {
     }
 
     /// The `AI` vector of the paper: bit `u` is 1 iff row `u` has any entry
-    /// set (input port `u` is occupied in this configuration).
+    /// set (input port `u` is occupied in this configuration). Each row is
+    /// OR-folded word-by-word and the result bit is packed directly.
     pub fn row_or(&self) -> BitVec {
-        let mut v = BitVec::new(self.rows);
+        let mut out = vec![0u64; words_for(self.rows)];
         for r in 0..self.rows {
-            if self.row_words(r).iter().any(|&w| w != 0) {
-                v.set(r, true);
-            }
+            let occupied = self.row_words(r).iter().fold(0u64, |a, &w| a | w);
+            out[r / WORD_BITS] |= u64::from(occupied != 0) << (r % WORD_BITS);
         }
-        v
+        BitVec::from_words(self.rows, out)
     }
 
     /// The `AO` vector of the paper: bit `v` is 1 iff column `v` has any
-    /// entry set (output port `v` is occupied in this configuration).
+    /// entry set (output port `v` is occupied in this configuration) — a
+    /// word-parallel OR accumulation over the rows, adopted wholesale as
+    /// the result's storage.
     pub fn col_or(&self) -> BitVec {
         let mut acc = vec![0u64; self.row_words];
         for r in 0..self.rows {
@@ -209,19 +208,74 @@ impl BitMatrix {
                 *a |= w;
             }
         }
-        let mut v = BitVec::new(self.cols);
-        for (wi, &w) in acc.iter().enumerate() {
-            let mut w = w;
-            while w != 0 {
-                let bit = w.trailing_zeros() as usize;
-                w &= w - 1;
-                let c = wi * WORD_BITS + bit;
-                if c < self.cols {
-                    v.set(c, true);
-                }
-            }
+        BitVec::from_words(self.cols, acc)
+    }
+
+    /// True if row `r` has any entry set — the single-row `AI` query the
+    /// scheduler's heal/conflict paths need, without building a vector.
+    ///
+    /// # Panics
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn any_in_row(&self, r: usize) -> bool {
+        assert!(r < self.rows, "row {r} out of range");
+        self.row_words(r).iter().any(|&w| w != 0)
+    }
+
+    /// Number of set entries in row `r` (word-parallel popcount).
+    ///
+    /// # Panics
+    /// Panics if `r >= rows`.
+    #[inline]
+    pub fn row_count_ones(&self, r: usize) -> usize {
+        assert!(r < self.rows, "row {r} out of range");
+        self.row_words(r)
+            .iter()
+            .map(|w| w.count_ones() as usize)
+            .sum()
+    }
+
+    /// True if column `c` has any entry set — the single-column `AO`
+    /// query, probing one word per row.
+    ///
+    /// # Panics
+    /// Panics if `c >= cols`.
+    #[inline]
+    pub fn col_any(&self, c: usize) -> bool {
+        assert!(c < self.cols, "column {c} out of range");
+        let (wi, mask) = (c / WORD_BITS, 1u64 << (c % WORD_BITS));
+        (0..self.rows).any(|r| self.words[r * self.row_words + wi] & mask != 0)
+    }
+
+    /// True if any entry is set in both matrices (word-parallel AND/any) —
+    /// the conflict test between a request set and a configuration.
+    ///
+    /// # Panics
+    /// Panics if the dimensions differ.
+    pub fn intersects(&self, other: &BitMatrix) -> bool {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "BitMatrix dimension mismatch"
+        );
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// `self ^= other`, the word-parallel toggle apply: flips every entry
+    /// set in `other` (the hardware commit of a pass's `T` matrix onto a
+    /// configuration register).
+    ///
+    /// # Panics
+    /// Panics if the dimensions differ.
+    pub fn xor_assign(&mut self, other: &BitMatrix) {
+        assert_eq!(
+            (self.rows, self.cols),
+            (other.rows, other.cols),
+            "BitMatrix dimension mismatch"
+        );
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a ^= b;
         }
-        v
     }
 
     /// `self |= other`, the bit-wise OR used to form `B*`.
@@ -409,6 +463,41 @@ mod tests {
         let m = BitMatrix::from_pairs(8, 8, [(1, 2), (3, 2), (5, 7)]);
         assert_eq!(m.row_or().iter_ones().collect::<Vec<_>>(), vec![1, 3, 5]);
         assert_eq!(m.col_or().iter_ones().collect::<Vec<_>>(), vec![2, 7]);
+    }
+
+    #[test]
+    fn single_row_col_queries() {
+        let m = BitMatrix::from_pairs(70, 70, [(1, 2), (3, 65), (69, 7)]);
+        assert!(m.any_in_row(1) && m.any_in_row(3) && m.any_in_row(69));
+        assert!(!m.any_in_row(0) && !m.any_in_row(68));
+        assert_eq!(m.row_count_ones(1), 1);
+        assert_eq!(m.row_count_ones(2), 0);
+        assert!(m.col_any(2) && m.col_any(65) && m.col_any(7));
+        assert!(!m.col_any(0) && !m.col_any(69));
+    }
+
+    #[test]
+    fn intersects_detects_overlap() {
+        let a = BitMatrix::from_pairs(5, 70, [(0, 69), (2, 3)]);
+        let b = BitMatrix::from_pairs(5, 70, [(0, 69)]);
+        let c = BitMatrix::from_pairs(5, 70, [(1, 69)]);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+        assert!(!a.intersects(&BitMatrix::new(5, 70)));
+    }
+
+    #[test]
+    fn xor_assign_is_toggle_apply() {
+        let mut cfg = BitMatrix::from_pairs(4, 4, [(0, 1), (2, 3)]);
+        let toggles = BitMatrix::from_pairs(4, 4, [(0, 1), (1, 0)]);
+        cfg.xor_assign(&toggles);
+        assert_eq!(cfg.iter_ones().collect::<Vec<_>>(), vec![(1, 0), (2, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn xor_dimension_mismatch_panics() {
+        BitMatrix::square(4).xor_assign(&BitMatrix::square(5));
     }
 
     #[test]

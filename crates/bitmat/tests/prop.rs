@@ -89,6 +89,81 @@ proptest! {
         prop_assert_eq!(m.transpose().transpose(), m);
     }
 
+    /// Word-level per-row queries agree with per-bit scans, including on
+    /// widths that are not multiples of 64 (tail-mask correctness).
+    #[test]
+    fn word_row_queries_match_naive((r, c, cells) in sparse_matrix()) {
+        let m = BitMatrix::from_pairs(r, c, cells.iter().copied());
+        for u in 0..r {
+            let naive_any = (0..c).any(|v| m.get(u, v));
+            let naive_count = (0..c).filter(|&v| m.get(u, v)).count();
+            prop_assert_eq!(m.any_in_row(u), naive_any, "any_in_row[{}]", u);
+            prop_assert_eq!(m.row_count_ones(u), naive_count, "row_count_ones[{}]", u);
+            let row = m.row(u);
+            prop_assert_eq!(row.count_ones(), naive_count);
+            for v in 0..c {
+                prop_assert_eq!(row.get(v), m.get(u, v));
+            }
+        }
+        for v in 0..c {
+            let naive_any = (0..r).any(|u| m.get(u, v));
+            prop_assert_eq!(m.col_any(v), naive_any, "col_any[{}]", v);
+        }
+    }
+
+    /// `intersects` is exactly "any cell set in both operands".
+    #[test]
+    fn word_intersects_matches_naive((r, c, cells) in sparse_matrix()) {
+        let half = cells.len() / 2;
+        let a = BitMatrix::from_pairs(r, c, cells[..half].iter().copied());
+        let b = BitMatrix::from_pairs(r, c, cells[half..].iter().copied());
+        // Distinct halves never intersect; overlay one shared cell to
+        // exercise the true branch too.
+        prop_assert!(!a.intersects(&b));
+        prop_assert!(!b.intersects(&a));
+        if let Some(&(u, v)) = cells.first() {
+            let mut b2 = b.clone();
+            b2.set(u, v, true);
+            let mut a2 = a.clone();
+            a2.set(u, v, true);
+            prop_assert!(a2.intersects(&b2));
+        }
+    }
+
+    /// Word-level `xor_assign` (the toggle-commit kernel) equals per-cell
+    /// toggling.
+    #[test]
+    fn word_xor_assign_matches_per_cell_toggle((r, c, cells) in sparse_matrix()) {
+        let half = cells.len() / 2;
+        let mut base = BitMatrix::from_pairs(r, c, cells[..half].iter().copied());
+        let toggles = BitMatrix::from_pairs(r, c, cells[half..].iter().copied());
+        let mut expect = base.clone();
+        for (u, v) in toggles.iter_ones() {
+            expect.toggle(u, v);
+        }
+        base.xor_assign(&toggles);
+        prop_assert_eq!(&base, &expect);
+        // xor is an involution: applying the same toggles again restores.
+        base.xor_assign(&toggles);
+        let orig = BitMatrix::from_pairs(r, c, cells[..half].iter().copied());
+        prop_assert_eq!(&base, &orig);
+    }
+
+    /// `BitVec::from_words` truncates stray bits beyond `len`.
+    #[test]
+    fn bitvec_from_words_masks_tail((len, words) in (1usize..200).prop_flat_map(|len| {
+        (Just(len), prop::collection::vec(0u64..u64::MAX, len.div_ceil(64)))
+    })) {
+        let v = BitVec::from_words(len, words.clone());
+        for i in v.iter_ones() {
+            prop_assert!(i < len, "bit {} beyond len {}", i, len);
+        }
+        for i in 0..len {
+            let expect = words[i / 64] >> (i % 64) & 1 == 1;
+            prop_assert_eq!(v.get(i), expect);
+        }
+    }
+
     #[test]
     fn union_count_at_most_sum((r, c, cells) in sparse_matrix()) {
         let half = cells.len() / 2;

@@ -64,6 +64,17 @@ pub trait ConnectionPredictor {
     /// Drains the set of connections that should be evicted as of `now`.
     fn take_evictions(&mut self, now: u64) -> Vec<(usize, usize)>;
 
+    /// Earliest time at which [`take_evictions`](Self::take_evictions)
+    /// could return a non-empty set assuming **no further input events**
+    /// (no `on_use`/`on_establish`/`on_release`), or `None` if it would
+    /// stay empty forever. Idle-skipping simulators use this to bound how
+    /// far they may fast-forward without consulting the predictor; the
+    /// conservative default `Some(0)` ("could evict immediately") disables
+    /// skipping for predictors that don't implement the query.
+    fn idle_eviction_deadline(&self) -> Option<u64> {
+        Some(0)
+    }
+
     /// Predictor name for reports.
     fn name(&self) -> &'static str;
 
@@ -86,6 +97,9 @@ impl ConnectionPredictor for NeverEvict {
     fn on_release(&mut self, _u: usize, _v: usize) {}
     fn take_evictions(&mut self, _now: u64) -> Vec<(usize, usize)> {
         Vec::new()
+    }
+    fn idle_eviction_deadline(&self) -> Option<u64> {
+        None
     }
     fn name(&self) -> &'static str {
         "never-evict"
@@ -129,6 +143,30 @@ mod tests {
             p.take_evictions(u64::MAX).is_empty(),
             "faulted pair left predictor state behind"
         );
+    }
+
+    #[test]
+    fn idle_eviction_deadlines() {
+        assert_eq!(NeverEvict.idle_eviction_deadline(), None);
+
+        let mut t = TimeoutPredictor::new(100);
+        assert_eq!(t.idle_eviction_deadline(), None, "nothing tracked");
+        t.on_use(0, 1, 40);
+        t.on_use(2, 3, 10);
+        assert_eq!(
+            t.idle_eviction_deadline(),
+            Some(110),
+            "longest-idle pair fires first"
+        );
+        assert!(t.take_evictions(109).is_empty());
+        assert_eq!(t.take_evictions(110), vec![(2, 3)]);
+
+        let mut r = RefCountPredictor::new(1);
+        r.on_establish(0, 1, 0);
+        assert_eq!(r.idle_eviction_deadline(), None, "no pending evictions");
+        r.on_establish(2, 3, 0);
+        r.on_use(2, 3, 5); // bumps (0,1) to the threshold -> pending
+        assert_eq!(r.idle_eviction_deadline(), Some(0), "pending drains next");
     }
 
     #[test]

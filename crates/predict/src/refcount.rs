@@ -78,6 +78,17 @@ impl ConnectionPredictor for RefCountPredictor {
         out
     }
 
+    fn idle_eviction_deadline(&self) -> Option<u64> {
+        // Counters only move on traffic: with no further input the only
+        // possible evictions are the ones already pending, which the next
+        // drain (at any time) returns.
+        if self.pending.is_empty() {
+            None
+        } else {
+            Some(0)
+        }
+    }
+
     fn name(&self) -> &'static str {
         "refcount"
     }

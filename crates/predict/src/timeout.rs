@@ -76,6 +76,15 @@ impl ConnectionPredictor for TimeoutPredictor {
         evicted
     }
 
+    fn idle_eviction_deadline(&self) -> Option<u64> {
+        // With no further uses, the first eviction fires when the
+        // longest-idle tracked pair crosses the threshold.
+        self.last_use
+            .values()
+            .min()
+            .map(|&t| t.saturating_add(self.timeout_ns))
+    }
+
     fn name(&self) -> &'static str {
         "timeout"
     }

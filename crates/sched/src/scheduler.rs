@@ -439,9 +439,9 @@ impl Scheduler {
             }
         };
         let out = sl_pass(&l, &self.configs[s], self.priority);
-        for &(u, v) in out.established.iter().chain(out.released.iter()) {
-            self.configs[s].toggle(u, v);
-        }
+        // Word-parallel commit of the pass: `B^(s) ^= T` (the toggle matrix
+        // covers exactly the established and released pairs).
+        self.configs[s].xor_assign(&out.toggles);
         self.recompute_b_star();
         self.stats.passes += 1;
         self.stats.establishes += out.established.len() as u64;
@@ -481,6 +481,101 @@ impl Scheduler {
             }
         }
         max_passes
+    }
+
+    /// Would a [`pass`](Self::pass) with an all-zero request matrix change
+    /// nothing on every dynamic slot — no establishes, releases, *or*
+    /// denials? True exactly when the idle change-request matrix `L` is
+    /// zero for each dynamic register, which makes idle passes pure
+    /// counter/rotation bookkeeping that
+    /// [`advance_quiescent_pass`](Self::advance_quiescent_pass) and
+    /// [`skip_quiescent_passes`](Self::skip_quiescent_passes) can replay
+    /// without touching the matrices. Simulators use this as the gate for
+    /// idle time-skipping.
+    pub fn is_idle_quiescent(&self) -> bool {
+        let zero;
+        let r_eff = match self.cfg.hold {
+            HoldPolicy::Drop => {
+                zero = BitMatrix::square(self.cfg.ports);
+                &zero
+            }
+            // An empty request matrix OR-ed into the latch changes nothing,
+            // so the effective idle requests are the latch itself.
+            HoldPolicy::Latch => &self.latched,
+        };
+        (0..self.cfg.slots)
+            .filter(|&s| !self.preloaded[s])
+            .all(|s| {
+                let l = presched_matrix(r_eff, &self.b_star, &self.configs[s]);
+                if !l.all_zero() {
+                    return false;
+                }
+                match self.cfg.bandwidth {
+                    BandwidthMode::SingleSlot => true,
+                    // The multi-slot insertion term `R & M & !B^(s)` must
+                    // also be zero for the pass to change nothing.
+                    BandwidthMode::PerPairMultiSlot => BitMatrix::zip3_with(
+                        r_eff,
+                        &self.multislot,
+                        &self.configs[s],
+                        |r, m, bs| r & m & !bs,
+                    )
+                    .all_zero(),
+                }
+            })
+    }
+
+    /// Replays the bookkeeping of one quiescent [`pass`](Self::pass) — slot
+    /// cursor advance, pass counter, priority rotation — without touching
+    /// any matrix. Returns the slot the pass would have targeted, or `None`
+    /// (and does nothing, exactly like `pass`) when every register is
+    /// preloaded.
+    ///
+    /// Callers must have verified [`is_idle_quiescent`](Self::is_idle_quiescent);
+    /// this is debug-asserted.
+    pub fn advance_quiescent_pass(&mut self) -> Option<usize> {
+        debug_assert!(self.is_idle_quiescent(), "pass would not be quiescent");
+        let s = self.next_dynamic_slot()?;
+        self.stats.passes += 1;
+        if self.cfg.rotate_priority {
+            self.priority.row = (self.priority.row + 1) % self.cfg.ports;
+            self.priority.col = (self.priority.col + 1) % self.cfg.ports;
+        }
+        Some(s)
+    }
+
+    /// Closed-form batch of [`advance_quiescent_pass`](Self::advance_quiescent_pass):
+    /// replays `count` quiescent passes in O(K) — the slot cursor walks the
+    /// cyclic dynamic-slot sequence, the pass counter advances by `count`,
+    /// and the priority rotates `count mod N` steps. Returns the slot of
+    /// the final pass (`None` if every register is preloaded or `count` is
+    /// zero, in which case nothing changes).
+    pub fn skip_quiescent_passes(&mut self, count: u64) -> Option<usize> {
+        if count == 0 {
+            return None;
+        }
+        debug_assert!(self.is_idle_quiescent(), "passes would not be quiescent");
+        let k = self.cfg.slots;
+        let dynamic: Vec<usize> = (0..k).filter(|&s| !self.preloaded[s]).collect();
+        if dynamic.is_empty() {
+            return None;
+        }
+        let m = dynamic.len() as u64;
+        // The first selected slot is the first dynamic slot at or after the
+        // cursor (cyclically); the rest follow the cyclic dynamic order.
+        let i0 = dynamic
+            .iter()
+            .position(|&s| s >= self.sl_cursor)
+            .unwrap_or(0) as u64;
+        let last = dynamic[((i0 + (count - 1) % m) % m) as usize];
+        self.sl_cursor = (last + 1) % k;
+        self.stats.passes += count;
+        if self.cfg.rotate_priority {
+            let step = (count % self.cfg.ports as u64) as usize;
+            self.priority.row = (self.priority.row + step) % self.cfg.ports;
+            self.priority.col = (self.priority.col + step) % self.cfg.ports;
+        }
+        Some(last)
     }
 
     fn effective_requests(&mut self, requests: &BitMatrix) -> BitMatrix {
@@ -766,6 +861,79 @@ mod tests {
         assert_eq!(st.passes, 1);
         assert_eq!(st.establishes, 1);
         assert_eq!(st.denials, 1);
+    }
+
+    #[test]
+    fn quiescent_skip_matches_real_passes() {
+        // Mixed preloaded/dynamic slots, a latched connection, rotation on:
+        // `count` idle passes and one skip call must leave identical state.
+        for count in [0u64, 1, 2, 3, 7, 29] {
+            let build = || {
+                let mut s = Scheduler::new(SchedulerConfig::new(8, 4).with_hold(HoldPolicy::Latch));
+                s.preload(2, BitMatrix::from_pairs(8, 8, [(7, 7)]));
+                s.pass(&reqs(8, &[(0, 1)]));
+                s
+            };
+            let empty = reqs(8, &[]);
+            let mut by_pass = build();
+            assert!(by_pass.is_idle_quiescent());
+            let mut last = None;
+            for _ in 0..count {
+                last = by_pass.pass(&empty).slot;
+            }
+            let mut by_skip = build();
+            assert_eq!(by_skip.skip_quiescent_passes(count), last);
+            assert_eq!(by_skip.stats(), by_pass.stats());
+            assert_eq!(by_skip.priority, by_pass.priority);
+            assert_eq!(by_skip.sl_cursor, by_pass.sl_cursor);
+            // Per-tick variant agrees too.
+            let mut by_tick = build();
+            let mut tick_last = None;
+            for _ in 0..count {
+                tick_last = by_tick.advance_quiescent_pass();
+            }
+            assert_eq!(tick_last, last);
+            assert_eq!(by_tick.priority, by_pass.priority);
+            assert_eq!(by_tick.sl_cursor, by_pass.sl_cursor);
+            // After the skip both schedulers react identically to traffic.
+            let r = reqs(8, &[(3, 4), (5, 4)]);
+            let a = by_pass.pass(&r);
+            let b = by_skip.pass(&r);
+            assert_eq!(a.slot, b.slot);
+            assert_eq!(a.established, b.established);
+            assert_eq!(a.denied, b.denied);
+        }
+    }
+
+    #[test]
+    fn idle_quiescence_gate() {
+        // Drop policy: an established connection makes idle passes release
+        // it, so the scheduler is NOT idle-quiescent until it drains.
+        let mut s = Scheduler::new(SchedulerConfig::new(8, 2));
+        s.pass(&reqs(8, &[(0, 1)]));
+        assert!(!s.is_idle_quiescent());
+        let empty = reqs(8, &[]);
+        s.pass(&empty);
+        s.pass(&empty);
+        assert!(s.is_idle_quiescent());
+        // Latch policy: the latch keeps the connection requested, so the
+        // same situation IS quiescent.
+        let mut l = Scheduler::new(SchedulerConfig::new(8, 2).with_hold(HoldPolicy::Latch));
+        l.pass(&reqs(8, &[(0, 1)]));
+        assert!(l.is_idle_quiescent());
+        // ... until the predictor clears the latch.
+        l.clear_latch(0, 1);
+        assert!(!l.is_idle_quiescent());
+    }
+
+    #[test]
+    fn all_preloaded_skip_is_noop() {
+        let mut s = Scheduler::new(SchedulerConfig::new(4, 1));
+        s.preload(0, BitMatrix::square(4));
+        let before = s.stats();
+        assert_eq!(s.skip_quiescent_passes(10), None);
+        assert_eq!(s.advance_quiescent_pass(), None);
+        assert_eq!(s.stats(), before, "no dynamic slot: nothing advances");
     }
 
     #[test]

@@ -54,11 +54,58 @@ impl SlPassOutput {
     }
 }
 
+/// Storage word width of [`BitMatrix`]/`BitVec` rows (the packed-bit layout
+/// contract `scan_rotated` relies on).
+const WORD_BITS: usize = 64;
+
+/// Calls `f` with every set-bit index of `words` in `[lo, hi)`, ascending.
+/// Bits outside the range (including row-padding bits past `hi`) are masked
+/// off word-by-word, so the scan touches only whole `u64` words.
+fn scan_range<F: FnMut(usize)>(words: &[u64], lo: usize, hi: usize, f: &mut F) {
+    if lo >= hi {
+        return;
+    }
+    let (w_lo, w_hi) = (lo / WORD_BITS, (hi - 1) / WORD_BITS);
+    for (wi, &word) in words.iter().enumerate().take(w_hi + 1).skip(w_lo) {
+        let mut w = word;
+        if wi == w_lo {
+            w &= u64::MAX << (lo % WORD_BITS);
+        }
+        if wi == w_hi {
+            let top = hi - wi * WORD_BITS;
+            if top < WORD_BITS {
+                w &= (1u64 << top) - 1;
+            }
+        }
+        while w != 0 {
+            let bit = w.trailing_zeros() as usize;
+            w &= w - 1;
+            f(wi * WORD_BITS + bit);
+        }
+    }
+}
+
+/// Calls `f` with every set-bit index of `words` (an `n`-bit row) in the
+/// rotated order `start, start+1, ..., n-1, 0, ..., start-1` — the priority
+/// ripple order — by scanning the two wrap segments word-parallel.
+fn scan_rotated<F: FnMut(usize)>(words: &[u64], n: usize, start: usize, f: &mut F) {
+    scan_range(words, start, n, f);
+    scan_range(words, 0, start, f);
+}
+
 /// Runs one combinational pass of the SL array for slot matrix `b_s` with
 /// change requests `l` (from [`presched_matrix`](crate::presched_matrix)).
 ///
 /// Returns the toggle matrix and the decoded per-connection actions. The
 /// caller commits the pass by XORing `toggles` into `B^(s)`.
+///
+/// Only `L = 1` cells are visited: empty request rows are skipped via a
+/// word-parallel row-occupancy scan and set columns are found with
+/// `trailing_zeros` word iteration, so a sparse pass costs
+/// `O(N²/64 + cells_visited)` instead of `O(N²)`. The visit order — rows
+/// rotated from `priority.row`, columns rotated from `priority.col` — and
+/// every output field, including `cells_visited`, are identical to
+/// [`reference::sl_pass`] (proptest-enforced in `tests/prop.rs`).
 ///
 /// # Panics
 /// Panics if `l` and `b_s` are not square matrices of equal size, or if the
@@ -84,17 +131,12 @@ pub fn sl_pass(l: &BitMatrix, b_s: &BitMatrix, priority: Priority) -> SlPassOutp
     let mut denied = Vec::new();
     let mut cells_visited = 0usize;
 
-    for du in 0..n {
-        let u = (priority.row + du) % n;
-        // Gather this row's L=1 columns and visit them in rotated order.
-        let mut cols: Vec<usize> = l.iter_row_ones(u).collect();
-        if cols.is_empty() {
-            continue;
-        }
-        cols.sort_unstable_by_key(|&v| (n + v - priority.col) % n);
+    // Rows with at least one change request, visited in rotated order.
+    let active_rows = l.row_or();
 
+    let mut visit_row = |u: usize| {
         let mut d = row_busy_init.get(u);
-        for v in cols {
+        let mut visit_cell = |v: usize| {
             cells_visited += 1;
             let out = sl_cell(CellInput {
                 l: true,
@@ -113,8 +155,10 @@ pub fn sl_pass(l: &BitMatrix, b_s: &BitMatrix, priority: Priority) -> SlPassOutp
                 CellAction::Denied => denied.push((u, v)),
                 CellAction::NoChange => unreachable!("only L=1 cells are visited"),
             }
-        }
-    }
+        };
+        scan_rotated(l.row_words(u), n, priority.col, &mut visit_cell);
+    };
+    scan_rotated(active_rows.words(), n, priority.row, &mut visit_row);
 
     SlPassOutput {
         toggles,
@@ -122,6 +166,83 @@ pub fn sl_pass(l: &BitMatrix, b_s: &BitMatrix, priority: Priority) -> SlPassOutp
         released,
         denied,
         cells_visited,
+    }
+}
+
+/// The original cell-by-cell SL pass, kept verbatim as the semantic
+/// reference for the word-parallel [`sl_pass`](super::sl_pass) — proptests
+/// assert the two produce identical outputs, and the perf harness measures
+/// the speedup between them.
+pub mod reference {
+    use super::{sl_cell, CellAction, CellInput, Priority, SlPassOutput};
+    use pms_bitmat::BitMatrix;
+
+    /// One SL array pass, visiting each request row with a gather-and-sort
+    /// over its columns (the pre-optimization implementation).
+    ///
+    /// # Panics
+    /// Panics if `l` and `b_s` are not square matrices of equal size, or if
+    /// the priority indices are out of range.
+    pub fn sl_pass(l: &BitMatrix, b_s: &BitMatrix, priority: Priority) -> SlPassOutput {
+        let n = b_s.rows();
+        assert_eq!(b_s.cols(), n, "B^(s) must be square");
+        assert_eq!((l.rows(), l.cols()), (n, n), "L must match B^(s)");
+        assert!(
+            priority.row < n && priority.col < n,
+            "priority ({}, {}) out of range for {n} ports",
+            priority.row,
+            priority.col
+        );
+
+        // Ripple state: A per column, D per row, injected at (a, b).
+        let mut col_busy = b_s.col_or(); // AO
+        let row_busy_init = b_s.row_or(); // AI
+
+        let mut toggles = BitMatrix::new(n, n);
+        let mut established = Vec::new();
+        let mut released = Vec::new();
+        let mut denied = Vec::new();
+        let mut cells_visited = 0usize;
+
+        for du in 0..n {
+            let u = (priority.row + du) % n;
+            // Gather this row's L=1 columns and visit them in rotated order.
+            let mut cols: Vec<usize> = l.iter_row_ones(u).collect();
+            if cols.is_empty() {
+                continue;
+            }
+            cols.sort_unstable_by_key(|&v| (n + v - priority.col) % n);
+
+            let mut d = row_busy_init.get(u);
+            for v in cols {
+                cells_visited += 1;
+                let out = sl_cell(CellInput {
+                    l: true,
+                    a: col_busy.get(v),
+                    d,
+                    b_s: b_s.get(u, v),
+                });
+                col_busy.set(v, out.a_next);
+                d = out.d_next;
+                if out.t {
+                    toggles.set(u, v, true);
+                }
+                match out.action {
+                    CellAction::Establish => established.push((u, v)),
+                    CellAction::Release => released.push((u, v)),
+                    CellAction::Denied => denied.push((u, v)),
+                    CellAction::NoChange => unreachable!("only L=1 cells are visited"),
+                }
+            }
+        }
+
+        SlPassOutput {
+            toggles,
+            established,
+            released,
+            denied,
+            cells_visited,
+        }
     }
 }
 
@@ -272,5 +393,41 @@ mod tests {
     fn bad_priority_panics() {
         let b = BitMatrix::square(4);
         sl_pass(&BitMatrix::square(4), &b, Priority { row: 4, col: 0 });
+    }
+
+    /// The fast pass and the reference pass agree field-for-field on a
+    /// wrap-heavy case (priority mid-word, cells on both wrap segments,
+    /// non-multiple-of-64 size). The exhaustive check is the proptest in
+    /// `tests/prop.rs`.
+    #[test]
+    fn fast_matches_reference_on_wrapped_priority() {
+        let n = 70;
+        let b = BitMatrix::from_pairs(n, n, [(0, 5), (65, 65), (30, 40)]);
+        let l = BitMatrix::from_pairs(
+            n,
+            n,
+            [
+                (0, 5),
+                (65, 65),
+                (3, 40),
+                (3, 41),
+                (69, 0),
+                (69, 69),
+                (40, 40),
+            ],
+        );
+        for priority in [
+            Priority::default(),
+            Priority { row: 66, col: 41 },
+            Priority { row: 3, col: 69 },
+        ] {
+            let fast = sl_pass(&l, &b, priority);
+            let refr = reference::sl_pass(&l, &b, priority);
+            assert_eq!(fast.toggles, refr.toggles);
+            assert_eq!(fast.established, refr.established);
+            assert_eq!(fast.released, refr.released);
+            assert_eq!(fast.denied, refr.denied);
+            assert_eq!(fast.cells_visited, refr.cells_visited);
+        }
     }
 }

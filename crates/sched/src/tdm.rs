@@ -57,6 +57,30 @@ impl TdmCounter {
     pub fn effective_degree(configs: &[BitMatrix]) -> usize {
         configs.iter().filter(|c| !c.all_zero()).count()
     }
+
+    /// Closed form of `count` consecutive [`advance`](Self::advance) calls
+    /// against *unchanging* configurations: walks the cyclic non-empty-slot
+    /// sequence in O(K) and returns the slot of the final advance (`None`,
+    /// holding position, when every configuration is empty or `count` is
+    /// zero — exactly like `advance`). Idle-skipping simulators use this to
+    /// fast-forward slot boundaries.
+    pub fn skip(&mut self, count: u64, configs: &[BitMatrix]) -> Option<usize> {
+        assert_eq!(configs.len(), self.k, "config register count mismatch");
+        if count == 0 {
+            return None;
+        }
+        let nonempty: Vec<usize> = (0..self.k).filter(|&s| !configs[s].all_zero()).collect();
+        if nonempty.is_empty() {
+            return None;
+        }
+        let m = nonempty.len() as u64;
+        // The first advance lands on the first non-empty slot strictly
+        // after `pos` (cyclically); later advances follow the cyclic order.
+        let i0 = nonempty.iter().position(|&s| s > self.pos).unwrap_or(0) as u64;
+        let last = nonempty[((i0 + (count - 1) % m) % m) as usize];
+        self.pos = last;
+        Some(last)
+    }
 }
 
 #[cfg(test)]
@@ -134,5 +158,22 @@ mod tests {
     #[should_panic(expected = "at least one slot")]
     fn zero_slots_rejected() {
         TdmCounter::new(0);
+    }
+
+    #[test]
+    fn skip_matches_repeated_advance() {
+        for nonempty in [vec![], vec![0], vec![3], vec![0, 2], vec![1, 2, 3]] {
+            let cfgs = configs(4, &nonempty);
+            for count in 0..10u64 {
+                let mut by_advance = TdmCounter::new(4);
+                let mut last = None;
+                for _ in 0..count {
+                    last = by_advance.advance(&cfgs);
+                }
+                let mut by_skip = TdmCounter::new(4);
+                assert_eq!(by_skip.skip(count, &cfgs), last, "{nonempty:?}/{count}");
+                assert_eq!(by_skip.current(), by_advance.current());
+            }
+        }
     }
 }

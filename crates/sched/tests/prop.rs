@@ -1,7 +1,10 @@
-//! Property-based fuzzing of the scheduler invariants (DESIGN.md §8).
+//! Property-based fuzzing of the scheduler invariants (DESIGN.md §8) and
+//! of the word-scanning SL pass against its per-bit reference.
 
 use pms_bitmat::BitMatrix;
-use pms_sched::{BandwidthMode, HoldPolicy, Scheduler, SchedulerConfig};
+use pms_sched::{
+    sl_pass, slarray::reference, BandwidthMode, HoldPolicy, Priority, Scheduler, SchedulerConfig,
+};
 use proptest::prelude::*;
 
 /// One step of a random scheduler workout.
@@ -119,6 +122,35 @@ proptest! {
         let established = pairs.iter().filter(|&&(u, v)| sched.established(u, v)).count();
         prop_assert_eq!(established, senders.len().min(k));
         sched.check_invariants();
+    }
+
+    /// The word-scanning `sl_pass` is bit-for-bit equivalent to the
+    /// per-bit `reference` pass: same actions in the same ripple order,
+    /// same priority rotation, same `cells_visited` — across random
+    /// sizes including non-multiples of 64 (tail-word handling) and
+    /// random priority origins.
+    #[test]
+    fn fast_sl_pass_equals_reference(
+        (n, l_cells, b_cells, pri_row, pri_col) in (1usize..150).prop_flat_map(|n| {
+            (
+                Just(n),
+                prop::collection::btree_set((0..n, 0..n), 0..80),
+                prop::collection::btree_set((0..n, 0..n), 0..80),
+                0..n,
+                0..n,
+            )
+        })
+    ) {
+        let l = BitMatrix::from_pairs(n, n, l_cells.iter().copied());
+        let b_s = BitMatrix::from_pairs(n, n, b_cells.iter().copied());
+        let pri = Priority { row: pri_row, col: pri_col };
+        let fast = sl_pass(&l, &b_s, pri);
+        let slow = reference::sl_pass(&l, &b_s, pri);
+        prop_assert_eq!(&fast.established, &slow.established, "establish sets differ");
+        prop_assert_eq!(&fast.released, &slow.released, "release sets differ");
+        prop_assert_eq!(&fast.denied, &slow.denied, "denied sets differ");
+        prop_assert_eq!(&fast.toggles, &slow.toggles, "toggle matrices differ");
+        prop_assert_eq!(fast.cells_visited, slow.cells_visited, "cells_visited differs");
     }
 
     /// Multi-slot marking never breaks per-slot permutation validity.

@@ -77,8 +77,22 @@ pub struct Sampled {
     pub mean_ns: f64,
 }
 
+/// True when `PMS_BENCH_QUICK` is set (non-empty, not `0`): CI smoke mode.
+/// Quick mode shrinks the calibration target and sample count so a full
+/// bench sweep finishes in seconds — numbers are noisy but every bench
+/// body still executes, which is all the smoke job asserts.
+fn quick_mode() -> bool {
+    std::env::var("PMS_BENCH_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
 fn run_samples<F: FnMut(&mut Bencher)>(mut f: F, samples: usize) -> Sampled {
-    // Calibrate: double the batch until one batch takes >= 2 ms.
+    let quick = quick_mode();
+    let (target, samples) = if quick {
+        (Duration::from_micros(100), 2)
+    } else {
+        (Duration::from_millis(2), samples.max(5))
+    };
+    // Calibrate: double the batch until one batch takes >= the target.
     let mut iters = 1u64;
     loop {
         let mut b = Bencher {
@@ -86,12 +100,12 @@ fn run_samples<F: FnMut(&mut Bencher)>(mut f: F, samples: usize) -> Sampled {
             elapsed: Duration::ZERO,
         };
         f(&mut b);
-        if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 24 {
+        if b.elapsed >= target || iters >= 1 << 24 {
             break;
         }
         iters *= 2;
     }
-    let mut per_iter: Vec<f64> = (0..samples.max(5))
+    let mut per_iter: Vec<f64> = (0..samples)
         .map(|_| {
             let mut b = Bencher {
                 iters,

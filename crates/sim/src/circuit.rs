@@ -115,6 +115,29 @@ impl CircuitSim {
             if self.engine.all_done() && self.undelivered == 0 {
                 break;
             }
+            // Idle skip: with every VOQ empty and a quiescent scheduler
+            // (no circuit up, nothing to release), each window is a pure
+            // clock tick — one SL pass that only bumps the counter and
+            // rotates the priority, with no trace record (`active` below
+            // is false for an empty pass). Apply those passes in closed
+            // form and jump to the window whose entry poll next observes
+            // an engine wake-up or fault transition. Idle windows emit no
+            // events either way, so traced runs stay byte-identical.
+            if self.params.idle_skip && self.undelivered == 0 && self.scheduler.is_idle_quiescent()
+            {
+                if let Some(w) = self.engine.next_wake() {
+                    let mut stop = w;
+                    if let Some(c) = self.faults.as_ref().and_then(|f| f.next_change()) {
+                        stop = stop.min(c);
+                    }
+                    if stop > t {
+                        let n = (stop - 1 - t) / window + 1;
+                        self.scheduler.skip_quiescent_passes(n);
+                        t += n * window;
+                        continue;
+                    }
+                }
+            }
             // Data flows on circuits established before this window.
             self.transfer_window(t, t + window);
             // One SL pass at the end of the window; newly established

@@ -89,6 +89,11 @@ pub struct SimParams {
     /// Safety cap: a simulation exceeding this time panics (deadlock
     /// guard), since all evaluated workloads finish well under it.
     pub max_sim_ns: u64,
+    /// Fast-forward through provably idle stretches (no queued messages, a
+    /// quiescent scheduler) instead of ticking every slot/pass boundary.
+    /// Semantics-preserving: stats and traces are byte-identical with the
+    /// flag off (CI enforces this); disable only to A/B the two paths.
+    pub idle_skip: bool,
 }
 
 impl Default for SimParams {
@@ -109,6 +114,7 @@ impl Default for SimParams {
             preload_cfg_ns: 80,
             sl_units: 1,
             max_sim_ns: 500_000_000,
+            idle_skip: true,
         }
     }
 }
@@ -132,6 +138,14 @@ impl SimParams {
     pub fn with_sl_units(mut self, units: usize) -> Self {
         assert!(units >= 1, "need at least one SL unit");
         self.sl_units = units;
+        self
+    }
+
+    /// Enables or disables the idle time skip (on by default). The
+    /// simulation outcome is identical either way; the off setting exists
+    /// for byte-identity A/B checks and overhead measurements.
+    pub fn with_idle_skip(mut self, enabled: bool) -> Self {
+        self.idle_skip = enabled;
         self
     }
 

@@ -3,6 +3,18 @@
 use crate::message::MsgState;
 use pms_trace::{Histogram, Json, MetricsRegistry};
 
+/// One step of the splitmix64 stream — the deterministic generator behind
+/// the latency-sample reservoir (the sim crates carry no `rand`
+/// dependency, and determinism is load-bearing for run equivalence
+/// tests).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Results of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimStats {
@@ -47,9 +59,11 @@ pub struct SimStats {
     /// Per-message latencies, sorted ascending, for exact percentiles.
     ///
     /// Capped at [`SimStats::MAX_EXACT_SAMPLES`] to bound memory on very
-    /// large runs: when a run delivers more messages than the cap, only
-    /// the first `MAX_EXACT_SAMPLES` latencies (in delivery-table order)
-    /// are retained and [`latency_quantile_ns`](Self::latency_quantile_ns)
+    /// large runs. When a run delivers more messages than the cap, the
+    /// retained set is a uniform random sample of *all* deliveries
+    /// (reservoir sampling, Algorithm R, driven by a fixed-seed
+    /// splitmix64 generator — the same workload always retains the same
+    /// sample), and [`latency_quantile_ns`](Self::latency_quantile_ns)
     /// switches to the log2 histogram instead.
     pub latency_samples: Vec<u64>,
     /// Log2-bucketed latency histogram over *all* delivered messages
@@ -61,8 +75,16 @@ impl SimStats {
     /// Exact per-message latencies are kept only up to this many
     /// deliveries (64 Ki samples = 512 KiB); beyond it, quantiles come
     /// from [`latency_histogram`](Self::latency_histogram) with at most
-    /// ~2x relative error (geometric-midpoint log2 buckets).
+    /// ~2x relative error (geometric-midpoint log2 buckets), while
+    /// [`latency_samples`](Self::latency_samples) degrades to a
+    /// deterministic uniform reservoir over all deliveries rather than
+    /// silently keeping only the earliest ones.
     pub const MAX_EXACT_SAMPLES: usize = 65_536;
+
+    /// Fixed seed for the reservoir's splitmix64 stream: sampling past
+    /// the cap is deterministic, so repeated runs of the same workload
+    /// (and skip-on vs skip-off runs) produce byte-identical stats.
+    const RESERVOIR_SEED: u64 = 0x9aa3_8e12_c0de_5eed;
 
     /// Collects message-level stats; the caller fills the
     /// scheduler/predictor counters.
@@ -93,6 +115,8 @@ impl SimStats {
             latency_histogram: Histogram::new(),
         };
         let mut senders = std::collections::BTreeSet::new();
+        let mut rng = Self::RESERVOIR_SEED;
+        let mut seen = 0u64;
         for m in messages {
             if let Some(done) = m.delivered_at {
                 s.delivered_messages += 1;
@@ -102,8 +126,17 @@ impl SimStats {
                 s.total_latency_ns += lat;
                 s.max_latency_ns = s.max_latency_ns.max(lat);
                 s.latency_histogram.record(lat);
+                // Reservoir sampling (Algorithm R): the i-th delivery
+                // replaces a random slot with probability cap/i, keeping
+                // the retained set uniform over every delivery so far.
+                seen += 1;
                 if s.latency_samples.len() < Self::MAX_EXACT_SAMPLES {
                     s.latency_samples.push(lat);
+                } else {
+                    let j = splitmix64(&mut rng) % seen;
+                    if let Some(slot) = s.latency_samples.get_mut(j as usize) {
+                        *slot = lat;
+                    }
                 }
                 senders.insert(m.spec.src);
             }
@@ -365,6 +398,29 @@ mod tests {
             approx >= exact / 2 && approx <= exact * 2,
             "approx {approx}"
         );
+    }
+
+    #[test]
+    fn reservoir_retains_a_uniform_deterministic_sample_past_the_cap() {
+        let total = SimStats::MAX_EXACT_SAMPLES + 10_000;
+        let msgs: Vec<MsgState> = (0..total)
+            .map(|i| msg(i, i % 4, 8, 0, (i as u64 + 1) * 10))
+            .collect();
+        let a = SimStats::from_messages("test", "wl", &msgs);
+        assert_eq!(a.latency_samples.len(), SimStats::MAX_EXACT_SAMPLES);
+        // Fixed seed: re-running the same deliveries keeps the same set.
+        let b = SimStats::from_messages("test", "wl", &msgs);
+        assert_eq!(a.latency_samples, b.latency_samples);
+        // Uniform over all deliveries, not first-N: some retained latency
+        // must come from past the cap (probability of failure is
+        // (1 - 10000/75536)^65536, i.e. zero for this fixed seed).
+        let cap_latency = SimStats::MAX_EXACT_SAMPLES as u64 * 10;
+        assert!(
+            a.latency_samples.iter().any(|&l| l > cap_latency),
+            "reservoir never sampled past the cap"
+        );
+        // The histogram still counts every delivery.
+        assert_eq!(a.latency_histogram.count(), total as u64);
     }
 
     #[test]

@@ -427,6 +427,15 @@ impl TdmSim {
             if let Some(c) = self.faults.as_ref().and_then(|f| f.next_change()) {
                 tn = tn.min(c);
             }
+            if self.params.idle_skip && self.undelivered == 0 {
+                if let Some(stop) = self.idle_stop(t) {
+                    if stop > tn {
+                        self.fast_forward(stop, &mut next_slot, &mut next_pass);
+                        t = stop;
+                        continue;
+                    }
+                }
+            }
             t = tn.max(t + 1);
         }
         let mut stats = SimStats::from_messages(
@@ -758,6 +767,207 @@ impl TdmSim {
                 }
             }
         }
+    }
+
+    /// How far the simulation may fast-forward from `t` while remaining
+    /// provably idle, or `None` if the current state is not skippable.
+    ///
+    /// Precondition: `undelivered == 0` (every VOQ is empty, so slots move
+    /// no data and the request matrix is all-zero). The bound is the
+    /// earliest instant at which a boundary could act differently from a
+    /// pure clock tick:
+    ///
+    /// * the next engine wake-up (injections, flushes, preloads, barrier
+    ///   departures) — required, since a wake restarts real work;
+    /// * the next fault-plan transition (teardown/heal side effects);
+    /// * for dynamic scheduling, the predictor's eviction deadline: a pass
+    ///   at or past it may evict, so the skip stops short and the real
+    ///   pass path runs there. A non-quiescent scheduler (any pass would
+    ///   establish or release something) is not skippable at all;
+    /// * for preload streaming, the earliest `ready_at` still in the
+    ///   future: a register becoming ready changes which configuration
+    ///   the TDM counter selects at later slot boundaries.
+    fn idle_stop(&self, t: u64) -> Option<u64> {
+        let mut stop = self.engine.next_wake()?;
+        if let Some(c) = self.faults.as_ref().and_then(|f| f.next_change()) {
+            stop = stop.min(c);
+        }
+        match &self.backend {
+            Backend::Scheduled {
+                scheduler,
+                predictor,
+                ..
+            } => {
+                if self.has_dynamic {
+                    if !scheduler.is_idle_quiescent() {
+                        return None;
+                    }
+                    if let Some(pred) = predictor {
+                        if let Some(d) = pred.idle_eviction_deadline() {
+                            stop = stop.min(d);
+                        }
+                    }
+                }
+            }
+            Backend::Stream { registers, .. } => {
+                if !self.stream_healed.is_empty() {
+                    return None;
+                }
+                for slot in registers.iter().flatten() {
+                    if slot.ready_at > t {
+                        stop = stop.min(slot.ready_at);
+                    }
+                }
+            }
+        }
+        Some(stop)
+    }
+
+    /// Replays every slot/pass boundary in `[t, stop)` as a pure clock
+    /// tick: the TDM counter and SL pass counter advance (with priority
+    /// rotation) exactly as on the step-by-step path, but no requests are
+    /// evaluated and no data moves. Traced runs tick each boundary
+    /// individually so `SlotAdvanced`/`SchedPass` records stay
+    /// byte-identical; untraced runs use the closed form.
+    fn fast_forward(&mut self, stop: u64, next_slot: &mut u64, next_pass: &mut u64) {
+        let slot_ns = self.params.slot_ns;
+        let sched_ns = self.params.sched_ns;
+        if self.tracer.enabled() {
+            loop {
+                let slot_due = *next_slot < stop;
+                let pass_due = self.has_dynamic && *next_pass < stop;
+                if slot_due && (!pass_due || *next_slot <= *next_pass) {
+                    // Slot before pass at equal timestamps, like the main
+                    // loop's statement order.
+                    self.tick_slot(*next_slot);
+                    *next_slot += slot_ns;
+                } else if pass_due {
+                    for _ in 0..self.params.sl_units {
+                        self.tick_pass(*next_pass);
+                    }
+                    *next_pass += sched_ns;
+                } else {
+                    break;
+                }
+            }
+            return;
+        }
+        let n_slots = if *next_slot >= stop {
+            0
+        } else {
+            1 + (stop - 1 - *next_slot) / slot_ns
+        };
+        let n_passes = if !self.has_dynamic || *next_pass >= stop {
+            0
+        } else {
+            1 + (stop - 1 - *next_pass) / sched_ns
+        };
+        if n_slots > 0 {
+            match &mut self.backend {
+                Backend::Scheduled { scheduler, tdm, .. } => {
+                    if let Some(s) = tdm.skip(n_slots, scheduler.configs()) {
+                        self.cur_slot = s as u32;
+                    }
+                }
+                Backend::Stream {
+                    registers,
+                    configs,
+                    cursor,
+                    ..
+                } => {
+                    // Eligibility is frozen across the window: `idle_stop`
+                    // capped it at the earliest future `ready_at`.
+                    let eligible: Vec<usize> = registers
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, r)| {
+                            r.is_some_and(|s| {
+                                s.ready_at < stop && !configs[s.config_idx].all_zero()
+                            })
+                        })
+                        .map(|(reg, _)| reg)
+                        .collect();
+                    if !eligible.is_empty() {
+                        let m = eligible.len() as u64;
+                        let i0 = eligible.iter().position(|&r| r > *cursor).unwrap_or(0) as u64;
+                        let last = eligible[((i0 + (n_slots - 1) % m) % m) as usize];
+                        *cursor = last;
+                        self.cur_slot = last as u32;
+                    }
+                }
+            }
+            *next_slot += n_slots * slot_ns;
+        }
+        if n_passes > 0 {
+            if let Backend::Scheduled { scheduler, .. } = &mut self.backend {
+                scheduler.skip_quiescent_passes(n_passes * self.params.sl_units as u64);
+            }
+            *next_pass += n_passes * sched_ns;
+        }
+    }
+
+    /// One idle slot boundary on the traced fast-forward path: advance the
+    /// TDM counter / stream cursor and emit `SlotAdvanced`, exactly as
+    /// [`do_slot`](Self::do_slot) would with every VOQ empty.
+    fn tick_slot(&mut self, t: u64) {
+        let active = match &mut self.backend {
+            Backend::Scheduled { scheduler, tdm, .. } => {
+                tdm.advance(scheduler.configs()).map(|s| s as u32)
+            }
+            Backend::Stream {
+                registers,
+                configs,
+                cursor,
+                ..
+            } => {
+                let k = registers.len();
+                let mut found = None;
+                for step in 1..=k {
+                    let cand = (*cursor + step) % k;
+                    if let Some(slot) = registers[cand] {
+                        if slot.ready_at <= t && !configs[slot.config_idx].all_zero() {
+                            found = Some(cand);
+                            break;
+                        }
+                    }
+                }
+                if let Some(reg) = found {
+                    *cursor = reg;
+                }
+                found.map(|r| r as u32)
+            }
+        };
+        if let Some(s) = active {
+            self.cur_slot = s;
+            self.tracer
+                .emit(t, s, TraceEvent::SlotAdvanced { slot_idx: s });
+        }
+    }
+
+    /// One idle SL pass on the traced fast-forward path: bump the pass
+    /// counter, rotate the priority, and emit the all-zero `SchedPass`
+    /// record [`do_pass`](Self::do_pass) would produce for an empty
+    /// request matrix. When every register is preloaded the counter does
+    /// not move (matching `Scheduler::pass`) but the record is still
+    /// emitted, stamped with the current slot.
+    fn tick_pass(&mut self, t: u64) {
+        let Backend::Scheduled { scheduler, .. } = &mut self.backend else {
+            return;
+        };
+        let pass_slot = scheduler
+            .advance_quiescent_pass()
+            .map_or(self.cur_slot, |s| s as u32);
+        self.tracer.emit(
+            t,
+            pass_slot,
+            TraceEvent::SchedPass {
+                passes: scheduler.stats().passes,
+                ripple_depth: 0,
+                established: 0,
+                released: 0,
+                denied: 0,
+            },
+        );
     }
 
     /// One 100 ns time slot: the TDM counter picks the next non-empty
