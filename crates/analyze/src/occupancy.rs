@@ -21,6 +21,24 @@ use std::collections::HashMap;
 /// Blocks for the text sparkline, in increasing fill order.
 const SPARK: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
 
+/// Per-slot cap on the retained `(time, occupancy)` series — the same
+/// bound `SimStats` places on exact latency samples, for the same
+/// reason: a long run must not grow the analyzer's memory without bound.
+/// Past the cap the series becomes a uniform reservoir (Algorithm R).
+pub const MAX_SERIES_SAMPLES: usize = 65_536;
+
+/// Fixed seed for the reservoir RNG, per-slot-salted so live and replayed
+/// analyses of the same trace sample identically.
+const RESERVOIR_SEED: u64 = 0x9aa3_8e12_c0de_5eed;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Occupancy statistics for one TDM slot.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SlotOccupancy {
@@ -89,8 +107,30 @@ struct SlotAcc {
     sum: f64,
     min: f64,
     max: f64,
-    /// (time, occupancy) series for the sparkline.
+    /// (time, occupancy) series for the sparkline; a uniform reservoir
+    /// of at most [`MAX_SERIES_SAMPLES`] entries. The sparkline buckets
+    /// by timestamp, so the reservoir's arbitrary order is harmless.
     series: Vec<(u64, f64)>,
+    /// Reservoir RNG state (seeded per slot).
+    rng: u64,
+    /// Samples offered to the series so far (reservoir denominator).
+    seen: u64,
+}
+
+impl SlotAcc {
+    /// Algorithm R: keep the first [`MAX_SERIES_SAMPLES`] points exactly,
+    /// then replace a uniformly random slot-mate with probability cap/seen.
+    fn push_series(&mut self, t: u64, frac: f64) {
+        self.seen += 1;
+        if self.series.len() < MAX_SERIES_SAMPLES {
+            self.series.push((t, frac));
+        } else {
+            let j = (splitmix64(&mut self.rng) % self.seen) as usize;
+            if j < MAX_SERIES_SAMPLES {
+                self.series[j] = (t, frac);
+            }
+        }
+    }
 }
 
 /// Builds the occupancy report from an event stream.
@@ -134,13 +174,14 @@ pub fn occupancy(records: &[TraceRecord], ports: usize, spark_width: usize) -> O
                 let a = acc.entry(slot_idx).or_insert_with(|| SlotAcc {
                     min: frac,
                     max: frac,
+                    rng: RESERVOIR_SEED ^ u64::from(slot_idx),
                     ..SlotAcc::default()
                 });
                 a.samples += 1;
                 a.sum += frac;
                 a.min = a.min.min(frac);
                 a.max = a.max.max(frac);
-                a.series.push((rec.t_ns, frac));
+                a.push_series(rec.t_ns, frac);
             }
             _ => {}
         }
@@ -289,6 +330,48 @@ mod tests {
         assert_eq!(s.chars().count(), 16);
         assert!(s.chars().all(|c| SPARK.contains(&c) || c == '·'));
         assert_eq!(sparkline(&[], 0, 16), "");
+    }
+
+    #[test]
+    fn series_reservoir_caps_memory_but_not_exact_stats() {
+        // One connection held forever, sampled far past the cap: the
+        // retained series is bounded, while samples/min/mean/max stay
+        // exact (they accumulate outside the reservoir).
+        let total = MAX_SERIES_SAMPLES as u64 + 10_000;
+        let mut records = vec![est(0, 0, 1, 0)];
+        records.extend((0..total).map(|i| adv(100 + i * 100, 0)));
+        let r = occupancy(&records, 4, 8);
+        let s = &r.slots[0];
+        assert_eq!(s.samples, total);
+        assert_eq!(s.min, 0.25);
+        assert_eq!(s.max, 0.25);
+        assert!((s.mean - 0.25).abs() < 1e-12);
+        // The sparkline still spans the whole run (reservoir points are
+        // spread uniformly over time, so no column goes dark).
+        assert_eq!(s.sparkline.chars().count(), 8);
+        assert!(s.sparkline.chars().all(|c| c != '·'));
+    }
+
+    #[test]
+    fn reservoir_sampling_is_deterministic() {
+        let total = MAX_SERIES_SAMPLES as u64 + 5_000;
+        let mut records = vec![est(0, 0, 1, 0), est(0, 2, 3, 1)];
+        for i in 0..total {
+            records.push(adv(100 + i * 200, (i % 2) as u32));
+        }
+        let a = occupancy(&records, 4, 16);
+        let b = occupancy(&records, 4, 16);
+        assert_eq!(a, b, "same trace must analyze identically");
+    }
+
+    #[test]
+    fn below_cap_series_is_exact() {
+        // Under the cap the reservoir never kicks in: every sample lands
+        // in the series, so the sparkline is built from exact data.
+        let records = vec![est(0, 0, 1, 0), adv(100, 0), adv(200, 0), adv(300, 0)];
+        let r = occupancy(&records, 4, 4);
+        assert_eq!(r.slots[0].samples, 3);
+        assert!(r.slots[0].samples < MAX_SERIES_SAMPLES as u64);
     }
 
     #[test]

@@ -14,14 +14,26 @@
 //! acceptance floors — >= 5x on the reduction and SL-pass kernels, > 1x
 //! on the idle skip — so a regression fails loudly instead of silently
 //! committing a stale baseline.
+//!
+//! `-- --check BENCH_pr4.json` re-measures and *compares against* the
+//! committed baseline instead of rewriting it: each kernel's speedup must
+//! reach at least [`CHECK_TOLERANCE`] of the committed speedup (timings on
+//! shared CI hardware are noisy; the ratio-of-ratios is far more stable
+//! than raw nanoseconds). Regressions are listed and the process exits
+//! non-zero, so CI catches a perf regression without churning the file.
 
 use pms_bench::naive;
 use pms_bitmat::BitMatrix;
 use pms_sched::{slarray::reference, Priority};
 use pms_sim::{Paradigm, PredictorKind, SimParams};
+use pms_trace::Json;
 use pms_workloads::{Program, Workload};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
+
+/// `--check` passes when `current_speedup >= CHECK_TOLERANCE *
+/// committed_speedup` (and the absolute floors still hold).
+const CHECK_TOLERANCE: f64 = 0.5;
 
 /// Median ns per call over several samples; each sample batches calls
 /// until it exceeds a minimum duration so short kernels are resolvable.
@@ -75,10 +87,8 @@ fn sparse_workload(ports: usize, msgs: usize, gap_ns: u64) -> Workload {
     Workload::new("sparse", ports, programs)
 }
 
-fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_pr4.json".into());
+/// Measures every kernel at the paper's `N = 128`.
+fn measure_entries() -> Vec<Entry> {
     let n = 128usize;
     let mut entries: Vec<Entry> = Vec::new();
 
@@ -212,6 +222,105 @@ fn main() {
         after_ns: run(&Paradigm::Circuit, true),
         floor: 1.0,
     });
+    entries
+}
+
+/// Committed speedups by kernel name, from the baseline JSON.
+fn load_baseline_speedups(path: &str) -> Vec<(String, f64)> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
+    let doc = Json::parse(&text).unwrap_or_else(|e| panic!("bad baseline {path}: {e:?}"));
+    let as_f64 = |j: &Json| -> f64 {
+        match *j {
+            Json::Float(f) => f,
+            Json::Int(i) => i as f64,
+            Json::UInt(u) => u as f64,
+            _ => panic!("baseline speedup is not a number"),
+        }
+    };
+    let Some(Json::Array(kernels)) = doc.get("kernels") else {
+        panic!("baseline {path} has no kernels array");
+    };
+    kernels
+        .iter()
+        .map(|k| {
+            let name = k
+                .get("name")
+                .and_then(Json::as_str)
+                .expect("kernel name")
+                .to_string();
+            let speedup = as_f64(k.get("speedup").expect("kernel speedup"));
+            (name, speedup)
+        })
+        .collect()
+}
+
+/// Compares fresh measurements against the committed baseline. Returns
+/// the number of regressions (0 = pass).
+fn check_against(path: &str, entries: &[Entry]) -> usize {
+    let committed = load_baseline_speedups(path);
+    let mut regressions = 0usize;
+    println!("checking against {path} (tolerance {CHECK_TOLERANCE}x of committed speedup)");
+    for (name, baseline) in &committed {
+        let Some(e) = entries.iter().find(|e| e.name == *name) else {
+            println!("  MISSING {name}: kernel no longer measured");
+            regressions += 1;
+            continue;
+        };
+        let current = e.speedup();
+        let need = baseline * CHECK_TOLERANCE;
+        let ok = current >= need && current >= e.floor;
+        println!(
+            "  {} {:<32} committed {:>7.2}x  current {:>7.2}x  (need >= {:.2}x, floor {:.1}x)",
+            if ok { "ok  " } else { "FAIL" },
+            name,
+            baseline,
+            current,
+            need,
+            e.floor
+        );
+        if !ok {
+            regressions += 1;
+        }
+    }
+    for e in entries {
+        if !committed.iter().any(|(n, _)| n == e.name) {
+            println!(
+                "  note: {} measured but absent from the baseline (re-generate to add it)",
+                e.name
+            );
+        }
+    }
+    regressions
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let check_path = match args.first().map(String::as_str) {
+        Some("--check") => Some(
+            args.get(1)
+                .cloned()
+                .unwrap_or_else(|| "BENCH_pr4.json".into()),
+        ),
+        _ => None,
+    };
+    let entries = measure_entries();
+    let n = 128usize;
+
+    if let Some(path) = check_path {
+        let regressions = check_against(&path, &entries);
+        if regressions > 0 {
+            eprintln!("{regressions} kernel(s) regressed below tolerance");
+            std::process::exit(1);
+        }
+        println!("all kernels within tolerance of {path}");
+        return;
+    }
+
+    let out_path = args
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "BENCH_pr4.json".into());
 
     // --- report -----------------------------------------------------------
     let mut json = String::new();

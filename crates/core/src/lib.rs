@@ -43,6 +43,7 @@ pub use system::{PmsSystem, SystemBuilder};
 pub use pms_bitmat as bitmat;
 pub use pms_compile as compile;
 pub use pms_fabric as fabric;
+pub use pms_multistage as multistage;
 pub use pms_predict as predict;
 pub use pms_sched as sched;
 pub use pms_sim as sim;

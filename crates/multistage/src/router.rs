@@ -1,0 +1,351 @@
+//! Per-stage TDM scheduling over a [`StageGraph`]: the multi-stage
+//! scheduling pass.
+//!
+//! The router shadows the scheduler's `K` registers with `S x K`
+//! per-stage configuration matrices `B_s^(0..K-1)` plus per-layer line
+//! occupancy. Admitting a connection for a slot is a depth-first path
+//! search through the stage graph under that slot's availability —
+//! candidate lines at each hop come from word-parallel `pms-bitmat`
+//! operations (`reach-row AND NOT used`) — and commits atomically: either
+//! every stage gets its cross-point or nothing changes. Releases walk the
+//! stored path stage by stage.
+//!
+//! Faults reach the router the same way they reach the flat fabric
+//! models: every stage is a [`MaskedFabric`]-wrapped crossbar whose mask
+//! starts as the stage's reach matrix and loses bits as internal links
+//! fail. Masking only removes candidates, so admission stays
+//! subset-closed — the invariant `Scheduler::pass_routed` relies on.
+
+use crate::graph::StageGraph;
+use pms_bitmat::{BitMatrix, BitVec};
+use pms_fabric::{Crossbar, Fabric, MaskedFabric, Technology};
+use pms_sched::SlotRouter;
+use std::collections::HashMap;
+
+/// Routes connections through a [`StageGraph`], one configuration per
+/// stage per TDM slot.
+pub struct MultistageRouter {
+    graph: StageGraph,
+    slots: usize,
+    /// Per-stage masked crossbar: the mask is `reach AND link-health`,
+    /// so a stage accepts a configuration iff it is a partial permutation
+    /// that uses only live inter-stage links.
+    stage_fabrics: Vec<MaskedFabric<Crossbar>>,
+    /// `B_s^(k)`: the configuration matrix of stage `s` in slot `k`.
+    stage_cfgs: Vec<Vec<BitMatrix>>,
+    /// `used[slot][layer]`: lines occupied by admitted paths.
+    used: Vec<Vec<BitVec>>,
+    /// `(slot, u, v) -> ` full line path (layer `0..=S`).
+    paths: HashMap<(usize, usize, usize), Vec<usize>>,
+}
+
+impl MultistageRouter {
+    /// Creates a router over `graph` with `slots` TDM configurations per
+    /// stage, all empty.
+    ///
+    /// # Panics
+    /// Panics if `slots == 0`.
+    pub fn new(graph: StageGraph, slots: usize) -> Self {
+        assert!(slots > 0, "router needs at least one TDM slot");
+        let w = graph.width();
+        let s_count = graph.num_stages();
+        let stage_fabrics = (0..s_count)
+            .map(|s| {
+                let mut f = MaskedFabric::new(Crossbar::new(w, Technology::Digital));
+                f.set_mask(graph.reach(s).clone());
+                f
+            })
+            .collect();
+        Self {
+            stage_fabrics,
+            stage_cfgs: vec![vec![BitMatrix::square(w); slots]; s_count],
+            used: vec![vec![BitVec::new(w); s_count + 1]; slots],
+            paths: HashMap::new(),
+            graph,
+            slots,
+        }
+    }
+
+    /// The stage graph being routed over.
+    pub fn graph(&self) -> &StageGraph {
+        &self.graph
+    }
+
+    /// Number of TDM slots `K`.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// The configuration matrix `B_s^(k)` of stage `s` in slot `k`.
+    pub fn stage_config(&self, stage: usize, slot: usize) -> &BitMatrix {
+        &self.stage_cfgs[stage][slot]
+    }
+
+    /// The path `u -> v` currently holds in `slot`, as one line per layer
+    /// (`path[0] == u`, `path[S] == v`), if admitted.
+    pub fn path_of(&self, slot: usize, u: usize, v: usize) -> Option<&[usize]> {
+        self.paths.get(&(slot, u, v)).map(Vec::as_slice)
+    }
+
+    /// Connections currently admitted in `slot`, sorted.
+    pub fn admitted_in(&self, slot: usize) -> Vec<(usize, usize)> {
+        let mut out: Vec<(usize, usize)> = self
+            .paths
+            .keys()
+            .filter(|&&(s, _, _)| s == slot)
+            .map(|&(_, u, v)| (u, v))
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Marks the internal link `a -> b` of stage `s` as failed, evicting
+    /// every admitted path that crosses it. Returns the evicted
+    /// connections as `(slot, u, v)`, sorted — the caller decides whether
+    /// they re-route (fat trees usually can; unique-path networks like
+    /// the Omega cannot and stay blocked until healed).
+    pub fn fail_stage_link(&mut self, s: usize, a: usize, b: usize) -> Vec<(usize, usize, usize)> {
+        let mut mask = self.stage_fabrics[s].mask().clone();
+        mask.set(a, b, false);
+        self.stage_fabrics[s].set_mask(mask);
+        let mut evicted: Vec<(usize, usize, usize)> = self
+            .paths
+            .iter()
+            .filter(|(_, path)| path[s] == a && path[s + 1] == b)
+            .map(|(&key, _)| key)
+            .collect();
+        evicted.sort_unstable();
+        for &(slot, u, v) in &evicted {
+            self.release(slot, u, v);
+        }
+        evicted
+    }
+
+    /// Heals the internal link `a -> b` of stage `s` (a no-op unless the
+    /// stage graph wires that link at all — healing never grows the
+    /// topology).
+    pub fn heal_stage_link(&mut self, s: usize, a: usize, b: usize) {
+        if self.graph.reach(s).get(a, b) {
+            let mut mask = self.stage_fabrics[s].mask().clone();
+            mask.set(a, b, true);
+            self.stage_fabrics[s].set_mask(mask);
+        }
+    }
+
+    /// Depth-first path search from `u` (layer 0) to `v` (layer `S`)
+    /// under `slot`'s line availability. Returns one line per layer.
+    fn search(&self, slot: usize, u: usize, v: usize) -> Option<Vec<usize>> {
+        let s_count = self.graph.num_stages();
+        let mut path = vec![0usize; s_count + 1];
+        path[0] = u;
+        path[s_count] = v;
+        if self.dfs(slot, 0, u, v, &mut path) {
+            Some(path)
+        } else {
+            None
+        }
+    }
+
+    /// Extends the path from `line` (a free line of layer `stage`) toward
+    /// `v`, backtracking over the word-parallel candidate sets.
+    fn dfs(&self, slot: usize, stage: usize, line: usize, v: usize, path: &mut [usize]) -> bool {
+        let last = self.graph.num_stages() - 1;
+        // Candidate next lines: reachable over live links, not yet used.
+        let mut cand = self.stage_fabrics[stage].mask().row(line);
+        cand.and_not_assign(&self.used[slot][stage + 1]);
+        if stage == last {
+            return cand.get(v);
+        }
+        for b in cand.iter_ones() {
+            path[stage + 1] = b;
+            if self.dfs(slot, stage + 1, b, v, path) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Debug-checks the router's invariants: every stage configuration is
+    /// accepted by its masked crossbar (partial permutation over live
+    /// links), and configurations agree with the stored paths and line
+    /// occupancy.
+    pub fn check_invariants(&self) {
+        let s_count = self.graph.num_stages();
+        for stage in 0..s_count {
+            for slot in 0..self.slots {
+                assert!(
+                    self.stage_fabrics[stage].is_valid(&self.stage_cfgs[stage][slot]),
+                    "stage {stage} slot {slot} configuration invalid"
+                );
+            }
+        }
+        let mut cfgs = vec![vec![BitMatrix::square(self.graph.width()); self.slots]; s_count];
+        let mut used = vec![vec![BitVec::new(self.graph.width()); s_count + 1]; self.slots];
+        for (&(slot, u, v), path) in &self.paths {
+            assert_eq!((path[0], path[s_count]), (u, v), "path endpoints drifted");
+            for (layer, &line) in path.iter().enumerate() {
+                assert!(!used[slot][layer].get(line), "line double-booked");
+                used[slot][layer].set(line, true);
+            }
+            for stage in 0..s_count {
+                cfgs[stage][slot].set(path[stage], path[stage + 1], true);
+            }
+        }
+        assert_eq!(cfgs, self.stage_cfgs, "stage configs out of sync");
+        assert_eq!(used, self.used, "line occupancy out of sync");
+    }
+}
+
+impl SlotRouter for MultistageRouter {
+    fn try_admit(&mut self, slot: usize, u: usize, v: usize) -> bool {
+        assert!(slot < self.slots, "slot {slot} out of range");
+        assert!(
+            u < self.graph.ports() && v < self.graph.ports(),
+            "port out of range"
+        );
+        assert!(
+            !self.paths.contains_key(&(slot, u, v)),
+            "({u},{v}) already admitted in slot {slot}"
+        );
+        if self.used[slot][0].get(u) || self.used[slot][self.graph.num_stages()].get(v) {
+            return false;
+        }
+        let Some(path) = self.search(slot, u, v) else {
+            return false;
+        };
+        for (layer, &line) in path.iter().enumerate() {
+            self.used[slot][layer].set(line, true);
+        }
+        for stage in 0..self.graph.num_stages() {
+            self.stage_cfgs[stage][slot].set(path[stage], path[stage + 1], true);
+        }
+        self.paths.insert((slot, u, v), path);
+        true
+    }
+
+    fn release(&mut self, slot: usize, u: usize, v: usize) {
+        let path = self
+            .paths
+            .remove(&(slot, u, v))
+            .unwrap_or_else(|| panic!("({u},{v}) not admitted in slot {slot}"));
+        for (layer, &line) in path.iter().enumerate() {
+            self.used[slot][layer].set(line, false);
+        }
+        for stage in 0..self.graph.num_stages() {
+            self.stage_cfgs[stage][slot].set(path[stage], path[stage + 1], false);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pms_fabric::OmegaNetwork;
+
+    #[test]
+    fn crossbar_router_admits_any_partial_permutation() {
+        let mut r = MultistageRouter::new(StageGraph::crossbar(8), 2);
+        for u in 0..8 {
+            assert!(r.try_admit(0, u, (u + 3) % 8));
+        }
+        // Endpoint reuse is the only constraint.
+        assert!(!r.try_admit(0, 0, 0), "input 0 already busy");
+        assert!(r.try_admit(1, 0, 0), "other slot is independent");
+        r.check_invariants();
+    }
+
+    #[test]
+    fn release_frees_the_path() {
+        let n = 8;
+        let net = OmegaNetwork::new(n);
+        // Find a pair whose unique path conflicts with (0 -> 0)'s.
+        let (u, v) = (1..n)
+            .flat_map(|u| (1..n).map(move |v| (u, v)))
+            .find(|&(u, v)| net.paths_conflict((0, 0), (u, v)))
+            .expect("omega must have internal conflicts");
+        let mut r = MultistageRouter::new(StageGraph::omega(n), 1);
+        assert!(r.try_admit(0, 0, 0));
+        assert!(!r.try_admit(0, u, v), "conflicting path must block");
+        r.release(0, 0, 0);
+        assert!(r.try_admit(0, u, v), "released lines must be reusable");
+        r.check_invariants();
+    }
+
+    #[test]
+    fn omega_admission_matches_fabric_predicate() {
+        // Unique paths: greedy admission of a whole configuration succeeds
+        // iff `OmegaNetwork::is_valid` accepts it, regardless of order.
+        let n = 8;
+        let net = OmegaNetwork::new(n);
+        for seed in 0..64usize {
+            let cfg = BitMatrix::from_pairs(n, n, (0..n).map(|u| (u, (u * 3 + seed) % n)));
+            let pairs: Vec<(usize, usize)> = cfg.iter_ones().collect();
+            let mut r = MultistageRouter::new(StageGraph::omega(n), 1);
+            let all_admitted = pairs.iter().all(|&(u, v)| r.try_admit(0, u, v));
+            assert_eq!(
+                all_admitted,
+                net.is_valid(&cfg),
+                "seed {seed}: router and OmegaNetwork disagree"
+            );
+            r.check_invariants();
+        }
+    }
+
+    #[test]
+    fn fat_tree_reroutes_around_failed_uplink_but_omega_blocks() {
+        // Fat tree: 8 hosts, arity 4, 2 up-links. A cross-leaf connection
+        // survives losing one up-link — the other carries it.
+        let mut ft = MultistageRouter::new(StageGraph::fat_tree(8, 4, 2), 1);
+        assert!(ft.try_admit(0, 0, 5));
+        let path = ft.path_of(0, 0, 5).unwrap().to_vec();
+        let evicted = ft.fail_stage_link(0, path[0], path[1]);
+        assert_eq!(evicted, vec![(0, 0, 5)]);
+        assert!(ft.try_admit(0, 0, 5), "second up-link must carry it");
+        assert_ne!(ft.path_of(0, 0, 5).unwrap()[1], path[1]);
+        ft.check_invariants();
+
+        // Omega: unique paths, so the same fault pins the pair down until
+        // the link heals.
+        let mut om = MultistageRouter::new(StageGraph::omega(8), 1);
+        assert!(om.try_admit(0, 3, 6));
+        let path = om.path_of(0, 3, 6).unwrap().to_vec();
+        let evicted = om.fail_stage_link(1, path[1], path[2]);
+        assert_eq!(evicted, vec![(0, 3, 6)]);
+        assert!(!om.try_admit(0, 3, 6), "unique path is dead");
+        om.heal_stage_link(1, path[1], path[2]);
+        assert!(om.try_admit(0, 3, 6), "healed link restores the path");
+        om.check_invariants();
+    }
+
+    #[test]
+    fn heal_never_grows_the_topology() {
+        let mut r = MultistageRouter::new(StageGraph::butterfly(8), 1);
+        // (0 -> 1) at stage 0 is not wired in a butterfly (stage 0 flips
+        // bit 2); healing it must not invent the link.
+        r.heal_stage_link(0, 0, 1);
+        assert!(!r.stage_fabrics[0].mask().get(0, 1));
+    }
+
+    #[test]
+    fn slots_are_independent_resources() {
+        // Two conflicting omega connections land in different slots — the
+        // TDM answer to internal blocking.
+        let n = 8;
+        let net = OmegaNetwork::new(n);
+        let (mut a, mut b) = (None, None);
+        'outer: for u in 0..n {
+            for w in 0..n {
+                if u != w && net.paths_conflict((u, 0), (w, 1)) {
+                    (a, b) = (Some((u, 0)), Some((w, 1)));
+                    break 'outer;
+                }
+            }
+        }
+        let (a, b) = (a.unwrap(), b.unwrap());
+        let mut r = MultistageRouter::new(StageGraph::omega(n), 2);
+        assert!(r.try_admit(0, a.0, a.1));
+        assert!(!r.try_admit(0, b.0, b.1), "conflicting pair blocks in-slot");
+        assert!(r.try_admit(1, b.0, b.1), "next slot carries it");
+        r.check_invariants();
+    }
+}

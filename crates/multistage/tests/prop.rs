@@ -1,0 +1,104 @@
+//! Property tests pinning the stage-graph router against the flat fabric
+//! blocking predicates in `pms-fabric`.
+//!
+//! These are the correctness anchors of the multistage subsystem: for
+//! every topology that also exists as a flat model, greedily admitting a
+//! whole configuration through the [`MultistageRouter`] must agree with
+//! the flat model's `is_valid`. Omega networks have a unique path per
+//! pair, so agreement is exact and order-independent; fat trees have
+//! interchangeable up-links, so greedy admission succeeds exactly when
+//! the per-leaf counting predicate does.
+
+use pms_bitmat::BitMatrix;
+use pms_fabric::{Fabric, FatTree, OmegaNetwork};
+use pms_multistage::{MultistageRouter, StageGraph};
+use pms_sched::SlotRouter;
+use proptest::prelude::*;
+
+/// A random partial permutation on `n` ports.
+fn partial_perm(n: usize) -> impl Strategy<Value = BitMatrix> {
+    prop::collection::vec((0..n, 0..n), 0..n).prop_map(move |pairs| {
+        let mut used_in = vec![false; n];
+        let mut used_out = vec![false; n];
+        let mut m = BitMatrix::square(n);
+        for (u, v) in pairs {
+            if !used_in[u] && !used_out[v] {
+                used_in[u] = true;
+                used_out[v] = true;
+                m.set(u, v, true);
+            }
+        }
+        m
+    })
+}
+
+/// Greedily admits every connection of `cfg` into slot 0.
+fn admit_all(router: &mut MultistageRouter, cfg: &BitMatrix) -> bool {
+    cfg.iter_ones().all(|(u, v)| router.try_admit(0, u, v))
+}
+
+proptest! {
+    /// The one-stage crossbar graph admits every partial permutation —
+    /// the degenerate case adds no blocking.
+    #[test]
+    fn crossbar_graph_admits_all_partial_permutations(cfg in partial_perm(16)) {
+        let mut r = MultistageRouter::new(StageGraph::crossbar(16), 1);
+        prop_assert!(admit_all(&mut r, &cfg));
+        r.check_invariants();
+    }
+
+    /// Omega: unique paths make greedy admission order-independent, so
+    /// the router admits a configuration iff `OmegaNetwork::is_valid`
+    /// accepts it. This pins the stage-graph re-expression to the
+    /// existing blocking predicate bit for bit.
+    #[test]
+    fn omega_router_matches_is_valid(cfg in partial_perm(16)) {
+        let net = OmegaNetwork::new(16);
+        let mut r = MultistageRouter::new(StageGraph::omega(16), 1);
+        prop_assert_eq!(admit_all(&mut r, &cfg), net.is_valid(&cfg));
+        r.check_invariants();
+    }
+
+    /// Fat tree (oversubscribed 2:1): up-links within a leaf are
+    /// interchangeable, so greedy routing through the stage graph agrees
+    /// with the per-leaf counting predicate.
+    #[test]
+    fn fat_tree_router_matches_is_valid(cfg in partial_perm(16)) {
+        let ft = FatTree::oversubscribed(16, 4, 2);
+        let g = StageGraph::fat_tree(16, 4, ft.uplinks_per_leaf());
+        let mut r = MultistageRouter::new(g, 1);
+        prop_assert_eq!(admit_all(&mut r, &cfg), ft.is_valid(&cfg));
+        r.check_invariants();
+    }
+
+    /// Releasing everything returns the router to a pristine state: the
+    /// same configuration admits again.
+    #[test]
+    fn release_restores_pristine_state(cfg in partial_perm(16)) {
+        let net = OmegaNetwork::new(16);
+        prop_assume!(net.is_valid(&cfg));
+        let mut r = MultistageRouter::new(StageGraph::omega(16), 1);
+        prop_assert!(admit_all(&mut r, &cfg));
+        for (u, v) in cfg.iter_ones().collect::<Vec<_>>() {
+            r.release(0, u, v);
+        }
+        prop_assert!(r.admitted_in(0).is_empty());
+        prop_assert!(admit_all(&mut r, &cfg));
+        r.check_invariants();
+    }
+
+    /// Butterfly admission is subset-closed, like every physical fabric
+    /// constraint: any subset of an admitted configuration also admits.
+    #[test]
+    fn butterfly_admission_is_subset_closed(cfg in partial_perm(16)) {
+        let mut r = MultistageRouter::new(StageGraph::butterfly(16), 1);
+        if admit_all(&mut r, &cfg) {
+            for (u, v) in cfg.iter_ones().collect::<Vec<_>>() {
+                let mut smaller = cfg.clone();
+                smaller.set(u, v, false);
+                let mut r2 = MultistageRouter::new(StageGraph::butterfly(16), 1);
+                prop_assert!(admit_all(&mut r2, &smaller));
+            }
+        }
+    }
+}

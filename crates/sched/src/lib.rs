@@ -33,7 +33,9 @@ pub mod tdm;
 pub mod timing;
 
 pub use presched::{presched_case, presched_matrix, PreschedCase};
-pub use scheduler::{BandwidthMode, HoldPolicy, PassReport, Scheduler, SchedulerConfig};
+pub use scheduler::{
+    BandwidthMode, HoldPolicy, PassReport, Scheduler, SchedulerConfig, SlotRouter,
+};
 pub use slarray::{sl_pass, Priority, SlPassOutput};
 pub use slcell::{sl_cell, CellAction, CellInput, CellOutput};
 pub use tdm::TdmCounter;

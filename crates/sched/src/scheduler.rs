@@ -93,6 +93,27 @@ impl SchedulerConfig {
     }
 }
 
+/// Per-slot admission of endpoint pairs into a fabric with internal
+/// state — the hook multistage stage-graph routing plugs into
+/// [`Scheduler::pass_routed`].
+///
+/// The router shadows the scheduler's registers with its own resource
+/// model (e.g. per-stage configuration matrices and internal-line
+/// occupancy). [`try_admit`](SlotRouter::try_admit) must be atomic:
+/// either the connection is fully threaded through the fabric for that
+/// slot (and `true` returned), or no router state changes. The scheduler
+/// guarantees it never admits the same `(slot, u, v)` twice without an
+/// intervening [`release`](SlotRouter::release), and only releases what
+/// it admitted.
+pub trait SlotRouter {
+    /// Attempts to route `u -> v` through the fabric within time slot
+    /// `slot`. Returns `false` (leaving no trace) if the fabric blocks.
+    fn try_admit(&mut self, slot: usize, u: usize, v: usize) -> bool;
+
+    /// Releases the resources `u -> v` holds in time slot `slot`.
+    fn release(&mut self, slot: usize, u: usize, v: usize);
+}
+
 /// Result of one scheduling pass.
 #[derive(Debug, Clone)]
 pub struct PassReport {
@@ -399,6 +420,62 @@ impl Scheduler {
         for &(u, v) in &report.established {
             self.configs[slot].set(u, v, true);
             if admit(&self.configs[slot]) {
+                admitted.push((u, v));
+            } else {
+                self.configs[slot].set(u, v, false);
+                denied.push((u, v));
+            }
+        }
+        self.recompute_b_star();
+        self.stats.establishes -= denied.len() as u64;
+        self.stats.denials += denied.len() as u64;
+        report.established = admitted;
+        report.admission_denied = denied;
+        report
+    }
+
+    /// Like [`pass_admitted`](Self::pass_admitted), but against a stateful
+    /// [`SlotRouter`]: released connections free their fabric resources
+    /// first (so a release-and-establish rearrangement within one pass can
+    /// reuse them), then each establishment is re-admitted one by one — it
+    /// must pass both the stateless `admit` filter (fault masks; pass
+    /// `|_| true` when unused) and the router's atomic multi-stage
+    /// admission. Establishments the router blocks are revoked into
+    /// [`PassReport::admission_denied`] and retry on later passes, which
+    /// target other slots.
+    ///
+    /// A router that admits everything the slot's partial-permutation
+    /// constraint allows (the degenerate one-stage crossbar graph) makes
+    /// this exactly equivalent to [`pass`](Self::pass): same report, same
+    /// statistics, same register contents.
+    pub fn pass_routed(
+        &mut self,
+        requests: &BitMatrix,
+        router: &mut dyn SlotRouter,
+        admit: impl Fn(&BitMatrix) -> bool,
+    ) -> PassReport {
+        let mut report = self.pass(requests);
+        let Some(slot) = report.slot else {
+            return report;
+        };
+        for &(u, v) in &report.released {
+            router.release(slot, u, v);
+        }
+        if report.established.is_empty() {
+            return report;
+        }
+        // Strip all fresh establishments, then re-admit greedily in
+        // ripple-priority order (see `pass_admitted` for the rationale;
+        // the router's admission takes the place of full-configuration
+        // validity, which has no meaning for stateful path assignment).
+        for &(u, v) in &report.established {
+            self.configs[slot].set(u, v, false);
+        }
+        let mut admitted = Vec::new();
+        let mut denied = Vec::new();
+        for &(u, v) in &report.established {
+            self.configs[slot].set(u, v, true);
+            if admit(&self.configs[slot]) && router.try_admit(slot, u, v) {
                 admitted.push((u, v));
             } else {
                 self.configs[slot].set(u, v, false);

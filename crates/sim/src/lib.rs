@@ -49,7 +49,56 @@ pub use stats::SimStats;
 pub use tdm::{PredictorKind, TdmMode, TdmSim};
 pub use wormhole::{WormholeQueueing, WormholeSim};
 
+use pms_multistage::{MultistageRouter, StageGraph};
 use pms_workloads::Workload;
+
+/// Stage-graph topology selector for [`Paradigm::MultistageTdm`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsTopology {
+    /// The one-stage degenerate graph — byte-identical to
+    /// [`Paradigm::DynamicTdm`] on the same workload and parameters.
+    Crossbar,
+    /// `log2 N` shuffle-exchange stages (unique paths, internal blocking).
+    Omega,
+    /// `log2 N` straight/cross stages (unique paths, different blocking
+    /// set than the Omega network).
+    Butterfly,
+    /// Two-level folded Clos with a consolidated spine.
+    FatTree {
+        /// Hosts per leaf switch.
+        arity: usize,
+        /// Oversubscription ratio: `uplinks = arity / ratio`.
+        ratio: usize,
+    },
+}
+
+impl MsTopology {
+    /// Builds the stage graph for `ports` external ports.
+    pub fn build(&self, ports: usize) -> StageGraph {
+        match *self {
+            MsTopology::Crossbar => StageGraph::crossbar(ports),
+            MsTopology::Omega => StageGraph::omega(ports),
+            MsTopology::Butterfly => StageGraph::butterfly(ports),
+            MsTopology::FatTree { arity, ratio } => {
+                assert!(
+                    ratio >= 1 && arity % ratio == 0,
+                    "oversubscription ratio {ratio} must divide arity {arity}"
+                );
+                StageGraph::fat_tree(ports, arity, arity / ratio)
+            }
+        }
+    }
+
+    /// Short topology tag for labels.
+    pub fn tag(&self) -> String {
+        match self {
+            MsTopology::Crossbar => "crossbar".into(),
+            MsTopology::Omega => "omega".into(),
+            MsTopology::Butterfly => "butterfly".into(),
+            MsTopology::FatTree { arity, ratio } => format!("fattree{arity}x{ratio}"),
+        }
+    }
+}
 
 /// The switching paradigms under evaluation (Figure 4's series).
 ///
@@ -80,6 +129,16 @@ pub enum Paradigm {
         /// Predictor for the dynamic slots.
         predictor: PredictorKind,
     },
+    /// Multiplexed switching over a multi-stage fabric: dynamic
+    /// scheduling plus the per-stage routing pass of `pms-multistage`.
+    /// With [`MsTopology::Crossbar`] this is byte-identical to
+    /// [`Paradigm::DynamicTdm`].
+    MultistageTdm {
+        /// The stage-graph topology.
+        topology: MsTopology,
+        /// Eviction policy for the dynamic registers.
+        predictor: PredictorKind,
+    },
 }
 
 impl Paradigm {
@@ -92,6 +151,9 @@ impl Paradigm {
             Paradigm::PreloadTdm => "preload-tdm".into(),
             Paradigm::HybridTdm { preload_slots, .. } => {
                 format!("hybrid-{preload_slots}p")
+            }
+            Paradigm::MultistageTdm { topology, .. } => {
+                format!("mstdm-{}", topology.tag())
             }
         }
     }
@@ -168,6 +230,25 @@ impl Paradigm {
             .with_faults(plan)
             .with_tracer(tracer)
             .run_traced(),
+            Paradigm::MultistageTdm {
+                topology,
+                predictor,
+            } => {
+                let graph = topology.build(params.ports);
+                let router = MultistageRouter::new(graph, params.tdm_slots);
+                TdmSim::new(
+                    workload,
+                    params,
+                    TdmMode::Dynamic {
+                        predictor: *predictor,
+                    },
+                )
+                .with_router(Box::new(router))
+                .with_mode_label(self.label())
+                .with_faults(plan)
+                .with_tracer(tracer)
+                .run_traced()
+            }
         }
     }
 }

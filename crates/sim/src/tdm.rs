@@ -34,7 +34,7 @@ use pms_predict::{
     ConnectionPredictor, NeverEvict, PhaseDetector, PhaseDetectorConfig, RefCountPredictor,
     TimeoutPredictor,
 };
-use pms_sched::{HoldPolicy, Scheduler, SchedulerConfig, TdmCounter};
+use pms_sched::{HoldPolicy, Scheduler, SchedulerConfig, SlotRouter, TdmCounter};
 use pms_trace::{EvictCause, TraceEvent, Tracer};
 use pms_workloads::Workload;
 use std::collections::{BTreeSet, HashMap};
@@ -145,6 +145,10 @@ pub struct TdmSim {
     /// Optional admission filter for fabrics with internal blocking
     /// (§6): a slot configuration is only committed if this accepts it.
     admission: Option<AdmissionFilter>,
+    /// Optional per-stage router (multi-stage fabrics): every established
+    /// connection must also thread a path through the stage graph, and
+    /// every release returns its lines. `None` is the flat crossbar.
+    router: Option<Box<dyn SlotRouter>>,
     /// Optional fault-injection runtime; `None` (also for an empty plan)
     /// takes exactly the unfaulted code path.
     faults: Option<FaultRt>,
@@ -320,6 +324,7 @@ impl TdmSim {
             ws_lookups: 0,
             ws_hits: 0,
             admission: None,
+            router: None,
             faults: None,
             fault_restores: Vec::new(),
             stream_broken: BTreeSet::new(),
@@ -355,7 +360,46 @@ impl TdmSim {
             self.has_dynamic,
             "the admission filter applies to dynamic scheduling only"
         );
+        assert!(
+            self.router.is_none(),
+            "a stage router already gates admission; pick one mechanism"
+        );
         self.admission = Some(Box::new(admit));
+        self
+    }
+
+    /// Attaches a per-stage router: the scheduler runs the multi-stage
+    /// scheduling pass, admitting a connection only when a path through
+    /// every stage of the fabric is free in the slot, and releasing stage
+    /// by stage on teardown. On the one-stage crossbar graph this is
+    /// byte-identical (statistics and trace) to plain dynamic scheduling.
+    ///
+    /// # Panics
+    /// Panics unless the mode is pure [`TdmMode::Dynamic`] (preloaded
+    /// registers bypass the router) or if an admission filter is attached.
+    pub fn with_router(mut self, router: Box<dyn SlotRouter>) -> Self {
+        assert!(
+            self.has_dynamic,
+            "the stage router applies to dynamic scheduling only"
+        );
+        if let Backend::Scheduled { scheduler, .. } = &self.backend {
+            assert!(
+                (0..scheduler.slots()).all(|s| !scheduler.is_preloaded(s)),
+                "preloaded registers bypass the stage router"
+            );
+        }
+        assert!(
+            self.admission.is_none(),
+            "an admission filter is already attached; pick one mechanism"
+        );
+        self.router = Some(router);
+        self
+    }
+
+    /// Overrides the paradigm label stamped on the statistics (e.g. to
+    /// distinguish stage-graph topologies sharing the dynamic backend).
+    pub fn with_mode_label(mut self, label: impl Into<String>) -> Self {
+        self.mode_label = label.into();
         self
     }
 
@@ -544,6 +588,13 @@ impl TdmSim {
                 }
                 Effect::Flush => {
                     if let Backend::Scheduled { scheduler, .. } = &mut self.backend {
+                        if let Some(rt) = self.router.as_deref_mut() {
+                            for s in 0..scheduler.slots() {
+                                for (u, v) in scheduler.config(s).iter_ones().collect::<Vec<_>>() {
+                                    rt.release(s, u, v);
+                                }
+                            }
+                        }
                         let cleared = scheduler.flush_dynamic();
                         if self.tracer.enabled() {
                             self.tracer.emit(
@@ -568,6 +619,10 @@ impl TdmSim {
                     }
                 }
                 Effect::Preload(pat) => {
+                    assert!(
+                        self.router.is_none(),
+                        "preloaded patterns bypass the stage router"
+                    );
                     let configs = self.patterns.get(pat).cloned().unwrap_or_default();
                     if let Backend::Scheduled { scheduler, .. } = &mut self.backend {
                         // Loading a pattern replaces whatever pattern was
@@ -665,6 +720,7 @@ impl TdmSim {
     /// switch currently carries for the pair. Request latches stay set so
     /// pending traffic re-establishes naturally once the link heals.
     fn break_pair(&mut self, t: u64, u: usize, v: usize) {
+        let mut router = self.router.as_deref_mut();
         match &mut self.backend {
             Backend::Scheduled {
                 scheduler,
@@ -677,6 +733,9 @@ impl TdmSim {
                         self.fault_restores.push((s, u, v));
                     }
                     scheduler.revoke(s, u, v);
+                    if let Some(rt) = router.as_deref_mut() {
+                        rt.release(s, u, v);
+                    }
                     if self.tracer.enabled() {
                         self.tracer.emit(
                             t,
@@ -1274,6 +1333,16 @@ impl TdmSim {
             }
         }
         if flush {
+            if let Some(rt) = self.router.as_deref_mut() {
+                // Return every scheduled connection's stage lines before
+                // the registers are wiped (no registers are preloaded in
+                // router mode, so every slot is dynamic).
+                for s in 0..scheduler.slots() {
+                    for (u, v) in scheduler.config(s).iter_ones().collect::<Vec<_>>() {
+                        rt.release(s, u, v);
+                    }
+                }
+            }
             let cleared = scheduler.flush_dynamic();
             self.phase_flushes += 1;
             if self.tracer.enabled() {
@@ -1297,17 +1366,27 @@ impl TdmSim {
                 }
             }
         }
+        let mut router = self.router.as_deref_mut();
         let report = {
             // Grant-blocking faults join the (§6) admission filter: both
             // are subset-closed, so their conjunction is too.
             let fault_admit = self.faults.as_ref().filter(|f| f.any_grant_blocked());
-            match (&self.admission, fault_admit) {
-                (Some(admit), Some(f)) => {
-                    scheduler.pass_admitted(&r, |cfg| f.admits(cfg) && admit(cfg))
+            if let Some(rt) = router.as_deref_mut() {
+                // Multi-stage scheduling pass: every establishment must
+                // also thread the stage graph.
+                match fault_admit {
+                    Some(f) => scheduler.pass_routed(&r, rt, |cfg| f.admits(cfg)),
+                    None => scheduler.pass_routed(&r, rt, |_| true),
                 }
-                (Some(admit), None) => scheduler.pass_admitted(&r, admit),
-                (None, Some(f)) => scheduler.pass_admitted(&r, |cfg| f.admits(cfg)),
-                (None, None) => scheduler.pass(&r),
+            } else {
+                match (&self.admission, fault_admit) {
+                    (Some(admit), Some(f)) => {
+                        scheduler.pass_admitted(&r, |cfg| f.admits(cfg) && admit(cfg))
+                    }
+                    (Some(admit), None) => scheduler.pass_admitted(&r, admit),
+                    (None, Some(f)) => scheduler.pass_admitted(&r, |cfg| f.admits(cfg)),
+                    (None, None) => scheduler.pass(&r),
+                }
             }
         };
         // Fault post-processing on the pass outcome: what the NIC/fabric
@@ -1327,7 +1406,14 @@ impl TdmSim {
                         let cfg = scheduler.config(slot);
                         let free = cfg.iter_row_ones(u).next().is_none()
                             && (0..cfg.rows()).all(|rr| !cfg.get(rr, v));
-                        if free {
+                        // The routed pass already freed the stage lines;
+                        // a stuck release only stands its ground if the
+                        // path (or another) is still re-threadable.
+                        if free
+                            && router
+                                .as_deref_mut()
+                                .is_none_or(|rt| rt.try_admit(slot, u, v))
+                        {
                             scheduler.restore(slot, u, v);
                             return false;
                         }
@@ -1343,6 +1429,9 @@ impl TdmSim {
                         let (attempt, _) = f.grant_dropped(u, v, t);
                         scheduler.revoke(slot, u, v);
                         scheduler.clear_latch(u, v);
+                        if let Some(rt) = router.as_deref_mut() {
+                            rt.release(slot, u, v);
+                        }
                         dropped.push((u, v, attempt));
                         false
                     } else {
