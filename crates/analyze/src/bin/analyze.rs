@@ -2,13 +2,15 @@
 //!
 //! ```text
 //! analyze TRACE.jsonl [--report PATH] [--heatmap-csv PATH]
+//!                     [--churn-csv PATH] [--setup-csv PATH]
 //!                     [--window NS] [--ports N] [--quiet]
 //! ```
 //!
 //! Prints the human-readable report to stdout and optionally writes the
 //! deterministic JSON report (byte-identical to what the simulator's
-//! `--report` flag writes for the same trace) and the sparse heatmap
-//! CSV.
+//! `--report` flag writes for the same trace) and the CSV exports:
+//! sparse heatmap, per-cause predictor churn, and setup-latency
+//! attribution.
 
 use pms_analyze::{build_report, parse_jsonl, ReportConfig};
 use std::fs;
@@ -18,19 +20,23 @@ struct Args {
     trace: String,
     report: Option<String>,
     heatmap_csv: Option<String>,
+    churn_csv: Option<String>,
+    setup_csv: Option<String>,
     window_ns: u64,
     ports: Option<usize>,
     quiet: bool,
 }
 
 const USAGE: &str = "usage: analyze TRACE.jsonl [--report PATH] [--heatmap-csv PATH] \
-                     [--window NS] [--ports N] [--quiet]";
+                     [--churn-csv PATH] [--setup-csv PATH] [--window NS] [--ports N] [--quiet]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         trace: String::new(),
         report: None,
         heatmap_csv: None,
+        churn_csv: None,
+        setup_csv: None,
         window_ns: ReportConfig::default().premature_window_ns,
         ports: None,
         quiet: false,
@@ -41,6 +47,8 @@ fn parse_args() -> Result<Args, String> {
         match arg.as_str() {
             "--report" => args.report = Some(value("--report")?),
             "--heatmap-csv" => args.heatmap_csv = Some(value("--heatmap-csv")?),
+            "--churn-csv" => args.churn_csv = Some(value("--churn-csv")?),
+            "--setup-csv" => args.setup_csv = Some(value("--setup-csv")?),
             "--window" => {
                 args.window_ns = value("--window")?
                     .parse()
@@ -97,6 +105,19 @@ fn run(args: &Args) -> Result<(), String> {
             .map_err(|e| format!("cannot write {path}: {e}"))?;
         if !args.quiet {
             println!("heatmap CSV written to {path}");
+        }
+    }
+    if let Some(path) = &args.churn_csv {
+        fs::write(path, report.churn.to_csv()).map_err(|e| format!("cannot write {path}: {e}"))?;
+        if !args.quiet {
+            println!("churn CSV written to {path}");
+        }
+    }
+    if let Some(path) = &args.setup_csv {
+        fs::write(path, report.contention.to_csv())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        if !args.quiet {
+            println!("setup CSV written to {path}");
         }
     }
     Ok(())

@@ -84,6 +84,29 @@ impl ChurnReport {
             ),
         ])
     }
+
+    /// CSV rendering: one row per cause plus a `total` row, suitable
+    /// for spreadsheet import when tuning predictor thresholds.
+    pub fn to_csv(&self) -> String {
+        let rows = self
+            .by_cause
+            .iter()
+            .map(|c| {
+                vec![
+                    c.cause.to_string(),
+                    c.evictions.to_string(),
+                    c.premature.to_string(),
+                    format!("{:.4}", c.rate()),
+                ]
+            })
+            .chain(std::iter::once(vec![
+                "total".to_string(),
+                self.total_evictions.to_string(),
+                self.total_premature.to_string(),
+                format!("{:.4}", self.premature_rate()),
+            ]));
+        crate::csv::csv_table(&["cause", "evictions", "premature", "rate"], rows)
+    }
 }
 
 /// Computes churn over an event stream: an eviction at time `t` is
@@ -234,5 +257,14 @@ mod tests {
         assert_eq!(r.total_evictions, 0);
         assert_eq!(r.premature_rate(), 0.0);
         assert_eq!(r.by_cause.len(), 5);
+    }
+
+    #[test]
+    fn csv_has_per_cause_rows_and_total() {
+        let r = churn(&[evict(100, EvictCause::Timeout), request(150)], 5_000);
+        let csv = r.to_csv();
+        assert!(csv.starts_with("cause,evictions,premature,rate\n"), "{csv}");
+        assert!(csv.contains("timeout,1,1,1.0000\n"), "{csv}");
+        assert!(csv.trim_end().ends_with("total,1,1,1.0000"), "{csv}");
     }
 }

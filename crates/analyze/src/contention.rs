@@ -134,6 +134,34 @@ impl ContentionReport {
             ),
         ])
     }
+
+    /// Setup-latency attribution as CSV: one row per wait component.
+    /// The `share` column is the component's fraction of attributable
+    /// wait (alignment + contention), matching the text report; slot
+    /// service is listed with an empty share since it is pipelined
+    /// rather than attributable.
+    pub fn to_csv(&self) -> String {
+        let s = &self.setup;
+        let total = (s.alignment_ns + s.contention_ns).max(1) as f64;
+        let rows = [
+            ("alignment", s.alignment_ns, true),
+            ("contention", s.contention_ns, true),
+            ("service", s.service_ns, false),
+        ]
+        .into_iter()
+        .map(|(component, ns, attributable)| {
+            vec![
+                component.to_string(),
+                ns.to_string(),
+                if attributable {
+                    format!("{:.4}", ns as f64 / total)
+                } else {
+                    String::new()
+                },
+            ]
+        });
+        crate::csv::csv_table(&["component", "wait_ns", "share"], rows)
+    }
 }
 
 /// Runs both analyses over an event stream.
@@ -458,5 +486,36 @@ mod tests {
         let h = hol_stalls(&records, 2.0, 10);
         assert!(h.stalls.is_empty());
         assert_eq!(h.messages, 2);
+    }
+
+    #[test]
+    fn setup_csv_shares_sum_to_one() {
+        let records = vec![
+            rec(100, TraceEvent::ConnRequested { src: 0, dst: 1 }),
+            pass(160, 0, 2),
+            pass(240, 1, 4),
+            rec(
+                240,
+                TraceEvent::ConnEstablished {
+                    src: 0,
+                    dst: 1,
+                    slot_idx: 3,
+                },
+            ),
+            rec(300, TraceEvent::SlotAdvanced { slot_idx: 3 }),
+        ];
+        let r = contention(&records, 2.0, 16);
+        let csv = r.to_csv();
+        assert!(csv.starts_with("component,wait_ns,share\n"), "{csv}");
+        let mut share = 0.0f64;
+        for line in csv.lines().skip(1) {
+            let cols: Vec<&str> = line.split(',').collect();
+            assert_eq!(cols.len(), 3, "{line}");
+            if !cols[2].is_empty() {
+                share += cols[2].parse::<f64>().unwrap();
+            }
+        }
+        assert!((share - 1.0).abs() < 0.01, "shares sum to {share}:\n{csv}");
+        assert!(csv.contains("service,"), "{csv}");
     }
 }

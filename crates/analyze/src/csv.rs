@@ -1,0 +1,64 @@
+//! Minimal CSV writer shared by every section's `to_csv` export.
+//!
+//! One table = one header row plus data rows. Fields containing a
+//! comma, quote, or newline are quoted per RFC 4180; everything this
+//! crate exports today is plain numbers and static labels, so quoting
+//! is a robustness guard, not a hot path.
+
+/// Renders one CSV table. The header names the columns; each row must
+/// have the same arity (checked in debug builds).
+pub fn csv_table<R>(header: &[&str], rows: R) -> String
+where
+    R: IntoIterator<Item = Vec<String>>,
+{
+    let mut out = String::new();
+    push_row(&mut out, header.iter().map(|s| s.to_string()));
+    for row in rows {
+        debug_assert_eq!(row.len(), header.len(), "CSV row arity mismatch");
+        push_row(&mut out, row);
+    }
+    out
+}
+
+fn push_row(out: &mut String, fields: impl IntoIterator<Item = String>) {
+    let mut first = true;
+    for field in fields {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        if field.contains([',', '"', '\n']) {
+            out.push('"');
+            out.push_str(&field.replace('"', "\"\""));
+            out.push('"');
+        } else {
+            out.push_str(&field);
+        }
+    }
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plain_fields_render_unquoted() {
+        let csv = csv_table(
+            &["a", "b"],
+            [vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        assert_eq!(csv, "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn reserved_characters_are_quoted() {
+        let csv = csv_table(&["x"], [vec!["he said \"hi, there\"".into()]]);
+        assert_eq!(csv, "x\n\"he said \"\"hi, there\"\"\"\n");
+    }
+
+    #[test]
+    fn empty_rows_yield_header_only() {
+        assert_eq!(csv_table(&["only", "header"], []), "only,header\n");
+    }
+}

@@ -18,6 +18,10 @@
 //! * [`faults`] — fault exposure, efficiency loss inside fault windows
 //!   versus clean operation, and clear-to-reestablish recovery latency
 //!   (the graceful-degradation signal for `pms-faults` runs);
+//! * [`spans`] — causal-span analysis: exact per-phase latency
+//!   distributions (p50/p99) and critical-path extraction from
+//!   `span-start`/`span-end` records, with the tiling invariant
+//!   (phases sum to the end-to-end span) checked per message;
 //! * [`report`] — all of the above assembled into one deterministic
 //!   [`Report`](report::Report), rendered as JSON or terminal text.
 //!
@@ -32,11 +36,13 @@
 
 pub mod churn;
 pub mod contention;
+pub mod csv;
 pub mod faults;
 pub mod heatmap;
 pub mod occupancy;
 pub mod replay;
 pub mod report;
+pub mod spans;
 
 pub use churn::{churn, CauseChurn, ChurnReport};
 pub use contention::{contention, ContentionReport, HolReport, HolStall, SetupAttribution};
@@ -45,3 +51,4 @@ pub use heatmap::{heatmap, Heatmap};
 pub use occupancy::{occupancy, OccupancyReport, SlotOccupancy};
 pub use replay::{parse_jsonl, parse_line, Replay};
 pub use report::{build_report, infer_ports, Report, ReportConfig};
+pub use spans::{spans, CriticalMsg, PhaseStats, SpansReport};

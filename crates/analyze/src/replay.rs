@@ -121,6 +121,30 @@ pub fn parse_line(line: &str) -> Result<Option<TraceRecord>, String> {
             msg: field32("msg")?,
             retries: field32("retries")?,
         },
+        "span-start" | "span-end" => {
+            let label = v
+                .get("phase")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("`{kind}` record missing `phase`"))?;
+            let phase = pms_trace::SpanPhase::from_label(label)
+                .ok_or_else(|| format!("unknown span phase `{label}`"))?;
+            if kind == "span-start" {
+                TraceEvent::SpanStart {
+                    span: field32("span")?,
+                    parent: field32("parent")?,
+                    phase,
+                    msg: field32("msg")?,
+                    src: field32("src")?,
+                    dst: field32("dst")?,
+                }
+            } else {
+                TraceEvent::SpanEnd {
+                    span: field32("span")?,
+                    phase,
+                    msg: field32("msg")?,
+                }
+            }
+        }
         _ => return Ok(None),
     };
     Ok(Some(TraceRecord {
@@ -255,6 +279,27 @@ mod tests {
                     dst: 7,
                 },
             ),
+            mk(
+                900,
+                0,
+                TraceEvent::SpanStart {
+                    span: 1,
+                    parent: u32::MAX,
+                    phase: pms_trace::SpanPhase::Msg,
+                    msg: 0,
+                    src: 3,
+                    dst: 7,
+                },
+            ),
+            mk(
+                950,
+                0,
+                TraceEvent::SpanEnd {
+                    span: 1,
+                    phase: pms_trace::SpanPhase::Msg,
+                    msg: 0,
+                },
+            ),
         ]
     }
 
@@ -295,6 +340,10 @@ mod tests {
         let bad = "{\"kind\":\"fault-injected\",\"t_ns\":1,\"slot\":0,\
                    \"fault\":0,\"class\":\"gremlin\",\"src\":0,\"dst\":1}";
         assert!(parse_jsonl(bad).unwrap_err().contains("fault class"));
+        // An unknown span phase is corrupt as well.
+        let bad = "{\"kind\":\"span-end\",\"t_ns\":1,\"slot\":0,\
+                   \"span\":1,\"phase\":\"warp\",\"msg\":0}";
+        assert!(parse_jsonl(bad).unwrap_err().contains("span phase"));
     }
 
     #[test]

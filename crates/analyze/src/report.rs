@@ -12,6 +12,7 @@ use crate::contention::{contention, ContentionReport};
 use crate::faults::{faults, FaultsReport};
 use crate::heatmap::{heatmap, Heatmap};
 use crate::occupancy::{occupancy, OccupancyReport};
+use crate::spans::{spans, SpansReport};
 use pms_trace::{Json, TraceEvent, TraceRecord};
 
 /// Report tuning knobs.
@@ -60,6 +61,8 @@ pub struct Report {
     pub contention: ContentionReport,
     /// Fault exposure, efficiency loss, and recovery latency.
     pub faults: FaultsReport,
+    /// Causal-span phase latencies and critical paths.
+    pub spans: SpansReport,
 }
 
 /// Infers the crossbar size from a trace: one more than the largest
@@ -101,6 +104,7 @@ pub fn build_report(records: &[TraceRecord], cfg: &ReportConfig) -> Report {
         churn: churn(records, cfg.premature_window_ns),
         contention: contention(records, cfg.hol_factor, cfg.max_hol_stalls),
         faults: faults(records),
+        spans: spans(records),
     }
 }
 
@@ -124,6 +128,7 @@ impl Report {
             ("churn", self.churn.to_json()),
             ("contention", self.contention.to_json()),
             ("faults", self.faults.to_json()),
+            ("spans", self.spans.to_json()),
         ])
     }
 
@@ -316,6 +321,50 @@ impl Report {
                 ),
             );
         }
+
+        let sp = &self.spans;
+        push(&mut out, "-- causal spans --".into());
+        if sp.msgs == 0 && sp.conns == 0 {
+            push(
+                &mut out,
+                "  no spans in trace (run with tracing enabled)".into(),
+            );
+        } else {
+            push(
+                &mut out,
+                format!(
+                    "  {} msg spans, {} conn spans, {} route admits; {} tiling violations, {} open at EOF",
+                    sp.msgs, sp.conns, sp.routes, sp.tiling_violations, sp.unmatched_starts
+                ),
+            );
+            for p in &sp.phases {
+                push(
+                    &mut out,
+                    format!(
+                        "  {:<9} {:>8} spans  p50 {:>8} ns  p99 {:>8} ns  max {:>8} ns  dominates {}",
+                        p.phase, p.count, p.p50_ns, p.p99_ns, p.max_ns, p.dominant_msgs
+                    ),
+                );
+            }
+            if !sp.critical_path.is_empty() {
+                push(&mut out, "  critical path (slowest messages):".into());
+                for cm in &sp.critical_path {
+                    push(
+                        &mut out,
+                        format!(
+                            "    msg {:>6} {:>10} ns = arrival {} + admit {} + align {} + transfer {} ({})",
+                            cm.msg,
+                            cm.total_ns,
+                            cm.phase_ns[0],
+                            cm.phase_ns[1],
+                            cm.phase_ns[2],
+                            cm.phase_ns[3],
+                            cm.dominant()
+                        ),
+                    );
+                }
+            }
+        }
         out
     }
 }
@@ -389,7 +438,14 @@ mod tests {
         let a = build_report(&records, &cfg).to_json().render_pretty();
         let b = build_report(&records, &cfg).to_json().render_pretty();
         assert_eq!(a, b);
-        for section in ["occupancy", "heatmap", "churn", "contention", "faults"] {
+        for section in [
+            "occupancy",
+            "heatmap",
+            "churn",
+            "contention",
+            "faults",
+            "spans",
+        ] {
             assert!(a.contains(&format!("\"{section}\"")), "missing {section}");
         }
     }
@@ -426,6 +482,7 @@ mod tests {
             "setup-latency attribution",
             "head-of-line stalls",
             "fault impact",
+            "causal spans",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }

@@ -1,0 +1,358 @@
+//! Causal-span analysis: per-phase latency distributions and
+//! critical-path extraction from `span-start`/`span-end` records.
+//!
+//! Every traced message owns a root `msg` span tiled exactly by its four
+//! phase children (`arrival -> admit -> align -> transfer`), so the phase
+//! columns of this report *explain* end-to-end latency rather than
+//! estimating it the way the HOL/attribution heuristics do. The tiling
+//! invariant (sum of phases == root duration) is checked per message and
+//! violations are counted, not hidden.
+
+use pms_trace::{Json, SpanPhase, TraceEvent, TraceRecord};
+use std::collections::HashMap;
+
+/// Slowest messages listed in the critical-path table.
+const TOP_SLOW: usize = 8;
+
+/// Latency distribution of one span phase.
+#[derive(Debug, Clone)]
+pub struct PhaseStats {
+    /// Phase label (`msg`, `arrival`, ..., `conn`).
+    pub phase: &'static str,
+    /// Completed spans of this phase.
+    pub count: u64,
+    /// Median duration (exact nearest-rank).
+    pub p50_ns: u64,
+    /// 99th-percentile duration (exact nearest-rank).
+    pub p99_ns: u64,
+    /// Mean duration.
+    pub mean_ns: f64,
+    /// Longest single span.
+    pub max_ns: u64,
+    /// Total time spent in this phase across all spans.
+    pub total_ns: u64,
+    /// Messages whose end-to-end latency this phase dominates (the
+    /// phase with the largest share of the root span). Zero for `msg`,
+    /// `route`, and `conn` rows.
+    pub dominant_msgs: u64,
+}
+
+impl PhaseStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("phase", Json::str(self.phase)),
+            ("count", self.count.into()),
+            ("p50_ns", self.p50_ns.into()),
+            ("p99_ns", self.p99_ns.into()),
+            ("mean_ns", self.mean_ns.into()),
+            ("max_ns", self.max_ns.into()),
+            ("total_ns", self.total_ns.into()),
+            ("dominant_msgs", self.dominant_msgs.into()),
+        ])
+    }
+}
+
+/// One row of the critical-path table: a slow message and where its
+/// latency went.
+#[derive(Debug, Clone)]
+pub struct CriticalMsg {
+    /// Message id.
+    pub msg: u32,
+    /// End-to-end (root span) duration.
+    pub total_ns: u64,
+    /// Per-phase durations in [`SpanPhase::MSG_PHASES`] order.
+    pub phase_ns: [u64; 4],
+}
+
+impl CriticalMsg {
+    /// The phase holding the largest share of this message's latency.
+    pub fn dominant(&self) -> &'static str {
+        let i = (0..4).max_by_key(|&i| self.phase_ns[i]).unwrap_or(0);
+        MSG_PHASE_LABELS[i]
+    }
+
+    fn to_json(&self) -> Json {
+        let mut fields: Vec<(&str, Json)> =
+            vec![("msg", self.msg.into()), ("total_ns", self.total_ns.into())];
+        for (label, ns) in MSG_PHASE_LABELS.iter().zip(self.phase_ns) {
+            fields.push((label, ns.into()));
+        }
+        fields.push(("dominant", Json::str(self.dominant())));
+        Json::obj(fields)
+    }
+}
+
+const MSG_PHASE_LABELS: [&str; 4] = ["arrival", "admit", "align", "transfer"];
+
+/// The assembled span report.
+#[derive(Debug, Clone, Default)]
+pub struct SpansReport {
+    /// Completed root (`msg`) spans.
+    pub msgs: u64,
+    /// Completed connection-lifetime spans.
+    pub conns: u64,
+    /// Route-admission markers (multistage runs only).
+    pub routes: u64,
+    /// Per-phase distributions, in a fixed label order.
+    pub phases: Vec<PhaseStats>,
+    /// Messages whose phase spans do not sum to the root span.
+    pub tiling_violations: u64,
+    /// `span-start` records never closed by a `span-end`.
+    pub unmatched_starts: u64,
+    /// `span-end` records with no prior `span-start`.
+    pub unmatched_ends: u64,
+    /// The slowest messages, worst first.
+    pub critical_path: Vec<CriticalMsg>,
+}
+
+/// Exact nearest-rank percentile over a sorted slice (`p` in 1..=100).
+fn percentile(sorted: &[u64], p: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (p * sorted.len() as u64).div_ceil(100).max(1) as usize;
+    sorted[rank - 1]
+}
+
+/// Builds the span report from a record stream.
+pub fn spans(records: &[TraceRecord]) -> SpansReport {
+    // span id -> (phase, msg, start time)
+    let mut open: HashMap<u32, (SpanPhase, u32, u64)> = HashMap::new();
+    let mut durations: HashMap<&'static str, Vec<u64>> = HashMap::new();
+    // msg id -> [arrival, admit, align, transfer, root]
+    let mut per_msg: HashMap<u32, [Option<u64>; 5]> = HashMap::new();
+    let mut report = SpansReport::default();
+    for rec in records {
+        match rec.event {
+            TraceEvent::SpanStart {
+                span, phase, msg, ..
+            } => {
+                open.insert(span, (phase, msg, rec.t_ns));
+            }
+            TraceEvent::SpanEnd { span, .. } => {
+                let Some((phase, msg, start)) = open.remove(&span) else {
+                    report.unmatched_ends += 1;
+                    continue;
+                };
+                let dur = rec.t_ns.saturating_sub(start);
+                durations.entry(phase.label()).or_default().push(dur);
+                let idx = match phase {
+                    SpanPhase::Arrival => Some(0),
+                    SpanPhase::Admit => Some(1),
+                    SpanPhase::Align => Some(2),
+                    SpanPhase::Transfer => Some(3),
+                    SpanPhase::Msg => Some(4),
+                    SpanPhase::Route | SpanPhase::Conn => None,
+                };
+                if let Some(i) = idx {
+                    per_msg.entry(msg).or_default()[i] = Some(dur);
+                }
+                match phase {
+                    SpanPhase::Msg => report.msgs += 1,
+                    SpanPhase::Conn => report.conns += 1,
+                    SpanPhase::Route => report.routes += 1,
+                    _ => {}
+                }
+            }
+            _ => {}
+        }
+    }
+    report.unmatched_starts = open.len() as u64;
+
+    // Tiling check + per-message dominance.
+    let mut dominant: HashMap<&'static str, u64> = HashMap::new();
+    let mut complete: Vec<CriticalMsg> = Vec::new();
+    for (&msg, parts) in &per_msg {
+        let (phases, root) = (&parts[..4], parts[4]);
+        let (Some(root), true) = (root, phases.iter().all(Option::is_some)) else {
+            continue; // partially traced message (e.g. truncated stream)
+        };
+        let phase_ns = [
+            phases[0].unwrap_or(0),
+            phases[1].unwrap_or(0),
+            phases[2].unwrap_or(0),
+            phases[3].unwrap_or(0),
+        ];
+        if phase_ns.iter().sum::<u64>() != root {
+            report.tiling_violations += 1;
+        }
+        let cm = CriticalMsg {
+            msg,
+            total_ns: root,
+            phase_ns,
+        };
+        *dominant.entry(cm.dominant()).or_default() += 1;
+        complete.push(cm);
+    }
+    complete.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.msg.cmp(&b.msg)));
+    complete.truncate(TOP_SLOW);
+    report.critical_path = complete;
+
+    for phase in SpanPhase::ALL {
+        let label = phase.label();
+        let mut durs = durations.remove(label).unwrap_or_default();
+        if durs.is_empty() {
+            continue;
+        }
+        durs.sort_unstable();
+        let total: u64 = durs.iter().sum();
+        report.phases.push(PhaseStats {
+            phase: label,
+            count: durs.len() as u64,
+            p50_ns: percentile(&durs, 50),
+            p99_ns: percentile(&durs, 99),
+            mean_ns: total as f64 / durs.len() as f64,
+            max_ns: *durs.last().expect("non-empty"),
+            total_ns: total,
+            dominant_msgs: dominant.get(label).copied().unwrap_or(0),
+        });
+    }
+    report
+}
+
+impl SpansReport {
+    /// Deterministic JSON rendering.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("msgs", self.msgs.into()),
+            ("conns", self.conns.into()),
+            ("routes", self.routes.into()),
+            (
+                "phases",
+                Json::Array(self.phases.iter().map(PhaseStats::to_json).collect()),
+            ),
+            ("tiling_violations", self.tiling_violations.into()),
+            ("unmatched_starts", self.unmatched_starts.into()),
+            ("unmatched_ends", self.unmatched_ends.into()),
+            (
+                "critical_path",
+                Json::Array(
+                    self.critical_path
+                        .iter()
+                        .map(CriticalMsg::to_json)
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pms_trace::{span::SpanTracker, Tracer};
+
+    fn traced(run: impl FnOnce(&mut SpanTracker, &mut Tracer)) -> Vec<TraceRecord> {
+        let mut tracer = Tracer::vec();
+        let mut spans = SpanTracker::new();
+        run(&mut spans, &mut tracer);
+        tracer.records()
+    }
+
+    #[test]
+    fn phases_tile_the_root_and_dominate_correctly() {
+        let records = traced(|s, t| {
+            s.msg_start(t, 0, 0, 7, 1, 2);
+            s.msg_advance(t, 100, 0, 7, SpanPhase::Admit); // arrival 100
+            s.msg_advance(t, 120, 0, 7, SpanPhase::Align); // admit 20
+            s.msg_advance(t, 200, 0, 7, SpanPhase::Transfer); // align 80
+            s.msg_end(t, 600, 0, 7); // transfer 400
+        });
+        let r = spans(&records);
+        assert_eq!(r.msgs, 1);
+        assert_eq!(r.tiling_violations, 0);
+        assert_eq!(r.unmatched_starts, 0);
+        assert_eq!(r.critical_path.len(), 1);
+        let cm = &r.critical_path[0];
+        assert_eq!(cm.total_ns, 600);
+        assert_eq!(cm.phase_ns, [100, 20, 80, 400]);
+        assert_eq!(cm.dominant(), "transfer");
+        let transfer = r.phases.iter().find(|p| p.phase == "transfer").unwrap();
+        assert_eq!(transfer.dominant_msgs, 1);
+        assert_eq!(transfer.p50_ns, 400);
+        assert_eq!(transfer.max_ns, 400);
+    }
+
+    #[test]
+    fn percentiles_are_exact_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50), 50);
+        assert_eq!(percentile(&sorted, 99), 99);
+        assert_eq!(percentile(&sorted, 100), 100);
+        assert_eq!(percentile(&[42], 99), 42);
+        assert_eq!(percentile(&[], 50), 0);
+    }
+
+    #[test]
+    fn unmatched_spans_are_counted_not_fatal() {
+        let mut records = traced(|s, t| {
+            s.msg_start(t, 0, 0, 3, 0, 1);
+            s.msg_end(t, 50, 0, 3);
+        });
+        // Drop the final root span-end: its start becomes unmatched.
+        records.pop();
+        // And append an end for a span never started.
+        records.push(TraceRecord {
+            t_ns: 60,
+            slot: 0,
+            event: TraceEvent::SpanEnd {
+                span: 9999,
+                phase: SpanPhase::Conn,
+                msg: u32::MAX,
+            },
+        });
+        let r = spans(&records);
+        assert_eq!(r.unmatched_starts, 1);
+        assert_eq!(r.unmatched_ends, 1);
+        assert_eq!(r.msgs, 0, "dropped root never completed");
+    }
+
+    #[test]
+    fn conn_and_route_spans_are_tallied_separately() {
+        let records = traced(|s, t| {
+            s.conn_start(t, 10, 0, 1, 2);
+            s.msg_start(t, 0, 0, 0, 1, 2);
+            s.msg_advance(t, 30, 0, 0, SpanPhase::Admit);
+            s.route_admitted(t, 30, 0, 0);
+            s.msg_end(t, 90, 0, 0);
+            s.conn_end(t, 100, 0, 1, 2);
+        });
+        let r = spans(&records);
+        assert_eq!(r.msgs, 1);
+        assert_eq!(r.conns, 1);
+        assert_eq!(r.routes, 1);
+        let conn = r.phases.iter().find(|p| p.phase == "conn").unwrap();
+        assert_eq!(conn.max_ns, 90);
+    }
+
+    #[test]
+    fn critical_path_lists_slowest_first_and_truncates() {
+        let records = traced(|s, t| {
+            for m in 0..12u32 {
+                let base = m as u64 * 1_000;
+                s.msg_start(t, base, 0, m, 0, 1);
+                s.msg_end(t, base + 10 * (m as u64 + 1), 0, m);
+            }
+        });
+        let r = spans(&records);
+        assert_eq!(r.msgs, 12);
+        assert_eq!(r.critical_path.len(), TOP_SLOW);
+        assert_eq!(r.critical_path[0].msg, 11, "slowest first");
+        assert!(r
+            .critical_path
+            .windows(2)
+            .all(|w| w[0].total_ns >= w[1].total_ns));
+    }
+
+    #[test]
+    fn json_is_deterministic() {
+        let records = traced(|s, t| {
+            s.msg_start(t, 0, 0, 0, 0, 1);
+            s.msg_end(t, 10, 0, 0);
+        });
+        let a = spans(&records).to_json().render();
+        let b = spans(&records).to_json().render();
+        assert_eq!(a, b);
+        assert!(a.contains("\"critical_path\""));
+    }
+}

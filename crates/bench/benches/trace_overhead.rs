@@ -1,15 +1,18 @@
-//! Criterion bench: tracing overhead on the TDM hot loop.
+//! Criterion bench: tracing and profiling overhead on the TDM hot loop.
 //!
 //! Compares the default [`Tracer::Null`] (every `emit` site is guarded by
 //! `tracer.enabled()`, so disabled tracing builds no event payloads)
-//! against a [`RingTracer`] that retains the most recent 4096 records.
-//! The observability contract is that the Null case stays within 1 % of
-//! an untraced run; `Paradigm::run` *is* the untraced baseline here since
-//! it delegates to `run_traced` with `Tracer::Null`.
+//! against a [`RingTracer`] that retains the most recent 4096 records,
+//! and against a Null-sink run with the kernel profiler
+//! ([`pms_trace::prof`]) switched on. The observability contract is that
+//! the Null case stays within 1 % of an untraced run (`Paradigm::run`
+//! *is* the untraced baseline here since it delegates to `run_traced`
+//! with `Tracer::Null`) and that enabling the profiler on top costs at
+//! most 2 % — the gate the `overhead_gate` integration test asserts.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use pms_sim::{Paradigm, PredictorKind, SimParams};
-use pms_trace::Tracer;
+use pms_trace::{prof, Tracer};
 use pms_workloads::{ordered_mesh, MeshSpec};
 use std::hint::black_box;
 
@@ -22,18 +25,23 @@ fn bench_trace_overhead(c: &mut Criterion) {
     let paradigm = Paradigm::DynamicTdm(PredictorKind::Drop);
     group.throughput(Throughput::Elements(workload.message_count() as u64));
 
+    // (name, tracer constructor, profiler on?)
     type MakeTracer = fn() -> Tracer;
-    let tracers: [(&str, MakeTracer); 2] = [
-        ("null", || Tracer::Null),
-        ("ring4096", || Tracer::ring(4096)),
+    let cases: [(&str, MakeTracer, bool); 3] = [
+        ("null", || Tracer::Null, false),
+        ("ring4096", || Tracer::ring(4096), false),
+        ("null+prof", || Tracer::Null, true),
     ];
-    for (name, make) in tracers {
+    for (name, make, profiled) in cases {
         group.bench_with_input(BenchmarkId::from_parameter(name), &make, |b, make| {
+            prof::reset();
+            prof::set_enabled(profiled);
             b.iter(|| {
                 let (stats, tracer) =
                     paradigm.run_traced(black_box(&workload), black_box(&params), make());
                 black_box((stats.delivered_bytes, tracer.records().len()))
             });
+            prof::set_enabled(false);
         });
     }
     group.finish();

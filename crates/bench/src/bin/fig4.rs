@@ -115,7 +115,7 @@ fn main() {
             &params,
             Tracer::vec(),
         );
-        tracer.finish().expect("flush tracer");
+        pms_bench::finish(&mut tracer);
         tracer.records()
     });
 }

@@ -135,7 +135,7 @@ fn main() {
             predictor: PredictorKind::Drop,
         };
         let (_, mut tracer) = paradigm.run_traced(&workload, &params, Tracer::vec());
-        tracer.finish().expect("flush tracer");
+        pms_bench::finish(&mut tracer);
         tracer.records()
     });
 }

@@ -27,7 +27,8 @@ use pms_bench::{write_report_file, write_trace_file};
 use pms_faults::FaultPlan;
 use pms_predict::PhaseDetectorConfig;
 use pms_sim::{Paradigm, PredictorKind, SimParams, TdmMode, TdmSim};
-use pms_trace::{FlightConfig, Tracer};
+use pms_telemetry::TelemetryServer;
+use pms_trace::{FlightConfig, SharedTracer, Tracer};
 use pms_workloads::{
     butterfly, gather, hotspot, ordered_mesh, permutation, random_mesh, ring, scatter, stencil3d,
     transpose, two_phase, uniform, MeshSpec, Workload,
@@ -45,6 +46,7 @@ struct Args {
     report: Option<String>,
     flight: Option<String>,
     faults: Option<String>,
+    serve: Option<String>,
     json: bool,
     phase_detector: bool,
     idle_skip: bool,
@@ -70,6 +72,7 @@ fn parse_args() -> Args {
         report: None,
         flight: None,
         faults: None,
+        serve: None,
         json: false,
         phase_detector: false,
         idle_skip: true,
@@ -109,6 +112,7 @@ fn parse_args() -> Args {
             "--report" => args.report = Some(value(i).to_string()),
             "--flight-recorder" => args.flight = Some(value(i).to_string()),
             "--faults" => args.faults = Some(value(i).to_string()),
+            "--serve" => args.serve = Some(value(i).to_string()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -124,6 +128,10 @@ fn parse_args() -> Args {
         );
         usage()
     }
+    if args.flight.is_some() && args.serve.is_some() {
+        eprintln!("--serve needs the full shared record buffer; it cannot be combined with --flight-recorder");
+        usage()
+    }
     args
 }
 
@@ -132,8 +140,8 @@ fn usage() -> ! {
         "usage: simulate [--pattern P] [--ports N] [--bytes B] [--paradigm X]\n\
          \x20               [--slots K] [--timeout NS] [--seed S]\n\
          \x20               [--trace OUT] [--report OUT.json] [--faults PLAN.txt]\n\
-         \x20               [--flight-recorder OUT.jsonl] [--json] [--phase-detector]\n\
-         \x20               [--no-idle-skip]\n\
+         \x20               [--flight-recorder OUT.jsonl] [--serve ADDR] [--json]\n\
+         \x20               [--phase-detector] [--no-idle-skip]\n\
          patterns : scatter gather ring uniform hotspot permutation butterfly\n\
          \x20          transpose stencil3d ordered-mesh random-mesh two-phase\n\
          paradigms: wormhole circuit dynamic preload hybrid0 hybrid1 hybrid2\n\
@@ -143,6 +151,9 @@ fn usage() -> ! {
          --faults : inject the deterministic fault plan parsed from PLAN.txt\n\
          --flight-recorder : bounded-ring anomaly recorder; dumps the ring to\n\
          \x20          the given JSONL only when a setup-latency outlier fires\n\
+         --serve  : serve live telemetry over HTTP at ADDR (e.g.\n\
+         \x20          127.0.0.1:9924): /metrics /report /flight /spans?msg=N;\n\
+         \x20          lingers after the run until GET /shutdown\n\
          --json   : print statistics as one JSON object\n\
          --phase-detector : attach the miss-rate phase detector (dynamic TDM)\n\
          --no-idle-skip : force the pre-optimization stepped main loop\n\
@@ -258,8 +269,20 @@ fn main() {
         None => FaultPlan::new(),
     };
 
+    let server = args.serve.as_ref().map(|addr| {
+        let shared = SharedTracer::new();
+        let server = TelemetryServer::start(addr, shared.clone())
+            .unwrap_or_else(|e| die(format!("cannot serve on {addr}: {e}")));
+        eprintln!(
+            "serving      : http://{}/  (/metrics /report /flight /spans?msg=N /shutdown)",
+            server.addr()
+        );
+        (shared, server)
+    });
     let tracer = if let Some(path) = &args.flight {
         Tracer::flight(path.clone(), FlightConfig::default())
+    } else if let Some((shared, _)) = &server {
+        Tracer::shared(shared.clone())
     } else if args.trace.is_some() || args.report.is_some() {
         Tracer::vec()
     } else {
@@ -288,9 +311,7 @@ fn main() {
             " (idle skip off)"
         }
     );
-    tracer
-        .finish()
-        .unwrap_or_else(|e| die(format!("cannot flush tracer: {e}")));
+    pms_bench::finish(&mut tracer);
     if let Some(path) = &args.trace {
         let records = tracer.records();
         write_trace_file(path, &records)
@@ -315,8 +336,12 @@ fn main() {
         eprint!("{}", report.render_text());
         eprintln!("report       : -> {path}");
     }
+    if let Some((_, srv)) = &server {
+        srv.publish_metrics(stats.registry());
+    }
     if args.json {
         println!("{}", stats.to_json().render_pretty());
+        linger(server);
         return;
     }
     println!("workload     : {}", stats.workload);
@@ -348,5 +373,15 @@ fn main() {
     }
     if let Some(rate) = stats.working_set_hit_rate() {
         println!("ws hit rate  : {:.1} %", rate * 100.0);
+    }
+    linger(server);
+}
+
+/// With `--serve`, keeps the telemetry endpoint answering after the run
+/// until a client requests `/shutdown`.
+fn linger(server: Option<(SharedTracer, TelemetryServer)>) {
+    if let Some((_, srv)) = server {
+        eprintln!("serving      : run complete; GET /shutdown to exit");
+        srv.wait();
     }
 }

@@ -21,5 +21,5 @@ pub mod reporting;
 pub mod sweep;
 
 pub use degradation::{blackout_plan, degradation_sweep, render_degradation, DegradationRow};
-pub use reporting::{trace_and_report_flags, write_report_file, write_trace_file};
+pub use reporting::{finish, trace_and_report_flags, write_report_file, write_trace_file};
 pub use sweep::{run_grid, Cell, FigureTable};

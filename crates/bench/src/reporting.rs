@@ -5,8 +5,20 @@
 //! no matter which binary produced them.
 
 use pms_analyze::{build_report, Report, ReportConfig};
-use pms_trace::{write_chrome_trace, write_jsonl, TraceRecord};
+use pms_trace::{write_chrome_trace, write_jsonl, TraceRecord, Tracer};
 use std::io;
+
+/// Explicitly flushes a tracer's buffered output, treating failure as a
+/// CLI error. Every traced binary calls this before its final
+/// `std::process::exit`-reachable reporting: destructors do flush on a
+/// clean drop, but `process::exit` skips them, and a drop can only
+/// swallow the I/O error this surfaces.
+pub fn finish(tracer: &mut Tracer) {
+    tracer.finish().unwrap_or_else(|e| {
+        eprintln!("cannot flush tracer: {e}");
+        std::process::exit(1);
+    });
+}
 
 /// Handles the figure binaries' `--trace OUT` / `--report OUT` flags:
 /// when either is present in `argv`, `run` re-runs the figure's

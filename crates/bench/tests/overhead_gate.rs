@@ -1,0 +1,84 @@
+//! The observability overhead gate: enabling the kernel profiler
+//! ([`pms_trace::prof`]) on a Null-sink run must cost at most 2 %.
+//!
+//! This is a wall-clock timing test, so it is `#[ignore]`d by default
+//! and run explicitly — in release mode, on an otherwise idle machine —
+//! by the CI bench-smoke job:
+//!
+//! ```text
+//! cargo test --release -p pms-bench --test overhead_gate -- --ignored
+//! ```
+//!
+//! Methodology: the profiled and unprofiled runs are interleaved (so
+//! slow drift in machine load hits both arms equally) and compared by
+//! median-of-N, which discards scheduler hiccups that a mean would
+//! absorb. The workload is sized so one run takes a few milliseconds —
+//! long enough that timer granularity is noise, short enough for CI.
+
+use pms_sim::{Paradigm, PredictorKind, SimParams};
+use pms_trace::{prof, Tracer};
+use pms_workloads::{ordered_mesh, MeshSpec};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Allowed profiler overhead on the Null-sink path: 2 %.
+const MAX_OVERHEAD: f64 = 1.02;
+/// Timed run pairs; medians are taken over this many samples per arm.
+const SAMPLES: usize = 15;
+
+fn timed_run(paradigm: &Paradigm, w: &pms_workloads::Workload, p: &SimParams) -> f64 {
+    let start = Instant::now();
+    let (stats, _) = paradigm.run_traced(black_box(w), black_box(p), Tracer::Null);
+    black_box(stats.delivered_bytes);
+    start.elapsed().as_secs_f64()
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    xs[xs.len() / 2]
+}
+
+#[test]
+#[ignore = "wall-clock gate; run explicitly with --release (see CI bench-smoke)"]
+fn profiler_overhead_on_null_sink_is_within_two_percent() {
+    let mesh = MeshSpec::for_ports(64);
+    let workload = ordered_mesh(mesh, 64, 4, 500, 100);
+    let params = SimParams::default().with_ports(64);
+    let paradigm = Paradigm::DynamicTdm(PredictorKind::Timeout(400));
+
+    // Warm caches and the allocator before timing anything.
+    for _ in 0..3 {
+        timed_run(&paradigm, &workload, &params);
+    }
+
+    let (mut off, mut on) = (Vec::new(), Vec::new());
+    for _ in 0..SAMPLES {
+        prof::set_enabled(false);
+        off.push(timed_run(&paradigm, &workload, &params));
+        prof::reset();
+        prof::set_enabled(true);
+        on.push(timed_run(&paradigm, &workload, &params));
+        prof::set_enabled(false);
+    }
+    // The profiled arm must actually have profiled something, or the
+    // gate is vacuous.
+    prof::set_enabled(true);
+    timed_run(&paradigm, &workload, &params);
+    prof::set_enabled(false);
+    let calls: u64 = prof::snapshot().iter().map(|s| s.calls).sum();
+    assert!(calls > 0, "profiler saw no kernel calls; gate is vacuous");
+
+    let (m_off, m_on) = (median(off), median(on));
+    let ratio = m_on / m_off;
+    eprintln!(
+        "profiler off: {:.3} ms, on: {:.3} ms, ratio {:.4} (gate {MAX_OVERHEAD})",
+        m_off * 1e3,
+        m_on * 1e3,
+        ratio
+    );
+    assert!(
+        ratio <= MAX_OVERHEAD,
+        "profiler overhead {:.2}% exceeds the 2% budget",
+        (ratio - 1.0) * 100.0
+    );
+}

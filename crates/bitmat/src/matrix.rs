@@ -189,6 +189,8 @@ impl BitMatrix {
     /// set (input port `u` is occupied in this configuration). Each row is
     /// OR-folded word-by-word and the result bit is packed directly.
     pub fn row_or(&self) -> BitVec {
+        let mut prof = pms_trace::prof::ProfScope::enter(pms_trace::prof::ProfKernel::BitmatReduce);
+        prof.add_words(self.words.len() as u64);
         let mut out = vec![0u64; words_for(self.rows)];
         for r in 0..self.rows {
             let occupied = self.row_words(r).iter().fold(0u64, |a, &w| a | w);
@@ -202,6 +204,8 @@ impl BitMatrix {
     /// word-parallel OR accumulation over the rows, adopted wholesale as
     /// the result's storage.
     pub fn col_or(&self) -> BitVec {
+        let mut prof = pms_trace::prof::ProfScope::enter(pms_trace::prof::ProfKernel::BitmatReduce);
+        prof.add_words(self.words.len() as u64);
         let mut acc = vec![0u64; self.row_words];
         for r in 0..self.rows {
             for (a, &w) in acc.iter_mut().zip(self.row_words(r)) {

@@ -135,10 +135,13 @@ impl MultistageRouter {
     /// Depth-first path search from `u` (layer 0) to `v` (layer `S`)
     /// under `slot`'s line availability. Returns one line per layer.
     fn search(&self, slot: usize, u: usize, v: usize) -> Option<Vec<usize>> {
+        let mut prof = pms_trace::prof::ProfScope::enter(pms_trace::prof::ProfKernel::RouteDfs);
         let s_count = self.graph.num_stages();
         let mut path = vec![0usize; s_count + 1];
         path[0] = u;
         path[s_count] = v;
+        // Each DFS frame builds one candidate row of the layer's width.
+        prof.add_words(((s_count + 1) * self.graph.width().div_ceil(64)) as u64);
         if self.dfs(slot, 0, u, v, &mut path) {
             Some(path)
         } else {
@@ -197,6 +200,10 @@ impl MultistageRouter {
 }
 
 impl SlotRouter for MultistageRouter {
+    fn stages(&self) -> usize {
+        self.graph.num_stages()
+    }
+
     fn try_admit(&mut self, slot: usize, u: usize, v: usize) -> bool {
         assert!(slot < self.slots, "slot {slot} out of range");
         assert!(

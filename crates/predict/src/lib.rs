@@ -83,6 +83,13 @@ pub trait ConnectionPredictor {
     fn eviction_cause(&self) -> EvictCause {
         EvictCause::Drop
     }
+
+    /// Exports the predictor's internal gauges into `reg` under
+    /// `predict.<name>.*` (e.g. currently-tracked pairs), for the live
+    /// `/metrics` endpoint. Default: nothing to export.
+    fn export_metrics(&self, reg: &mut pms_trace::MetricsRegistry) {
+        let _ = reg;
+    }
 }
 
 /// A predictor that never evicts: connections stay cached until an
@@ -167,6 +174,26 @@ mod tests {
         r.on_establish(2, 3, 0);
         r.on_use(2, 3, 5); // bumps (0,1) to the threshold -> pending
         assert_eq!(r.idle_eviction_deadline(), Some(0), "pending drains next");
+    }
+
+    #[test]
+    fn export_metrics_reports_gauges() {
+        let mut reg = pms_trace::MetricsRegistry::new();
+        NeverEvict.export_metrics(&mut reg); // default no-op
+        assert_eq!(reg.counters().count(), 0);
+
+        let mut t = TimeoutPredictor::new(500);
+        t.on_use(0, 1, 0);
+        t.on_use(2, 3, 0);
+        t.export_metrics(&mut reg);
+        assert_eq!(reg.counter_value("predict.timeout.tracked"), Some(2));
+        assert_eq!(reg.counter_value("predict.timeout.timeout_ns"), Some(500));
+
+        let mut r = RefCountPredictor::new(4);
+        r.on_establish(0, 1, 0);
+        r.export_metrics(&mut reg);
+        assert_eq!(reg.counter_value("predict.refcount.tracked"), Some(1));
+        assert_eq!(reg.counter_value("predict.refcount.pending"), Some(0));
     }
 
     #[test]

@@ -96,6 +96,15 @@ impl ConnectionPredictor for RefCountPredictor {
     fn eviction_cause(&self) -> crate::EvictCause {
         crate::EvictCause::RefCount
     }
+
+    fn export_metrics(&self, reg: &mut pms_trace::MetricsRegistry) {
+        let id = reg.counter("predict.refcount.tracked");
+        reg.set(id, self.counters.len() as u64);
+        let id = reg.counter("predict.refcount.pending");
+        reg.set(id, self.pending.len() as u64);
+        let id = reg.counter("predict.refcount.threshold");
+        reg.set(id, self.threshold as u64);
+    }
 }
 
 #[cfg(test)]

@@ -92,6 +92,13 @@ impl ConnectionPredictor for TimeoutPredictor {
     fn eviction_cause(&self) -> crate::EvictCause {
         crate::EvictCause::Timeout
     }
+
+    fn export_metrics(&self, reg: &mut pms_trace::MetricsRegistry) {
+        let id = reg.counter("predict.timeout.tracked");
+        reg.set(id, self.tracked() as u64);
+        let id = reg.counter("predict.timeout.timeout_ns");
+        reg.set(id, self.timeout_ns);
+    }
 }
 
 #[cfg(test)]

@@ -112,6 +112,15 @@ pub trait SlotRouter {
 
     /// Releases the resources `u -> v` holds in time slot `slot`.
     fn release(&mut self, slot: usize, u: usize, v: usize);
+
+    /// Number of fabric stages behind this router. The default of 1
+    /// marks a degenerate (single-crossbar) fabric; observability uses
+    /// this to emit `route` span markers only for genuinely multi-stage
+    /// routes, keeping the one-stage graph byte-identical to plain
+    /// dynamic scheduling.
+    fn stages(&self) -> usize {
+        1
+    }
 }
 
 /// Result of one scheduling pass.
@@ -570,6 +579,8 @@ impl Scheduler {
     /// without touching the matrices. Simulators use this as the gate for
     /// idle time-skipping.
     pub fn is_idle_quiescent(&self) -> bool {
+        let mut prof = pms_trace::prof::ProfScope::enter(pms_trace::prof::ProfKernel::IdleScan);
+        let matrix_words = (self.cfg.ports * self.cfg.ports.div_ceil(64)) as u64;
         let zero;
         let r_eff = match self.cfg.hold {
             HoldPolicy::Drop => {
@@ -583,6 +594,7 @@ impl Scheduler {
         (0..self.cfg.slots)
             .filter(|&s| !self.preloaded[s])
             .all(|s| {
+                prof.add_words(matrix_words);
                 let l = presched_matrix(r_eff, &self.b_star, &self.configs[s]);
                 if !l.all_zero() {
                     return false;

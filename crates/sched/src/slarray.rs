@@ -19,6 +19,7 @@
 
 use crate::slcell::{sl_cell, CellAction, CellInput};
 use pms_bitmat::BitMatrix;
+use pms_trace::prof::{ProfKernel, ProfScope};
 
 /// The priority rotation `(a, b)`: the row/column where the availability
 /// ripples are injected, i.e. the highest-priority requester.
@@ -121,6 +122,8 @@ pub fn sl_pass(l: &BitMatrix, b_s: &BitMatrix, priority: Priority) -> SlPassOutp
         priority.col
     );
 
+    let mut prof = ProfScope::enter(ProfKernel::SlPass);
+
     // Ripple state: A per column, D per row, injected at (a, b).
     let mut col_busy = b_s.col_or(); // AO
     let row_busy_init = b_s.row_or(); // AI
@@ -130,11 +133,13 @@ pub fn sl_pass(l: &BitMatrix, b_s: &BitMatrix, priority: Priority) -> SlPassOutp
     let mut released = Vec::new();
     let mut denied = Vec::new();
     let mut cells_visited = 0usize;
+    let mut rows_visited = 0usize;
 
     // Rows with at least one change request, visited in rotated order.
     let active_rows = l.row_or();
 
     let mut visit_row = |u: usize| {
+        rows_visited += 1;
         let mut d = row_busy_init.get(u);
         let mut visit_cell = |v: usize| {
             cells_visited += 1;
@@ -159,6 +164,10 @@ pub fn sl_pass(l: &BitMatrix, b_s: &BitMatrix, priority: Priority) -> SlPassOutp
         scan_rotated(l.row_words(u), n, priority.col, &mut visit_cell);
     };
     scan_rotated(active_rows.words(), n, priority.row, &mut visit_row);
+
+    // Words the scans actually touched: the row-occupancy words plus one
+    // row of request words per visited row.
+    prof.add_words((n.div_ceil(WORD_BITS) * (1 + rows_visited)) as u64);
 
     SlPassOutput {
         toggles,

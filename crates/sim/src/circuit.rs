@@ -22,7 +22,7 @@ use crate::voq::Voqs;
 use pms_bitmat::BitMatrix;
 use pms_faults::{FaultKind, FaultPlan};
 use pms_sched::{Scheduler, SchedulerConfig};
-use pms_trace::{EvictCause, TraceEvent, Tracer};
+use pms_trace::{span::SpanTracker, EvictCause, SpanPhase, TraceEvent, Tracer};
 use pms_workloads::Workload;
 use std::collections::{HashMap, HashSet};
 
@@ -50,6 +50,7 @@ pub struct CircuitSim {
     /// Event sink; circuit switching has no TDM slots, so records are
     /// stamped `slot = 0`.
     tracer: Tracer,
+    spans: SpanTracker,
 }
 
 impl CircuitSim {
@@ -76,6 +77,7 @@ impl CircuitSim {
             msg_retries: 0,
             msgs_abandoned: 0,
             tracer: Tracer::Null,
+            spans: SpanTracker::new(),
         }
     }
 
@@ -232,6 +234,27 @@ impl CircuitSim {
                             slot_idx: 0,
                         },
                     );
+                    self.spans
+                        .conn_start(&mut self.tracer, t + window, 0, u as u32, v as u32);
+                    // Establishment ends the head message's `arrival`;
+                    // `align` then covers grant propagation until the
+                    // first byte streams in `transfer_window`.
+                    if let Some(head) = self.voqs.front(u, v) {
+                        self.spans.msg_advance(
+                            &mut self.tracer,
+                            t + window,
+                            0,
+                            head as u32,
+                            SpanPhase::Admit,
+                        );
+                        self.spans.msg_advance(
+                            &mut self.tracer,
+                            t + window,
+                            0,
+                            head as u32,
+                            SpanPhase::Align,
+                        );
+                    }
                 }
             }
             for &(u, v) in &released {
@@ -247,6 +270,8 @@ impl CircuitSim {
                             cause: EvictCause::Drop,
                         },
                     );
+                    self.spans
+                        .conn_end(&mut self.tracer, t + window, 0, u as u32, v as u32);
                 }
             }
             t += window;
@@ -256,7 +281,9 @@ impl CircuitSim {
         stats.connections_established = self.scheduler.stats().establishes;
         stats.msg_retries = self.msg_retries;
         stats.msgs_abandoned = self.msgs_abandoned;
+        let mut spans = std::mem::take(&mut self.spans);
         let mut tracer = self.tracer;
+        spans.finish(&mut tracer, t, 0);
         let _ = tracer.finish();
         (stats, tracer)
     }
@@ -289,6 +316,8 @@ impl CircuitSim {
                             );
                         }
                     }
+                    self.spans
+                        .conn_end(&mut self.tracer, tr.t_ns, 0, u as u32, v as u32);
                     self.usable_from.remove(&(u, v));
                     self.pending_release.remove(&(u, v));
                 }
@@ -334,6 +363,14 @@ impl CircuitSim {
                                 },
                             );
                         }
+                        self.spans.msg_start(
+                            &mut self.tracer,
+                            te,
+                            0,
+                            id as u32,
+                            spec.src as u32,
+                            spec.dst as u32,
+                        );
                     }
                 }
                 // Circuit switching has no multi-slot state to manage.
@@ -395,6 +432,13 @@ impl CircuitSim {
                 if budget_bytes == 0 {
                     continue;
                 }
+                self.spans.msg_advance(
+                    &mut self.tracer,
+                    cursor,
+                    0,
+                    head as u32,
+                    SpanPhase::Transfer,
+                );
                 if remaining <= budget_bytes {
                     let dur = (remaining as f64 / rate).ceil() as u64;
                     cursor += dur;
@@ -422,6 +466,7 @@ impl CircuitSim {
                                         latency_ns: self.msgs[head].latency_ns(),
                                     },
                                 );
+                                self.spans.msg_end(&mut self.tracer, done, 0, head as u32);
                             }
                             // Per-message circuit switching: the NIC drops
                             // the request; the circuit is torn down by the
@@ -463,6 +508,7 @@ impl CircuitSim {
                                         retries,
                                     },
                                 );
+                                self.spans.msg_end(&mut self.tracer, done, 0, head as u32);
                             }
                             self.pending_release.insert((u, v));
                         }

@@ -22,7 +22,7 @@ use crate::message::MsgState;
 use crate::params::SimParams;
 use crate::stats::SimStats;
 use pms_fabric::TorusNetwork;
-use pms_trace::{TraceEvent, Tracer};
+use pms_trace::{span::SpanTracker, SpanPhase, TraceEvent, Tracer};
 use pms_workloads::Workload;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -74,6 +74,7 @@ pub struct MultihopWormholeSim {
     /// Event sink; multi-hop wormhole has no TDM slots, so records are
     /// stamped `slot = 0`.
     tracer: Tracer,
+    spans: SpanTracker,
 }
 
 impl MultihopWormholeSim {
@@ -112,6 +113,7 @@ impl MultihopWormholeSim {
             undelivered: 0,
             hops_traversed: 0,
             tracer: Tracer::Null,
+            spans: SpanTracker::new(),
         }
     }
 
@@ -157,7 +159,9 @@ impl MultihopWormholeSim {
         let mut stats =
             SimStats::from_messages("multihop-wormhole", self.workload_name, &self.msgs);
         stats.sched_passes = self.hops_traversed;
+        let mut spans = std::mem::take(&mut self.spans);
         let mut tracer = self.tracer;
+        spans.finish(&mut tracer, 0, 0);
         let _ = tracer.finish();
         (stats, tracer)
     }
@@ -200,6 +204,14 @@ impl MultihopWormholeSim {
                     dst: spec.dst as u32,
                 },
             );
+            self.spans.msg_start(
+                &mut self.tracer,
+                t,
+                0,
+                id as u32,
+                spec.src as u32,
+                spec.dst as u32,
+            );
         }
         let mut left = spec.bytes;
         while left > 0 {
@@ -230,6 +242,10 @@ impl MultihopWormholeSim {
     fn source_done(&mut self, h: usize, now: u64) {
         self.source_busy[h] = false;
         let worm = self.source_fifo[h].pop_front().expect("a worm was sending");
+        // The head worm reaching the first switch buffer ends `arrival`;
+        // `admit` then covers the wait for per-hop link arbitration.
+        self.spans
+            .msg_advance(&mut self.tracer, now, 0, worm.msg as u32, SpanPhase::Admit);
         self.forward(worm, now);
         self.try_source(h, now);
     }
@@ -253,6 +269,17 @@ impl MultihopWormholeSim {
         }
         self.link_busy[link] = true;
         let worm = self.link_queue[link].front().copied().expect("non-empty");
+        // First link grant: no slot alignment exists in a buffered fabric,
+        // so `align` is zero-length and `transfer` runs to delivery.
+        self.spans
+            .msg_advance(&mut self.tracer, now, 0, worm.msg as u32, SpanPhase::Align);
+        self.spans.msg_advance(
+            &mut self.tracer,
+            now,
+            0,
+            worm.msg as u32,
+            SpanPhase::Transfer,
+        );
         // Per-hop arbitration (the switch schedules the head flit) + the
         // worm streaming across one inter-switch wire.
         let dur = self.params.sched_ns
@@ -286,6 +313,15 @@ impl MultihopWormholeSim {
         }
         self.dest_busy[dst] = true;
         let worm = self.dest_queue[dst].front().copied().expect("non-empty");
+        // Local (hopless) deliveries never cross a link: the delivery link
+        // grant is their first data movement.
+        self.spans.msg_advance(
+            &mut self.tracer,
+            now,
+            0,
+            worm.msg as u32,
+            SpanPhase::Transfer,
+        );
         // Final switch-to-host wire (the worm streams at line rate).
         let dur = self.params.worm_stream_ns(worm.bytes) + self.params.link.wire_ns;
         self.push_event(now + dur, Ev::DestDone(dst));
@@ -313,6 +349,8 @@ impl MultihopWormholeSim {
                         latency_ns: self.msgs[worm.msg].latency_ns(),
                     },
                 );
+                self.spans
+                    .msg_end(&mut self.tracer, now + tail, 0, worm.msg as u32);
             }
             self.poll_engine(now);
         }

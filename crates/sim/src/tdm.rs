@@ -35,7 +35,7 @@ use pms_predict::{
     TimeoutPredictor,
 };
 use pms_sched::{HoldPolicy, Scheduler, SchedulerConfig, SlotRouter, TdmCounter};
-use pms_trace::{EvictCause, TraceEvent, Tracer};
+use pms_trace::{span::SpanTracker, EvictCause, SpanPhase, TraceEvent, Tracer};
 use pms_workloads::Workload;
 use std::collections::{BTreeSet, HashMap};
 
@@ -167,6 +167,8 @@ pub struct TdmSim {
     /// Event sink; [`Tracer::Null`] (the default) makes every emit site a
     /// single predicted branch.
     tracer: Tracer,
+    /// Causal span emitter (inert while the tracer is disabled).
+    spans: SpanTracker,
     /// The TDM register most recently driving the crossbar, used to stamp
     /// trace records.
     cur_slot: u32,
@@ -332,6 +334,7 @@ impl TdmSim {
             msg_retries: 0,
             msgs_abandoned: 0,
             tracer: Tracer::Null,
+            spans: SpanTracker::new(),
             cur_slot: 0,
         }
     }
@@ -498,7 +501,9 @@ impl TdmSim {
         stats.phase_flushes = self.phase_flushes;
         stats.ws_lookups = self.ws_lookups;
         stats.ws_hits = self.ws_hits;
+        let mut spans = std::mem::take(&mut self.spans);
         let mut tracer = self.tracer;
+        spans.finish(&mut tracer, t, self.cur_slot);
         let _ = tracer.finish();
         (stats, tracer)
     }
@@ -511,6 +516,7 @@ impl TdmSim {
             return;
         }
         let tracer = &mut self.tracer;
+        let spans = &mut self.spans;
         let mut apply = |t: u64, slot_idx: u32, cfg: &BitMatrix| {
             let pairs: Vec<(usize, usize)> = cfg.iter_ones().collect();
             tracer.emit(
@@ -531,6 +537,7 @@ impl TdmSim {
                         slot_idx,
                     },
                 );
+                spans.conn_start(tracer, t, slot_idx, u as u32, v as u32);
             }
         };
         match &self.backend {
@@ -584,6 +591,14 @@ impl TdmSim {
                                 },
                             );
                         }
+                        self.spans.msg_start(
+                            &mut self.tracer,
+                            te,
+                            self.cur_slot,
+                            id as u32,
+                            spec.src as u32,
+                            spec.dst as u32,
+                        );
                     }
                 }
                 Effect::Flush => {
@@ -614,6 +629,13 @@ impl TdmSim {
                                         cause: EvictCause::PhaseFlush,
                                     },
                                 );
+                                self.spans.conn_end(
+                                    &mut self.tracer,
+                                    te,
+                                    self.cur_slot,
+                                    u as u32,
+                                    v as u32,
+                                );
                             }
                         }
                     }
@@ -632,7 +654,9 @@ impl TdmSim {
                         for s in 0..scheduler.slots() {
                             if scheduler.is_preloaded(s) {
                                 if self.tracer.enabled() {
-                                    for (u, v) in scheduler.config(s).iter_ones() {
+                                    for (u, v) in
+                                        scheduler.config(s).iter_ones().collect::<Vec<_>>()
+                                    {
                                         self.tracer.emit(
                                             te,
                                             s as u32,
@@ -641,6 +665,13 @@ impl TdmSim {
                                                 dst: v as u32,
                                                 cause: EvictCause::PhaseFlush,
                                             },
+                                        );
+                                        self.spans.conn_end(
+                                            &mut self.tracer,
+                                            te,
+                                            s as u32,
+                                            u as u32,
+                                            v as u32,
                                         );
                                     }
                                 }
@@ -658,7 +689,7 @@ impl TdmSim {
                                             connections: cfg.iter_ones().count() as u32,
                                         },
                                     );
-                                    for (u, v) in cfg.iter_ones() {
+                                    for (u, v) in cfg.iter_ones().collect::<Vec<_>>() {
                                         self.tracer.emit(
                                             te,
                                             s as u32,
@@ -667,6 +698,13 @@ impl TdmSim {
                                                 dst: v as u32,
                                                 slot_idx: s as u32,
                                             },
+                                        );
+                                        self.spans.conn_start(
+                                            &mut self.tracer,
+                                            te,
+                                            s as u32,
+                                            u as u32,
+                                            v as u32,
                                         );
                                     }
                                 }
@@ -746,6 +784,8 @@ impl TdmSim {
                                 cause: EvictCause::Fault,
                             },
                         );
+                        self.spans
+                            .conn_end(&mut self.tracer, t, s as u32, u as u32, v as u32);
                     }
                 }
                 if !slots.is_empty() {
@@ -776,6 +816,8 @@ impl TdmSim {
                                 cause: EvictCause::Fault,
                             },
                         );
+                        self.spans
+                            .conn_end(&mut self.tracer, t, reg as u32, u as u32, v as u32);
                     }
                 }
             }
@@ -814,6 +856,13 @@ impl TdmSim {
                                     dst: v as u32,
                                     slot_idx: s as u32,
                                 },
+                            );
+                            self.spans.conn_start(
+                                &mut self.tracer,
+                                t,
+                                s as u32,
+                                u as u32,
+                                v as u32,
                             );
                         }
                     }
@@ -1105,6 +1154,8 @@ impl TdmSim {
                             slot_idx: active_slot,
                         },
                     );
+                    self.spans
+                        .conn_start(&mut self.tracer, t, active_slot, u as u32, v as u32);
                 }
             }
         }
@@ -1146,6 +1197,15 @@ impl TdmSim {
             let take = self.msgs[head].remaining.min(payload);
             self.msgs[head].remaining -= take;
             used_pairs.push((u, v));
+            // First fragment moved: the message is in its transfer phase
+            // (any skipped admit/align phases close zero-length here).
+            self.spans.msg_advance(
+                &mut self.tracer,
+                t,
+                active_slot,
+                head as u32,
+                SpanPhase::Transfer,
+            );
             if self.msgs[head].remaining == 0 {
                 let done = t + (take as f64 / rate).ceil() as u64 + path;
                 let outcome = self
@@ -1193,6 +1253,8 @@ impl TdmSim {
                                     retries,
                                 },
                             );
+                            self.spans
+                                .msg_end(&mut self.tracer, done, active_slot, head as u32);
                         }
                     }
                 }
@@ -1212,6 +1274,8 @@ impl TdmSim {
                         latency_ns: self.msgs[msg].latency_ns(),
                     },
                 );
+                self.spans
+                    .msg_end(&mut self.tracer, done, active_slot, msg as u32);
             }
         }
 
@@ -1331,6 +1395,25 @@ impl TdmSim {
                     flush = true;
                 }
             }
+            // The predictor/working-set decision point ends `arrival`; a
+            // working-set hit needs no admission, so `admit` is
+            // zero-length and the message goes straight to `align`.
+            self.spans.msg_advance(
+                &mut self.tracer,
+                t,
+                self.cur_slot,
+                head as u32,
+                SpanPhase::Admit,
+            );
+            if hit {
+                self.spans.msg_advance(
+                    &mut self.tracer,
+                    t,
+                    self.cur_slot,
+                    head as u32,
+                    SpanPhase::Align,
+                );
+            }
         }
         if flush {
             if let Some(rt) = self.router.as_deref_mut() {
@@ -1366,6 +1449,10 @@ impl TdmSim {
                 }
             }
         }
+        // Route markers only for genuinely multi-stage fabrics: the
+        // one-stage crossbar graph must stay byte-identical to plain
+        // dynamic scheduling, trace included.
+        let routed = self.router.as_deref().is_some_and(|r| r.stages() > 1);
         let mut router = self.router.as_deref_mut();
         let report = {
             // Grant-blocking faults join the (§6) admission filter: both
@@ -1479,6 +1566,31 @@ impl TdmSim {
                         slot_idx: pass_slot,
                     },
                 );
+                self.spans
+                    .conn_start(&mut self.tracer, t, pass_slot, u as u32, v as u32);
+                // The SL admission ends the head message's `admit` phase;
+                // on a multistage fabric the establishment carries the
+                // route-admit marker as a child of that phase.
+                if let Some(m) = self.voqs.front(u, v) {
+                    self.spans.msg_advance(
+                        &mut self.tracer,
+                        t,
+                        pass_slot,
+                        m as u32,
+                        SpanPhase::Admit,
+                    );
+                    if routed {
+                        self.spans
+                            .route_admitted(&mut self.tracer, t, pass_slot, m as u32);
+                    }
+                    self.spans.msg_advance(
+                        &mut self.tracer,
+                        t,
+                        pass_slot,
+                        m as u32,
+                        SpanPhase::Align,
+                    );
+                }
             }
             if predictor.is_none() {
                 // Drop policy: a release *is* the eviction.
@@ -1492,6 +1604,8 @@ impl TdmSim {
                             cause: EvictCause::Drop,
                         },
                     );
+                    self.spans
+                        .conn_end(&mut self.tracer, t, pass_slot, u as u32, v as u32);
                 }
             }
         }
@@ -1516,6 +1630,8 @@ impl TdmSim {
                             cause,
                         },
                     );
+                    self.spans
+                        .conn_end(&mut self.tracer, t, self.cur_slot, u as u32, v as u32);
                 }
             }
         }

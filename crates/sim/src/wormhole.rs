@@ -22,7 +22,7 @@ use crate::message::MsgState;
 use crate::params::SimParams;
 use crate::stats::SimStats;
 use pms_faults::{FaultKind, FaultPlan};
-use pms_trace::{EvictCause, TraceEvent, Tracer};
+use pms_trace::{span::SpanTracker, EvictCause, SpanPhase, TraceEvent, Tracer};
 use pms_workloads::Workload;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
@@ -107,6 +107,7 @@ pub struct WormholeSim {
     /// Event sink; a wormhole switch has no TDM slots, so records are
     /// stamped `slot = 0`.
     tracer: Tracer,
+    spans: SpanTracker,
 }
 
 impl WormholeSim {
@@ -155,6 +156,7 @@ impl WormholeSim {
             msg_retries: 0,
             msgs_abandoned: 0,
             tracer: Tracer::Null,
+            spans: SpanTracker::new(),
         }
     }
 
@@ -220,7 +222,9 @@ impl WormholeSim {
         stats.sched_passes = self.grants;
         stats.msg_retries = self.msg_retries;
         stats.msgs_abandoned = self.msgs_abandoned;
+        let mut spans = std::mem::take(&mut self.spans);
         let mut tracer = self.tracer;
+        spans.finish(&mut tracer, 0, 0);
         let _ = tracer.finish();
         (stats, tracer)
     }
@@ -265,6 +269,14 @@ impl WormholeSim {
                     src: spec.src as u32,
                     dst: spec.dst as u32,
                 },
+            );
+            self.spans.msg_start(
+                &mut self.tracer,
+                t,
+                0,
+                id as u32,
+                spec.src as u32,
+                spec.dst as u32,
             );
         }
         self.queue_worms(id, t);
@@ -337,6 +349,8 @@ impl WormholeSim {
                                     cause: EvictCause::Fault,
                                 },
                             );
+                            self.spans
+                                .conn_end(&mut self.tracer, tr.t_ns, 0, u as u32, v as u32);
                         }
                         kick = true;
                     }
@@ -492,6 +506,20 @@ impl WormholeSim {
                     slot_idx: 0,
                 },
             );
+            self.spans
+                .conn_start(&mut self.tracer, now, 0, u as u32, v as u32);
+            // The grant ends `arrival`; `admit` is the 80 ns head-flit
+            // schedule; no slot alignment exists, so `align` is zero-length
+            // and `transfer` starts as the worm begins to drain. Later
+            // worms of the same message no-op (monotone advance).
+            let msg = worm.msg as u32;
+            let drain = now + self.params.sched_ns;
+            self.spans
+                .msg_advance(&mut self.tracer, now, 0, msg, SpanPhase::Admit);
+            self.spans
+                .msg_advance(&mut self.tracer, drain, 0, msg, SpanPhase::Align);
+            self.spans
+                .msg_advance(&mut self.tracer, drain, 0, msg, SpanPhase::Transfer);
         }
         let end = now + self.params.sched_ns + self.params.worm_stream_ns(worm.bytes);
         self.out_busy[v] = end;
@@ -518,6 +546,8 @@ impl WormholeSim {
                     cause: EvictCause::Drop,
                 },
             );
+            self.spans
+                .conn_end(&mut self.tracer, now, 0, u as u32, v as u32);
         }
         if worm.last {
             // Tail latency: second wire hop + deserialization + NIC receive.
@@ -543,6 +573,8 @@ impl WormholeSim {
                                 latency_ns: self.msgs[worm.msg].latency_ns(),
                             },
                         );
+                        self.spans
+                            .msg_end(&mut self.tracer, now + tail, 0, worm.msg as u32);
                     }
                 }
                 NicOutcome::Retry { resume_at, attempt } => {
@@ -577,6 +609,8 @@ impl WormholeSim {
                                 retries,
                             },
                         );
+                        self.spans
+                            .msg_end(&mut self.tracer, now + tail, 0, worm.msg as u32);
                     }
                 }
             }

@@ -1,7 +1,11 @@
-//! Property tests over the simulators: conservation, determinism, and
-//! latency sanity for random small workloads under every paradigm.
+//! Property tests over the simulators: conservation, determinism,
+//! latency sanity, and causal-span pairing for random small workloads
+//! under every paradigm.
 
-use pms_sim::{Paradigm, PredictorKind, SimParams};
+use pms_fabric::TorusNetwork;
+use pms_faults::{FaultKind, FaultPlan};
+use pms_sim::{MsTopology, MultihopWormholeSim, Paradigm, PredictorKind, SimParams};
+use pms_trace::{TraceEvent, TraceRecord, Tracer};
 use pms_workloads::{Program, Workload};
 use proptest::prelude::*;
 
@@ -59,6 +63,55 @@ fn paradigms() -> Vec<Paradigm> {
     ]
 }
 
+/// Checks the causal-span contract over one traced run's records:
+/// every `SpanStart` is closed by exactly one `SpanEnd` carrying the
+/// same span id at a time no earlier than the start, and no `SpanEnd`
+/// is orphaned. Returns a description of the first violation.
+fn check_span_pairing(records: &[TraceRecord], label: &str) -> Result<(), String> {
+    use std::collections::HashMap;
+    // span id -> (start t_ns, starts seen, ends seen)
+    let mut spans: HashMap<u32, (u64, u32, u32)> = HashMap::new();
+    for rec in records {
+        match rec.event {
+            TraceEvent::SpanStart { span, .. } => {
+                let e = spans.entry(span).or_insert((rec.t_ns, 0, 0));
+                e.1 += 1;
+            }
+            TraceEvent::SpanEnd { span, .. } => match spans.get_mut(&span) {
+                Some(e) => {
+                    if rec.t_ns < e.0 {
+                        return Err(format!(
+                            "{label}: span {span} ends at {} before its start at {}",
+                            rec.t_ns, e.0
+                        ));
+                    }
+                    e.2 += 1;
+                }
+                None => return Err(format!("{label}: span {span} ended without a start")),
+            },
+            _ => {}
+        }
+    }
+    for (span, (_, starts, ends)) in spans {
+        if starts != 1 || ends != 1 {
+            return Err(format!(
+                "{label}: span {span} has {starts} starts and {ends} ends (want 1/1)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// A small deterministic fault plan that exercises retry, eviction, and
+/// stuck-grant teardown paths without making delivery impossible.
+fn span_fault_plan() -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    plan.push(300, 2_000, FaultKind::LinkDown { src: 1, dst: 2 })
+        .push(0, 1_500, FaultKind::StuckGrant { src: 2, dst: 3 })
+        .push(500, 800, FaultKind::NicTransient { port: 4 });
+    plan
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
@@ -113,5 +166,32 @@ proptest! {
             let eff = stats.efficiency(params.link.bytes_per_ns());
             prop_assert!(eff <= 1.0 + 1e-9, "{}: efficiency {eff} > 1", p.label());
         }
+    }
+
+    /// Causal spans pair exactly — one `SpanEnd` per `SpanStart`, same
+    /// id, non-decreasing time — across every paradigm (including the
+    /// multistage and multi-hop simulators) and under a fault plan.
+    #[test]
+    fn spans_pair_exactly_under_all_paradigms_and_faults(w in workload_strategy()) {
+        let params = SimParams::default().with_ports(PORTS);
+        let mut cases = paradigms();
+        cases.push(Paradigm::MultistageTdm {
+            topology: MsTopology::Omega,
+            predictor: PredictorKind::Timeout(300),
+        });
+        for p in cases {
+            for faulted in [false, true] {
+                let plan = if faulted { span_fault_plan() } else { FaultPlan::new() };
+                let (_, tracer) = p.run_faulted(&w, &params, plan, Tracer::vec());
+                let res = check_span_pairing(&tracer.records(), &p.label());
+                prop_assert!(res.is_ok(), "faulted={faulted}: {}", res.unwrap_err());
+            }
+        }
+        // The multi-hop wormhole simulator sits outside `Paradigm`.
+        let (_, tracer) = MultihopWormholeSim::new(&w, &params, TorusNetwork::new(2, 2, 2))
+            .with_tracer(Tracer::vec())
+            .run_traced();
+        let res = check_span_pairing(&tracer.records(), "multihop");
+        prop_assert!(res.is_ok(), "{}", res.unwrap_err());
     }
 }

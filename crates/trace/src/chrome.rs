@@ -26,6 +26,20 @@ fn us(t_ns: u64) -> f64 {
     t_ns as f64 / 1e3
 }
 
+/// Base of the per-connection-span tid range (above any port or message
+/// row).
+const CONN_TID_BASE: u64 = 1 << 20;
+
+/// Row assignment for span begin/end pairs: message spans share the
+/// message's row; each connection span gets its own.
+fn span_tid(span: u32, msg: u32) -> u64 {
+    if msg == u32::MAX {
+        CONN_TID_BASE + (span & !crate::span::CONN_SPAN_BIT) as u64
+    } else {
+        msg as u64
+    }
+}
+
 fn instant(rec: &TraceRecord, tid: u64, args: Vec<(&'static str, Json)>) -> Json {
     let mut fields = vec![
         ("name", Json::str(rec.event.kind())),
@@ -221,6 +235,53 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> Json {
                     ],
                 ));
             }
+            // Spans render as nested duration events ("B"/"E") named
+            // after the phase. Chrome pairs an "E" with the most recent
+            // "B" on the same tid, so each message's spans share one row
+            // (its phases tile sequentially inside the root and nest
+            // correctly) while each connection span — which may overlap
+            // others — gets a row of its own.
+            TraceEvent::SpanStart {
+                span,
+                parent,
+                phase,
+                msg,
+                src,
+                dst,
+            } => {
+                events.push(Json::obj([
+                    ("name", Json::str(phase.label())),
+                    ("cat", Json::str("span")),
+                    ("ph", Json::str("B")),
+                    ("ts", Json::Float(us(rec.t_ns))),
+                    ("pid", Json::UInt(0)),
+                    ("tid", Json::UInt(span_tid(span, msg))),
+                    (
+                        "args",
+                        Json::obj([
+                            ("span", span.into()),
+                            ("parent", parent.into()),
+                            ("msg", msg.into()),
+                            ("src", src.into()),
+                            ("dst", dst.into()),
+                        ]),
+                    ),
+                ]));
+            }
+            TraceEvent::SpanEnd { span, phase, msg } => {
+                events.push(Json::obj([
+                    ("name", Json::str(phase.label())),
+                    ("cat", Json::str("span")),
+                    ("ph", Json::str("E")),
+                    ("ts", Json::Float(us(rec.t_ns))),
+                    ("pid", Json::UInt(0)),
+                    ("tid", Json::UInt(span_tid(span, msg))),
+                    (
+                        "args",
+                        Json::obj([("span", span.into()), ("msg", msg.into())]),
+                    ),
+                ]));
+            }
         }
     }
     Json::Array(events)
@@ -340,6 +401,27 @@ mod tests {
                     dst: 5,
                 },
             ),
+            mk(
+                900,
+                4,
+                TraceEvent::SpanStart {
+                    span: 1,
+                    parent: u32::MAX,
+                    phase: crate::event::SpanPhase::Msg,
+                    msg: 0,
+                    src: 0,
+                    dst: 5,
+                },
+            ),
+            mk(
+                950,
+                4,
+                TraceEvent::SpanEnd {
+                    span: 1,
+                    phase: crate::event::SpanPhase::Msg,
+                    msg: 0,
+                },
+            ),
         ]
     }
 
@@ -349,9 +431,11 @@ mod tests {
         let Json::Array(events) = &json else {
             panic!("chrome trace must be a JSON array")
         };
-        // 13 instants + 1 duration bar for the delivery.
-        assert_eq!(events.len(), 14);
+        // 13 instants + 1 duration bar for the delivery + a span B/E pair.
+        assert_eq!(events.len(), 16);
         let rendered = json.render();
+        assert!(rendered.contains(r#""ph":"B""#), "span begin missing");
+        assert!(rendered.contains(r#""ph":"E""#), "span end missing");
         for kind in [
             "msg-injected",
             "msg-delivered",

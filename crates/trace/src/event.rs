@@ -55,6 +55,77 @@ impl EvictCause {
     ];
 }
 
+/// The lifecycle phase a `SpanStart`/`SpanEnd` pair describes.
+///
+/// Message spans form a fixed two-level tree: one [`Msg`](SpanPhase::Msg)
+/// root per message whose children [`Arrival`](SpanPhase::Arrival) →
+/// [`Admit`](SpanPhase::Admit) → [`Align`](SpanPhase::Align) →
+/// [`Transfer`](SpanPhase::Transfer) tile the root exactly (zero-length
+/// phases are emitted rather than skipped, so per-phase latencies always
+/// sum to the end-to-end latency). [`Route`](SpanPhase::Route) is a
+/// zero-length child of `Admit` marking a multistage route admission, and
+/// [`Conn`](SpanPhase::Conn) spans are parentless connection lifetimes
+/// (establish → evict) covering teardown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanPhase {
+    /// Root span: injection to delivery (or abandonment).
+    Msg,
+    /// Injection until the request is visible to the arbiter.
+    Arrival,
+    /// Request visibility until the connection is established
+    /// (zero-length on a working-set hit).
+    Admit,
+    /// Establishment until the first payload moves (TDM slot alignment,
+    /// circuit grant propagation).
+    Align,
+    /// First payload until the last byte is delivered.
+    Transfer,
+    /// Multistage route admission (zero-length, child of `Admit`).
+    Route,
+    /// Connection lifetime: establish to evict (teardown accounting).
+    Conn,
+}
+
+impl SpanPhase {
+    /// Stable lower-case label for export.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanPhase::Msg => "msg",
+            SpanPhase::Arrival => "arrival",
+            SpanPhase::Admit => "admit",
+            SpanPhase::Align => "align",
+            SpanPhase::Transfer => "transfer",
+            SpanPhase::Route => "route",
+            SpanPhase::Conn => "conn",
+        }
+    }
+
+    /// Inverse of [`label`](Self::label), for trace replay.
+    pub fn from_label(label: &str) -> Option<SpanPhase> {
+        match label {
+            "msg" => Some(SpanPhase::Msg),
+            "arrival" => Some(SpanPhase::Arrival),
+            "admit" => Some(SpanPhase::Admit),
+            "align" => Some(SpanPhase::Align),
+            "transfer" => Some(SpanPhase::Transfer),
+            "route" => Some(SpanPhase::Route),
+            "conn" => Some(SpanPhase::Conn),
+            _ => None,
+        }
+    }
+
+    /// All phases, in lifecycle order (report tables iterate this).
+    pub const ALL: [SpanPhase; 7] = [
+        SpanPhase::Msg,
+        SpanPhase::Arrival,
+        SpanPhase::Admit,
+        SpanPhase::Align,
+        SpanPhase::Transfer,
+        SpanPhase::Route,
+        SpanPhase::Conn,
+    ];
+}
+
 /// The kind of injected hardware fault a `FaultInjected`/`FaultCleared`
 /// event describes. Mirrors `pms-faults`'s fault taxonomy without a
 /// dependency on that crate (trace stays dependency-free).
@@ -243,6 +314,35 @@ pub enum TraceEvent {
         /// Retries spent before giving up.
         retries: u32,
     },
+    /// A causal span opened (see [`SpanPhase`] for the taxonomy).
+    SpanStart {
+        /// Span id, unique within a run (see `pms_trace::span` for the
+        /// deterministic allocation scheme).
+        span: u32,
+        /// Parent span id, or [`NO_PARENT`](crate::span::NO_PARENT) for
+        /// roots.
+        parent: u32,
+        /// Which lifecycle phase this span covers.
+        phase: SpanPhase,
+        /// Workload-global message id, or
+        /// [`NO_MSG`](crate::span::NO_MSG) for connection spans.
+        msg: u32,
+        /// Source port of the message or connection.
+        src: u32,
+        /// Destination port of the message or connection.
+        dst: u32,
+    },
+    /// A causal span closed. Every `SpanStart` is closed exactly once,
+    /// at a time no earlier than its start (run finalization closes any
+    /// span still open).
+    SpanEnd {
+        /// Span id matching the `SpanStart`.
+        span: u32,
+        /// Phase, repeated so the record is self-describing.
+        phase: SpanPhase,
+        /// Message id (or `NO_MSG`), repeated for self-description.
+        msg: u32,
+    },
 }
 
 impl TraceEvent {
@@ -262,11 +362,13 @@ impl TraceEvent {
             TraceEvent::FaultCleared { .. } => "fault-cleared",
             TraceEvent::MsgRetried { .. } => "msg-retried",
             TraceEvent::MsgAbandoned { .. } => "msg-abandoned",
+            TraceEvent::SpanStart { .. } => "span-start",
+            TraceEvent::SpanEnd { .. } => "span-end",
         }
     }
 
     /// Number of distinct event kinds (exporter sanity checks).
-    pub const KIND_COUNT: usize = 13;
+    pub const KIND_COUNT: usize = 15;
 }
 
 /// A [`TraceEvent`] stamped with when (simulation ns) and where (active
@@ -351,6 +453,19 @@ mod tests {
                 msg: 0,
                 retries: 3,
             },
+            TraceEvent::SpanStart {
+                span: 1,
+                parent: u32::MAX,
+                phase: SpanPhase::Msg,
+                msg: 0,
+                src: 0,
+                dst: 1,
+            },
+            TraceEvent::SpanEnd {
+                span: 1,
+                phase: SpanPhase::Msg,
+                msg: 0,
+            },
         ];
         let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), TraceEvent::KIND_COUNT);
@@ -372,6 +487,54 @@ mod tests {
             assert_eq!(EvictCause::from_label(cause.label()), Some(cause));
         }
         assert_eq!(EvictCause::from_label("nonsense"), None);
+    }
+
+    /// `ALL` and `from_label` are maintained by hand; this guard makes a
+    /// new variant a compile error here (the exhaustive match) and a test
+    /// failure if it is forgotten in `ALL` or `from_label`.
+    #[test]
+    fn evict_cause_all_is_exhaustive() {
+        fn ordinal(cause: EvictCause) -> usize {
+            // Exhaustive on purpose: adding a variant breaks this match.
+            match cause {
+                EvictCause::Timeout => 0,
+                EvictCause::RefCount => 1,
+                EvictCause::PhaseFlush => 2,
+                EvictCause::Drop => 3,
+                EvictCause::Fault => 4,
+            }
+        }
+        const VARIANTS: usize = 5;
+        assert_eq!(EvictCause::ALL.len(), VARIANTS, "ALL misses a variant");
+        let mut seen = [false; VARIANTS];
+        for cause in EvictCause::ALL {
+            let i = ordinal(cause);
+            assert!(!seen[i], "{cause:?} listed twice in ALL");
+            seen[i] = true;
+            assert_eq!(
+                EvictCause::from_label(cause.label()),
+                Some(cause),
+                "{cause:?} desynced from from_label"
+            );
+        }
+        assert!(seen.iter().all(|&s| s), "ALL misses a variant");
+        assert!(
+            EvictCause::ALL
+                .windows(2)
+                .all(|w| w[0].label() < w[1].label()),
+            "ALL must stay in label order (report tables iterate it)"
+        );
+    }
+
+    #[test]
+    fn span_phase_labels_roundtrip_and_are_distinct() {
+        let labels: std::collections::BTreeSet<&str> =
+            SpanPhase::ALL.into_iter().map(SpanPhase::label).collect();
+        assert_eq!(labels.len(), SpanPhase::ALL.len());
+        for phase in SpanPhase::ALL {
+            assert_eq!(SpanPhase::from_label(phase.label()), Some(phase));
+        }
+        assert_eq!(SpanPhase::from_label("nonsense"), None);
     }
 
     #[test]

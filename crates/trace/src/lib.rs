@@ -29,13 +29,18 @@ pub mod event;
 pub mod flight;
 pub mod json;
 pub mod metrics;
+pub mod prof;
 pub mod sink;
+pub mod span;
 
 pub use chrome::{chrome_trace_json, write_chrome_trace};
-pub use event::{EvictCause, FaultClass, TraceEvent, TraceRecord};
+pub use event::{EvictCause, FaultClass, SpanPhase, TraceEvent, TraceRecord};
 pub use flight::{parse_flight_dump, FlightConfig, FlightParseError, FlightRecorder};
 pub use json::{Json, ParseError};
 pub use metrics::{Histogram, MetricsRegistry};
+pub use prof::{KernelSnapshot, ProfKernel, ProfScope};
 pub use sink::{
-    record_json, write_jsonl, JsonlTracer, NullTracer, RingTracer, TraceSink, Tracer, VecTracer,
+    record_json, write_jsonl, JsonlTracer, NullTracer, RingTracer, SharedTracer, TraceSink, Tracer,
+    VecTracer,
 };
+pub use span::{SpanTracker, NO_MSG, NO_PARENT};

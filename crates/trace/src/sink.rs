@@ -173,6 +173,49 @@ impl Drop for JsonlTracer {
     }
 }
 
+/// Clone-able handle onto a shared, thread-safe record buffer.
+///
+/// Built for live telemetry: the simulator emits through a
+/// [`Tracer::Shared`] holding one clone while an HTTP server thread
+/// snapshots another clone mid-run. The lock is per-record, which is fine
+/// off the simulator's criterion-measured paths (live serving is an
+/// explicitly opted-in mode).
+#[derive(Debug, Clone, Default)]
+pub struct SharedTracer {
+    records: std::sync::Arc<std::sync::Mutex<Vec<TraceRecord>>>,
+}
+
+impl SharedTracer {
+    /// An empty shared buffer.
+    pub fn new() -> Self {
+        SharedTracer::default()
+    }
+
+    /// A consistent copy of all records emitted so far, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceRecord> {
+        self.records.lock().expect("shared tracer poisoned").clone()
+    }
+
+    /// Number of records emitted so far.
+    pub fn len(&self) -> usize {
+        self.records.lock().expect("shared tracer poisoned").len()
+    }
+
+    /// Whether no records have been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for SharedTracer {
+    fn record(&mut self, rec: TraceRecord) {
+        self.records
+            .lock()
+            .expect("shared tracer poisoned")
+            .push(rec);
+    }
+}
+
 /// Writes a slice of records to `path` as JSON Lines — the batch
 /// counterpart of streaming through a [`JsonlTracer`]; both produce
 /// byte-identical files for the same records.
@@ -297,6 +340,26 @@ pub fn record_json(rec: &TraceRecord) -> json::Json {
             push("msg", msg.into());
             push("retries", retries.into());
         }
+        TraceEvent::SpanStart {
+            span,
+            parent,
+            phase,
+            msg,
+            src,
+            dst,
+        } => {
+            push("span", span.into());
+            push("parent", parent.into());
+            push("phase", Json::str(phase.label()));
+            push("msg", msg.into());
+            push("src", src.into());
+            push("dst", dst.into());
+        }
+        TraceEvent::SpanEnd { span, phase, msg } => {
+            push("span", span.into());
+            push("phase", Json::str(phase.label()));
+            push("msg", msg.into());
+        }
     }
     Json::Object(fields)
 }
@@ -319,6 +382,8 @@ pub enum Tracer {
     Jsonl(JsonlTracer),
     /// Flight recorder: ring buffer dumped to JSONL on anomalies.
     Flight(Box<crate::flight::FlightRecorder>),
+    /// Shared in-memory buffer snapshotted by a telemetry server thread.
+    Shared(SharedTracer),
 }
 
 impl Tracer {
@@ -337,6 +402,12 @@ impl Tracer {
         Tracer::Flight(Box::new(crate::flight::FlightRecorder::new(path, cfg)))
     }
 
+    /// A tracer emitting into `handle`'s shared buffer; keep another
+    /// clone of `handle` to snapshot the run from a server thread.
+    pub fn shared(handle: SharedTracer) -> Self {
+        Tracer::Shared(handle)
+    }
+
     /// Whether emitting does anything; guard event construction on this.
     #[inline]
     pub fn enabled(&self) -> bool {
@@ -352,6 +423,7 @@ impl Tracer {
             Tracer::Vec(t) => t.record(TraceRecord { t_ns, slot, event }),
             Tracer::Jsonl(t) => t.record(TraceRecord { t_ns, slot, event }),
             Tracer::Flight(t) => t.record(TraceRecord { t_ns, slot, event }),
+            Tracer::Shared(t) => t.record(TraceRecord { t_ns, slot, event }),
         }
     }
 
@@ -365,6 +437,7 @@ impl Tracer {
             Tracer::Vec(t) => t.records.clone(),
             Tracer::Jsonl(_) => Vec::new(),
             Tracer::Flight(t) => t.records(),
+            Tracer::Shared(t) => t.snapshot(),
         }
     }
 
@@ -448,6 +521,18 @@ mod tests {
         assert!(s.contains(r#""t_ns":42"#));
         assert!(s.contains(r#""slot":3"#));
         assert!(s.contains(r#""cause":"phase-flush""#));
+    }
+
+    #[test]
+    fn shared_tracer_snapshots_mid_run() {
+        let handle = SharedTracer::new();
+        let mut t = Tracer::shared(handle.clone());
+        assert!(t.enabled());
+        t.emit(1, 0, TraceEvent::SlotAdvanced { slot_idx: 0 });
+        assert_eq!(handle.len(), 1, "server-side clone sees live records");
+        t.emit(2, 1, TraceEvent::PhaseFlush { cleared: 3 });
+        assert_eq!(handle.snapshot().len(), 2);
+        assert_eq!(t.records().len(), 2);
     }
 
     #[test]

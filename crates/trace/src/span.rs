@@ -1,0 +1,509 @@
+//! Causal span emission: one well-formed span tree per message.
+//!
+//! The simulators do not emit [`SpanStart`]/[`SpanEnd`] events directly —
+//! they drive a [`SpanTracker`], which enforces the lifecycle structure by
+//! construction:
+//!
+//! * every message gets a root [`SpanPhase::Msg`] span plus the four
+//!   phase children `arrival → admit → align → transfer`, which **tile**
+//!   the root exactly (phases the paradigm skips are emitted zero-length
+//!   rather than omitted, so per-phase durations always sum to the
+//!   end-to-end latency);
+//! * phases only move forward (a retry keeps its message in `transfer`);
+//! * every span is closed exactly once, at a time no earlier than its
+//!   start — [`SpanTracker::finish`] closes whatever a run left open
+//!   (in-flight messages, cached connections) at the final timestamp.
+//!
+//! Span ids are deterministic functions of the message id (no global
+//! counters shared across runs), so a traced run replays byte-identical:
+//! message `m` owns ids `6m+1 .. 6m+6` and connection spans take
+//! [`CONN_SPAN_BIT`]` | n` in establishment order.
+//!
+//! [`SpanStart`]: crate::TraceEvent::SpanStart
+//! [`SpanEnd`]: crate::TraceEvent::SpanEnd
+
+use crate::event::{SpanPhase, TraceEvent};
+use crate::sink::Tracer;
+use std::collections::HashMap;
+
+/// `parent` value of a root span (no parent).
+pub const NO_PARENT: u32 = u32::MAX;
+
+/// `msg` value of a span not tied to a message (connection spans).
+pub const NO_MSG: u32 = u32::MAX;
+
+/// High bit marking connection-span ids (message ids stay well below).
+pub const CONN_SPAN_BIT: u32 = 0x8000_0000;
+
+/// The message phases in lifecycle order (children of the root span).
+const MSG_PHASES: [SpanPhase; 4] = [
+    SpanPhase::Arrival,
+    SpanPhase::Admit,
+    SpanPhase::Align,
+    SpanPhase::Transfer,
+];
+
+/// Root span id of message `msg`.
+pub fn msg_span(msg: u32) -> u32 {
+    msg * 6 + 1
+}
+
+/// Span id of message `msg`'s phase child `phase` (one of
+/// `arrival/admit/align/transfer`), or of its `route` marker.
+pub fn phase_span(msg: u32, phase: SpanPhase) -> u32 {
+    let off = match phase {
+        SpanPhase::Msg => 0,
+        SpanPhase::Arrival => 1,
+        SpanPhase::Admit => 2,
+        SpanPhase::Align => 3,
+        SpanPhase::Transfer => 4,
+        SpanPhase::Route => 5,
+        SpanPhase::Conn => panic!("conn spans are not message-keyed"),
+    };
+    msg * 6 + 1 + off
+}
+
+/// Per-message state: which phase child is currently open, plus the
+/// endpoints (needed to self-describe every span record).
+#[derive(Debug, Clone, Copy)]
+struct OpenMsg {
+    phase_idx: usize,
+    src: u32,
+    dst: u32,
+    /// Latest timestamp emitted for this message; later emissions clamp
+    /// to it so retries and lazily-processed fault transitions (whose
+    /// transition times can predate the caller's clock) never produce a
+    /// phase end earlier than its start.
+    last_t: u64,
+    /// Whether the zero-length `route` marker was already emitted; a
+    /// fault retry re-admits a route but the message owns only one
+    /// `route` span id, so only the first admission is marked.
+    routed: bool,
+}
+
+/// Emits well-formed span trees on behalf of a simulator.
+///
+/// All methods early-return when the tracer is disabled, so a `Null`
+/// tracer costs one predicted branch per call site and the tracker
+/// accumulates no state.
+#[derive(Debug, Default)]
+pub struct SpanTracker {
+    open_msgs: HashMap<u32, OpenMsg>,
+    /// Open connection spans: pair -> (span id, start time). The start
+    /// time clamps `conn_end`, which faults can invoke with transition
+    /// timestamps earlier than the (lazily processed) establishment.
+    open_conns: HashMap<(u32, u32), (u32, u64)>,
+    next_conn: u32,
+    /// Latest timestamp any span event carried; [`finish`](Self::finish)
+    /// clamps to it so closing events never precede their opens (delivery
+    /// timestamps include path latency and can outrun the caller's clock).
+    high_water: u64,
+}
+
+impl SpanTracker {
+    /// A tracker with no open spans.
+    pub fn new() -> Self {
+        SpanTracker::default()
+    }
+
+    /// Opens message `msg`'s root span and its `arrival` phase. Must be
+    /// called once per message, at injection time.
+    pub fn msg_start(
+        &mut self,
+        tracer: &mut Tracer,
+        t_ns: u64,
+        slot: u32,
+        msg: u32,
+        src: u32,
+        dst: u32,
+    ) {
+        if !tracer.enabled() {
+            return;
+        }
+        debug_assert!(
+            !self.open_msgs.contains_key(&msg),
+            "message {msg} started twice"
+        );
+        self.high_water = self.high_water.max(t_ns);
+        tracer.emit(
+            t_ns,
+            slot,
+            TraceEvent::SpanStart {
+                span: msg_span(msg),
+                parent: NO_PARENT,
+                phase: SpanPhase::Msg,
+                msg,
+                src,
+                dst,
+            },
+        );
+        tracer.emit(
+            t_ns,
+            slot,
+            TraceEvent::SpanStart {
+                span: phase_span(msg, SpanPhase::Arrival),
+                parent: msg_span(msg),
+                phase: SpanPhase::Arrival,
+                msg,
+                src,
+                dst,
+            },
+        );
+        self.open_msgs.insert(
+            msg,
+            OpenMsg {
+                phase_idx: 0,
+                src,
+                dst,
+                last_t: t_ns,
+                routed: false,
+            },
+        );
+    }
+
+    /// Advances message `msg` to `phase` (one of
+    /// `admit`/`align`/`transfer`): closes the open phase at `t_ns`,
+    /// emitting zero-length spans for any phases in between. Idempotent —
+    /// a message never moves backward, so calling with the current (or an
+    /// earlier) phase is a no-op.
+    pub fn msg_advance(
+        &mut self,
+        tracer: &mut Tracer,
+        t_ns: u64,
+        slot: u32,
+        msg: u32,
+        phase: SpanPhase,
+    ) {
+        if !tracer.enabled() {
+            return;
+        }
+        let Some(open) = self.open_msgs.get_mut(&msg) else {
+            return;
+        };
+        let t_ns = t_ns.max(open.last_t);
+        open.last_t = t_ns;
+        self.high_water = self.high_water.max(t_ns);
+        let target = MSG_PHASES
+            .iter()
+            .position(|&p| p == phase)
+            .expect("msg_advance takes a message phase");
+        if target <= open.phase_idx {
+            return;
+        }
+        let (src, dst) = (open.src, open.dst);
+        let mut idx = open.phase_idx;
+        open.phase_idx = target;
+        while idx < target {
+            tracer.emit(
+                t_ns,
+                slot,
+                TraceEvent::SpanEnd {
+                    span: phase_span(msg, MSG_PHASES[idx]),
+                    phase: MSG_PHASES[idx],
+                    msg,
+                },
+            );
+            idx += 1;
+            tracer.emit(
+                t_ns,
+                slot,
+                TraceEvent::SpanStart {
+                    span: phase_span(msg, MSG_PHASES[idx]),
+                    parent: msg_span(msg),
+                    phase: MSG_PHASES[idx],
+                    msg,
+                    src,
+                    dst,
+                },
+            );
+        }
+    }
+
+    /// Emits the zero-length `route` marker: the multistage fabric
+    /// admitted a path for message `msg`'s connection. A child of the
+    /// `admit` phase. Only the first admission is marked — a fault retry
+    /// re-admits, but the message owns a single `route` span id.
+    pub fn route_admitted(&mut self, tracer: &mut Tracer, t_ns: u64, slot: u32, msg: u32) {
+        if !tracer.enabled() {
+            return;
+        }
+        let Some(open) = self.open_msgs.get_mut(&msg) else {
+            return;
+        };
+        if open.routed {
+            return;
+        }
+        open.routed = true;
+        let open = &*open;
+        let t_ns = t_ns.max(open.last_t);
+        self.high_water = self.high_water.max(t_ns);
+        let span = phase_span(msg, SpanPhase::Route);
+        tracer.emit(
+            t_ns,
+            slot,
+            TraceEvent::SpanStart {
+                span,
+                parent: phase_span(msg, SpanPhase::Admit),
+                phase: SpanPhase::Route,
+                msg,
+                src: open.src,
+                dst: open.dst,
+            },
+        );
+        tracer.emit(
+            t_ns,
+            slot,
+            TraceEvent::SpanEnd {
+                span,
+                phase: SpanPhase::Route,
+                msg,
+            },
+        );
+    }
+
+    /// Closes message `msg`'s span tree at `t_ns` (delivery or
+    /// abandonment): fast-forwards through any remaining phases
+    /// (zero-length) and ends the `transfer` child plus the root.
+    pub fn msg_end(&mut self, tracer: &mut Tracer, t_ns: u64, slot: u32, msg: u32) {
+        if !tracer.enabled() {
+            return;
+        }
+        self.msg_advance(tracer, t_ns, slot, msg, SpanPhase::Transfer);
+        let Some(open) = self.open_msgs.remove(&msg) else {
+            return;
+        };
+        let t_ns = t_ns.max(open.last_t);
+        self.high_water = self.high_water.max(t_ns);
+        debug_assert_eq!(open.phase_idx, MSG_PHASES.len() - 1);
+        tracer.emit(
+            t_ns,
+            slot,
+            TraceEvent::SpanEnd {
+                span: phase_span(msg, SpanPhase::Transfer),
+                phase: SpanPhase::Transfer,
+                msg,
+            },
+        );
+        tracer.emit(
+            t_ns,
+            slot,
+            TraceEvent::SpanEnd {
+                span: msg_span(msg),
+                phase: SpanPhase::Msg,
+                msg,
+            },
+        );
+    }
+
+    /// Opens a connection-lifetime span for `src -> dst` (at
+    /// establishment). A no-op if one is already open for the pair.
+    pub fn conn_start(&mut self, tracer: &mut Tracer, t_ns: u64, slot: u32, src: u32, dst: u32) {
+        if !tracer.enabled() || self.open_conns.contains_key(&(src, dst)) {
+            return;
+        }
+        self.high_water = self.high_water.max(t_ns);
+        let span = CONN_SPAN_BIT | self.next_conn;
+        self.next_conn += 1;
+        self.open_conns.insert((src, dst), (span, t_ns));
+        tracer.emit(
+            t_ns,
+            slot,
+            TraceEvent::SpanStart {
+                span,
+                parent: NO_PARENT,
+                phase: SpanPhase::Conn,
+                msg: NO_MSG,
+                src,
+                dst,
+            },
+        );
+    }
+
+    /// Closes the connection-lifetime span for `src -> dst` (at
+    /// eviction). A no-op if none is open. The end time clamps to the
+    /// span's start: fault transitions are processed lazily, so their
+    /// timestamps can predate the establishment they tear down.
+    pub fn conn_end(&mut self, tracer: &mut Tracer, t_ns: u64, slot: u32, src: u32, dst: u32) {
+        if !tracer.enabled() {
+            return;
+        }
+        if let Some((span, started)) = self.open_conns.remove(&(src, dst)) {
+            let t_ns = t_ns.max(started);
+            self.high_water = self.high_water.max(t_ns);
+            tracer.emit(
+                t_ns,
+                slot,
+                TraceEvent::SpanEnd {
+                    span,
+                    phase: SpanPhase::Conn,
+                    msg: NO_MSG,
+                },
+            );
+        }
+    }
+
+    /// Closes every span still open at the end of a run (in-flight
+    /// messages, cached connections) at `t_ns`, in deterministic order.
+    pub fn finish(&mut self, tracer: &mut Tracer, t_ns: u64, slot: u32) {
+        if !tracer.enabled() {
+            return;
+        }
+        let t_ns = t_ns.max(self.high_water);
+        let mut msgs: Vec<u32> = self.open_msgs.keys().copied().collect();
+        msgs.sort_unstable();
+        for msg in msgs {
+            self.msg_end(tracer, t_ns, slot, msg);
+        }
+        let mut conns: Vec<(u32, u32)> = self.open_conns.keys().copied().collect();
+        conns.sort_unstable();
+        for (src, dst) in conns {
+            self.conn_end(tracer, t_ns, slot, src, dst);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceRecord;
+    use std::collections::HashMap as Map;
+
+    /// Pairing invariant over a record stream: every start closed exactly
+    /// once, never before it opened. Returns span count.
+    fn check_pairing(records: &[TraceRecord]) -> usize {
+        let mut open: Map<u32, u64> = Map::new();
+        let mut closed = 0usize;
+        for rec in records {
+            match rec.event {
+                TraceEvent::SpanStart { span, .. } => {
+                    assert!(
+                        open.insert(span, rec.t_ns).is_none(),
+                        "span {span} reopened"
+                    );
+                }
+                TraceEvent::SpanEnd { span, .. } => {
+                    let start = open.remove(&span).expect("end without start");
+                    assert!(rec.t_ns >= start, "span {span} ends before it starts");
+                    closed += 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(open.is_empty(), "unclosed spans: {open:?}");
+        closed
+    }
+
+    /// Per-message tiling: phase durations sum to the root duration.
+    fn check_tiling(records: &[TraceRecord], msg: u32) {
+        let mut starts: Map<u32, u64> = Map::new();
+        let mut durs: Map<u32, u64> = Map::new();
+        for rec in records {
+            match rec.event {
+                TraceEvent::SpanStart { span, .. } => {
+                    starts.insert(span, rec.t_ns);
+                }
+                TraceEvent::SpanEnd { span, .. } => {
+                    durs.insert(span, rec.t_ns - starts[&span]);
+                }
+                _ => {}
+            }
+        }
+        let total: u64 = MSG_PHASES.iter().map(|&p| durs[&phase_span(msg, p)]).sum();
+        assert_eq!(total, durs[&msg_span(msg)], "phases must tile the root");
+    }
+
+    #[test]
+    fn full_lifecycle_tiles_exactly() {
+        let mut tracer = Tracer::vec();
+        let mut spans = SpanTracker::new();
+        spans.msg_start(&mut tracer, 0, 0, 7, 1, 2);
+        spans.msg_advance(&mut tracer, 80, 0, 7, SpanPhase::Admit);
+        spans.route_admitted(&mut tracer, 160, 1, 7);
+        spans.msg_advance(&mut tracer, 160, 1, 7, SpanPhase::Align);
+        spans.msg_advance(&mut tracer, 200, 2, 7, SpanPhase::Transfer);
+        spans.msg_end(&mut tracer, 500, 0, 7);
+        let records = tracer.records();
+        assert_eq!(check_pairing(&records), 6, "root + 4 phases + route");
+        check_tiling(&records, 7);
+    }
+
+    #[test]
+    fn skipped_phases_are_zero_length_not_missing() {
+        let mut tracer = Tracer::vec();
+        let mut spans = SpanTracker::new();
+        spans.msg_start(&mut tracer, 10, 0, 0, 0, 1);
+        // Jump straight to transfer: admit and align emitted zero-length.
+        spans.msg_advance(&mut tracer, 90, 0, 0, SpanPhase::Transfer);
+        spans.msg_end(&mut tracer, 300, 0, 0);
+        let records = tracer.records();
+        check_pairing(&records);
+        check_tiling(&records, 0);
+        let kinds = records
+            .iter()
+            .filter(|r| matches!(r.event, TraceEvent::SpanStart { .. }))
+            .count();
+        assert_eq!(kinds, 5, "root + all four phases present");
+    }
+
+    #[test]
+    fn advance_is_monotone_and_idempotent() {
+        let mut tracer = Tracer::vec();
+        let mut spans = SpanTracker::new();
+        spans.msg_start(&mut tracer, 0, 0, 3, 0, 1);
+        spans.msg_advance(&mut tracer, 50, 0, 3, SpanPhase::Transfer);
+        let before = tracer.records().len();
+        // Re-advancing to the same or an earlier phase changes nothing.
+        spans.msg_advance(&mut tracer, 60, 0, 3, SpanPhase::Transfer);
+        spans.msg_advance(&mut tracer, 60, 0, 3, SpanPhase::Admit);
+        assert_eq!(tracer.records().len(), before);
+        spans.msg_end(&mut tracer, 100, 0, 3);
+        check_pairing(&tracer.records());
+    }
+
+    #[test]
+    fn finish_closes_everything_open() {
+        let mut tracer = Tracer::vec();
+        let mut spans = SpanTracker::new();
+        spans.msg_start(&mut tracer, 0, 0, 0, 0, 1);
+        spans.msg_start(&mut tracer, 5, 0, 1, 2, 3);
+        spans.msg_advance(&mut tracer, 80, 0, 1, SpanPhase::Admit);
+        spans.conn_start(&mut tracer, 80, 0, 2, 3);
+        spans.msg_end(&mut tracer, 200, 0, 1);
+        spans.finish(&mut tracer, 1_000, 0);
+        let records = tracer.records();
+        check_pairing(&records);
+        check_tiling(&records, 0);
+        check_tiling(&records, 1);
+    }
+
+    #[test]
+    fn conn_spans_pair_and_get_distinct_ids() {
+        let mut tracer = Tracer::vec();
+        let mut spans = SpanTracker::new();
+        spans.conn_start(&mut tracer, 0, 0, 0, 1);
+        spans.conn_start(&mut tracer, 0, 0, 2, 3);
+        spans.conn_start(&mut tracer, 1, 0, 0, 1); // duplicate: no-op
+        spans.conn_end(&mut tracer, 100, 0, 0, 1);
+        spans.conn_end(&mut tracer, 150, 0, 2, 3);
+        spans.conn_end(&mut tracer, 160, 0, 5, 6); // never opened: no-op
+        let records = tracer.records();
+        assert_eq!(check_pairing(&records), 2);
+        let ids: Vec<u32> = records
+            .iter()
+            .filter_map(|r| match r.event {
+                TraceEvent::SpanStart { span, .. } => Some(span),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, vec![CONN_SPAN_BIT, CONN_SPAN_BIT | 1]);
+    }
+
+    #[test]
+    fn null_tracer_accumulates_no_state() {
+        let mut tracer = Tracer::Null;
+        let mut spans = SpanTracker::new();
+        spans.msg_start(&mut tracer, 0, 0, 0, 0, 1);
+        spans.conn_start(&mut tracer, 0, 0, 0, 1);
+        assert!(spans.open_msgs.is_empty() && spans.open_conns.is_empty());
+    }
+}
