@@ -1,0 +1,270 @@
+//! Alerts section: reconstructs alert activity from `alert-raised` /
+//! `alert-cleared` records.
+//!
+//! The alert engine (`pms_trace::AlertEngine`) emits events that carry
+//! only rule *indices* — names live in the rules file — so this section
+//! is a pure function of the record stream and renders byte-identically
+//! whether built live (telemetry `/alerts`) or from JSONL replay.
+
+use pms_trace::{Json, TraceEvent, TraceRecord};
+
+/// Per-rule alert accounting.
+#[derive(Debug, Clone, Default)]
+pub struct RuleAlerts {
+    /// Rule index (position in the rules file).
+    pub rule: u32,
+    /// `alert-raised` events for this rule.
+    pub raises: u64,
+    /// `alert-cleared` events for this rule.
+    pub clears: u64,
+    /// Raised at the end of the trace with no matching clear.
+    pub active_at_end: bool,
+    /// Time of the first raise (ns).
+    pub first_raise_ns: u64,
+    /// Time of the last raise (ns).
+    pub last_raise_ns: u64,
+    /// Total raised time; an interval still open at end-of-trace is
+    /// closed at the last record's timestamp.
+    pub active_ns: u64,
+    /// Largest observed metric value across raises.
+    pub peak_value: u64,
+    /// Threshold that was in force at the peak raise.
+    pub peak_threshold: u64,
+}
+
+/// The alerts section of the report.
+#[derive(Debug, Clone, Default)]
+pub struct AlertsReport {
+    /// Total `alert-raised` events.
+    pub raises: u64,
+    /// Total `alert-cleared` events.
+    pub clears: u64,
+    /// Rules still raised at end-of-trace.
+    pub active_at_end: u64,
+    /// Per-rule accounting, by rule index.
+    pub by_rule: Vec<RuleAlerts>,
+}
+
+/// Builds the alerts section from a record stream.
+pub fn alerts(records: &[TraceRecord]) -> AlertsReport {
+    let end_ns = records.last().map(|r| r.t_ns).unwrap_or(0);
+    // rule index -> (stats, open-raise timestamp)
+    let mut rules: Vec<(RuleAlerts, Option<u64>)> = Vec::new();
+    let slot = |rule: u32, rules: &mut Vec<(RuleAlerts, Option<u64>)>| -> usize {
+        match rules.iter().position(|(r, _)| r.rule == rule) {
+            Some(i) => i,
+            None => {
+                rules.push((
+                    RuleAlerts {
+                        rule,
+                        ..RuleAlerts::default()
+                    },
+                    None,
+                ));
+                rules.len() - 1
+            }
+        }
+    };
+    let mut report = AlertsReport::default();
+    for rec in records {
+        match rec.event {
+            TraceEvent::AlertRaised {
+                rule,
+                value,
+                threshold,
+                ..
+            } => {
+                report.raises += 1;
+                let i = slot(rule, &mut rules);
+                let (r, open) = &mut rules[i];
+                r.raises += 1;
+                if r.raises == 1 {
+                    r.first_raise_ns = rec.t_ns;
+                }
+                r.last_raise_ns = rec.t_ns;
+                if value >= r.peak_value {
+                    r.peak_value = value;
+                    r.peak_threshold = threshold;
+                }
+                if open.is_none() {
+                    *open = Some(rec.t_ns);
+                }
+            }
+            TraceEvent::AlertCleared { rule, .. } => {
+                report.clears += 1;
+                let i = slot(rule, &mut rules);
+                let (r, open) = &mut rules[i];
+                r.clears += 1;
+                if let Some(start) = open.take() {
+                    r.active_ns += rec.t_ns.saturating_sub(start);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut by_rule: Vec<RuleAlerts> = rules
+        .into_iter()
+        .map(|(mut r, open)| {
+            if let Some(start) = open {
+                r.active_ns += end_ns.saturating_sub(start);
+                r.active_at_end = true;
+            }
+            r
+        })
+        .collect();
+    by_rule.sort_by_key(|r| r.rule);
+    report.active_at_end = by_rule.iter().filter(|r| r.active_at_end).count() as u64;
+    report.by_rule = by_rule;
+    report
+}
+
+impl AlertsReport {
+    /// JSON rendering (deterministic; used by the report and `/alerts`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("raises", self.raises.into()),
+            ("clears", self.clears.into()),
+            ("active_at_end", self.active_at_end.into()),
+            (
+                "by_rule",
+                Json::Array(
+                    self.by_rule
+                        .iter()
+                        .map(|r| {
+                            Json::obj([
+                                ("rule", r.rule.into()),
+                                ("raises", r.raises.into()),
+                                ("clears", r.clears.into()),
+                                ("active_at_end", Json::Bool(r.active_at_end)),
+                                ("first_raise_ns", r.first_raise_ns.into()),
+                                ("last_raise_ns", r.last_raise_ns.into()),
+                                ("active_ns", r.active_ns.into()),
+                                ("peak_value", r.peak_value.into()),
+                                ("peak_threshold", r.peak_threshold.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Text rendering of the section body. Telemetry's `/alerts` serves
+    /// exactly this string, so live and replayed output diff clean.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str("-- alerts --\n");
+        if self.raises == 0 {
+            out.push_str("  no alerts raised\n");
+            return out;
+        }
+        out.push_str(&format!(
+            "  {} raised, {} cleared, {} active at end\n",
+            self.raises, self.clears, self.active_at_end
+        ));
+        for r in &self.by_rule {
+            out.push_str(&format!(
+                "  rule {:>3}: {:>4} raised {:>4} cleared  active {:>10} ns{}  peak {}/{} at {} ns\n",
+                r.rule,
+                r.raises,
+                r.clears,
+                r.active_ns,
+                if r.active_at_end { " (open)" } else { "" },
+                r.peak_value,
+                r.peak_threshold,
+                r.last_raise_ns,
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t_ns: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            t_ns,
+            slot: 0,
+            event,
+        }
+    }
+
+    fn raised(t_ns: u64, rule: u32, value: u64, threshold: u64) -> TraceRecord {
+        rec(
+            t_ns,
+            TraceEvent::AlertRaised {
+                rule,
+                seq: 0,
+                value,
+                threshold,
+            },
+        )
+    }
+
+    fn cleared(t_ns: u64, rule: u32) -> TraceRecord {
+        rec(t_ns, TraceEvent::AlertCleared { rule, seq: 0 })
+    }
+
+    #[test]
+    fn empty_trace_has_no_alerts() {
+        let a = alerts(&[]);
+        assert_eq!(a.raises, 0);
+        assert!(a.by_rule.is_empty());
+        assert!(a.render_text().contains("no alerts raised"));
+    }
+
+    #[test]
+    fn raise_clear_pairs_accumulate_active_time() {
+        let recs = vec![
+            raised(100, 0, 50, 10),
+            cleared(300, 0),
+            raised(500, 0, 80, 10),
+            cleared(600, 0),
+        ];
+        let a = alerts(&recs);
+        assert_eq!(a.raises, 2);
+        assert_eq!(a.clears, 2);
+        assert_eq!(a.active_at_end, 0);
+        let r = &a.by_rule[0];
+        assert_eq!(r.active_ns, 200 + 100);
+        assert_eq!(r.first_raise_ns, 100);
+        assert_eq!(r.last_raise_ns, 500);
+        assert_eq!(r.peak_value, 80);
+        assert!(!r.active_at_end);
+    }
+
+    #[test]
+    fn open_interval_closes_at_last_record() {
+        let recs = vec![
+            raised(100, 1, 7, 3),
+            rec(
+                900,
+                TraceEvent::MsgDelivered {
+                    src: 0,
+                    dst: 1,
+                    bytes: 8,
+                    msg: 0,
+                    latency_ns: 5,
+                },
+            ),
+        ];
+        let a = alerts(&recs);
+        assert_eq!(a.active_at_end, 1);
+        assert!(a.by_rule[0].active_at_end);
+        assert_eq!(a.by_rule[0].active_ns, 800);
+    }
+
+    #[test]
+    fn rules_sort_by_index_and_json_is_deterministic() {
+        let recs = vec![raised(10, 3, 1, 1), raised(20, 0, 2, 1), cleared(30, 3)];
+        let a = alerts(&recs);
+        assert_eq!(a.by_rule[0].rule, 0);
+        assert_eq!(a.by_rule[1].rule, 3);
+        assert_eq!(alerts(&recs).to_json().render(), a.to_json().render());
+        let text = a.render_text();
+        assert!(text.contains("rule   0"));
+        assert!(text.contains("rule   3"));
+    }
+}

@@ -3,40 +3,58 @@
 //! ```text
 //! analyze TRACE.jsonl [--report PATH] [--heatmap-csv PATH]
 //!                     [--churn-csv PATH] [--setup-csv PATH]
+//!                     [--timeseries-csv PATH] [--alerts-json PATH]
 //!                     [--window NS] [--ports N] [--quiet]
+//! analyze --diff A.jsonl B.jsonl [--epsilon FRAC] [--ports N]
 //! ```
 //!
 //! Prints the human-readable report to stdout and optionally writes the
 //! deterministic JSON report (byte-identical to what the simulator's
 //! `--report` flag writes for the same trace) and the CSV exports:
-//! sparse heatmap, per-cause predictor churn, and setup-latency
-//! attribution.
+//! sparse heatmap, per-cause predictor churn, setup-latency
+//! attribution, and the metrics-snapshot time series.
+//!
+//! `--diff` compares two traces instead: it builds a report from each
+//! and prints a per-metric/per-phase delta table, flagging rows whose
+//! relative change is at least `--epsilon` (default 5%). Exits
+//! non-zero when any significant change is found, so CI can gate on it;
+//! diffing a run against itself always reports zero deltas.
 
-use pms_analyze::{build_report, parse_jsonl, ReportConfig};
+use pms_analyze::{build_report, diff_reports, parse_jsonl, Report, ReportConfig, DEFAULT_EPSILON};
 use std::fs;
 use std::process::ExitCode;
 
 struct Args {
     trace: String,
+    diff: Option<String>,
+    epsilon: f64,
     report: Option<String>,
     heatmap_csv: Option<String>,
     churn_csv: Option<String>,
     setup_csv: Option<String>,
+    timeseries_csv: Option<String>,
+    alerts_json: Option<String>,
     window_ns: u64,
     ports: Option<usize>,
     quiet: bool,
 }
 
 const USAGE: &str = "usage: analyze TRACE.jsonl [--report PATH] [--heatmap-csv PATH] \
-                     [--churn-csv PATH] [--setup-csv PATH] [--window NS] [--ports N] [--quiet]";
+                     [--churn-csv PATH] [--setup-csv PATH] [--timeseries-csv PATH] \
+                     [--alerts-json PATH] [--window NS] [--ports N] [--quiet]\n\
+       analyze --diff A.jsonl B.jsonl [--epsilon FRAC] [--ports N]";
 
 fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         trace: String::new(),
+        diff: None,
+        epsilon: DEFAULT_EPSILON,
         report: None,
         heatmap_csv: None,
         churn_csv: None,
         setup_csv: None,
+        timeseries_csv: None,
+        alerts_json: None,
         window_ns: ReportConfig::default().premature_window_ns,
         ports: None,
         quiet: false,
@@ -45,10 +63,18 @@ fn parse_args() -> Result<Args, String> {
     while let Some(arg) = it.next() {
         let mut value = |name: &str| it.next().ok_or(format!("{name} needs a value"));
         match arg.as_str() {
+            "--diff" => args.diff = Some(value("--diff")?),
+            "--epsilon" => {
+                args.epsilon = value("--epsilon")?
+                    .parse()
+                    .map_err(|e| format!("--epsilon: {e}"))?
+            }
             "--report" => args.report = Some(value("--report")?),
             "--heatmap-csv" => args.heatmap_csv = Some(value("--heatmap-csv")?),
             "--churn-csv" => args.churn_csv = Some(value("--churn-csv")?),
             "--setup-csv" => args.setup_csv = Some(value("--setup-csv")?),
+            "--timeseries-csv" => args.timeseries_csv = Some(value("--timeseries-csv")?),
+            "--alerts-json" => args.alerts_json = Some(value("--alerts-json")?),
             "--window" => {
                 args.window_ns = value("--window")?
                     .parse()
@@ -74,7 +100,39 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn run(args: &Args) -> Result<(), String> {
+fn load_report(path: &str, cfg: &ReportConfig) -> Result<(Report, u64), String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let replay = parse_jsonl(&text).map_err(|e| format!("{path}: {e}"))?;
+    Ok((build_report(&replay.records, cfg), replay.skipped_unknown))
+}
+
+/// `--diff A B`: report the deltas, exit non-zero on significant ones.
+fn run_diff(args: &Args, a_path: &str) -> Result<bool, String> {
+    let cfg = ReportConfig {
+        ports: args.ports,
+        premature_window_ns: args.window_ns,
+        ..ReportConfig::default()
+    };
+    let (a, _) = load_report(a_path, &cfg)?;
+    let (b, _) = load_report(&args.trace, &cfg)?;
+    let diff = diff_reports(&a, &b, args.epsilon);
+    if !args.quiet {
+        print!("{}", diff.render_text());
+    }
+    if let Some(path) = &args.report {
+        fs::write(path, diff.to_json().render_pretty())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        if !args.quiet {
+            println!("diff JSON written to {path}");
+        }
+    }
+    Ok(diff.significant().is_empty())
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    if let Some(a_path) = &args.diff {
+        return run_diff(args, a_path);
+    }
     let text =
         fs::read_to_string(&args.trace).map_err(|e| format!("cannot read {}: {e}", args.trace))?;
     let replay = parse_jsonl(&text).map_err(|e| format!("{}: {e}", args.trace))?;
@@ -120,7 +178,21 @@ fn run(args: &Args) -> Result<(), String> {
             println!("setup CSV written to {path}");
         }
     }
-    Ok(())
+    if let Some(path) = &args.timeseries_csv {
+        fs::write(path, pms_analyze::timeseries_csv(&replay.records))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        if !args.quiet {
+            println!("time-series CSV written to {path}");
+        }
+    }
+    if let Some(path) = &args.alerts_json {
+        fs::write(path, report.alerts.to_json().render_pretty())
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        if !args.quiet {
+            println!("alerts JSON written to {path}");
+        }
+    }
+    Ok(true)
 }
 
 fn main() -> ExitCode {
@@ -132,7 +204,8 @@ fn main() -> ExitCode {
         }
     };
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
         Err(msg) => {
             eprintln!("analyze: {msg}");
             ExitCode::FAILURE

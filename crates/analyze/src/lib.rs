@@ -22,6 +22,15 @@
 //!   distributions (p50/p99) and critical-path extraction from
 //!   `span-start`/`span-end` records, with the tiling invariant
 //!   (phases sum to the end-to-end span) checked per message;
+//! * [`timeseries`] — summary and CSV export of the slot-windowed
+//!   `metrics-snapshot` series emitted by
+//!   [`pms_trace::SnapshotCollector`];
+//! * [`alerts`] — alert raises/clears reconstructed from
+//!   `alert-raised`/`alert-cleared` records, rendered identically live
+//!   (telemetry `/alerts`) and from replay;
+//! * [`diff`] — run-vs-run deltas (`analyze --diff`): per-metric and
+//!   per-phase changes with a significance flag, plus the ratio-table
+//!   formatter `bench_baseline --check` uses;
 //! * [`report`] — all of the above assembled into one deterministic
 //!   [`Report`](report::Report), rendered as JSON or terminal text.
 //!
@@ -34,21 +43,30 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alerts;
 pub mod churn;
 pub mod contention;
 pub mod csv;
+pub mod diff;
 pub mod faults;
 pub mod heatmap;
 pub mod occupancy;
 pub mod replay;
 pub mod report;
 pub mod spans;
+pub mod timeseries;
 
+pub use alerts::{alerts, AlertsReport, RuleAlerts};
 pub use churn::{churn, CauseChurn, ChurnReport};
 pub use contention::{contention, ContentionReport, HolReport, HolStall, SetupAttribution};
+pub use diff::{
+    diff_reports, render_ratio_table, worst_regression, DiffReport, MetricDelta, RatioRow,
+    DEFAULT_EPSILON,
+};
 pub use faults::{faults, ClassFaults, FaultsReport};
 pub use heatmap::{heatmap, Heatmap};
 pub use occupancy::{occupancy, OccupancyReport, SlotOccupancy};
 pub use replay::{parse_jsonl, parse_line, Replay};
 pub use report::{build_report, infer_ports, Report, ReportConfig};
 pub use spans::{spans, CriticalMsg, PhaseStats, SpansReport};
+pub use timeseries::{timeseries, timeseries_csv, TimeseriesReport};

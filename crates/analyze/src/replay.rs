@@ -145,6 +145,32 @@ pub fn parse_line(line: &str) -> Result<Option<TraceRecord>, String> {
                 }
             }
         }
+        "metrics-snapshot" => TraceEvent::MetricsSnapshot {
+            seq: field32("seq")?,
+            delivered: field32("delivered")?,
+            bytes: field("bytes")?,
+            established: field32("established")?,
+            evicted: field32("evicted")?,
+            denied: field32("denied")?,
+            retries: field32("retries")?,
+            abandoned: field32("abandoned")?,
+            faults_injected: field32("faults_injected")?,
+            faults_cleared: field32("faults_cleared")?,
+            setups: field32("setups")?,
+            setup_total_ns: field("setup_total_ns")?,
+            setup_max_ns: field("setup_max_ns")?,
+            passes: field32("passes")?,
+        },
+        "alert-raised" => TraceEvent::AlertRaised {
+            rule: field32("rule")?,
+            seq: field32("seq")?,
+            value: field("value")?,
+            threshold: field("threshold")?,
+        },
+        "alert-cleared" => TraceEvent::AlertCleared {
+            rule: field32("rule")?,
+            seq: field32("seq")?,
+        },
         _ => return Ok(None),
     };
     Ok(Some(TraceRecord {
@@ -300,6 +326,37 @@ mod tests {
                     msg: 0,
                 },
             ),
+            mk(
+                1000,
+                1,
+                TraceEvent::MetricsSnapshot {
+                    seq: 3,
+                    delivered: 2,
+                    bytes: 1024,
+                    established: 1,
+                    evicted: 1,
+                    denied: 2,
+                    retries: 1,
+                    abandoned: 1,
+                    faults_injected: 1,
+                    faults_cleared: 1,
+                    setups: 1,
+                    setup_total_ns: 80,
+                    setup_max_ns: 80,
+                    passes: 2,
+                },
+            ),
+            mk(
+                1000,
+                1,
+                TraceEvent::AlertRaised {
+                    rule: 1,
+                    seq: 3,
+                    value: u64::MAX,
+                    threshold: u64::MAX - 2,
+                },
+            ),
+            mk(1100, 1, TraceEvent::AlertCleared { rule: 1, seq: 4 }),
         ]
     }
 

@@ -7,12 +7,14 @@
 //! analyzed in-process (`simulate --report`) or replayed from JSONL
 //! (`analyze`). CI leans on that determinism to diff the two paths.
 
+use crate::alerts::{alerts, AlertsReport};
 use crate::churn::{churn, ChurnReport};
 use crate::contention::{contention, ContentionReport};
 use crate::faults::{faults, FaultsReport};
 use crate::heatmap::{heatmap, Heatmap};
 use crate::occupancy::{occupancy, OccupancyReport};
 use crate::spans::{spans, SpansReport};
+use crate::timeseries::{timeseries, TimeseriesReport};
 use pms_trace::{Json, TraceEvent, TraceRecord};
 
 /// Report tuning knobs.
@@ -63,6 +65,10 @@ pub struct Report {
     pub faults: FaultsReport,
     /// Causal-span phase latencies and critical paths.
     pub spans: SpansReport,
+    /// Metrics-snapshot time-series summary.
+    pub timeseries: TimeseriesReport,
+    /// Alert raises/clears reconstructed from the trace.
+    pub alerts: AlertsReport,
 }
 
 /// Infers the crossbar size from a trace: one more than the largest
@@ -105,6 +111,8 @@ pub fn build_report(records: &[TraceRecord], cfg: &ReportConfig) -> Report {
         contention: contention(records, cfg.hol_factor, cfg.max_hol_stalls),
         faults: faults(records),
         spans: spans(records),
+        timeseries: timeseries(records),
+        alerts: alerts(records),
     }
 }
 
@@ -129,6 +137,8 @@ impl Report {
             ("contention", self.contention.to_json()),
             ("faults", self.faults.to_json()),
             ("spans", self.spans.to_json()),
+            ("timeseries", self.timeseries.to_json()),
+            ("alerts", self.alerts.to_json()),
         ])
     }
 
@@ -365,6 +375,9 @@ impl Report {
                 }
             }
         }
+
+        out.push_str(&self.timeseries.render_text());
+        out.push_str(&self.alerts.render_text());
         out
     }
 }
@@ -445,6 +458,8 @@ mod tests {
             "contention",
             "faults",
             "spans",
+            "timeseries",
+            "alerts",
         ] {
             assert!(a.contains(&format!("\"{section}\"")), "missing {section}");
         }
@@ -483,6 +498,8 @@ mod tests {
             "head-of-line stalls",
             "fault impact",
             "causal spans",
+            "time series",
+            "alerts",
         ] {
             assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
         }

@@ -27,10 +27,24 @@ fn bench_trace_overhead(c: &mut Criterion) {
 
     // (name, tracer constructor, profiler on?)
     type MakeTracer = fn() -> Tracer;
-    let cases: [(&str, MakeTracer, bool); 3] = [
+    let cases: [(&str, MakeTracer, bool); 4] = [
         ("null", || Tracer::Null, false),
         ("ring4096", || Tracer::ring(4096), false),
         ("null+prof", || Tracer::Null, true),
+        // Snapshot pipeline at the default slot-window cadence stacked
+        // over the same ring: the marginal cost of the time-series
+        // collector on a traced run.
+        (
+            "pipeline+ring4096",
+            || {
+                Tracer::pipeline(
+                    pms_trace::SnapshotConfig::default(),
+                    None,
+                    Tracer::ring(4096),
+                )
+            },
+            false,
+        ),
     ];
     for (name, make, profiled) in cases {
         group.bench_with_input(BenchmarkId::from_parameter(name), &make, |b, make| {

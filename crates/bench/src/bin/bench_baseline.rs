@@ -22,6 +22,7 @@
 //! than raw nanoseconds). Regressions are listed and the process exits
 //! non-zero, so CI catches a perf regression without churning the file.
 
+use pms_analyze::{render_ratio_table, worst_regression, RatioRow};
 use pms_bench::naive;
 use pms_bitmat::BitMatrix;
 use pms_sched::{slarray::reference, Priority};
@@ -255,41 +256,65 @@ fn load_baseline_speedups(path: &str) -> Vec<(String, f64)> {
         .collect()
 }
 
-/// Compares fresh measurements against the committed baseline. Returns
-/// the number of regressions (0 = pass).
+/// Compares fresh measurements against the committed baseline through
+/// the shared `pms-analyze` ratio-table formatter. Returns the number
+/// of regressions (0 = pass) and names the worst offender.
 fn check_against(path: &str, entries: &[Entry]) -> usize {
     let committed = load_baseline_speedups(path);
+    // A regression row is one whose current/committed speedup ratio
+    // falls below CHECK_TOLERANCE, i.e. below `1 - marker_tolerance`.
+    let marker_tolerance = 1.0 - CHECK_TOLERANCE;
     let mut regressions = 0usize;
-    println!("checking against {path} (tolerance {CHECK_TOLERANCE}x of committed speedup)");
+    let mut rows: Vec<RatioRow> = Vec::new();
     for (name, baseline) in &committed {
-        let Some(e) = entries.iter().find(|e| e.name == *name) else {
-            println!("  MISSING {name}: kernel no longer measured");
-            regressions += 1;
-            continue;
-        };
-        let current = e.speedup();
-        let need = baseline * CHECK_TOLERANCE;
-        let ok = current >= need && current >= e.floor;
-        println!(
-            "  {} {:<32} committed {:>7.2}x  current {:>7.2}x  (need >= {:.2}x, floor {:.1}x)",
-            if ok { "ok  " } else { "FAIL" },
-            name,
-            baseline,
-            current,
-            need,
-            e.floor
-        );
-        if !ok {
-            regressions += 1;
+        match entries.iter().find(|e| e.name == *name) {
+            Some(e) => rows.push(RatioRow {
+                name: name.clone(),
+                a: *baseline,
+                b: e.speedup(),
+            }),
+            None => {
+                println!("  MISSING {name}: kernel no longer measured");
+                regressions += 1;
+            }
         }
     }
+    println!("checking against {path} (need current >= {CHECK_TOLERANCE}x of committed speedup)");
+    print!(
+        "{}",
+        render_ratio_table(
+            ("kernel", "committed(x)", "current(x)"),
+            &rows,
+            marker_tolerance
+        )
+    );
+    regressions += rows.iter().filter(|r| r.ratio() < CHECK_TOLERANCE).count();
     for e in entries {
-        if !committed.iter().any(|(n, _)| n == e.name) {
-            println!(
+        match committed.iter().any(|(n, _)| n == e.name) {
+            true if e.speedup() < e.floor => {
+                println!(
+                    "  FLOOR {}: {:.2}x below the {:.1}x acceptance floor",
+                    e.name,
+                    e.speedup(),
+                    e.floor
+                );
+                regressions += 1;
+            }
+            false => println!(
                 "  note: {} measured but absent from the baseline (re-generate to add it)",
                 e.name
-            );
+            ),
+            _ => {}
         }
+    }
+    if let Some(worst) = worst_regression(&rows, marker_tolerance) {
+        eprintln!(
+            "worst offender: {} at {:.2}x of committed ({:.2}x -> {:.2}x)",
+            worst.name,
+            worst.ratio(),
+            worst.a,
+            worst.b
+        );
     }
     regressions
 }

@@ -13,11 +13,13 @@
 //! (Scatter, 64 B, Dynamic TDM) with the event tracer attached and
 //! writes a Chrome Trace Event file (or replayable JSONL when the path
 //! ends in `.jsonl`); `--report OUT.json` writes the `pms-analyze`
-//! report over the same cell's events.
+//! report over the same cell's events; `--alerts RULES.txt` evaluates
+//! alert rules against the cell's snapshot stream; `--timeseries-csv
+//! OUT.csv` exports the cell's per-window metrics series.
 
 use pms_bench::{run_grid, trace_and_report_flags};
 use pms_sim::{Paradigm, PredictorKind, SimParams};
-use pms_trace::{Json, Tracer};
+use pms_trace::Json;
 use pms_workloads::{ordered_mesh, random_mesh, scatter, two_phase, MeshSpec, Workload};
 
 /// Per-round computation and per-message software gap used by the mesh
@@ -109,11 +111,11 @@ fn main() {
     println!("results written to results/fig4.json");
 
     let argv: Vec<String> = std::env::args().collect();
-    trace_and_report_flags(&argv, "scatter/64B dynamic-tdm", || {
+    trace_and_report_flags(&argv, "scatter/64B dynamic-tdm", |tracer| {
         let (_, mut tracer) = Paradigm::DynamicTdm(PredictorKind::Drop).run_traced(
             &scatter(ports, 64),
             &params,
-            Tracer::vec(),
+            tracer,
         );
         pms_bench::finish(&mut tracer);
         tracer.records()

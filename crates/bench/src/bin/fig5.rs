@@ -13,11 +13,13 @@
 //! (85 % determinism, 1 preloaded slot, seed 1) with the event tracer
 //! attached and writes a Chrome Trace Event file (or replayable JSONL
 //! when the path ends in `.jsonl`); `--report OUT.json` writes the
-//! `pms-analyze` report over the same cell's events.
+//! `pms-analyze` report over the same cell's events; `--alerts
+//! RULES.txt` evaluates alert rules against the cell's snapshot stream;
+//! `--timeseries-csv OUT.csv` exports the cell's per-window series.
 
 use pms_bench::{run_grid, trace_and_report_flags};
 use pms_sim::{Paradigm, PredictorKind, SimParams};
-use pms_trace::{Json, Tracer};
+use pms_trace::Json;
 use pms_workloads::{hybrid, HybridSpec, Workload};
 
 fn main() {
@@ -122,7 +124,7 @@ fn main() {
     println!("results written to results/fig5.json");
 
     let argv: Vec<String> = std::env::args().collect();
-    trace_and_report_flags(&argv, "hybrid 85%/1p", || {
+    trace_and_report_flags(&argv, "hybrid 85%/1p", |tracer| {
         let workload = hybrid(HybridSpec {
             ports,
             determinism: 0.85,
@@ -134,7 +136,7 @@ fn main() {
             preload_slots: 1,
             predictor: PredictorKind::Drop,
         };
-        let (_, mut tracer) = paradigm.run_traced(&workload, &params, Tracer::vec());
+        let (_, mut tracer) = paradigm.run_traced(&workload, &params, tracer);
         pms_bench::finish(&mut tracer);
         tracer.records()
     });

@@ -28,7 +28,10 @@ use pms_faults::FaultPlan;
 use pms_predict::PhaseDetectorConfig;
 use pms_sim::{Paradigm, PredictorKind, SimParams, TdmMode, TdmSim};
 use pms_telemetry::TelemetryServer;
-use pms_trace::{FlightConfig, SharedTracer, Tracer};
+use pms_trace::{
+    series_to_csv, AlertRules, FlightConfig, SharedTracer, SnapshotConfig, Tracer,
+    DEFAULT_WINDOW_SLOTS,
+};
 use pms_workloads::{
     butterfly, gather, hotspot, ordered_mesh, permutation, random_mesh, ring, scatter, stencil3d,
     transpose, two_phase, uniform, MeshSpec, Workload,
@@ -46,6 +49,8 @@ struct Args {
     report: Option<String>,
     flight: Option<String>,
     faults: Option<String>,
+    alerts: Option<String>,
+    timeseries_csv: Option<String>,
     serve: Option<String>,
     json: bool,
     phase_detector: bool,
@@ -72,6 +77,8 @@ fn parse_args() -> Args {
         report: None,
         flight: None,
         faults: None,
+        alerts: None,
+        timeseries_csv: None,
         serve: None,
         json: false,
         phase_detector: false,
@@ -112,6 +119,8 @@ fn parse_args() -> Args {
             "--report" => args.report = Some(value(i).to_string()),
             "--flight-recorder" => args.flight = Some(value(i).to_string()),
             "--faults" => args.faults = Some(value(i).to_string()),
+            "--alerts" => args.alerts = Some(value(i).to_string()),
+            "--timeseries-csv" => args.timeseries_csv = Some(value(i).to_string()),
             "--serve" => args.serve = Some(value(i).to_string()),
             "--help" | "-h" => usage(),
             other => {
@@ -140,6 +149,7 @@ fn usage() -> ! {
         "usage: simulate [--pattern P] [--ports N] [--bytes B] [--paradigm X]\n\
          \x20               [--slots K] [--timeout NS] [--seed S]\n\
          \x20               [--trace OUT] [--report OUT.json] [--faults PLAN.txt]\n\
+         \x20               [--alerts RULES.txt] [--timeseries-csv OUT.csv]\n\
          \x20               [--flight-recorder OUT.jsonl] [--serve ADDR] [--json]\n\
          \x20               [--phase-detector] [--no-idle-skip]\n\
          patterns : scatter gather ring uniform hotspot permutation butterfly\n\
@@ -149,10 +159,15 @@ fn usage() -> ! {
          \x20          analyze binary), otherwise Chrome Trace Event format\n\
          --report : run the pms-analyze report over the run and write its JSON\n\
          --faults : inject the deterministic fault plan parsed from PLAN.txt\n\
+         --alerts : evaluate the alert rules file against slot-window metric\n\
+         \x20          snapshots; raises/clears land in the trace stream\n\
+         --timeseries-csv : write the per-window metrics-snapshot series as CSV\n\
          --flight-recorder : bounded-ring anomaly recorder; dumps the ring to\n\
-         \x20          the given JSONL only when a setup-latency outlier fires\n\
+         \x20          the given JSONL when an alert fires (default rules:\n\
+         \x20          setup-latency spike / abandoned message)\n\
          --serve  : serve live telemetry over HTTP at ADDR (e.g.\n\
-         \x20          127.0.0.1:9924): /metrics /report /flight /spans?msg=N;\n\
+         \x20          127.0.0.1:9924): /metrics /metrics.json /report /alerts\n\
+         \x20          /timeseries /flight /spans?msg=N;\n\
          \x20          lingers after the run until GET /shutdown\n\
          --json   : print statistics as one JSON object\n\
          --phase-detector : attach the miss-rate phase detector (dynamic TDM)\n\
@@ -269,17 +284,23 @@ fn main() {
         None => FaultPlan::new(),
     };
 
+    let rules = args.alerts.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(format!("cannot read alert rules {path}: {e}")));
+        AlertRules::parse(&text).unwrap_or_else(|e| die(format!("{path}: {e}")))
+    });
+
     let server = args.serve.as_ref().map(|addr| {
         let shared = SharedTracer::new();
         let server = TelemetryServer::start(addr, shared.clone())
             .unwrap_or_else(|e| die(format!("cannot serve on {addr}: {e}")));
         eprintln!(
-            "serving      : http://{}/  (/metrics /report /flight /spans?msg=N /shutdown)",
+            "serving      : http://{}/  (/metrics /metrics.json /report /alerts /timeseries /flight /spans?msg=N /shutdown)",
             server.addr()
         );
         (shared, server)
     });
-    let tracer = if let Some(path) = &args.flight {
+    let base = if let Some(path) = &args.flight {
         Tracer::flight(path.clone(), FlightConfig::default())
     } else if let Some((shared, _)) = &server {
         Tracer::shared(shared.clone())
@@ -287,6 +308,23 @@ fn main() {
         Tracer::vec()
     } else {
         Tracer::Null
+    };
+    // Stack the snapshot/alert pipeline in front of any live sink (so
+    // traces, reports, and telemetry all carry the metrics-snapshot
+    // series), and whenever snapshots or alerts were asked for
+    // explicitly. The flight recorder dumps on alert-raised records
+    // flowing through it, so it always gets a rule set.
+    let snap_cfg = SnapshotConfig::per_slots(params.slot_ns, DEFAULT_WINDOW_SLOTS);
+    let want_alerts = rules.is_some();
+    let tracer = if base.enabled() || want_alerts || args.timeseries_csv.is_some() {
+        let rules = match (rules, args.flight.is_some()) {
+            (Some(r), _) => Some(r),
+            (None, true) => Some(AlertRules::default_flight()),
+            (None, false) => None,
+        };
+        Tracer::pipeline(snap_cfg, rules, base)
+    } else {
+        base
     };
     let wall_start = std::time::Instant::now();
     let (stats, mut tracer) = if args.phase_detector {
@@ -318,7 +356,15 @@ fn main() {
             .unwrap_or_else(|e| die(format!("cannot write trace {path}: {e}")));
         eprintln!("trace        : {} events -> {path}", records.len());
     }
-    if let Tracer::Flight(fr) = &tracer {
+    let flight_recorder = match &tracer {
+        Tracer::Flight(fr) => Some(fr.as_ref()),
+        Tracer::Pipeline(p) => match p.inner() {
+            Tracer::Flight(fr) => Some(fr.as_ref()),
+            _ => None,
+        },
+        _ => None,
+    };
+    if let Some(fr) = flight_recorder {
         if fr.triggers() > 0 {
             eprintln!(
                 "flight       : {} trigger(s), {} records -> {}",
@@ -330,6 +376,23 @@ fn main() {
             eprintln!("flight       : no anomalies; nothing written");
         }
     }
+    if let (Tracer::Pipeline(p), true) = (&tracer, args.alerts.is_some()) {
+        if let Some(engine) = p.engine() {
+            eprintln!(
+                "alerts       : {} rule(s), {} raised, {} cleared over {} window(s)",
+                engine.rules().len(),
+                engine.raised(),
+                engine.cleared(),
+                p.collector().emitted()
+            );
+        }
+    }
+    if let Some(path) = &args.timeseries_csv {
+        let snaps = tracer.snapshots();
+        std::fs::write(path, series_to_csv(&snaps))
+            .unwrap_or_else(|e| die(format!("cannot write time series {path}: {e}")));
+        eprintln!("time series  : {} window(s) -> {path}", snaps.len());
+    }
     if let Some(path) = &args.report {
         let report = write_report_file(path, &tracer.records(), &ReportConfig::default())
             .unwrap_or_else(|e| die(format!("cannot write report {path}: {e}")));
@@ -338,6 +401,11 @@ fn main() {
     }
     if let Some((_, srv)) = &server {
         srv.publish_metrics(stats.registry());
+        srv.publish_labels(&[
+            ("paradigm", stats.paradigm.clone()),
+            ("ports", args.ports.to_string()),
+            ("k", args.slots.to_string()),
+        ]);
     }
     if args.json {
         println!("{}", stats.to_json().render_pretty());

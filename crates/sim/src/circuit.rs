@@ -284,6 +284,7 @@ impl CircuitSim {
         let mut spans = std::mem::take(&mut self.spans);
         let mut tracer = self.tracer;
         spans.finish(&mut tracer, t, 0);
+        tracer.seal(t, 0);
         let _ = tracer.finish();
         (stats, tracer)
     }

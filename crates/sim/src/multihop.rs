@@ -138,7 +138,9 @@ impl MultihopWormholeSim {
     /// collected records.
     pub fn run_traced(mut self) -> (SimStats, Tracer) {
         self.poll_engine(0);
+        let mut end_t = 0;
         while let Some(Reverse((t, _, ev))) = self.events.pop() {
+            end_t = end_t.max(t);
             assert!(
                 t <= self.params.max_sim_ns,
                 "multihop simulation exceeded {} ns (deadlock?)",
@@ -162,6 +164,7 @@ impl MultihopWormholeSim {
         let mut spans = std::mem::take(&mut self.spans);
         let mut tracer = self.tracer;
         spans.finish(&mut tracer, 0, 0);
+        tracer.seal(end_t, 0);
         let _ = tracer.finish();
         (stats, tracer)
     }

@@ -504,6 +504,7 @@ impl TdmSim {
         let mut spans = std::mem::take(&mut self.spans);
         let mut tracer = self.tracer;
         spans.finish(&mut tracer, t, self.cur_slot);
+        tracer.seal(t, self.cur_slot);
         let _ = tracer.finish();
         (stats, tracer)
     }

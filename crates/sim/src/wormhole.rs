@@ -191,7 +191,9 @@ impl WormholeSim {
     pub fn run_traced(mut self) -> (SimStats, Tracer) {
         self.poll_faults(0);
         self.poll_engine(0);
+        let mut end_t = 0;
         while let Some(Reverse((t, _, ev))) = self.events.pop() {
+            end_t = end_t.max(t);
             if self.engine.all_done() && self.undelivered == 0 {
                 // Only stale wake-ups remain (fault boundaries can extend
                 // far past the last delivery).
@@ -225,6 +227,7 @@ impl WormholeSim {
         let mut spans = std::mem::take(&mut self.spans);
         let mut tracer = self.tracer;
         spans.finish(&mut tracer, 0, 0);
+        tracer.seal(end_t, 0);
         let _ = tracer.finish();
         (stats, tracer)
     }

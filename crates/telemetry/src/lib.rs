@@ -11,25 +11,35 @@
 //!
 //! | path            | body                                                        |
 //! |-----------------|-------------------------------------------------------------|
-//! | `/metrics`      | published [`MetricsRegistry`] merged with kernel profiles   |
+//! | `/metrics`      | published [`MetricsRegistry`] merged with kernel profiles, Prometheus text exposition (with published labels) |
+//! | `/metrics.json` | the same registry as JSON                                   |
 //! | `/report`       | full analyzer report over the current trace snapshot        |
+//! | `/timeseries`   | slot-windowed metrics-snapshot series as JSON               |
+//! | `/alerts`       | alert raises/clears reconstructed from the trace            |
 //! | `/flight`       | trace snapshot as JSONL (`?n=N` tails the last N records)   |
 //! | `/spans?msg=N`  | paired causal spans for one message                         |
 //! | `/shutdown`     | acknowledges, then stops the server                         |
 //!
-//! Two byte-level guarantees matter for CI:
+//! Three byte-level guarantees matter for CI:
 //!
 //! * `/report` renders exactly what `analyze --report` writes for the
 //!   same records (both are `build_report(..).to_json().render_pretty()`),
 //!   so a drained `/flight` dump replayed offline must reproduce the
 //!   live report byte for byte.
+//! * `/alerts` renders exactly what `analyze --alerts-json` writes for
+//!   the same records (both are `alerts(..).to_json().render_pretty()`);
+//!   alert events carry rule indices, not names, so replay needs no
+//!   rules file.
 //! * `/flight` lines are exactly the [`JsonlTracer`](pms_trace::JsonlTracer)
 //!   stream format (`record_json(rec).render()` + newline), so the dump
 //!   feeds straight into the `analyze` binary.
 
-use pms_analyze::{build_report, ReportConfig};
+use pms_analyze::{alerts, build_report, ReportConfig};
 use pms_trace::sink::record_json;
-use pms_trace::{prof, Json, MetricsRegistry, SharedTracer, TraceEvent, TraceRecord};
+use pms_trace::{
+    prof, series_from_records, Json, MetricsRegistry, SharedTracer, TraceEvent, TraceRecord,
+    PROMETHEUS_CONTENT_TYPE,
+};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -50,6 +60,7 @@ pub struct TelemetryServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
     registry: Arc<Mutex<MetricsRegistry>>,
+    labels: Arc<Mutex<Vec<(String, String)>>>,
     handle: Option<JoinHandle<()>>,
 }
 
@@ -62,9 +73,11 @@ impl TelemetryServer {
         let addr = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
         let registry = Arc::new(Mutex::new(MetricsRegistry::new()));
+        let labels = Arc::new(Mutex::new(Vec::new()));
         let state = ServerState {
             tracer,
             registry: Arc::clone(&registry),
+            labels: Arc::clone(&labels),
             stop: Arc::clone(&stop),
         };
         let handle = std::thread::Builder::new()
@@ -74,6 +87,7 @@ impl TelemetryServer {
             addr,
             stop,
             registry,
+            labels,
             handle: Some(handle),
         })
     }
@@ -90,6 +104,16 @@ impl TelemetryServer {
     /// per-request on top of whatever is published here.
     pub fn publish_metrics(&self, reg: MetricsRegistry) {
         *self.registry.lock().expect("telemetry registry poisoned") = reg;
+    }
+
+    /// Sets the label set attached to every Prometheus sample on
+    /// `/metrics` (e.g. `paradigm`, `ports`, `k`). Labels render in the
+    /// order given.
+    pub fn publish_labels(&self, labels: &[(&str, String)]) {
+        *self.labels.lock().expect("telemetry labels poisoned") = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect();
     }
 
     /// Stops the accept loop and joins the server thread.
@@ -128,6 +152,7 @@ impl Drop for TelemetryServer {
 struct ServerState {
     tracer: SharedTracer,
     registry: Arc<Mutex<MetricsRegistry>>,
+    labels: Arc<Mutex<Vec<(String, String)>>>,
     stop: Arc<AtomicBool>,
 }
 
@@ -175,7 +200,25 @@ fn handle_connection(stream: TcpStream, state: &ServerState) -> io::Result<()> {
     };
     match path {
         "/metrics" => {
+            let body = metrics_prometheus(state);
+            respond(&mut stream, 200, PROMETHEUS_CONTENT_TYPE, &body)
+        }
+        "/metrics.json" => {
             let body = metrics_body(state);
+            respond(&mut stream, 200, "application/json", &body)
+        }
+        "/timeseries" => {
+            let records = state.tracer.snapshot();
+            respond(
+                &mut stream,
+                200,
+                "application/json",
+                &timeseries_body(&records),
+            )
+        }
+        "/alerts" => {
+            let records = state.tracer.snapshot();
+            let body = alerts(&records).to_json().render_pretty();
             respond(&mut stream, 200, "application/json", &body)
         }
         "/report" => {
@@ -226,13 +269,45 @@ fn respond(stream: &mut TcpStream, status: u16, content_type: &str, body: &str) 
 /// The published registry with the process-wide kernel profile counters
 /// merged on top (fresh per request, so a poller watches them move).
 fn metrics_body(state: &ServerState) -> String {
+    merged_registry(state).to_json().render_pretty()
+}
+
+/// The same registry in Prometheus text exposition format, with the
+/// published label set on every sample.
+fn metrics_prometheus(state: &ServerState) -> String {
+    let labels = state
+        .labels
+        .lock()
+        .expect("telemetry labels poisoned")
+        .clone();
+    let labels: Vec<(&str, String)> = labels
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.clone()))
+        .collect();
+    merged_registry(state).to_prometheus(&labels)
+}
+
+fn merged_registry(state: &ServerState) -> MetricsRegistry {
     let mut reg = state
         .registry
         .lock()
         .expect("telemetry registry poisoned")
         .clone();
     prof::export_metrics(&mut reg);
-    reg.to_json().render_pretty()
+    reg
+}
+
+/// The metrics-snapshot series reconstructed from the trace snapshot.
+fn timeseries_body(records: &[TraceRecord]) -> String {
+    let series = series_from_records(records);
+    Json::obj([
+        ("windows", Json::UInt(series.len() as u64)),
+        (
+            "series",
+            Json::Array(series.iter().map(|s| s.to_json()).collect()),
+        ),
+    ])
+    .render_pretty()
 }
 
 /// The snapshot in `JsonlTracer` stream format; `?n=N` keeps only the
@@ -339,8 +414,8 @@ mod tests {
     use pms_trace::{TraceSink, Tracer};
     use std::io::Read;
 
-    /// Blocking mini-client: one GET, returns (status, body).
-    fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+    /// Blocking mini-client: one GET, returns (status, headers, body).
+    fn get_full(addr: SocketAddr, target: &str) -> (u16, String, String) {
         let mut stream = TcpStream::connect(addr).expect("connect");
         write!(stream, "GET {target} HTTP/1.1\r\nHost: test\r\n\r\n").expect("send");
         let mut raw = String::new();
@@ -351,7 +426,13 @@ mod tests {
             .nth(1)
             .and_then(|s| s.parse().ok())
             .expect("status code");
-        (status, body.to_string())
+        (status, head.to_string(), body.to_string())
+    }
+
+    /// Blocking mini-client: one GET, returns (status, body).
+    fn get(addr: SocketAddr, target: &str) -> (u16, String) {
+        let (status, _, body) = get_full(addr, target);
+        (status, body)
     }
 
     /// A shared tracer pre-filled with a tiny traced run: one message
@@ -378,7 +459,7 @@ mod tests {
         let id = reg.counter("sim.delivered_messages");
         reg.set(id, 42);
         server.publish_metrics(reg);
-        let (status, body) = get(server.addr(), "/metrics");
+        let (status, body) = get(server.addr(), "/metrics.json");
         assert_eq!(status, 200);
         let js = Json::parse(&body).expect("metrics is JSON");
         let counters = match &js {
@@ -398,6 +479,141 @@ mod tests {
                 assert!(fields.iter().any(|(k, _)| k == "prof.sl_pass.calls"));
             }
             other => panic!("counters not an object: {other:?}"),
+        }
+        server.stop();
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_prometheus_with_labels() {
+        let server = TelemetryServer::start("127.0.0.1:0", SharedTracer::new()).expect("start");
+        let mut reg = MetricsRegistry::new();
+        let id = reg.counter("sim.delivered_messages");
+        reg.set(id, 42);
+        server.publish_metrics(reg);
+        server.publish_labels(&[
+            ("paradigm", "tdm".to_string()),
+            ("ports", "8".to_string()),
+            ("k", "4".to_string()),
+        ]);
+        let (status, head, body) = get_full(server.addr(), "/metrics");
+        assert_eq!(status, 200);
+        assert!(
+            head.contains(&format!("Content-Type: {PROMETHEUS_CONTENT_TYPE}")),
+            "wrong content type: {head}"
+        );
+        assert!(
+            body.contains("pms_sim_delivered_messages{paradigm=\"tdm\",ports=\"8\",k=\"4\"} 42"),
+            "missing labeled sample: {body}"
+        );
+        // Kernel profile counters ride along in Prometheus form too.
+        assert!(body.contains("pms_prof_sl_pass_calls"), "{body}");
+        server.stop();
+    }
+
+    #[test]
+    fn timeseries_endpoint_reconstructs_snapshot_series() {
+        let shared = SharedTracer::new();
+        let mut sink = shared.clone();
+        for (seq, t_ns) in [(0u32, 6400u64), (3, 25600)] {
+            sink.record(TraceRecord {
+                t_ns,
+                slot: 0,
+                event: TraceEvent::MetricsSnapshot {
+                    seq,
+                    delivered: 2,
+                    bytes: 128,
+                    established: 1,
+                    evicted: 0,
+                    denied: 0,
+                    retries: 0,
+                    abandoned: 0,
+                    faults_injected: 0,
+                    faults_cleared: 0,
+                    setups: 1,
+                    setup_total_ns: 80,
+                    setup_max_ns: 80,
+                    passes: 1,
+                },
+            });
+        }
+        let server = TelemetryServer::start("127.0.0.1:0", shared).expect("start");
+        let (status, body) = get(server.addr(), "/timeseries");
+        assert_eq!(status, 200);
+        let js = Json::parse(&body).expect("timeseries is JSON");
+        let rendered = js.render();
+        assert!(rendered.contains("\"windows\":2"), "{rendered}");
+        assert!(rendered.contains("\"seq\":0"), "{rendered}");
+        assert!(rendered.contains("\"seq\":3"), "{rendered}");
+        server.stop();
+    }
+
+    #[test]
+    fn alerts_endpoint_matches_offline_alerts_byte_for_byte() {
+        let shared = SharedTracer::new();
+        let mut sink = shared.clone();
+        sink.record(TraceRecord {
+            t_ns: 100,
+            slot: 0,
+            event: TraceEvent::AlertRaised {
+                rule: 1,
+                seq: 0,
+                value: 9,
+                threshold: 5,
+            },
+        });
+        sink.record(TraceRecord {
+            t_ns: 300,
+            slot: 0,
+            event: TraceEvent::AlertCleared { rule: 1, seq: 2 },
+        });
+        let server = TelemetryServer::start("127.0.0.1:0", shared.clone()).expect("start");
+        let (status, live) = get(server.addr(), "/alerts");
+        assert_eq!(status, 200);
+        let offline = alerts(&shared.snapshot()).to_json().render_pretty();
+        assert_eq!(live, offline);
+        assert!(live.contains("\"raises\": 1"), "{live}");
+        server.stop();
+    }
+
+    #[test]
+    fn partial_requests_do_not_wedge_the_server() {
+        let shared = traced_fixture();
+        let server = TelemetryServer::start("127.0.0.1:0", shared).expect("start");
+        // A client that sends half a request line and goes away.
+        {
+            let mut s = TcpStream::connect(server.addr()).expect("connect");
+            write!(s, "GET /met").expect("send partial");
+        }
+        // A client that connects and sends nothing at all.
+        drop(TcpStream::connect(server.addr()).expect("connect"));
+        // A client that sends a request line but never ends its headers.
+        {
+            let mut s = TcpStream::connect(server.addr()).expect("connect");
+            write!(s, "GET /metrics HTTP/1.1\r\nHost: test\r\n").expect("send");
+        }
+        // The server still answers a well-formed request afterwards.
+        let (status, body) = get(server.addr(), "/report");
+        assert_eq!(status, 200);
+        assert!(body.contains("\"records\""));
+        server.stop();
+    }
+
+    #[test]
+    fn flight_tail_bounds_and_unknown_paths() {
+        let shared = traced_fixture();
+        let total = shared.len();
+        let server = TelemetryServer::start("127.0.0.1:0", shared).expect("start");
+        let (status, none) = get(server.addr(), "/flight?n=0");
+        assert_eq!(status, 200);
+        assert!(none.is_empty(), "n=0 should return no records: {none}");
+        let (status, all) = get(server.addr(), "/flight?n=1000000");
+        assert_eq!(status, 200);
+        assert_eq!(all.lines().count(), total);
+        let (status, _) = get(server.addr(), "/flight?n=-1");
+        assert_eq!(status, 400);
+        for path in ["/metrics.jsonx", "/timeserie", "/alerts/all"] {
+            let (status, _) = get(server.addr(), path);
+            assert_eq!(status, 404, "{path} should 404");
         }
         server.stop();
     }

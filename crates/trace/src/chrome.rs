@@ -282,6 +282,53 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> Json {
                     ),
                 ]));
             }
+            // Observability-pipeline records render on the scheduler
+            // pseudo-thread; the snapshot keeps only its headline fields
+            // (the full payload lives in the JSONL trace).
+            TraceEvent::MetricsSnapshot {
+                seq,
+                delivered,
+                bytes,
+                denied,
+                retries,
+                ..
+            } => {
+                events.push(instant(
+                    rec,
+                    SCHED_TID,
+                    vec![
+                        ("seq", seq.into()),
+                        ("delivered", delivered.into()),
+                        ("bytes", bytes.into()),
+                        ("denied", denied.into()),
+                        ("retries", retries.into()),
+                    ],
+                ));
+            }
+            TraceEvent::AlertRaised {
+                rule,
+                seq,
+                value,
+                threshold,
+            } => {
+                events.push(instant(
+                    rec,
+                    SCHED_TID,
+                    vec![
+                        ("rule", rule.into()),
+                        ("seq", seq.into()),
+                        ("value", value.into()),
+                        ("threshold", threshold.into()),
+                    ],
+                ));
+            }
+            TraceEvent::AlertCleared { rule, seq } => {
+                events.push(instant(
+                    rec,
+                    SCHED_TID,
+                    vec![("rule", rule.into()), ("seq", seq.into())],
+                ));
+            }
         }
     }
     Json::Array(events)
@@ -422,6 +469,37 @@ mod tests {
                     msg: 0,
                 },
             ),
+            mk(
+                1000,
+                5,
+                TraceEvent::MetricsSnapshot {
+                    seq: 0,
+                    delivered: 1,
+                    bytes: 64,
+                    established: 1,
+                    evicted: 1,
+                    denied: 0,
+                    retries: 1,
+                    abandoned: 1,
+                    faults_injected: 1,
+                    faults_cleared: 1,
+                    setups: 1,
+                    setup_total_ns: 80,
+                    setup_max_ns: 80,
+                    passes: 1,
+                },
+            ),
+            mk(
+                1000,
+                5,
+                TraceEvent::AlertRaised {
+                    rule: 0,
+                    seq: 0,
+                    value: 1,
+                    threshold: 1,
+                },
+            ),
+            mk(2000, 6, TraceEvent::AlertCleared { rule: 0, seq: 1 }),
         ]
     }
 
@@ -431,8 +509,8 @@ mod tests {
         let Json::Array(events) = &json else {
             panic!("chrome trace must be a JSON array")
         };
-        // 13 instants + 1 duration bar for the delivery + a span B/E pair.
-        assert_eq!(events.len(), 16);
+        // 16 instants + 1 duration bar for the delivery + a span B/E pair.
+        assert_eq!(events.len(), 19);
         let rendered = json.render();
         assert!(rendered.contains(r#""ph":"B""#), "span begin missing");
         assert!(rendered.contains(r#""ph":"E""#), "span end missing");
@@ -450,6 +528,9 @@ mod tests {
             "fault-cleared",
             "msg-retried",
             "msg-abandoned",
+            "metrics-snapshot",
+            "alert-raised",
+            "alert-cleared",
         ] {
             assert!(rendered.contains(kind), "missing event kind {kind}");
         }

@@ -343,6 +343,61 @@ pub enum TraceEvent {
         /// Message id (or `NO_MSG`), repeated for self-description.
         msg: u32,
     },
+    /// Per-window metrics deltas emitted by the snapshot pipeline when a
+    /// slot window closes (see `pms_trace::timeseries`). Windows are keyed
+    /// to simulation time — never wall clock — so JSONL replay
+    /// reconstructs the exact series. All-idle windows are skipped; gaps
+    /// in `seq` are therefore meaningful, not lossy.
+    MetricsSnapshot {
+        /// Window index: `window_start_ns / window_ns`.
+        seq: u32,
+        /// Messages delivered in this window.
+        delivered: u32,
+        /// Payload bytes delivered in this window.
+        bytes: u64,
+        /// Connections established in this window.
+        established: u32,
+        /// Connections evicted in this window.
+        evicted: u32,
+        /// Scheduler denials in this window (summed over passes).
+        denied: u32,
+        /// Message retries in this window.
+        retries: u32,
+        /// Messages abandoned in this window.
+        abandoned: u32,
+        /// Faults injected in this window.
+        faults_injected: u32,
+        /// Faults cleared in this window.
+        faults_cleared: u32,
+        /// Request→establish setups completed in this window.
+        setups: u32,
+        /// Sum of setup latencies completed in this window.
+        setup_total_ns: u64,
+        /// Worst setup latency completed in this window.
+        setup_max_ns: u64,
+        /// Scheduling passes run in this window.
+        passes: u32,
+    },
+    /// An alert rule started firing (see `pms_trace::alerts`). Carries the
+    /// rule's *index* in the rules file — names live in the file, so the
+    /// event stays allocation-free and replay needs no side channel.
+    AlertRaised {
+        /// 0-based rule index in the rules file.
+        rule: u32,
+        /// Snapshot window (`MetricsSnapshot::seq`) that tripped the rule.
+        seq: u32,
+        /// Observed metric value (two's-complement `i64` for rate rules).
+        value: u64,
+        /// Threshold the value breached (same encoding as `value`).
+        threshold: u64,
+    },
+    /// A previously raised alert rule stopped firing.
+    AlertCleared {
+        /// 0-based rule index in the rules file.
+        rule: u32,
+        /// Snapshot window that satisfied the clear condition.
+        seq: u32,
+    },
 }
 
 impl TraceEvent {
@@ -364,11 +419,14 @@ impl TraceEvent {
             TraceEvent::MsgAbandoned { .. } => "msg-abandoned",
             TraceEvent::SpanStart { .. } => "span-start",
             TraceEvent::SpanEnd { .. } => "span-end",
+            TraceEvent::MetricsSnapshot { .. } => "metrics-snapshot",
+            TraceEvent::AlertRaised { .. } => "alert-raised",
+            TraceEvent::AlertCleared { .. } => "alert-cleared",
         }
     }
 
     /// Number of distinct event kinds (exporter sanity checks).
-    pub const KIND_COUNT: usize = 15;
+    pub const KIND_COUNT: usize = 18;
 }
 
 /// A [`TraceEvent`] stamped with when (simulation ns) and where (active
@@ -466,6 +524,29 @@ mod tests {
                 phase: SpanPhase::Msg,
                 msg: 0,
             },
+            TraceEvent::MetricsSnapshot {
+                seq: 0,
+                delivered: 4,
+                bytes: 256,
+                established: 2,
+                evicted: 1,
+                denied: 0,
+                retries: 0,
+                abandoned: 0,
+                faults_injected: 0,
+                faults_cleared: 0,
+                setups: 2,
+                setup_total_ns: 160,
+                setup_max_ns: 90,
+                passes: 8,
+            },
+            TraceEvent::AlertRaised {
+                rule: 0,
+                seq: 0,
+                value: 4,
+                threshold: 2,
+            },
+            TraceEvent::AlertCleared { rule: 0, seq: 1 },
         ];
         let mut kinds: Vec<&str> = events.iter().map(|e| e.kind()).collect();
         assert_eq!(kinds.len(), TraceEvent::KIND_COUNT);

@@ -1,26 +1,25 @@
 //! The flight recorder: a bounded ring of recent events that is flushed
-//! to JSONL only when an anomaly detector fires.
+//! to JSONL only when an alert fires.
 //!
 //! Long runs cannot afford to stream every event to disk, but the events
-//! *leading up to* a pathology (a connection that waited far longer than
-//! its peers to be established) are exactly what a post-mortem needs.
-//! The recorder keeps the last `capacity` records in memory, watches
-//! every `ConnRequested -> ConnEstablished` pair online, and when a setup
-//! latency lands above the configured quantile of all setups seen so far
-//! (after a warmup, and above an absolute floor), dumps the ring to the
-//! output file as JSON Lines — prefixed by a `flight-trigger` marker line
-//! identifying the offending connection and the threshold it breached.
+//! *leading up to* a pathology are exactly what a post-mortem needs. The
+//! recorder keeps the last `capacity` records in memory and dumps the
+//! ring whenever an [`AlertRaised`](TraceEvent::AlertRaised) record flows
+//! through — prefixed by a `flight-trigger` marker line identifying the
+//! rule that fired, the value it saw, and the threshold it breached.
 //!
-//! The detector is integer-only on the hot path: the quantile comes from
-//! the same log2 [`Histogram`] the metrics registry uses, so arming and
-//! checking cost a `leading_zeros` and two comparisons.
+//! Who raises the alerts is the snapshot/alert pipeline
+//! ([`Tracer::pipeline`](crate::Tracer::pipeline)) stacked in front: the
+//! declarative rules in `pms_trace::alerts` subsume the hardcoded p99
+//! setup-latency trigger earlier revisions wired into this type.
+//! `simulate --flight-recorder` uses
+//! [`AlertRules::default_flight`](crate::alerts::AlertRules::default_flight)
+//! when no rules file is given.
 
 use crate::event::TraceEvent;
 use crate::json::ParseError;
-use crate::metrics::Histogram;
 use crate::sink::{record_json, RingTracer, TraceSink};
 use crate::{Json, TraceRecord};
-use std::collections::HashMap;
 use std::fmt;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
@@ -77,69 +76,45 @@ pub fn parse_flight_dump(text: &str) -> Result<Vec<Json>, FlightParseError> {
     Ok(docs)
 }
 
-/// Tuning for the [`FlightRecorder`]'s anomaly detector.
+/// Tuning for the [`FlightRecorder`].
 #[derive(Debug, Clone)]
 pub struct FlightConfig {
     /// Ring capacity: how many recent records each dump carries.
     pub capacity: usize,
-    /// Setup-latency quantile that arms the trigger (e.g. `0.99`).
-    pub quantile: f64,
-    /// Setup samples required before the detector may fire (a cold
-    /// histogram would flag the very first latency as anomalous).
-    pub warmup_samples: u64,
-    /// Absolute floor: latencies at or below this never fire, whatever
-    /// the quantile says (suppresses noise on uniformly fast runs).
-    pub min_latency_ns: u64,
 }
 
 impl Default for FlightConfig {
     fn default() -> Self {
-        FlightConfig {
-            capacity: 4096,
-            quantile: 0.99,
-            warmup_samples: 32,
-            min_latency_ns: 0,
-        }
+        FlightConfig { capacity: 4096 }
     }
 }
 
-/// A [`TraceSink`] implementing the flight-recorder pattern.
+/// A [`TraceSink`] implementing the flight-recorder pattern: buffer
+/// everything, write only alert-triggered windows.
 #[derive(Debug)]
 pub struct FlightRecorder {
     ring: RingTracer,
-    cfg: FlightConfig,
     path: PathBuf,
-    /// Opened lazily on the first trigger, so an anomaly-free run leaves
+    /// Opened lazily on the first trigger, so an alert-free run leaves
     /// no file behind.
     out: Option<BufWriter<File>>,
-    /// Outstanding `ConnRequested` times per (src, dst).
-    pending: HashMap<(u32, u32), u64>,
-    setup: Histogram,
     triggers: u64,
     written: u64,
 }
 
 impl FlightRecorder {
-    /// A recorder dumping to `path` with the given detector tuning.
+    /// A recorder dumping to `path` with the given ring capacity.
     pub fn new(path: impl Into<PathBuf>, cfg: FlightConfig) -> Self {
-        assert!(
-            (0.0..=1.0).contains(&cfg.quantile),
-            "quantile {} outside [0, 1]",
-            cfg.quantile
-        );
         FlightRecorder {
             ring: RingTracer::new(cfg.capacity),
-            cfg,
             path: path.into(),
             out: None,
-            pending: HashMap::new(),
-            setup: Histogram::new(),
             triggers: 0,
             written: 0,
         }
     }
 
-    /// Times the anomaly detector has fired.
+    /// Times an alert has triggered a dump.
     pub fn triggers(&self) -> u64 {
         self.triggers
     }
@@ -147,11 +122,6 @@ impl FlightRecorder {
     /// JSONL lines written across all dumps (markers + records).
     pub fn written(&self) -> u64 {
         self.written
-    }
-
-    /// Setup latencies observed so far (the detector's evidence).
-    pub fn setup_histogram(&self) -> &Histogram {
-        &self.setup
     }
 
     /// The records currently buffered (oldest first).
@@ -167,7 +137,7 @@ impl FlightRecorder {
         }
     }
 
-    fn dump(&mut self, trigger: TraceRecord, latency_ns: u64, threshold_ns: u64) {
+    fn dump(&mut self, trigger: TraceRecord, rule: u32, seq: u32, value: u64, threshold: u64) {
         // A full disk must not take the simulation down: I/O errors are
         // swallowed (matching JsonlTracer), the trigger is still counted.
         self.triggers += 1;
@@ -178,18 +148,14 @@ impl FlightRecorder {
             }
         }
         let out = self.out.as_mut().expect("opened above");
-        let (src, dst) = match trigger.event {
-            TraceEvent::ConnEstablished { src, dst, .. } => (src, dst),
-            _ => unreachable!("only establishes trigger dumps"),
-        };
         let marker = Json::obj([
             ("kind", Json::str("flight-trigger")),
             ("t_ns", trigger.t_ns.into()),
             ("slot", trigger.slot.into()),
-            ("src", src.into()),
-            ("dst", dst.into()),
-            ("setup_latency_ns", latency_ns.into()),
-            ("threshold_ns", threshold_ns.into()),
+            ("rule", rule.into()),
+            ("seq", seq.into()),
+            ("value", value.into()),
+            ("threshold", threshold.into()),
             ("trigger_seq", self.triggers.into()),
             ("events", self.ring.records().len().into()),
         ]);
@@ -207,29 +173,18 @@ impl FlightRecorder {
 }
 
 impl TraceSink for FlightRecorder {
+    // Outlined: keeps `Tracer::emit`'s inlined match small.
+    #[inline(never)]
     fn record(&mut self, rec: TraceRecord) {
         self.ring.record(rec);
-        match rec.event {
-            TraceEvent::ConnRequested { src, dst } => {
-                self.pending.entry((src, dst)).or_insert(rec.t_ns);
-            }
-            TraceEvent::ConnEstablished { src, dst, .. } => {
-                if let Some(t0) = self.pending.remove(&(src, dst)) {
-                    let latency = rec.t_ns.saturating_sub(t0);
-                    let armed = self.setup.count() >= self.cfg.warmup_samples;
-                    let threshold = self
-                        .setup
-                        .quantile(self.cfg.quantile)
-                        .max(self.cfg.min_latency_ns);
-                    // Strictly above: a fleet of identical latencies sits
-                    // *at* its own quantile and must not fire.
-                    if armed && latency > threshold {
-                        self.dump(rec, latency, threshold);
-                    }
-                    self.setup.record(latency);
-                }
-            }
-            _ => {}
+        if let TraceEvent::AlertRaised {
+            rule,
+            seq,
+            value,
+            threshold,
+        } = rec.event
+        {
+            self.dump(rec, rule, seq, value, threshold);
         }
     }
 }
@@ -243,90 +198,115 @@ impl Drop for FlightRecorder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::alerts::AlertRules;
     use crate::event::TraceEvent;
-
-    fn req(t: u64, src: u32, dst: u32) -> TraceRecord {
-        TraceRecord {
-            t_ns: t,
-            slot: 0,
-            event: TraceEvent::ConnRequested { src, dst },
-        }
-    }
-
-    fn est(t: u64, src: u32, dst: u32) -> TraceRecord {
-        TraceRecord {
-            t_ns: t,
-            slot: 0,
-            event: TraceEvent::ConnEstablished {
-                src,
-                dst,
-                slot_idx: 0,
-            },
-        }
-    }
+    use crate::sink::Tracer;
+    use crate::timeseries::SnapshotConfig;
 
     fn tmpfile(name: &str) -> PathBuf {
         std::env::temp_dir().join(name)
     }
 
-    #[test]
-    fn uniform_latencies_never_fire() {
-        let path = tmpfile("pms-flight-uniform.jsonl");
-        std::fs::remove_file(&path).ok();
-        let mut fr = FlightRecorder::new(
-            &path,
-            FlightConfig {
-                warmup_samples: 4,
-                ..FlightConfig::default()
-            },
-        );
-        for i in 0..100u64 {
-            fr.record(req(i * 1000, (i % 8) as u32, ((i + 1) % 8) as u32));
-            fr.record(est(i * 1000 + 80, (i % 8) as u32, ((i + 1) % 8) as u32));
+    fn deliver(msg: u32) -> TraceEvent {
+        TraceEvent::MsgDelivered {
+            src: 0,
+            dst: 1,
+            bytes: 64,
+            msg,
+            latency_ns: 10,
         }
-        assert_eq!(fr.triggers(), 0);
-        assert!(!path.exists(), "no anomaly, no file");
     }
 
     #[test]
-    fn outlier_setup_latency_dumps_ring() {
-        let path = tmpfile("pms-flight-outlier.jsonl");
+    fn no_alert_no_file() {
+        let path = tmpfile("pms-flight-quiet.jsonl");
         std::fs::remove_file(&path).ok();
-        let mut fr = FlightRecorder::new(
-            &path,
-            FlightConfig {
-                capacity: 16,
-                warmup_samples: 8,
-                quantile: 0.9,
-                min_latency_ns: 0,
-            },
-        );
-        // 20 fast setups (80 ns), then one pathological 100 µs setup.
-        for i in 0..20u64 {
-            fr.record(req(i * 1000, 0, 1));
-            fr.record(est(i * 1000 + 80, 0, 1));
+        let mut fr = FlightRecorder::new(&path, FlightConfig::default());
+        for i in 0..100u64 {
+            fr.record(TraceRecord {
+                t_ns: i * 100,
+                slot: i as u32,
+                event: deliver(i as u32),
+            });
         }
-        fr.record(req(50_000, 2, 3));
-        fr.record(est(150_000, 2, 3));
+        assert_eq!(fr.triggers(), 0);
+        assert!(!path.exists(), "no alert, no file");
+    }
+
+    #[test]
+    fn alert_record_dumps_ring_with_marker() {
+        let path = tmpfile("pms-flight-alert.jsonl");
+        std::fs::remove_file(&path).ok();
+        let mut fr = FlightRecorder::new(&path, FlightConfig { capacity: 16 });
+        for i in 0..8u64 {
+            fr.record(TraceRecord {
+                t_ns: i * 100,
+                slot: 0,
+                event: deliver(i as u32),
+            });
+        }
+        fr.record(TraceRecord {
+            t_ns: 900,
+            slot: 0,
+            event: TraceEvent::AlertRaised {
+                rule: 2,
+                seq: 5,
+                value: 42,
+                threshold: 10,
+            },
+        });
         assert_eq!(fr.triggers(), 1);
         fr.flush().unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
         let lines: Vec<&str> = text.lines().collect();
-        // Marker + up to `capacity` ring records, every line valid JSON.
-        assert!(lines.len() > 1 && lines.len() as u64 == fr.written());
+        assert_eq!(lines.len() as u64, fr.written());
         let marker = Json::parse(lines[0]).unwrap();
         assert_eq!(
             marker.get("kind").and_then(Json::as_str),
             Some("flight-trigger")
         );
-        assert_eq!(
-            marker.get("setup_latency_ns").and_then(Json::as_u64),
-            Some(100_000)
-        );
+        assert_eq!(marker.get("rule").and_then(Json::as_u64), Some(2));
+        assert_eq!(marker.get("value").and_then(Json::as_u64), Some(42));
+        assert_eq!(marker.get("threshold").and_then(Json::as_u64), Some(10));
         let docs = parse_flight_dump(&text).unwrap_or_else(|e| panic!("{e}"));
         assert_eq!(docs.len(), lines.len(), "one document per dump line");
         // The ring was consumed by the dump.
         assert!(fr.records().is_empty());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn pipeline_over_flight_dumps_on_rule_fire() {
+        let path = tmpfile("pms-flight-pipeline.jsonl");
+        std::fs::remove_file(&path).ok();
+        let rules =
+            AlertRules::parse("threshold name=hot metric=delivered op=ge value=3\n").unwrap();
+        let mut t = Tracer::pipeline(
+            SnapshotConfig {
+                window_ns: 1000,
+                ring: 8,
+            },
+            Some(rules),
+            Tracer::flight(&path, FlightConfig { capacity: 64 }),
+        );
+        for i in 0..5u32 {
+            t.emit(100 + i as u64 * 50, 0, deliver(i));
+        }
+        t.seal(2000, 0);
+        t.finish().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let docs = parse_flight_dump(&text).unwrap();
+        assert_eq!(
+            docs[0].get("kind").and_then(Json::as_str),
+            Some("flight-trigger")
+        );
+        assert_eq!(docs[0].get("rule").and_then(Json::as_u64), Some(0));
+        // The dump carries the window's records, alert included.
+        assert!(
+            docs.iter()
+                .any(|d| d.get("kind").and_then(Json::as_str) == Some("alert-raised")),
+            "alert record is part of the dumped window"
+        );
         std::fs::remove_file(&path).ok();
     }
 
@@ -338,24 +318,5 @@ mod tests {
         assert_eq!(err.context, "{oops");
         let msg = err.to_string();
         assert!(msg.contains("line 3") && msg.contains("{oops"), "{msg}");
-    }
-
-    #[test]
-    fn warmup_suppresses_early_fires() {
-        let path = tmpfile("pms-flight-warmup.jsonl");
-        std::fs::remove_file(&path).ok();
-        let mut fr = FlightRecorder::new(
-            &path,
-            FlightConfig {
-                warmup_samples: 100,
-                ..FlightConfig::default()
-            },
-        );
-        fr.record(req(0, 0, 1));
-        fr.record(est(10, 0, 1));
-        fr.record(req(20, 0, 2));
-        fr.record(est(1_000_000, 0, 2)); // huge, but the detector is cold
-        assert_eq!(fr.triggers(), 0);
-        assert!(!path.exists());
     }
 }

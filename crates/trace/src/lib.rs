@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alerts;
 pub mod chrome;
 pub mod event;
 pub mod flight;
@@ -32,15 +33,21 @@ pub mod metrics;
 pub mod prof;
 pub mod sink;
 pub mod span;
+pub mod timeseries;
 
+pub use alerts::{replay_alerts, AlertEngine, AlertRule, AlertRules, RulesParseError};
 pub use chrome::{chrome_trace_json, write_chrome_trace};
 pub use event::{EvictCause, FaultClass, SpanPhase, TraceEvent, TraceRecord};
 pub use flight::{parse_flight_dump, FlightConfig, FlightParseError, FlightRecorder};
 pub use json::{Json, ParseError};
-pub use metrics::{Histogram, MetricsRegistry};
+pub use metrics::{prometheus_name, Histogram, MetricsRegistry, PROMETHEUS_CONTENT_TYPE};
 pub use prof::{KernelSnapshot, ProfKernel, ProfScope};
 pub use sink::{
-    record_json, write_jsonl, JsonlTracer, NullTracer, RingTracer, SharedTracer, TraceSink, Tracer,
-    VecTracer,
+    record_json, write_jsonl, JsonlTracer, NullTracer, PipelineTracer, RingTracer, SharedTracer,
+    TraceSink, Tracer, VecTracer,
 };
 pub use span::{SpanTracker, NO_MSG, NO_PARENT};
+pub use timeseries::{
+    series_from_records, series_to_csv, Snapshot, SnapshotCollector, SnapshotConfig,
+    DEFAULT_WINDOW_SLOTS,
+};

@@ -118,6 +118,28 @@ impl Histogram {
         self.max
     }
 
+    /// Non-empty buckets as `(bucket_upper_bound_inclusive, cumulative
+    /// count)` pairs — the shape Prometheus histogram `le` series want.
+    pub fn cumulative_buckets(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            cum += n;
+            // Bucket i holds [2^(i-1), 2^i), so the inclusive upper
+            // bound is 2^i - 1 (and bucket 0 holds exactly {0}).
+            let upper = match i {
+                0 => 0,
+                64 => u64::MAX,
+                _ => (1u64 << i) - 1,
+            };
+            out.push((upper, cum));
+        }
+        out
+    }
+
     /// Non-empty buckets as `(bucket_lower_bound, count)` pairs.
     pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
         self.buckets
@@ -253,6 +275,43 @@ impl MetricsRegistry {
         self.counters.iter().map(|(n, v)| (n.as_str(), *v))
     }
 
+    /// Renders the registry in the Prometheus text exposition format
+    /// (version 0.0.4), with every series carrying the given label set.
+    ///
+    /// Dotted registry names become `pms_`-prefixed underscore names
+    /// (`sim.delivered_messages` → `pms_sim_delivered_messages`), all
+    /// counters render as `counter`, and log2 histograms render as
+    /// cumulative `le` bucket series (inclusive upper bound of each
+    /// non-empty bucket) plus `_sum`/`_count`. Deterministic: series
+    /// appear in registration order, labels in the given order.
+    pub fn to_prometheus(&self, labels: &[(&str, String)]) -> String {
+        let label_str = render_labels(labels);
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            let pname = prometheus_name(name);
+            out.push_str(&format!("# TYPE {pname} counter\n"));
+            out.push_str(&format!("{pname}{label_str} {value}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let pname = prometheus_name(name);
+            out.push_str(&format!("# TYPE {pname} histogram\n"));
+            for (le, cum) in h.cumulative_buckets() {
+                out.push_str(&format!(
+                    "{pname}_bucket{} {cum}\n",
+                    render_labels_with(labels, "le", &le.to_string())
+                ));
+            }
+            out.push_str(&format!(
+                "{pname}_bucket{} {}\n",
+                render_labels_with(labels, "le", "+Inf"),
+                h.count()
+            ));
+            out.push_str(&format!("{pname}_sum{label_str} {}\n", h.sum()));
+            out.push_str(&format!("{pname}_count{label_str} {}\n", h.count()));
+        }
+        out
+    }
+
     /// JSON object with a `counters` map and a `histograms` map.
     pub fn to_json(&self) -> Json {
         Json::obj([
@@ -276,6 +335,58 @@ impl MetricsRegistry {
             ),
         ])
     }
+}
+
+/// The Prometheus content type the text exposition format declares.
+pub const PROMETHEUS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
+/// Maps a dotted registry name onto a valid Prometheus metric name:
+/// `pms_` prefix, every non-`[a-zA-Z0-9_:]` byte replaced by `_`.
+pub fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("pms_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Escapes a label value per the text format (backslash, quote, newline).
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_labels(labels: &[(&str, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+fn render_labels_with(labels: &[(&str, String)], extra_key: &str, extra_val: &str) -> String {
+    let mut body: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    body.push(format!("{extra_key}=\"{}\"", escape_label(extra_val)));
+    format!("{{{}}}", body.join(","))
 }
 
 #[cfg(test)]
@@ -368,5 +479,95 @@ mod tests {
         let js = reg.to_json().render();
         assert!(js.contains(r#""sched.passes":5"#), "{js}");
         assert!(js.contains(r#""latency_ns""#));
+    }
+
+    #[test]
+    fn prometheus_names_are_sanitized() {
+        assert_eq!(
+            prometheus_name("sim.delivered_messages"),
+            "pms_sim_delivered_messages"
+        );
+        assert_eq!(
+            prometheus_name("prof.sl_pass.calls"),
+            "pms_prof_sl_pass_calls"
+        );
+    }
+
+    #[test]
+    fn cumulative_buckets_accumulate() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(3);
+        h.record(3);
+        h.record(600);
+        let cum = h.cumulative_buckets();
+        // {0} -> 1, [2,4) -> 3 cumulative, [512,1024) -> 4 cumulative.
+        assert_eq!(cum, vec![(0, 1), (3, 3), (1023, 4)]);
+    }
+
+    #[test]
+    fn prometheus_text_renders_counters_and_histograms() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("sim.delivered_messages");
+        reg.add(c, 7);
+        let h = reg.histogram("sim.latency_ns");
+        reg.observe(h, 600);
+        reg.observe(h, 700);
+        let labels = [
+            ("paradigm", "dynamic".to_string()),
+            ("ports", "128".to_string()),
+            ("k", "4".to_string()),
+        ];
+        let text = reg.to_prometheus(&labels);
+        assert!(
+            text.contains("# TYPE pms_sim_delivered_messages counter"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "pms_sim_delivered_messages{paradigm=\"dynamic\",ports=\"128\",k=\"4\"} 7"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains("# TYPE pms_sim_latency_ns histogram"),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "pms_sim_latency_ns_bucket{paradigm=\"dynamic\",ports=\"128\",k=\"4\",le=\"1023\"} 2"
+            ),
+            "{text}"
+        );
+        assert!(
+            text.contains(
+                "pms_sim_latency_ns_bucket{paradigm=\"dynamic\",ports=\"128\",k=\"4\",le=\"+Inf\"} 2"
+            ),
+            "{text}"
+        );
+        assert!(text.contains("pms_sim_latency_ns_sum"), "{text}");
+        assert!(
+            text.ends_with('\n') && !text.contains("\n\n"),
+            "clean line-oriented output: {text:?}"
+        );
+    }
+
+    #[test]
+    fn prometheus_label_values_are_escaped() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("x");
+        reg.inc(c);
+        let labels = [("weird", "a\"b\\c".to_string())];
+        let text = reg.to_prometheus(&labels);
+        assert!(text.contains("pms_x{weird=\"a\\\"b\\\\c\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_without_labels_has_no_braces() {
+        let mut reg = MetricsRegistry::new();
+        let c = reg.counter("plain");
+        reg.add(c, 3);
+        let text = reg.to_prometheus(&[]);
+        assert!(text.contains("pms_plain 3\n"), "{text}");
     }
 }

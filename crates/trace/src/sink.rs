@@ -155,6 +155,9 @@ impl JsonlTracer {
 }
 
 impl TraceSink for JsonlTracer {
+    // Outlined: serialization is heavy, and keeping it out of
+    // `Tracer::emit`'s inlined match keeps the hot arms hot.
+    #[inline(never)]
     fn record(&mut self, rec: TraceRecord) {
         let line = record_json(&rec).render();
         // A full disk mid-trace should not take the simulation down.
@@ -208,6 +211,8 @@ impl SharedTracer {
 }
 
 impl TraceSink for SharedTracer {
+    // Outlined: the mutex makes this arm heavyweight anyway.
+    #[inline(never)]
     fn record(&mut self, rec: TraceRecord) {
         self.records
             .lock()
@@ -360,8 +365,156 @@ pub fn record_json(rec: &TraceRecord) -> json::Json {
             push("phase", Json::str(phase.label()));
             push("msg", msg.into());
         }
+        TraceEvent::MetricsSnapshot {
+            seq,
+            delivered,
+            bytes,
+            established,
+            evicted,
+            denied,
+            retries,
+            abandoned,
+            faults_injected,
+            faults_cleared,
+            setups,
+            setup_total_ns,
+            setup_max_ns,
+            passes,
+        } => {
+            push("seq", seq.into());
+            push("delivered", delivered.into());
+            push("bytes", bytes.into());
+            push("established", established.into());
+            push("evicted", evicted.into());
+            push("denied", denied.into());
+            push("retries", retries.into());
+            push("abandoned", abandoned.into());
+            push("faults_injected", faults_injected.into());
+            push("faults_cleared", faults_cleared.into());
+            push("setups", setups.into());
+            push("setup_total_ns", setup_total_ns.into());
+            push("setup_max_ns", setup_max_ns.into());
+            push("passes", passes.into());
+        }
+        TraceEvent::AlertRaised {
+            rule,
+            seq,
+            value,
+            threshold,
+        } => {
+            push("rule", rule.into());
+            push("seq", seq.into());
+            push("value", value.into());
+            push("threshold", threshold.into());
+        }
+        TraceEvent::AlertCleared { rule, seq } => {
+            push("rule", rule.into());
+            push("seq", seq.into());
+        }
     }
     Json::Object(fields)
+}
+
+/// A [`TraceSink`] stacking the observability pipeline in front of any
+/// inner tracer: every record is folded into the snapshot collector, and
+/// when a slot window closes, the synthesized
+/// [`MetricsSnapshot`](TraceEvent::MetricsSnapshot) record — plus any
+/// [`AlertRaised`](TraceEvent::AlertRaised)/
+/// [`AlertCleared`](TraceEvent::AlertCleared) records from the alert
+/// engine — is forwarded to the inner tracer *before* the record that
+/// closed the window, preserving `t_ns` order.
+///
+/// The inner tracer may be anything, including [`Tracer::Null`] (collect
+/// the series but keep no trace — the degradation sweep's mode) or a
+/// flight recorder (alert records trigger its dumps).
+#[derive(Debug)]
+pub struct PipelineTracer {
+    collector: crate::timeseries::SnapshotCollector,
+    engine: Option<crate::alerts::AlertEngine>,
+    inner: Tracer,
+}
+
+impl PipelineTracer {
+    /// A pipeline with the given snapshot cadence, optional alert rules,
+    /// and downstream tracer.
+    pub fn new(
+        cfg: crate::timeseries::SnapshotConfig,
+        rules: Option<crate::alerts::AlertRules>,
+        inner: Tracer,
+    ) -> Self {
+        PipelineTracer {
+            collector: crate::timeseries::SnapshotCollector::new(cfg),
+            engine: rules.map(crate::alerts::AlertEngine::new),
+            inner,
+        }
+    }
+
+    /// The snapshot collector (bounded ring, emission counts).
+    pub fn collector(&self) -> &crate::timeseries::SnapshotCollector {
+        &self.collector
+    }
+
+    /// The alert engine, if rules were given.
+    pub fn engine(&self) -> Option<&crate::alerts::AlertEngine> {
+        self.engine.as_ref()
+    }
+
+    /// The downstream tracer.
+    pub fn inner(&self) -> &Tracer {
+        &self.inner
+    }
+
+    /// The pipeline's per-record tap: one boundary compare, a fold into
+    /// the open window, and a forward to the inner sink — without ever
+    /// materializing an intermediate [`TraceRecord`], so the event value
+    /// moves through exactly as it would into a bare sink.
+    #[inline]
+    pub(crate) fn tap_emit(&mut self, t_ns: u64, slot: u32, event: TraceEvent) {
+        if self.collector.crosses_boundary(t_ns) {
+            self.roll(t_ns);
+        }
+        self.collector.fold_parts(t_ns, slot, &event);
+        self.inner.emit(t_ns, slot, event);
+    }
+
+    /// Closes the window(s) an incoming timestamp crosses and forwards
+    /// the snapshot (and alert) records downstream. Cold: runs once per
+    /// window boundary, never per record.
+    #[cold]
+    fn roll(&mut self, t_ns: u64) {
+        let mut snaps = Vec::new();
+        self.collector.roll_window(t_ns, &mut snaps);
+        self.drain(snaps);
+    }
+
+    fn drain(&mut self, snaps: Vec<crate::timeseries::Snapshot>) {
+        let mut alerts = Vec::new();
+        for snap in snaps {
+            let rec = snap.to_record();
+            self.inner.emit(rec.t_ns, rec.slot, rec.event);
+            if let Some(engine) = &mut self.engine {
+                alerts.clear();
+                engine.on_snapshot(&snap, &mut alerts);
+                for a in &alerts {
+                    self.inner.emit(a.t_ns, a.slot, a.event);
+                }
+            }
+        }
+    }
+
+    /// Flushes the final partial window (see [`Tracer::seal`]).
+    pub fn seal(&mut self, t_ns: u64, slot: u32) {
+        let mut snaps = Vec::new();
+        self.collector.seal(t_ns, slot, &mut snaps);
+        self.drain(snaps);
+    }
+}
+
+impl TraceSink for PipelineTracer {
+    #[inline]
+    fn record(&mut self, rec: TraceRecord) {
+        self.tap_emit(rec.t_ns, rec.slot, rec.event);
+    }
 }
 
 /// The concrete sink carried by the simulators.
@@ -384,6 +537,8 @@ pub enum Tracer {
     Flight(Box<crate::flight::FlightRecorder>),
     /// Shared in-memory buffer snapshotted by a telemetry server thread.
     Shared(SharedTracer),
+    /// Snapshot/alert pipeline stacked in front of an inner tracer.
+    Pipeline(Box<PipelineTracer>),
 }
 
 impl Tracer {
@@ -408,6 +563,16 @@ impl Tracer {
         Tracer::Shared(handle)
     }
 
+    /// A snapshot/alert pipeline in front of `inner` (see
+    /// [`PipelineTracer`]).
+    pub fn pipeline(
+        cfg: crate::timeseries::SnapshotConfig,
+        rules: Option<crate::alerts::AlertRules>,
+        inner: Tracer,
+    ) -> Self {
+        Tracer::Pipeline(Box::new(PipelineTracer::new(cfg, rules, inner)))
+    }
+
     /// Whether emitting does anything; guard event construction on this.
     #[inline]
     pub fn enabled(&self) -> bool {
@@ -424,12 +589,14 @@ impl Tracer {
             Tracer::Jsonl(t) => t.record(TraceRecord { t_ns, slot, event }),
             Tracer::Flight(t) => t.record(TraceRecord { t_ns, slot, event }),
             Tracer::Shared(t) => t.record(TraceRecord { t_ns, slot, event }),
+            Tracer::Pipeline(t) => t.record(TraceRecord { t_ns, slot, event }),
         }
     }
 
     /// The collected records, oldest first (empty for `Null`/`Jsonl` —
     /// JSONL records are already on disk; the flight recorder reports
-    /// its current, not-yet-dumped window).
+    /// its current, not-yet-dumped window; the pipeline reports whatever
+    /// its inner tracer holds, synthesized records included).
     pub fn records(&self) -> Vec<TraceRecord> {
         match self {
             Tracer::Null => Vec::new(),
@@ -438,6 +605,26 @@ impl Tracer {
             Tracer::Jsonl(_) => Vec::new(),
             Tracer::Flight(t) => t.records(),
             Tracer::Shared(t) => t.snapshot(),
+            Tracer::Pipeline(t) => t.inner().records(),
+        }
+    }
+
+    /// The snapshot series this tracer knows about: the pipeline's
+    /// bounded delta-ring, or — for plain tracers — the
+    /// `MetricsSnapshot` records already in the stream.
+    pub fn snapshots(&self) -> Vec<crate::timeseries::Snapshot> {
+        match self {
+            Tracer::Pipeline(t) => t.collector().recent().copied().collect(),
+            other => crate::timeseries::series_from_records(&other.records()),
+        }
+    }
+
+    /// Closes the snapshot pipeline's final partial window at `t_ns`
+    /// (no-op for non-pipeline tracers). Simulators call this once, after
+    /// their last event and before [`finish`](Tracer::finish).
+    pub fn seal(&mut self, t_ns: u64, slot: u32) {
+        if let Tracer::Pipeline(t) = self {
+            t.seal(t_ns, slot);
         }
     }
 
@@ -446,6 +633,7 @@ impl Tracer {
         match self {
             Tracer::Jsonl(t) => t.flush(),
             Tracer::Flight(t) => t.flush(),
+            Tracer::Pipeline(t) => t.inner.finish(),
             _ => Ok(()),
         }
     }
@@ -533,6 +721,93 @@ mod tests {
         t.emit(2, 1, TraceEvent::PhaseFlush { cleared: 3 });
         assert_eq!(handle.snapshot().len(), 2);
         assert_eq!(t.records().len(), 2);
+    }
+
+    #[test]
+    fn pipeline_interleaves_snapshots_in_time_order() {
+        use crate::timeseries::SnapshotConfig;
+        let mut t = Tracer::pipeline(
+            SnapshotConfig {
+                window_ns: 1000,
+                ring: 16,
+            },
+            None,
+            Tracer::vec(),
+        );
+        assert!(t.enabled());
+        let deliver = |msg: u32| TraceEvent::MsgDelivered {
+            src: 0,
+            dst: 1,
+            bytes: 64,
+            msg,
+            latency_ns: 10,
+        };
+        t.emit(100, 0, deliver(0));
+        t.emit(900, 0, deliver(1));
+        t.emit(1500, 1, deliver(2));
+        t.seal(1600, 1);
+        let recs = t.records();
+        // window 0 snapshot lands between the 900 and 1500 records,
+        // stamped at the 1000 ns boundary; seal flushes window 1.
+        let kinds: Vec<&str> = recs.iter().map(|r| r.event.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "msg-delivered",
+                "msg-delivered",
+                "metrics-snapshot",
+                "msg-delivered",
+                "metrics-snapshot"
+            ]
+        );
+        assert!(recs.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+        let snaps = t.snapshots();
+        assert_eq!(snaps.len(), 2);
+        assert_eq!((snaps[0].seq, snaps[0].delivered), (0, 2));
+        assert_eq!((snaps[1].seq, snaps[1].delivered), (1, 1));
+    }
+
+    #[test]
+    fn pipeline_runs_alert_engine_after_each_snapshot() {
+        use crate::alerts::AlertRules;
+        use crate::timeseries::SnapshotConfig;
+        let rules = AlertRules::parse(
+            "threshold name=deliveries metric=delivered op=ge value=2 clear-for=1\n",
+        )
+        .unwrap();
+        let mut t = Tracer::pipeline(
+            SnapshotConfig {
+                window_ns: 1000,
+                ring: 16,
+            },
+            Some(rules),
+            Tracer::vec(),
+        );
+        let deliver = |msg: u32| TraceEvent::MsgDelivered {
+            src: 0,
+            dst: 1,
+            bytes: 8,
+            msg,
+            latency_ns: 1,
+        };
+        // Window 0: two deliveries (breaches). Window 1: one (clears).
+        t.emit(100, 0, deliver(0));
+        t.emit(200, 0, deliver(1));
+        t.emit(1100, 1, deliver(2));
+        t.seal(1200, 1);
+        let kinds: Vec<&str> = t.records().iter().map(|r| r.event.kind()).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                "msg-delivered",
+                "msg-delivered",
+                "metrics-snapshot",
+                "alert-raised",
+                "msg-delivered",
+                "metrics-snapshot",
+                "alert-cleared"
+            ]
+        );
     }
 
     #[test]
