@@ -1,0 +1,141 @@
+//! Pluggable admission policies.
+//!
+//! Every policy is expressed in the PIFO (push-in first-out) model from
+//! "Programmable Packet Scheduling at Line Rate": a policy assigns each
+//! request a *rank* when it is pushed, and the queue always dequeues the
+//! lowest rank, breaking ties in arrival order. That one contract is
+//! enough to express FIFO (constant rank), strict priority (rank =
+//! tenant) and shortest-first (rank = payload bytes) without the queue
+//! knowing anything about the policy.
+
+use pms_workloads::ConnRequest;
+
+/// A rank-then-dequeue admission policy (see the module docs).
+pub trait AdmissionPolicy {
+    /// Stable lower-case policy name (CLI flag value, report label).
+    fn name(&self) -> &'static str;
+
+    /// The rank assigned to `req` when it is pushed. Lower ranks dequeue
+    /// first; ties dequeue in arrival order. Must be a pure function of
+    /// the request (determinism bar: live run == rerun == replay).
+    fn rank(&self, req: &ConnRequest) -> u64;
+}
+
+/// First-in first-out: every request ranks equally, so arrival order
+/// decides everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fifo;
+
+impl AdmissionPolicy for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn rank(&self, _req: &ConnRequest) -> u64 {
+        0
+    }
+}
+
+/// Strict priority by tenant: tenant 0 starves tenant 1, and so on.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StrictPriority;
+
+impl AdmissionPolicy for StrictPriority {
+    fn name(&self) -> &'static str {
+        "strict"
+    }
+
+    fn rank(&self, req: &ConnRequest) -> u64 {
+        req.tenant as u64
+    }
+}
+
+/// The PIFO showcase rank: shortest payload first (SRPT-flavored), so
+/// small control messages overtake bulk transfers at admission.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShortestFirst;
+
+impl AdmissionPolicy for ShortestFirst {
+    fn name(&self) -> &'static str {
+        "pifo"
+    }
+
+    fn rank(&self, req: &ConnRequest) -> u64 {
+        req.bytes as u64
+    }
+}
+
+/// The built-in policies, for CLI parsing and test sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// [`Fifo`].
+    Fifo,
+    /// [`StrictPriority`].
+    Strict,
+    /// [`ShortestFirst`] (the PIFO rank demo).
+    Pifo,
+}
+
+impl PolicyKind {
+    /// All kinds, in CLI-name order.
+    pub const ALL: [PolicyKind; 3] = [PolicyKind::Fifo, PolicyKind::Pifo, PolicyKind::Strict];
+
+    /// Stable lower-case name (CLI flag value).
+    pub fn name(self) -> &'static str {
+        match self {
+            PolicyKind::Fifo => "fifo",
+            PolicyKind::Strict => "strict",
+            PolicyKind::Pifo => "pifo",
+        }
+    }
+
+    /// Inverse of [`name`](Self::name).
+    pub fn from_name(name: &str) -> Option<PolicyKind> {
+        match name {
+            "fifo" => Some(PolicyKind::Fifo),
+            "strict" => Some(PolicyKind::Strict),
+            "pifo" => Some(PolicyKind::Pifo),
+            _ => None,
+        }
+    }
+
+    /// Instantiates the policy.
+    pub fn build(self) -> Box<dyn AdmissionPolicy> {
+        match self {
+            PolicyKind::Fifo => Box::new(Fifo),
+            PolicyKind::Strict => Box::new(StrictPriority),
+            PolicyKind::Pifo => Box::new(ShortestFirst),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(tenant: u32, bytes: u32) -> ConnRequest {
+        ConnRequest {
+            t_ns: 0,
+            tenant,
+            src: 0,
+            dst: 1,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn ranks_encode_the_three_disciplines() {
+        assert_eq!(Fifo.rank(&req(3, 999)), Fifo.rank(&req(0, 1)));
+        assert!(StrictPriority.rank(&req(0, 64)) < StrictPriority.rank(&req(2, 64)));
+        assert!(ShortestFirst.rank(&req(0, 64)) < ShortestFirst.rank(&req(0, 4096)));
+    }
+
+    #[test]
+    fn kinds_roundtrip_names() {
+        for kind in PolicyKind::ALL {
+            assert_eq!(PolicyKind::from_name(kind.name()), Some(kind));
+            assert_eq!(kind.build().name(), kind.name());
+        }
+        assert_eq!(PolicyKind::from_name("wfq"), None);
+    }
+}

@@ -1,0 +1,170 @@
+//! The bounded PIFO ingress queue.
+//!
+//! One ordered map keyed by `(rank, seq)` implements every policy: the
+//! policy chooses the rank at push time (see [`crate::policy`]), the
+//! queue always pops the minimum key, and the monotonically increasing
+//! sequence number breaks rank ties in arrival order. Capacity is
+//! enforced here too, because the two backpressure disciplines are
+//! queue-shape decisions: *reject-new* refuses the push, *shed-oldest*
+//! evicts the earliest-admitted entry (minimum `seq`) to make room.
+
+use std::collections::BTreeMap;
+
+use pms_workloads::ConnRequest;
+
+/// A queued request plus the bookkeeping the engine needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pending {
+    /// Global request id (trace correlation key).
+    pub req: u32,
+    /// The request itself.
+    pub conn: ConnRequest,
+    /// Virtual time the request entered the queue.
+    pub enq_ns: u64,
+    /// How many batch epochs have denied this request so far.
+    pub denials: u32,
+}
+
+/// What happened on a push into a full queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Push {
+    /// The request was queued; nothing was displaced.
+    Queued,
+    /// The queue was full and the new request was refused.
+    RejectedNew,
+    /// The queue was full; the oldest entry was shed to admit the new
+    /// one.
+    ShedOldest(Pending),
+}
+
+/// Bounded rank-ordered queue (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct PifoQueue {
+    cap: usize,
+    seq: u64,
+    items: BTreeMap<(u64, u64), Pending>,
+}
+
+impl PifoQueue {
+    /// Creates a queue holding at most `cap` requests.
+    pub fn new(cap: usize) -> Self {
+        PifoQueue {
+            cap,
+            seq: 0,
+            items: BTreeMap::new(),
+        }
+    }
+
+    /// Queued request count.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Pushes at `rank`; `shed_oldest` selects the full-queue discipline.
+    pub fn push(&mut self, rank: u64, pending: Pending, shed_oldest: bool) -> Push {
+        let mut outcome = Push::Queued;
+        if self.items.len() >= self.cap {
+            if !shed_oldest {
+                return Push::RejectedNew;
+            }
+            // Oldest = smallest sequence number, regardless of rank.
+            let victim_key = self
+                .items
+                .iter()
+                .min_by_key(|((_, seq), _)| *seq)
+                .map(|(k, _)| *k)
+                .expect("full queue is non-empty");
+            let victim = self.items.remove(&victim_key).expect("victim key present");
+            outcome = Push::ShedOldest(victim);
+        }
+        self.items.insert((rank, self.seq), pending);
+        self.seq += 1;
+        outcome
+    }
+
+    /// Pops the lowest-rank (then earliest) request.
+    pub fn pop(&mut self) -> Option<Pending> {
+        let key = *self.items.keys().next()?;
+        self.items.remove(&key)
+    }
+
+    /// Puts a denied request back at its rank. Requeues never shed: the
+    /// entry was already accounted for before it was popped, and the pop
+    /// guarantees a free slot.
+    pub fn requeue(&mut self, rank: u64, pending: Pending) {
+        debug_assert!(self.items.len() < self.cap);
+        self.items.insert((rank, self.seq), pending);
+        self.seq += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pending(req: u32, t_ns: u64) -> Pending {
+        Pending {
+            req,
+            conn: ConnRequest {
+                t_ns,
+                tenant: 0,
+                src: req % 4,
+                dst: (req + 1) % 4,
+                bytes: 8,
+            },
+            enq_ns: t_ns,
+            denials: 0,
+        }
+    }
+
+    #[test]
+    fn pops_by_rank_then_arrival() {
+        let mut q = PifoQueue::new(8);
+        q.push(5, pending(0, 0), false);
+        q.push(1, pending(1, 1), false);
+        q.push(5, pending(2, 2), false);
+        q.push(1, pending(3, 3), false);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|p| p.req).collect();
+        assert_eq!(order, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn reject_new_refuses_push_when_full() {
+        let mut q = PifoQueue::new(2);
+        assert_eq!(q.push(0, pending(0, 0), false), Push::Queued);
+        assert_eq!(q.push(0, pending(1, 1), false), Push::Queued);
+        assert_eq!(q.push(0, pending(2, 2), false), Push::RejectedNew);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn shed_oldest_evicts_earliest_seq_even_at_better_rank() {
+        let mut q = PifoQueue::new(2);
+        q.push(0, pending(0, 0), true); // oldest, best rank
+        q.push(9, pending(1, 1), true);
+        match q.push(5, pending(2, 2), true) {
+            Push::ShedOldest(victim) => assert_eq!(victim.req, 0),
+            other => panic!("expected shed, got {other:?}"),
+        }
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().req, 2, "rank 5 beats rank 9");
+    }
+
+    #[test]
+    fn requeue_preserves_rank_order_behind_equals() {
+        let mut q = PifoQueue::new(4);
+        q.push(1, pending(0, 0), false);
+        q.push(1, pending(1, 1), false);
+        let denied = q.pop().unwrap();
+        assert_eq!(denied.req, 0);
+        q.requeue(1, denied);
+        // Request 0 rejoined rank 1 behind request 1.
+        assert_eq!(q.pop().unwrap().req, 1);
+        assert_eq!(q.pop().unwrap().req, 0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for the admission engine's determinism contract: the
+//! decision stream is a pure function of (arrival stream, policy,
+//! config). For random time-ordered streams, every policy, and rate
+//! limiting on or off, a live run, an identical rerun, the in-memory
+//! trace-record projection ([`pms_admit::decisions_from_records`]), and
+//! a full JSONL round trip must all yield the exact same grant / evict /
+//! reject sequence.
+
+use pms_admit::{
+    decisions_from_records, AdmitConfig, AdmitEngine, Backpressure, Decision, PolicyKind,
+    RateConfig,
+};
+use pms_analyze::parse_jsonl;
+use pms_trace::{record_json, TraceRecord, Tracer};
+use pms_workloads::ConnRequest;
+use proptest::prelude::*;
+
+const PORTS: usize = 8;
+
+/// Random time-ordered arrival streams: cumulative gaps keep `t_ns`
+/// non-decreasing (the engine's only input contract), sources and
+/// destinations span the full port range, tenants stripe over three ids
+/// so the per-tenant token buckets actually contend.
+fn stream_strategy() -> impl Strategy<Value = Vec<ConnRequest>> {
+    prop::collection::vec(
+        (
+            0u64..150,                                      // inter-arrival gap
+            0u32..3,                                        // tenant
+            0u32..PORTS as u32,                             // src
+            0u32..PORTS as u32,                             // dst
+            prop::sample::select(vec![8u32, 64, 200, 512]), // bytes
+        ),
+        0..48,
+    )
+    .prop_map(|raw| {
+        let mut t = 0u64;
+        raw.into_iter()
+            .map(|(gap, tenant, src, dst, bytes)| {
+                t += gap;
+                ConnRequest {
+                    t_ns: t,
+                    tenant,
+                    src,
+                    dst: if dst == src {
+                        (dst + 1) % PORTS as u32
+                    } else {
+                        dst
+                    },
+                    bytes,
+                }
+            })
+            .collect()
+    })
+}
+
+fn to_jsonl(records: &[TraceRecord]) -> String {
+    let mut out = String::new();
+    for r in records {
+        out.push_str(&record_json(r).render());
+        out.push('\n');
+    }
+    out
+}
+
+fn run_once(
+    stream: &[ConnRequest],
+    policy: PolicyKind,
+    rate: Option<RateConfig>,
+    backpressure: Backpressure,
+) -> (Vec<Decision>, Vec<TraceRecord>) {
+    let mut cfg = AdmitConfig::new(PORTS);
+    cfg.queue_cap = 6; // small enough that random streams hit backpressure
+    cfg.rate = rate;
+    cfg.backpressure = backpressure;
+    let mut engine = AdmitEngine::new(cfg, policy.build());
+    let mut tracer = Tracer::vec();
+    let outcome = engine.run(stream.to_vec(), &mut tracer);
+    (outcome.decisions, tracer.records())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same stream + same policy + same config => identical decision
+    /// stream across live, rerun, in-memory record projection, and the
+    /// JSONL write/parse round trip — for all three policies, with rate
+    /// limiting on and off, under both backpressure disciplines.
+    #[test]
+    fn decision_stream_is_identical_live_and_replayed(
+        stream in stream_strategy(),
+        rated in 0u32..2,
+        shed in 0u32..2,
+    ) {
+        let rate = (rated == 1).then_some(RateConfig { rate_per_sec: 2_000_000, burst: 2 });
+        let backpressure = if shed == 1 {
+            Backpressure::ShedOldest
+        } else {
+            Backpressure::RejectNew
+        };
+        for policy in PolicyKind::ALL {
+            let (live, records) = run_once(&stream, policy, rate, backpressure);
+
+            // Live reruns are bit-identical: no hidden state anywhere.
+            let (rerun, _) = run_once(&stream, policy, rate, backpressure);
+            prop_assert_eq!(&live, &rerun, "{}: live reruns disagree", policy.name());
+
+            // The trace-record stream carries the decisions in order.
+            prop_assert_eq!(
+                &live,
+                &decisions_from_records(&records),
+                "{}: in-memory projection disagrees", policy.name()
+            );
+
+            // The JSONL round trip preserves them byte for byte.
+            let replay = parse_jsonl(&to_jsonl(&records))
+                .unwrap_or_else(|e| panic!("{}: replay failed: {e}", policy.name()));
+            prop_assert_eq!(replay.skipped_unknown, 0, "{}", policy.name());
+            prop_assert_eq!(
+                &live,
+                &decisions_from_records(&replay.records),
+                "{}: JSONL round trip altered the decision stream", policy.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,445 @@
+//! Admission accounting over `pms-admit` event streams.
+//!
+//! Reconstructs, purely from `request-enqueued` / `request-granted` /
+//! `request-rejected` / `batch-admitted` records, what the admission
+//! service did: per-tenant accept/reject/shed counts, the reject-cause
+//! breakdown, the batch-fill histogram (how full each epoch's request
+//! matrix ran against its capacity), and the queue-wait distribution
+//! (p50/p99/mean/max, from the `wait_ns` each grant carries). Like
+//! every other section, the result is a pure function of the record
+//! stream: live runs and JSONL replays render byte-identically.
+
+use pms_trace::{Json, RejectCause, TraceEvent, TraceRecord};
+use std::collections::HashMap;
+
+/// Number of batch-fill histogram buckets (decile resolution).
+pub const FILL_BUCKETS: usize = 10;
+
+/// Admission accounting for one tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantAdmission {
+    /// The tenant id.
+    pub tenant: u32,
+    /// Requests that entered the ingress queue.
+    pub enqueued: u64,
+    /// Requests granted.
+    pub granted: u64,
+    /// Requests rejected, any cause (sheds included).
+    pub rejected: u64,
+    /// Of the rejections, how many were shed-oldest victims.
+    pub shed: u64,
+}
+
+/// The admission report (see the module docs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdmissionReport {
+    /// Total requests that entered the queue.
+    pub enqueued: u64,
+    /// Total requests granted.
+    pub granted: u64,
+    /// Total requests rejected.
+    pub rejected: u64,
+    /// Rejections per cause, in [`RejectCause::ALL`] label order.
+    pub by_cause: Vec<(&'static str, u64)>,
+    /// Per-tenant accounting, sorted by tenant id.
+    pub tenants: Vec<TenantAdmission>,
+    /// Batch epochs that ran.
+    pub batches: u64,
+    /// Matrix capacity (largest seen; 0 with no batches).
+    pub capacity: u32,
+    /// Batch-fill histogram: bucket `i` counts epochs whose
+    /// `selected / capacity` landed in `[i/10, (i+1)/10)` (the last
+    /// bucket is closed above).
+    pub fill_hist: [u64; FILL_BUCKETS],
+    /// Mean `selected / capacity` over all batches.
+    pub mean_fill: f64,
+    /// Grants carrying a queue-wait sample.
+    pub waits: u64,
+    /// Queue wait, 50th percentile (ns).
+    pub p50_wait_ns: u64,
+    /// Queue wait, 99th percentile (ns).
+    pub p99_wait_ns: u64,
+    /// Queue wait, mean (ns).
+    pub mean_wait_ns: f64,
+    /// Queue wait, maximum (ns).
+    pub max_wait_ns: u64,
+}
+
+impl AdmissionReport {
+    /// True when the trace carried no admission events at all.
+    pub fn is_empty(&self) -> bool {
+        self.enqueued == 0 && self.rejected == 0 && self.batches == 0
+    }
+
+    /// Accept rate over all resolved requests (granted / (granted +
+    /// rejected)); 0 when nothing resolved.
+    pub fn accept_rate(&self) -> f64 {
+        let resolved = self.granted + self.rejected;
+        if resolved == 0 {
+            0.0
+        } else {
+            self.granted as f64 / resolved as f64
+        }
+    }
+
+    /// JSON rendering (deterministic; used by the report).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("enqueued", self.enqueued.into()),
+            ("granted", self.granted.into()),
+            ("rejected", self.rejected.into()),
+            ("accept_rate", self.accept_rate().into()),
+            (
+                "by_cause",
+                Json::Object(
+                    self.by_cause
+                        .iter()
+                        .map(|(cause, n)| (cause.to_string(), Json::UInt(*n)))
+                        .collect(),
+                ),
+            ),
+            (
+                "tenants",
+                Json::Array(
+                    self.tenants
+                        .iter()
+                        .map(|t| {
+                            Json::obj([
+                                ("tenant", t.tenant.into()),
+                                ("enqueued", t.enqueued.into()),
+                                ("granted", t.granted.into()),
+                                ("rejected", t.rejected.into()),
+                                ("shed", t.shed.into()),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("batches", self.batches.into()),
+            ("capacity", self.capacity.into()),
+            (
+                "fill_hist",
+                Json::Array(self.fill_hist.iter().map(|&n| Json::UInt(n)).collect()),
+            ),
+            ("mean_fill", self.mean_fill.into()),
+            ("waits", self.waits.into()),
+            ("p50_wait_ns", self.p50_wait_ns.into()),
+            ("p99_wait_ns", self.p99_wait_ns.into()),
+            ("mean_wait_ns", self.mean_wait_ns.into()),
+            ("max_wait_ns", self.max_wait_ns.into()),
+        ])
+    }
+
+    /// Terminal rendering; one `-- admission --` section.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let push = |out: &mut String, s: String| {
+            out.push_str(&s);
+            out.push('\n');
+        };
+        push(&mut out, "-- admission --".into());
+        if self.is_empty() {
+            push(&mut out, "  no admission events in trace".into());
+            return out;
+        }
+        push(
+            &mut out,
+            format!(
+                "  {} enqueued, {} granted, {} rejected ({:.1}% accepted)",
+                self.enqueued,
+                self.granted,
+                self.rejected,
+                self.accept_rate() * 100.0
+            ),
+        );
+        for (cause, n) in &self.by_cause {
+            if *n > 0 {
+                push(&mut out, format!("  reject {:<11} {:>8}", cause, n));
+            }
+        }
+        for t in &self.tenants {
+            push(
+                &mut out,
+                format!(
+                    "  tenant {:>4}: {:>8} enqueued {:>8} granted {:>8} rejected ({} shed)",
+                    t.tenant, t.enqueued, t.granted, t.rejected, t.shed
+                ),
+            );
+        }
+        if self.batches > 0 {
+            push(
+                &mut out,
+                format!(
+                    "  {} batches at capacity {}, mean fill {:.1}%",
+                    self.batches,
+                    self.capacity,
+                    self.mean_fill * 100.0
+                ),
+            );
+            let cells: String = self
+                .fill_hist
+                .iter()
+                .map(|&n| {
+                    if n == 0 {
+                        '.'
+                    } else {
+                        let max = self.fill_hist.iter().copied().max().unwrap_or(1);
+                        // 1..=9 scaled against the fullest bucket.
+                        char::from_digit((1 + n * 8 / max.max(1)) as u32, 10).unwrap_or('9')
+                    }
+                })
+                .collect();
+            push(&mut out, format!("  fill histogram 0%..100%: |{cells}|"));
+        }
+        if self.waits > 0 {
+            push(
+                &mut out,
+                format!(
+                    "  queue wait: p50 {} ns  p99 {} ns  mean {:.0} ns  max {} ns ({} samples)",
+                    self.p50_wait_ns,
+                    self.p99_wait_ns,
+                    self.mean_wait_ns,
+                    self.max_wait_ns,
+                    self.waits
+                ),
+            );
+        }
+        out
+    }
+}
+
+/// Computes the admission report over an event stream.
+pub fn admission(records: &[TraceRecord]) -> AdmissionReport {
+    let mut tenants: HashMap<u32, TenantAdmission> = HashMap::new();
+    let blank = |id: u32| TenantAdmission {
+        tenant: id,
+        enqueued: 0,
+        granted: 0,
+        rejected: 0,
+        shed: 0,
+    };
+    let mut by_cause: HashMap<&'static str, u64> = HashMap::new();
+    let mut waits: Vec<u64> = Vec::new();
+    let mut batches = 0u64;
+    let mut capacity = 0u32;
+    let mut fill_hist = [0u64; FILL_BUCKETS];
+    let mut fill_sum = 0.0f64;
+    for rec in records {
+        match rec.event {
+            TraceEvent::RequestEnqueued { tenant: id, .. } => {
+                tenants.entry(id).or_insert_with(|| blank(id)).enqueued += 1;
+            }
+            TraceEvent::RequestGranted {
+                tenant: id,
+                wait_ns,
+                ..
+            } => {
+                tenants.entry(id).or_insert_with(|| blank(id)).granted += 1;
+                waits.push(wait_ns);
+            }
+            TraceEvent::RequestRejected {
+                tenant: id, cause, ..
+            } => {
+                let t = tenants.entry(id).or_insert_with(|| blank(id));
+                t.rejected += 1;
+                if cause == RejectCause::Shed {
+                    t.shed += 1;
+                }
+                *by_cause.entry(cause.label()).or_default() += 1;
+            }
+            TraceEvent::BatchAdmitted {
+                capacity: cap,
+                selected,
+                ..
+            } => {
+                batches += 1;
+                capacity = capacity.max(cap);
+                if cap > 0 {
+                    let bucket =
+                        ((selected as usize * FILL_BUCKETS) / cap as usize).min(FILL_BUCKETS - 1);
+                    fill_hist[bucket] += 1;
+                    fill_sum += selected as f64 / cap as f64;
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut tenants: Vec<TenantAdmission> = tenants.into_values().collect();
+    tenants.sort_by_key(|t| t.tenant);
+    waits.sort_unstable();
+    let pct = |p: usize| -> u64 {
+        if waits.is_empty() {
+            0
+        } else {
+            waits[(waits.len() - 1) * p / 100]
+        }
+    };
+    AdmissionReport {
+        enqueued: tenants.iter().map(|t| t.enqueued).sum(),
+        granted: tenants.iter().map(|t| t.granted).sum(),
+        rejected: tenants.iter().map(|t| t.rejected).sum(),
+        by_cause: RejectCause::ALL
+            .iter()
+            .map(|c| (c.label(), by_cause.get(c.label()).copied().unwrap_or(0)))
+            .collect(),
+        tenants,
+        batches,
+        capacity,
+        fill_hist,
+        mean_fill: if batches == 0 {
+            0.0
+        } else {
+            fill_sum / batches as f64
+        },
+        waits: waits.len() as u64,
+        p50_wait_ns: pct(50),
+        p99_wait_ns: pct(99),
+        mean_wait_ns: if waits.is_empty() {
+            0.0
+        } else {
+            waits.iter().sum::<u64>() as f64 / waits.len() as f64
+        },
+        max_wait_ns: waits.last().copied().unwrap_or(0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t_ns: u64, event: TraceEvent) -> TraceRecord {
+        TraceRecord {
+            t_ns,
+            slot: 0,
+            event,
+        }
+    }
+
+    fn enq(t: u64, req: u32, tenant: u32) -> TraceRecord {
+        rec(
+            t,
+            TraceEvent::RequestEnqueued {
+                req,
+                tenant,
+                src: req % 4,
+                dst: (req + 1) % 4,
+            },
+        )
+    }
+
+    fn grant(t: u64, req: u32, tenant: u32, wait_ns: u64) -> TraceRecord {
+        rec(
+            t,
+            TraceEvent::RequestGranted {
+                req,
+                tenant,
+                src: req % 4,
+                dst: (req + 1) % 4,
+                wait_ns,
+            },
+        )
+    }
+
+    fn reject(t: u64, req: u32, tenant: u32, cause: RejectCause) -> TraceRecord {
+        rec(
+            t,
+            TraceEvent::RequestRejected {
+                req,
+                tenant,
+                src: req % 4,
+                dst: (req + 1) % 4,
+                cause,
+            },
+        )
+    }
+
+    fn batch(t: u64, idx: u32, capacity: u32, selected: u32) -> TraceRecord {
+        rec(
+            t,
+            TraceEvent::BatchAdmitted {
+                batch: idx,
+                capacity,
+                selected,
+                granted: selected,
+                denied: 0,
+                pending: 0,
+            },
+        )
+    }
+
+    #[test]
+    fn tenants_are_split_and_sorted() {
+        let r = admission(&[
+            enq(0, 0, 1),
+            enq(10, 1, 0),
+            grant(100, 0, 1, 100),
+            reject(100, 1, 0, RejectCause::Shed),
+        ]);
+        assert_eq!(r.tenants.len(), 2);
+        assert_eq!(r.tenants[0].tenant, 0);
+        assert_eq!((r.tenants[0].rejected, r.tenants[0].shed), (1, 1));
+        assert_eq!(r.tenants[1].granted, 1);
+        assert_eq!(r.enqueued, 2);
+        assert!((r.accept_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cause_breakdown_is_in_label_order() {
+        let r = admission(&[
+            reject(0, 0, 0, RejectCause::RateLimit),
+            reject(0, 1, 0, RejectCause::RateLimit),
+            reject(0, 2, 0, RejectCause::Expired),
+        ]);
+        let labels: Vec<&str> = r.by_cause.iter().map(|(c, _)| *c).collect();
+        assert_eq!(labels, vec!["expired", "queue-full", "rate-limit", "shed"]);
+        assert_eq!(r.by_cause[2].1, 2, "two rate-limit rejects");
+        assert_eq!(r.by_cause[0].1, 1, "one expired reject");
+    }
+
+    #[test]
+    fn fill_histogram_buckets_by_decile() {
+        let r = admission(&[
+            batch(100, 0, 8, 0), // 0% -> bucket 0
+            batch(200, 1, 8, 4), // 50% -> bucket 5
+            batch(300, 2, 8, 8), // 100% -> clamped to bucket 9
+        ]);
+        assert_eq!(r.batches, 3);
+        assert_eq!(r.capacity, 8);
+        assert_eq!(r.fill_hist[0], 1);
+        assert_eq!(r.fill_hist[5], 1);
+        assert_eq!(r.fill_hist[9], 1);
+        assert!((r.mean_fill - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wait_percentiles_come_from_grants() {
+        let recs: Vec<TraceRecord> = (0..100)
+            .map(|i| grant(1000, i, 0, (i as u64 + 1) * 10))
+            .collect();
+        let r = admission(&recs);
+        assert_eq!(r.waits, 100);
+        assert_eq!(r.p50_wait_ns, 500);
+        assert_eq!(r.p99_wait_ns, 990);
+        assert_eq!(r.max_wait_ns, 1000);
+        assert!((r.mean_wait_ns - 505.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_trace_is_empty_report() {
+        let r = admission(&[]);
+        assert!(r.is_empty());
+        assert_eq!(r.accept_rate(), 0.0);
+        assert!(r.render_text().contains("no admission events"));
+        r.to_json().render();
+    }
+
+    #[test]
+    fn text_names_the_section_and_key_numbers() {
+        let text =
+            admission(&[enq(0, 0, 2), grant(100, 0, 2, 100), batch(100, 0, 4, 1)]).render_text();
+        assert!(text.contains("-- admission --"), "{text}");
+        assert!(text.contains("tenant    2"), "{text}");
+        assert!(text.contains("queue wait: p50 100 ns"), "{text}");
+        assert!(text.contains("fill histogram"), "{text}");
+    }
+}

@@ -22,6 +22,10 @@
 //!   distributions (p50/p99) and critical-path extraction from
 //!   `span-start`/`span-end` records, with the tiling invariant
 //!   (phases sum to the end-to-end span) checked per message;
+//! * [`admission`] — streaming-admission accounting over `pms-admit`
+//!   event streams: per-tenant accept/reject/shed counts, the
+//!   reject-cause breakdown, batch-fill histogram, and queue-wait
+//!   percentiles;
 //! * [`timeseries`] — summary and CSV export of the slot-windowed
 //!   `metrics-snapshot` series emitted by
 //!   [`pms_trace::SnapshotCollector`];
@@ -43,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod alerts;
 pub mod churn;
 pub mod contention;
@@ -56,6 +61,7 @@ pub mod report;
 pub mod spans;
 pub mod timeseries;
 
+pub use admission::{admission, AdmissionReport, TenantAdmission, FILL_BUCKETS};
 pub use alerts::{alerts, AlertsReport, RuleAlerts};
 pub use churn::{churn, CauseChurn, ChurnReport};
 pub use contention::{contention, ContentionReport, HolReport, HolStall, SetupAttribution};

@@ -9,7 +9,7 @@
 //! trace is corrupt, and silently dropping records would skew every
 //! derived metric.
 
-use pms_trace::{EvictCause, FaultClass, Json, TraceEvent, TraceRecord};
+use pms_trace::{EvictCause, FaultClass, Json, RejectCause, TraceEvent, TraceRecord};
 
 /// The outcome of replaying a JSONL document.
 #[derive(Debug, Clone, Default)]
@@ -145,6 +145,41 @@ pub fn parse_line(line: &str) -> Result<Option<TraceRecord>, String> {
                 }
             }
         }
+        "request-enqueued" => TraceEvent::RequestEnqueued {
+            req: field32("req")?,
+            tenant: field32("tenant")?,
+            src: field32("src")?,
+            dst: field32("dst")?,
+        },
+        "request-granted" => TraceEvent::RequestGranted {
+            req: field32("req")?,
+            tenant: field32("tenant")?,
+            src: field32("src")?,
+            dst: field32("dst")?,
+            wait_ns: field("wait_ns")?,
+        },
+        "request-rejected" => {
+            let label = v
+                .get("cause")
+                .and_then(Json::as_str)
+                .ok_or("`request-rejected` record missing `cause`")?;
+            TraceEvent::RequestRejected {
+                req: field32("req")?,
+                tenant: field32("tenant")?,
+                src: field32("src")?,
+                dst: field32("dst")?,
+                cause: RejectCause::from_label(label)
+                    .ok_or_else(|| format!("unknown reject cause `{label}`"))?,
+            }
+        }
+        "batch-admitted" => TraceEvent::BatchAdmitted {
+            batch: field32("batch")?,
+            capacity: field32("capacity")?,
+            selected: field32("selected")?,
+            granted: field32("granted")?,
+            denied: field32("denied")?,
+            pending: field32("pending")?,
+        },
         "metrics-snapshot" => TraceEvent::MetricsSnapshot {
             seq: field32("seq")?,
             delivered: field32("delivered")?,
@@ -160,6 +195,10 @@ pub fn parse_line(line: &str) -> Result<Option<TraceRecord>, String> {
             setup_total_ns: field("setup_total_ns")?,
             setup_max_ns: field("setup_max_ns")?,
             passes: field32("passes")?,
+            enqueued: field32("enqueued")?,
+            granted: field32("granted")?,
+            rejected: field32("rejected")?,
+            batches: field32("batches")?,
         },
         "alert-raised" => TraceEvent::AlertRaised {
             rule: field32("rule")?,
@@ -327,6 +366,50 @@ mod tests {
                 },
             ),
             mk(
+                960,
+                0,
+                TraceEvent::RequestEnqueued {
+                    req: 9,
+                    tenant: 2,
+                    src: 3,
+                    dst: 7,
+                },
+            ),
+            mk(
+                970,
+                0,
+                TraceEvent::RequestGranted {
+                    req: 9,
+                    tenant: 2,
+                    src: 3,
+                    dst: 7,
+                    wait_ns: 10,
+                },
+            ),
+            mk(
+                980,
+                0,
+                TraceEvent::RequestRejected {
+                    req: 10,
+                    tenant: 2,
+                    src: 3,
+                    dst: 7,
+                    cause: pms_trace::RejectCause::Shed,
+                },
+            ),
+            mk(
+                990,
+                0,
+                TraceEvent::BatchAdmitted {
+                    batch: 4,
+                    capacity: 8,
+                    selected: 5,
+                    granted: 4,
+                    denied: 1,
+                    pending: 3,
+                },
+            ),
+            mk(
                 1000,
                 1,
                 TraceEvent::MetricsSnapshot {
@@ -344,6 +427,10 @@ mod tests {
                     setup_total_ns: 80,
                     setup_max_ns: 80,
                     passes: 2,
+                    enqueued: 1,
+                    granted: 1,
+                    rejected: 1,
+                    batches: 1,
                 },
             ),
             mk(
@@ -397,6 +484,10 @@ mod tests {
         let bad = "{\"kind\":\"fault-injected\",\"t_ns\":1,\"slot\":0,\
                    \"fault\":0,\"class\":\"gremlin\",\"src\":0,\"dst\":1}";
         assert!(parse_jsonl(bad).unwrap_err().contains("fault class"));
+        // An unknown reject cause is corrupt (causes are a closed set).
+        let bad = "{\"kind\":\"request-rejected\",\"t_ns\":1,\"slot\":0,\
+                   \"req\":0,\"tenant\":0,\"src\":0,\"dst\":1,\"cause\":\"vibes\"}";
+        assert!(parse_jsonl(bad).unwrap_err().contains("reject cause"));
         // An unknown span phase is corrupt as well.
         let bad = "{\"kind\":\"span-end\",\"t_ns\":1,\"slot\":0,\
                    \"span\":1,\"phase\":\"warp\",\"msg\":0}";

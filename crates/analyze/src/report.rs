@@ -7,6 +7,7 @@
 //! analyzed in-process (`simulate --report`) or replayed from JSONL
 //! (`analyze`). CI leans on that determinism to diff the two paths.
 
+use crate::admission::{admission, AdmissionReport};
 use crate::alerts::{alerts, AlertsReport};
 use crate::churn::{churn, ChurnReport};
 use crate::contention::{contention, ContentionReport};
@@ -65,6 +66,9 @@ pub struct Report {
     pub faults: FaultsReport,
     /// Causal-span phase latencies and critical paths.
     pub spans: SpansReport,
+    /// Streaming-admission accounting (per-tenant accepts/rejects,
+    /// batch fill, queue wait).
+    pub admission: AdmissionReport,
     /// Metrics-snapshot time-series summary.
     pub timeseries: TimeseriesReport,
     /// Alert raises/clears reconstructed from the trace.
@@ -111,6 +115,7 @@ pub fn build_report(records: &[TraceRecord], cfg: &ReportConfig) -> Report {
         contention: contention(records, cfg.hol_factor, cfg.max_hol_stalls),
         faults: faults(records),
         spans: spans(records),
+        admission: admission(records),
         timeseries: timeseries(records),
         alerts: alerts(records),
     }
@@ -137,6 +142,7 @@ impl Report {
             ("contention", self.contention.to_json()),
             ("faults", self.faults.to_json()),
             ("spans", self.spans.to_json()),
+            ("admission", self.admission.to_json()),
             ("timeseries", self.timeseries.to_json()),
             ("alerts", self.alerts.to_json()),
         ])
@@ -376,6 +382,7 @@ impl Report {
             }
         }
 
+        out.push_str(&self.admission.render_text());
         out.push_str(&self.timeseries.render_text());
         out.push_str(&self.alerts.render_text());
         out
@@ -458,6 +465,7 @@ mod tests {
             "contention",
             "faults",
             "spans",
+            "admission",
             "timeseries",
             "alerts",
         ] {
@@ -498,6 +506,7 @@ mod tests {
             "head-of-line stalls",
             "fault impact",
             "causal spans",
+            "admission",
             "time series",
             "alerts",
         ] {

@@ -155,6 +155,10 @@ mod tests {
                 setup_total_ns: setup_max_ns,
                 setup_max_ns,
                 passes: 1,
+                enqueued: 0,
+                granted: 0,
+                rejected: 0,
+                batches: 0,
             },
         }
     }

@@ -22,13 +22,14 @@
 //! than raw nanoseconds). Regressions are listed and the process exits
 //! non-zero, so CI catches a perf regression without churning the file.
 
+use pms_admit::{AdmitConfig, AdmitEngine, PolicyKind};
 use pms_analyze::{render_ratio_table, worst_regression, RatioRow};
 use pms_bench::naive;
 use pms_bitmat::BitMatrix;
 use pms_sched::{slarray::reference, Priority};
 use pms_sim::{Paradigm, PredictorKind, SimParams};
-use pms_trace::Json;
-use pms_workloads::{Program, Workload};
+use pms_trace::{Json, Tracer};
+use pms_workloads::{uniform, ArrivalConfig, ConnRequest, Program, Workload};
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
@@ -221,6 +222,30 @@ fn measure_entries() -> Vec<Entry> {
         name: "sim_sparse_circuit_idle_skip",
         before_ns: run(&Paradigm::Circuit, false),
         after_ns: run(&Paradigm::Circuit, true),
+        floor: 1.0,
+    });
+
+    // --- streaming admission ---------------------------------------------
+    // Word-parallel batch coalescing: admitting one request per epoch
+    // (batch = 1) vs coalescing a full port-wide request matrix per
+    // epoch (batch = N), same seeded stream, FIFO policy, no rate limit.
+    let stream: Vec<ConnRequest> = uniform(n, 64, 32, 17)
+        .arrivals(&ArrivalConfig::default())
+        .collect();
+    let admit_run = |batch: usize| {
+        measure_ns(|| {
+            let mut cfg = AdmitConfig::new(n);
+            cfg.batch = batch;
+            let mut engine = AdmitEngine::new(cfg, PolicyKind::Fifo.build());
+            let outcome = engine.run(stream.clone(), &mut Tracer::Null);
+            assert!(outcome.stats.granted > 0, "admission run must grant");
+            black_box(outcome);
+        })
+    };
+    entries.push(Entry {
+        name: "admit_batch_coalesce",
+        before_ns: admit_run(1),
+        after_ns: admit_run(n),
         floor: 1.0,
     });
     entries

@@ -16,6 +16,7 @@
 //! | `/report`       | full analyzer report over the current trace snapshot        |
 //! | `/timeseries`   | slot-windowed metrics-snapshot series as JSON               |
 //! | `/alerts`       | alert raises/clears reconstructed from the trace            |
+//! | `/admission`    | streaming-admission report (tenants, causes, batch fill, queue wait) |
 //! | `/flight`       | trace snapshot as JSONL (`?n=N` tails the last N records)   |
 //! | `/spans?msg=N`  | paired causal spans for one message                         |
 //! | `/shutdown`     | acknowledges, then stops the server                         |
@@ -34,7 +35,7 @@
 //!   stream format (`record_json(rec).render()` + newline), so the dump
 //!   feeds straight into the `analyze` binary.
 
-use pms_analyze::{alerts, build_report, ReportConfig};
+use pms_analyze::{admission, alerts, build_report, ReportConfig};
 use pms_trace::sink::record_json;
 use pms_trace::{
     prof, series_from_records, Json, MetricsRegistry, SharedTracer, TraceEvent, TraceRecord,
@@ -219,6 +220,11 @@ fn handle_connection(stream: TcpStream, state: &ServerState) -> io::Result<()> {
         "/alerts" => {
             let records = state.tracer.snapshot();
             let body = alerts(&records).to_json().render_pretty();
+            respond(&mut stream, 200, "application/json", &body)
+        }
+        "/admission" => {
+            let records = state.tracer.snapshot();
+            let body = admission(&records).to_json().render_pretty();
             respond(&mut stream, 200, "application/json", &body)
         }
         "/report" => {
@@ -533,6 +539,10 @@ mod tests {
                     setup_total_ns: 80,
                     setup_max_ns: 80,
                     passes: 1,
+                    enqueued: 0,
+                    granted: 0,
+                    rejected: 0,
+                    batches: 0,
                 },
             });
         }
@@ -615,6 +625,52 @@ mod tests {
             let (status, _) = get(server.addr(), path);
             assert_eq!(status, 404, "{path} should 404");
         }
+        server.stop();
+    }
+
+    #[test]
+    fn admission_endpoint_matches_offline_replay_byte_for_byte() {
+        let shared = SharedTracer::new();
+        let mut tracer = Tracer::shared(shared.clone());
+        tracer.emit(
+            0,
+            0,
+            TraceEvent::RequestEnqueued {
+                req: 0,
+                tenant: 1,
+                src: 0,
+                dst: 3,
+            },
+        );
+        tracer.emit(
+            100,
+            0,
+            TraceEvent::RequestGranted {
+                req: 0,
+                tenant: 1,
+                src: 0,
+                dst: 3,
+                wait_ns: 100,
+            },
+        );
+        tracer.emit(
+            100,
+            0,
+            TraceEvent::BatchAdmitted {
+                batch: 0,
+                capacity: 4,
+                selected: 1,
+                granted: 1,
+                denied: 0,
+                pending: 0,
+            },
+        );
+        let server = TelemetryServer::start("127.0.0.1:0", shared.clone()).expect("start");
+        let (status, live) = get(server.addr(), "/admission");
+        assert_eq!(status, 200);
+        let offline = admission(&shared.snapshot()).to_json().render_pretty();
+        assert_eq!(live, offline);
+        assert!(live.contains("\"batches\": 1"), "{live}");
         server.stop();
     }
 

@@ -65,6 +65,14 @@ pub enum Metric {
     SetupMeanNs,
     /// Scheduling passes in the window.
     Passes,
+    /// Admission requests enqueued in the window.
+    Enqueued,
+    /// Admission requests granted in the window.
+    Granted,
+    /// Admission requests rejected in the window.
+    Rejected,
+    /// Admission batch epochs completed in the window.
+    Batches,
 }
 
 impl Metric {
@@ -84,6 +92,10 @@ impl Metric {
             Metric::SetupMaxNs => "setup-max-ns",
             Metric::SetupMeanNs => "setup-mean-ns",
             Metric::Passes => "passes",
+            Metric::Enqueued => "enqueued",
+            Metric::Granted => "granted",
+            Metric::Rejected => "rejected",
+            Metric::Batches => "batches",
         }
     }
 
@@ -93,7 +105,7 @@ impl Metric {
     }
 
     /// All metrics, in snapshot-field order.
-    pub const ALL: [Metric; 13] = [
+    pub const ALL: [Metric; 17] = [
         Metric::Delivered,
         Metric::Bytes,
         Metric::Established,
@@ -107,6 +119,10 @@ impl Metric {
         Metric::SetupMaxNs,
         Metric::SetupMeanNs,
         Metric::Passes,
+        Metric::Enqueued,
+        Metric::Granted,
+        Metric::Rejected,
+        Metric::Batches,
     ];
 
     /// Reads this metric out of a snapshot.
@@ -125,6 +141,10 @@ impl Metric {
             Metric::SetupMaxNs => snap.setup_max_ns,
             Metric::SetupMeanNs => snap.setup_mean_ns(),
             Metric::Passes => snap.passes as u64,
+            Metric::Enqueued => snap.enqueued as u64,
+            Metric::Granted => snap.granted as u64,
+            Metric::Rejected => snap.rejected as u64,
+            Metric::Batches => snap.batches as u64,
         }
     }
 }

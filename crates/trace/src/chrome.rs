@@ -329,6 +329,84 @@ pub fn chrome_trace_json(records: &[TraceRecord]) -> Json {
                     vec![("rule", rule.into()), ("seq", seq.into())],
                 ));
             }
+            // Admission-service records render as instants on the source
+            // port's row (batch epochs on the scheduler pseudo-thread).
+            TraceEvent::RequestEnqueued {
+                req,
+                tenant,
+                src,
+                dst,
+            } => {
+                events.push(instant(
+                    rec,
+                    src as u64,
+                    vec![
+                        ("req", req.into()),
+                        ("tenant", tenant.into()),
+                        ("src", src.into()),
+                        ("dst", dst.into()),
+                    ],
+                ));
+            }
+            TraceEvent::RequestGranted {
+                req,
+                tenant,
+                src,
+                dst,
+                wait_ns,
+            } => {
+                events.push(instant(
+                    rec,
+                    src as u64,
+                    vec![
+                        ("req", req.into()),
+                        ("tenant", tenant.into()),
+                        ("src", src.into()),
+                        ("dst", dst.into()),
+                        ("wait_ns", wait_ns.into()),
+                    ],
+                ));
+            }
+            TraceEvent::RequestRejected {
+                req,
+                tenant,
+                src,
+                dst,
+                cause,
+            } => {
+                events.push(instant(
+                    rec,
+                    src as u64,
+                    vec![
+                        ("req", req.into()),
+                        ("tenant", tenant.into()),
+                        ("src", src.into()),
+                        ("dst", dst.into()),
+                        ("cause", Json::str(cause.label())),
+                    ],
+                ));
+            }
+            TraceEvent::BatchAdmitted {
+                batch,
+                capacity,
+                selected,
+                granted,
+                denied,
+                pending,
+            } => {
+                events.push(instant(
+                    rec,
+                    SCHED_TID,
+                    vec![
+                        ("batch", batch.into()),
+                        ("capacity", capacity.into()),
+                        ("selected", selected.into()),
+                        ("granted", granted.into()),
+                        ("denied", denied.into()),
+                        ("pending", pending.into()),
+                    ],
+                ));
+            }
         }
     }
     Json::Array(events)
@@ -487,6 +565,10 @@ mod tests {
                     setup_total_ns: 80,
                     setup_max_ns: 80,
                     passes: 1,
+                    enqueued: 1,
+                    granted: 1,
+                    rejected: 0,
+                    batches: 1,
                 },
             ),
             mk(

@@ -183,6 +183,56 @@ impl FaultClass {
     ];
 }
 
+/// Why the admission service refused a connection request (see
+/// `pms-admit`). Mirrors that crate's backpressure taxonomy without a
+/// dependency on it (trace stays dependency-free).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RejectCause {
+    /// The tenant's token bucket was empty when the request arrived.
+    RateLimit,
+    /// The bounded ingress queue was full and the service runs the
+    /// reject-new backpressure policy: the *arriving* request bounced.
+    QueueFull,
+    /// The bounded ingress queue was full and the service runs the
+    /// shed-oldest backpressure policy: the *oldest queued* request was
+    /// dropped to make room for the arrival.
+    Shed,
+    /// The request sat in the queue past its retry budget (denied by the
+    /// scheduler too many batch epochs in a row) and was given up on.
+    Expired,
+}
+
+impl RejectCause {
+    /// Stable lower-case label for export.
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectCause::RateLimit => "rate-limit",
+            RejectCause::QueueFull => "queue-full",
+            RejectCause::Shed => "shed",
+            RejectCause::Expired => "expired",
+        }
+    }
+
+    /// Inverse of [`label`](Self::label), for trace replay.
+    pub fn from_label(label: &str) -> Option<RejectCause> {
+        match label {
+            "rate-limit" => Some(RejectCause::RateLimit),
+            "queue-full" => Some(RejectCause::QueueFull),
+            "shed" => Some(RejectCause::Shed),
+            "expired" => Some(RejectCause::Expired),
+            _ => None,
+        }
+    }
+
+    /// All causes, in label order (report tables iterate this).
+    pub const ALL: [RejectCause; 4] = [
+        RejectCause::Expired,
+        RejectCause::QueueFull,
+        RejectCause::RateLimit,
+        RejectCause::Shed,
+    ];
+}
+
 /// One typed simulator event. All payloads are plain integers so that
 /// recording an event never allocates.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -314,6 +364,64 @@ pub enum TraceEvent {
         /// Retries spent before giving up.
         retries: u32,
     },
+    /// A connection request entered the admission service's bounded
+    /// ingress queue (see `pms-admit`).
+    RequestEnqueued {
+        /// Stream-global request id, assigned in ingest order.
+        req: u32,
+        /// Tenant the request belongs to (rate-limit accounting key).
+        tenant: u32,
+        /// Requested input port.
+        src: u32,
+        /// Requested output port.
+        dst: u32,
+    },
+    /// A queued connection request was granted: its pair is resident in
+    /// some TDM configuration register (freshly established, or a
+    /// working-set hit).
+    RequestGranted {
+        /// Stream-global request id.
+        req: u32,
+        /// Tenant the request belongs to.
+        tenant: u32,
+        /// Input port.
+        src: u32,
+        /// Output port.
+        dst: u32,
+        /// Virtual time spent queued, enqueue to grant.
+        wait_ns: u64,
+    },
+    /// A connection request was refused by the admission service
+    /// (backpressure, rate limiting, or retry-budget exhaustion).
+    RequestRejected {
+        /// Stream-global request id.
+        req: u32,
+        /// Tenant the request belongs to.
+        tenant: u32,
+        /// Requested input port.
+        src: u32,
+        /// Requested output port.
+        dst: u32,
+        /// Why it bounced.
+        cause: RejectCause,
+    },
+    /// One admission batch epoch completed: queued requests were coalesced
+    /// into a word-parallel request matrix and driven through a scheduler
+    /// pass (see `pms-admit`).
+    BatchAdmitted {
+        /// Batch epoch index.
+        batch: u32,
+        /// Matrix capacity: the most pairs one epoch may select.
+        capacity: u32,
+        /// Distinct pairs coalesced into this epoch's request matrix.
+        selected: u32,
+        /// Requests granted this epoch (establishments plus hits).
+        granted: u32,
+        /// Pairs the scheduler denied this epoch (requeued to retry).
+        denied: u32,
+        /// Ingress-queue depth after the epoch.
+        pending: u32,
+    },
     /// A causal span opened (see [`SpanPhase`] for the taxonomy).
     SpanStart {
         /// Span id, unique within a run (see `pms_trace::span` for the
@@ -377,6 +485,14 @@ pub enum TraceEvent {
         setup_max_ns: u64,
         /// Scheduling passes run in this window.
         passes: u32,
+        /// Admission requests enqueued in this window.
+        enqueued: u32,
+        /// Admission requests granted in this window.
+        granted: u32,
+        /// Admission requests rejected in this window.
+        rejected: u32,
+        /// Admission batch epochs completed in this window.
+        batches: u32,
     },
     /// An alert rule started firing (see `pms_trace::alerts`). Carries the
     /// rule's *index* in the rules file — names live in the file, so the
@@ -417,6 +533,10 @@ impl TraceEvent {
             TraceEvent::FaultCleared { .. } => "fault-cleared",
             TraceEvent::MsgRetried { .. } => "msg-retried",
             TraceEvent::MsgAbandoned { .. } => "msg-abandoned",
+            TraceEvent::RequestEnqueued { .. } => "request-enqueued",
+            TraceEvent::RequestGranted { .. } => "request-granted",
+            TraceEvent::RequestRejected { .. } => "request-rejected",
+            TraceEvent::BatchAdmitted { .. } => "batch-admitted",
             TraceEvent::SpanStart { .. } => "span-start",
             TraceEvent::SpanEnd { .. } => "span-end",
             TraceEvent::MetricsSnapshot { .. } => "metrics-snapshot",
@@ -426,7 +546,7 @@ impl TraceEvent {
     }
 
     /// Number of distinct event kinds (exporter sanity checks).
-    pub const KIND_COUNT: usize = 18;
+    pub const KIND_COUNT: usize = 22;
 }
 
 /// A [`TraceEvent`] stamped with when (simulation ns) and where (active
@@ -511,6 +631,34 @@ mod tests {
                 msg: 0,
                 retries: 3,
             },
+            TraceEvent::RequestEnqueued {
+                req: 0,
+                tenant: 0,
+                src: 0,
+                dst: 1,
+            },
+            TraceEvent::RequestGranted {
+                req: 0,
+                tenant: 0,
+                src: 0,
+                dst: 1,
+                wait_ns: 400,
+            },
+            TraceEvent::RequestRejected {
+                req: 1,
+                tenant: 0,
+                src: 0,
+                dst: 1,
+                cause: RejectCause::RateLimit,
+            },
+            TraceEvent::BatchAdmitted {
+                batch: 0,
+                capacity: 8,
+                selected: 4,
+                granted: 3,
+                denied: 1,
+                pending: 2,
+            },
             TraceEvent::SpanStart {
                 span: 1,
                 parent: u32::MAX,
@@ -539,6 +687,10 @@ mod tests {
                 setup_total_ns: 160,
                 setup_max_ns: 90,
                 passes: 8,
+                enqueued: 3,
+                granted: 2,
+                rejected: 1,
+                batches: 1,
             },
             TraceEvent::AlertRaised {
                 rule: 0,
@@ -605,6 +757,42 @@ mod tests {
                 .all(|w| w[0].label() < w[1].label()),
             "ALL must stay in label order (report tables iterate it)"
         );
+    }
+
+    /// Same hand-maintenance guard as `evict_cause_all_is_exhaustive`,
+    /// for the admission reject causes.
+    #[test]
+    fn reject_cause_all_is_exhaustive() {
+        fn ordinal(cause: RejectCause) -> usize {
+            // Exhaustive on purpose: adding a variant breaks this match.
+            match cause {
+                RejectCause::RateLimit => 0,
+                RejectCause::QueueFull => 1,
+                RejectCause::Shed => 2,
+                RejectCause::Expired => 3,
+            }
+        }
+        const VARIANTS: usize = 4;
+        assert_eq!(RejectCause::ALL.len(), VARIANTS, "ALL misses a variant");
+        let mut seen = [false; VARIANTS];
+        for cause in RejectCause::ALL {
+            let i = ordinal(cause);
+            assert!(!seen[i], "{cause:?} listed twice in ALL");
+            seen[i] = true;
+            assert_eq!(
+                RejectCause::from_label(cause.label()),
+                Some(cause),
+                "{cause:?} desynced from from_label"
+            );
+        }
+        assert!(seen.iter().all(|&s| s), "ALL misses a variant");
+        assert!(
+            RejectCause::ALL
+                .windows(2)
+                .all(|w| w[0].label() < w[1].label()),
+            "ALL must stay in label order (report tables iterate it)"
+        );
+        assert_eq!(RejectCause::from_label("nonsense"), None);
     }
 
     #[test]

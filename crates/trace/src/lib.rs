@@ -37,7 +37,7 @@ pub mod timeseries;
 
 pub use alerts::{replay_alerts, AlertEngine, AlertRule, AlertRules, RulesParseError};
 pub use chrome::{chrome_trace_json, write_chrome_trace};
-pub use event::{EvictCause, FaultClass, SpanPhase, TraceEvent, TraceRecord};
+pub use event::{EvictCause, FaultClass, RejectCause, SpanPhase, TraceEvent, TraceRecord};
 pub use flight::{parse_flight_dump, FlightConfig, FlightParseError, FlightRecorder};
 pub use json::{Json, ParseError};
 pub use metrics::{prometheus_name, Histogram, MetricsRegistry, PROMETHEUS_CONTENT_TYPE};

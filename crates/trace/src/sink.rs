@@ -345,6 +345,58 @@ pub fn record_json(rec: &TraceRecord) -> json::Json {
             push("msg", msg.into());
             push("retries", retries.into());
         }
+        TraceEvent::RequestEnqueued {
+            req,
+            tenant,
+            src,
+            dst,
+        } => {
+            push("req", req.into());
+            push("tenant", tenant.into());
+            push("src", src.into());
+            push("dst", dst.into());
+        }
+        TraceEvent::RequestGranted {
+            req,
+            tenant,
+            src,
+            dst,
+            wait_ns,
+        } => {
+            push("req", req.into());
+            push("tenant", tenant.into());
+            push("src", src.into());
+            push("dst", dst.into());
+            push("wait_ns", wait_ns.into());
+        }
+        TraceEvent::RequestRejected {
+            req,
+            tenant,
+            src,
+            dst,
+            cause,
+        } => {
+            push("req", req.into());
+            push("tenant", tenant.into());
+            push("src", src.into());
+            push("dst", dst.into());
+            push("cause", Json::str(cause.label()));
+        }
+        TraceEvent::BatchAdmitted {
+            batch,
+            capacity,
+            selected,
+            granted,
+            denied,
+            pending,
+        } => {
+            push("batch", batch.into());
+            push("capacity", capacity.into());
+            push("selected", selected.into());
+            push("granted", granted.into());
+            push("denied", denied.into());
+            push("pending", pending.into());
+        }
         TraceEvent::SpanStart {
             span,
             parent,
@@ -380,6 +432,10 @@ pub fn record_json(rec: &TraceRecord) -> json::Json {
             setup_total_ns,
             setup_max_ns,
             passes,
+            enqueued,
+            granted,
+            rejected,
+            batches,
         } => {
             push("seq", seq.into());
             push("delivered", delivered.into());
@@ -395,6 +451,10 @@ pub fn record_json(rec: &TraceRecord) -> json::Json {
             push("setup_total_ns", setup_total_ns.into());
             push("setup_max_ns", setup_max_ns.into());
             push("passes", passes.into());
+            push("enqueued", enqueued.into());
+            push("granted", granted.into());
+            push("rejected", rejected.into());
+            push("batches", batches.into());
         }
         TraceEvent::AlertRaised {
             rule,

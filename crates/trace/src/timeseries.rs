@@ -130,6 +130,14 @@ pub struct Snapshot {
     pub setup_max_ns: u64,
     /// Scheduling passes in the window.
     pub passes: u32,
+    /// Admission requests enqueued in the window.
+    pub enqueued: u32,
+    /// Admission requests granted in the window.
+    pub granted: u32,
+    /// Admission requests rejected in the window.
+    pub rejected: u32,
+    /// Admission batch epochs completed in the window.
+    pub batches: u32,
 }
 
 impl Snapshot {
@@ -146,6 +154,10 @@ impl Snapshot {
             && self.faults_cleared == 0
             && self.setups == 0
             && self.passes == 0
+            && self.enqueued == 0
+            && self.granted == 0
+            && self.rejected == 0
+            && self.batches == 0
     }
 
     /// Mean completed setup latency in the window, or 0 with no setups.
@@ -174,6 +186,10 @@ impl Snapshot {
             setup_total_ns: self.setup_total_ns,
             setup_max_ns: self.setup_max_ns,
             passes: self.passes,
+            enqueued: self.enqueued,
+            granted: self.granted,
+            rejected: self.rejected,
+            batches: self.batches,
         }
     }
 
@@ -205,6 +221,10 @@ impl Snapshot {
                 setup_total_ns,
                 setup_max_ns,
                 passes,
+                enqueued,
+                granted,
+                rejected,
+                batches,
             } => Some(Snapshot {
                 t_ns: rec.t_ns,
                 slot: rec.slot,
@@ -222,6 +242,10 @@ impl Snapshot {
                 setup_total_ns,
                 setup_max_ns,
                 passes,
+                enqueued,
+                granted,
+                rejected,
+                batches,
             }),
             _ => None,
         }
@@ -246,19 +270,24 @@ impl Snapshot {
             ("setup_total_ns", self.setup_total_ns.into()),
             ("setup_max_ns", self.setup_max_ns.into()),
             ("passes", self.passes.into()),
+            ("enqueued", self.enqueued.into()),
+            ("granted", self.granted.into()),
+            ("rejected", self.rejected.into()),
+            ("batches", self.batches.into()),
         ])
     }
 
     /// CSV header matching [`Snapshot::to_csv_row`].
     pub const CSV_HEADER: &'static str = "seq,t_ns,slot,delivered,bytes,established,evicted,\
-denied,retries,abandoned,faults_injected,faults_cleared,setups,setup_total_ns,setup_max_ns,passes";
+denied,retries,abandoned,faults_injected,faults_cleared,setups,setup_total_ns,setup_max_ns,passes,\
+enqueued,granted,rejected,batches";
 
     /// One CSV row (no trailing newline), column order per [`CSV_HEADER`].
     ///
     /// [`CSV_HEADER`]: Snapshot::CSV_HEADER
     pub fn to_csv_row(&self) -> String {
         format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             self.seq,
             self.t_ns,
             self.slot,
@@ -274,7 +303,11 @@ denied,retries,abandoned,faults_injected,faults_cleared,setups,setup_total_ns,se
             self.setups,
             self.setup_total_ns,
             self.setup_max_ns,
-            self.passes
+            self.passes,
+            self.enqueued,
+            self.granted,
+            self.rejected,
+            self.batches
         )
     }
 }
@@ -450,6 +483,10 @@ impl SnapshotCollector {
             TraceEvent::MsgAbandoned { .. } => self.acc.abandoned += 1,
             TraceEvent::FaultInjected { .. } => self.acc.faults_injected += 1,
             TraceEvent::FaultCleared { .. } => self.acc.faults_cleared += 1,
+            TraceEvent::RequestEnqueued { .. } => self.acc.enqueued += 1,
+            TraceEvent::RequestGranted { .. } => self.acc.granted += 1,
+            TraceEvent::RequestRejected { .. } => self.acc.rejected += 1,
+            TraceEvent::BatchAdmitted { .. } => self.acc.batches += 1,
             _ => {}
         }
     }
@@ -555,6 +592,84 @@ mod tests {
     }
 
     #[test]
+    fn admission_events_fold_into_windows() {
+        use crate::event::RejectCause;
+        let mut c = SnapshotCollector::new(SnapshotConfig {
+            window_ns: 1000,
+            ring: 8,
+        });
+        let mut out = Vec::new();
+        let rec = |t_ns, event| TraceRecord {
+            t_ns,
+            slot: 0,
+            event,
+        };
+        c.observe(
+            &rec(
+                10,
+                TraceEvent::RequestEnqueued {
+                    req: 0,
+                    tenant: 1,
+                    src: 0,
+                    dst: 1,
+                },
+            ),
+            &mut out,
+        );
+        c.observe(
+            &rec(
+                20,
+                TraceEvent::RequestRejected {
+                    req: 1,
+                    tenant: 1,
+                    src: 0,
+                    dst: 2,
+                    cause: RejectCause::QueueFull,
+                },
+            ),
+            &mut out,
+        );
+        c.observe(
+            &rec(
+                100,
+                TraceEvent::RequestGranted {
+                    req: 0,
+                    tenant: 1,
+                    src: 0,
+                    dst: 1,
+                    wait_ns: 90,
+                },
+            ),
+            &mut out,
+        );
+        c.observe(
+            &rec(
+                100,
+                TraceEvent::BatchAdmitted {
+                    batch: 0,
+                    capacity: 4,
+                    selected: 1,
+                    granted: 1,
+                    denied: 0,
+                    pending: 0,
+                },
+            ),
+            &mut out,
+        );
+        let mut sealed = Vec::new();
+        c.seal(200, 0, &mut sealed);
+        assert_eq!(
+            sealed.len(),
+            1,
+            "admission activity makes a window non-idle"
+        );
+        assert_eq!(sealed[0].enqueued, 1);
+        assert_eq!(sealed[0].granted, 1);
+        assert_eq!(sealed[0].rejected, 1);
+        assert_eq!(sealed[0].batches, 1);
+    }
+
+    #[test]
     fn ring_is_bounded() {
         let mut c = SnapshotCollector::new(SnapshotConfig {
             window_ns: 100,
@@ -589,6 +704,10 @@ mod tests {
             setup_total_ns: 500,
             setup_max_ns: 400,
             passes: 12,
+            enqueued: 5,
+            granted: 4,
+            rejected: 1,
+            batches: 2,
         };
         assert_eq!(Snapshot::from_record(&snap.to_record()), Some(snap));
         assert_eq!(

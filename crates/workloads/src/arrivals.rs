@@ -1,0 +1,261 @@
+//! Timed connection-request arrival streams derived from workloads.
+//!
+//! The admission service (`pms-admit`), its benchmark, and any future
+//! open-loop simulator all consume the same `Iterator<Item =`
+//! [`ConnRequest`]`>` built here, so pattern logic lives in one place:
+//! the [`Workload`] generators. Each processor walks its command program
+//! on a private virtual clock — [`Command::Send`] emits a request and
+//! advances by [`ArrivalConfig::send_gap_ns`], [`Command::Delay`] just
+//! advances, [`Command::Barrier`] synchronizes every processor to the
+//! slowest one — and the per-processor streams are merged into one
+//! globally time-ordered stream. Everything is a pure function of the
+//! workload and the config: the same inputs always produce the same
+//! stream, byte for byte.
+
+use crate::program::Command;
+use crate::workload::Workload;
+
+/// One timed connection request, the unit the admission service ingests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConnRequest {
+    /// Virtual arrival time in nanoseconds.
+    pub t_ns: u64,
+    /// Tenant the request belongs to (rate-limit accounting key).
+    pub tenant: u32,
+    /// Requested input port.
+    pub src: u32,
+    /// Requested output port.
+    pub dst: u32,
+    /// Payload size the connection will carry.
+    pub bytes: u32,
+}
+
+/// Tuning for [`arrivals`].
+#[derive(Debug, Clone, Copy)]
+pub struct ArrivalConfig {
+    /// Virtual time between consecutive sends of one processor.
+    pub send_gap_ns: u64,
+    /// Number of tenants requests are striped over (`tenant = src %
+    /// tenants`). `0` means one tenant per source port.
+    pub tenants: u32,
+}
+
+impl Default for ArrivalConfig {
+    fn default() -> Self {
+        ArrivalConfig {
+            // One paper slot between sends.
+            send_gap_ns: 100,
+            tenants: 0,
+        }
+    }
+}
+
+/// A materialized, globally time-ordered arrival stream.
+///
+/// Built once from a workload; iterate it (or clone it to iterate
+/// again) — the order is `(t_ns, src)` with per-processor program order
+/// preserved within ties.
+#[derive(Debug, Clone)]
+pub struct Arrivals {
+    items: Vec<ConnRequest>,
+    next: usize,
+}
+
+impl Arrivals {
+    /// Requests not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.items.len() - self.next
+    }
+
+    /// The full stream as a slice (independent of iteration progress).
+    pub fn as_slice(&self) -> &[ConnRequest] {
+        &self.items
+    }
+}
+
+impl Iterator for Arrivals {
+    type Item = ConnRequest;
+
+    fn next(&mut self) -> Option<ConnRequest> {
+        let item = self.items.get(self.next).copied()?;
+        self.next += 1;
+        Some(item)
+    }
+}
+
+impl ExactSizeIterator for Arrivals {
+    fn len(&self) -> usize {
+        self.remaining()
+    }
+}
+
+/// Builds the arrival stream for a workload (see the module docs for the
+/// clock model).
+pub fn arrivals(workload: &Workload, cfg: &ArrivalConfig) -> Arrivals {
+    let ports = workload.ports;
+    let tenants = if cfg.tenants == 0 {
+        ports as u32
+    } else {
+        cfg.tenants
+    };
+    let mut clocks = vec![0u64; ports];
+    // Cursor into each processor's command list; barriers are consumed
+    // segment by segment so every processor stays within one barrier of
+    // the others, exactly like the closed-loop simulators.
+    let mut cursors = vec![0usize; ports];
+    let mut items: Vec<ConnRequest> = Vec::new();
+    loop {
+        let mut progressed = false;
+        for (p, prog) in workload.programs.iter().enumerate() {
+            while let Some(cmd) = prog.cmds.get(cursors[p]) {
+                match cmd {
+                    Command::Send { dst, bytes } => {
+                        items.push(ConnRequest {
+                            t_ns: clocks[p],
+                            tenant: p as u32 % tenants,
+                            src: p as u32,
+                            dst: *dst as u32,
+                            bytes: *bytes,
+                        });
+                        clocks[p] += cfg.send_gap_ns;
+                    }
+                    Command::Delay { ns } => clocks[p] += ns,
+                    // Scheduler directives carry no virtual time here;
+                    // the admission service has its own working set.
+                    Command::Flush | Command::Preload { .. } => {}
+                    Command::Barrier => break,
+                }
+                cursors[p] += 1;
+                progressed = true;
+            }
+        }
+        // Every processor is now parked at a barrier (or done). Release
+        // the barrier by synchronizing to the slowest processor.
+        let mut any_barrier = false;
+        for (p, prog) in workload.programs.iter().enumerate() {
+            if matches!(prog.cmds.get(cursors[p]), Some(Command::Barrier)) {
+                cursors[p] += 1;
+                any_barrier = true;
+                progressed = true;
+            }
+        }
+        if any_barrier {
+            let sync = clocks.iter().copied().max().unwrap_or(0);
+            clocks.iter_mut().for_each(|c| *c = sync);
+        }
+        if !progressed {
+            break;
+        }
+    }
+    // Stable sort: per-processor program order survives within a tie.
+    items.sort_by_key(|r| (r.t_ns, r.src));
+    Arrivals { items, next: 0 }
+}
+
+impl Workload {
+    /// The workload's arrival stream (see [`arrivals`]).
+    pub fn arrivals(&self, cfg: &ArrivalConfig) -> Arrivals {
+        arrivals(self, cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+
+    fn prog(cmds: impl FnOnce(&mut Program)) -> Program {
+        let mut p = Program::new();
+        cmds(&mut p);
+        p
+    }
+
+    #[test]
+    fn sends_space_out_by_gap_and_merge_in_time_order() {
+        let w = Workload::new(
+            "t",
+            3,
+            vec![
+                prog(|p| {
+                    p.send(1, 8).send(2, 8);
+                }),
+                prog(|p| {
+                    p.delay(50).send(2, 16);
+                }),
+                prog(|_| {}),
+            ],
+        );
+        let stream: Vec<ConnRequest> = w
+            .arrivals(&ArrivalConfig {
+                send_gap_ns: 100,
+                tenants: 0,
+            })
+            .collect();
+        let key: Vec<(u64, u32, u32)> = stream.iter().map(|r| (r.t_ns, r.src, r.dst)).collect();
+        assert_eq!(key, vec![(0, 0, 1), (50, 1, 2), (100, 0, 2)]);
+        assert!(stream.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+    }
+
+    #[test]
+    fn barriers_synchronize_clocks_to_the_slowest() {
+        let w = Workload::new(
+            "t",
+            2,
+            vec![
+                prog(|p| {
+                    p.barrier().send(1, 8);
+                }),
+                prog(|p| {
+                    p.delay(500).barrier().send(0, 8);
+                }),
+            ],
+        );
+        let stream: Vec<ConnRequest> = w.arrivals(&ArrivalConfig::default()).collect();
+        assert_eq!(stream.len(), 2);
+        assert!(
+            stream.iter().all(|r| r.t_ns == 500),
+            "both sends release at the barrier sync point: {stream:?}"
+        );
+    }
+
+    #[test]
+    fn tenants_stripe_over_sources() {
+        let w = Workload::new(
+            "t",
+            4,
+            (0..4)
+                .map(|p| {
+                    prog(|pr| {
+                        pr.send((p + 1) % 4, 8);
+                    })
+                })
+                .collect(),
+        );
+        let by_default: Vec<u32> = w
+            .arrivals(&ArrivalConfig::default())
+            .map(|r| r.tenant)
+            .collect();
+        assert_eq!(by_default, vec![0, 1, 2, 3], "0 tenants = one per port");
+        let striped: Vec<u32> = w
+            .arrivals(&ArrivalConfig {
+                send_gap_ns: 100,
+                tenants: 2,
+            })
+            .map(|r| r.tenant)
+            .collect();
+        assert_eq!(striped, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_exact_size() {
+        let w = crate::uniform(8, 64, 5, 7);
+        let a: Vec<ConnRequest> = w.arrivals(&ArrivalConfig::default()).collect();
+        let b: Vec<ConnRequest> = w.arrivals(&ArrivalConfig::default()).collect();
+        assert_eq!(a, b);
+        let mut it = w.arrivals(&ArrivalConfig::default());
+        assert_eq!(it.len(), a.len());
+        it.next();
+        assert_eq!(it.len(), a.len() - 1);
+        assert_eq!(a.len(), w.message_count());
+    }
+}

@@ -19,11 +19,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arrivals;
 mod dsl;
 mod patterns;
 mod program;
 mod workload;
 
+pub use arrivals::{arrivals, ArrivalConfig, Arrivals, ConnRequest};
 pub use dsl::{format_program, parse_program, ParseError};
 pub use patterns::{
     butterfly, gather, hotspot, hybrid, ordered_mesh, permutation, random_mesh, ring, scatter,
