@@ -54,6 +54,7 @@ struct Args {
     serve: Option<String>,
     json: bool,
     quiet: bool,
+    threads: usize,
 }
 
 fn die(msg: String) -> ! {
@@ -71,7 +72,7 @@ fn usage() -> ! {
          \x20            [--policy fifo|strict|pifo] [--rate R] [--burst B]\n\
          \x20            [--max-denials D] [--fabric crossbar|omega|butterfly|fat-tree]\n\
          \x20            [--trace OUT.jsonl] [--report OUT.json] [--serve ADDR]\n\
-         \x20            [--json] [--quiet]\n\
+         \x20            [--json] [--quiet] [--threads N]\n\
          patterns : scatter gather ring uniform hotspot permutation butterfly transpose\n\
          --stdin  : read `req <t_ns> <tenant> <src> <dst> [bytes]` lines from stdin\n\
          --tenants: stripe sources over T tenants (0 = one tenant per port)\n\
@@ -87,7 +88,10 @@ fn usage() -> ! {
          --serve  : live telemetry at ADDR (adds /admission to the endpoints);\n\
          \x20          lingers after the run until GET /shutdown\n\
          --json   : print the summary as one JSON object on stdout\n\
-         --quiet  : suppress the per-decision stdout lines"
+         --quiet  : suppress the per-decision stdout lines\n\
+         --threads: worker lanes, recorded in headers and /metrics labels\n\
+         \x20          (the single admission stream itself is serialized by\n\
+         \x20          design; admit_bench fans its policy sweep over lanes)"
     );
     std::process::exit(2);
 }
@@ -118,6 +122,7 @@ fn parse_args() -> Args {
         serve: None,
         json: false,
         quiet: false,
+        threads: pms_par::available_parallelism(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -166,6 +171,9 @@ fn parse_args() -> Args {
             "--trace" => args.trace = Some(value(i).to_string()),
             "--report" => args.report = Some(value(i).to_string()),
             "--serve" => args.serve = Some(value(i).to_string()),
+            "--threads" => {
+                args.threads = value(i).parse::<usize>().unwrap_or_else(|_| usage()).max(1)
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -356,13 +364,19 @@ fn main() {
         eprintln!("batches      : {}", s.batches);
         eprintln!("peak queue   : {}", s.peak_queue);
         eprintln!("virtual end  : {} ns", outcome.end_ns);
-        eprintln!("wall-clock   : {:.3} ms", wall.as_secs_f64() * 1e3);
+        eprintln!(
+            "wall-clock   : {:.3} ms ({} thread{})",
+            wall.as_secs_f64() * 1e3,
+            args.threads,
+            if args.threads == 1 { "" } else { "s" }
+        );
     }
     if let Some((_, srv)) = server {
         srv.publish_labels(&[
             ("policy", args.policy.name().to_string()),
             ("ports", args.ports.to_string()),
             ("k", args.slots.to_string()),
+            ("threads", args.threads.to_string()),
         ]);
         eprintln!("serving      : run complete; GET /shutdown to exit");
         srv.wait();

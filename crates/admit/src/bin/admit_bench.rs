@@ -31,6 +31,7 @@ struct BenchArgs {
     messages: usize,
     seed: u64,
     json: Option<String>,
+    threads: usize,
 }
 
 fn die(msg: String) -> ! {
@@ -39,7 +40,12 @@ fn die(msg: String) -> ! {
 }
 
 fn usage() -> ! {
-    eprintln!("usage: admit_bench [--ports N] [--messages M] [--seed S] [--json OUT.json]");
+    eprintln!(
+        "usage: admit_bench [--ports N] [--messages M] [--seed S] [--json OUT.json]\n\
+         \x20                  [--threads N]\n\
+         --threads: fan the per-policy sweep over N work-stealing lanes\n\
+         \x20          (results print in policy order at any lane count)"
+    );
     std::process::exit(2);
 }
 
@@ -49,6 +55,7 @@ fn parse_args() -> BenchArgs {
         messages: 32,
         seed: 17,
         json: None,
+        threads: pms_par::available_parallelism(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -63,6 +70,9 @@ fn parse_args() -> BenchArgs {
             "--messages" => args.messages = value(i).parse().unwrap_or_else(|_| usage()),
             "--seed" => args.seed = value(i).parse().unwrap_or_else(|_| usage()),
             "--json" => args.json = Some(value(i).to_string()),
+            "--threads" => {
+                args.threads = value(i).parse::<usize>().unwrap_or_else(|_| usage()).max(1)
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -180,18 +190,25 @@ fn main() {
         .arrivals(&ArrivalConfig::default())
         .collect();
     assert!(!stream.is_empty(), "empty arrival stream");
-    let jsonl_path = std::env::temp_dir().join(format!(
-        "admit_bench_{}_{}_{}.jsonl",
-        args.ports,
-        args.messages,
-        std::process::id()
-    ));
+    // One scratch file per policy: the sweep fans over worker lanes, so
+    // the replay round trips must not share a path.
+    let jsonl_path = |kind: PolicyKind| {
+        std::env::temp_dir().join(format!(
+            "admit_bench_{}_{}_{}_{}.jsonl",
+            args.ports,
+            args.messages,
+            std::process::id(),
+            kind.name()
+        ))
+    };
 
-    let results: Vec<PolicyResult> = PolicyKind::ALL
-        .iter()
-        .map(|&kind| bench_policy(kind, &stream, args.ports, &jsonl_path))
-        .collect();
-    let _ = std::fs::remove_file(&jsonl_path);
+    let pool = pms_par::ShardPool::new(args.threads.min(PolicyKind::ALL.len()));
+    let results: Vec<PolicyResult> = pool.par_map(PolicyKind::ALL.to_vec(), |_, kind| {
+        let path = jsonl_path(kind);
+        let r = bench_policy(kind, &stream, args.ports, &path);
+        let _ = std::fs::remove_file(&path);
+        r
+    });
 
     for r in &results {
         println!(

@@ -24,7 +24,7 @@
 
 use pms_admit::{AdmitConfig, AdmitEngine, PolicyKind};
 use pms_analyze::{render_ratio_table, worst_regression, RatioRow};
-use pms_bench::naive;
+use pms_bench::{naive, run_grid_threads};
 use pms_bitmat::BitMatrix;
 use pms_sched::{slarray::reference, Priority};
 use pms_sim::{Paradigm, PredictorKind, SimParams};
@@ -69,6 +69,11 @@ struct Entry {
     before_ns: f64,
     after_ns: f64,
     floor: f64,
+    /// Worker lanes the `after` measurement ran on. `0` marks a
+    /// thread-independent kernel; parallel rows record the lane count so
+    /// `--check` can skip them on machines with fewer cores than the
+    /// baseline was generated on.
+    threads: usize,
 }
 
 impl Entry {
@@ -105,6 +110,7 @@ fn measure_entries() -> Vec<Entry> {
             black_box(black_box(&m).col_or());
         }),
         floor: 5.0,
+        threads: 0,
     });
     entries.push(Entry {
         name: "bitmat_row_or",
@@ -115,6 +121,7 @@ fn measure_entries() -> Vec<Entry> {
             black_box(black_box(&m).row_or());
         }),
         floor: 5.0,
+        threads: 0,
     });
     let slots: Vec<BitMatrix> = (1..5).map(|s| dense(n, s)).collect();
     entries.push(Entry {
@@ -126,6 +133,7 @@ fn measure_entries() -> Vec<Entry> {
             black_box(BitMatrix::union(black_box(&slots)));
         }),
         floor: 5.0,
+        threads: 0,
     });
     // Disjoint matrices: no overlapping bit, so neither implementation can
     // short-circuit and the comparison measures the full conflict scan.
@@ -140,6 +148,7 @@ fn measure_entries() -> Vec<Entry> {
             black_box(black_box(&even).intersects(black_box(&odd)));
         }),
         floor: 5.0,
+        threads: 0,
     });
 
     // --- SL array pass ----------------------------------------------------
@@ -164,6 +173,7 @@ fn measure_entries() -> Vec<Entry> {
             ));
         }),
         floor: 5.0,
+        threads: 0,
     });
     entries.push(Entry {
         name: "sl_pass_dense",
@@ -178,6 +188,7 @@ fn measure_entries() -> Vec<Entry> {
             ));
         }),
         floor: 5.0,
+        threads: 0,
     });
     // Secondary point: the gather-and-sort reference (the pre-PR library
     // pass, which already skipped empty rows via iterators) vs fast.
@@ -198,6 +209,7 @@ fn measure_entries() -> Vec<Entry> {
             ));
         }),
         floor: 1.0,
+        threads: 0,
     });
 
     // --- simulator idle skip ---------------------------------------------
@@ -217,12 +229,14 @@ fn measure_entries() -> Vec<Entry> {
         before_ns: run(&tdm, false),
         after_ns: run(&tdm, true),
         floor: 1.0,
+        threads: 0,
     });
     entries.push(Entry {
         name: "sim_sparse_circuit_idle_skip",
         before_ns: run(&Paradigm::Circuit, false),
         after_ns: run(&Paradigm::Circuit, true),
         floor: 1.0,
+        threads: 0,
     });
 
     // --- streaming admission ---------------------------------------------
@@ -247,12 +261,90 @@ fn measure_entries() -> Vec<Entry> {
         before_ns: admit_run(1),
         after_ns: admit_run(n),
         floor: 1.0,
+        threads: 0,
+    });
+
+    // --- sharded parallel simulation --------------------------------------
+    // The same deterministic run fanned over worker lanes, `--threads 1`
+    // vs all cores. Outputs must be byte-identical (asserted on the full
+    // stats JSON); only wall-clock may differ. The floor scales with the
+    // lane count actually available: a single-core machine records an
+    // honest ~1x row (and `--check` on such a machine skips rows that
+    // were generated with more lanes than it has).
+    let par_threads = pms_par::available_parallelism();
+    let par_floor = match par_threads {
+        0 | 1 => 0.5, // same code path twice; guard against timing noise only
+        2 | 3 => 1.2,
+        _ => 2.0,
+    };
+    let dense = uniform(1024, 64, 2, 17);
+    let par_run = |threads: usize| {
+        let params = SimParams::default().with_ports(1024).with_threads(threads);
+        let t0 = Instant::now();
+        let stats = Paradigm::DynamicTdm(PredictorKind::Drop).run(&dense, &params);
+        (t0.elapsed().as_secs_f64() * 1e9, stats)
+    };
+    let _ = par_run(par_threads); // warm caches so the 1-lane row isn't inflated
+    let (seq_ns, seq_stats) = par_run(1);
+    let (par_ns, par_stats) = par_run(par_threads);
+    assert_eq!(
+        seq_stats.to_json().render_pretty(),
+        par_stats.to_json().render_pretty(),
+        "parallel 1024-port run diverged from sequential"
+    );
+    entries.push(Entry {
+        name: "par_speedup",
+        before_ns: seq_ns,
+        after_ns: par_ns,
+        floor: par_floor,
+        threads: par_threads,
+    });
+
+    // Work-stealing sweep runner: the same grid at 1 lane vs all lanes,
+    // identical tables required cell by cell.
+    let grid_jobs = || -> Vec<(u64, Workload, Paradigm)> {
+        [64u64, 256]
+            .iter()
+            .flat_map(|&b| {
+                [
+                    Paradigm::Wormhole,
+                    Paradigm::Circuit,
+                    Paradigm::DynamicTdm(PredictorKind::Drop),
+                    Paradigm::PreloadTdm,
+                ]
+                .into_iter()
+                .map(move |p| (b, uniform(64, b as u32, 8, 23), p))
+            })
+            .collect()
+    };
+    let grid_params = SimParams::default().with_ports(64);
+    let grid_seq = run_grid_threads(grid_jobs(), &grid_params, 1);
+    let grid_par = run_grid_threads(grid_jobs(), &grid_params, par_threads);
+    for (a, b) in grid_seq.cells.iter().zip(&grid_par.cells) {
+        assert_eq!(a.row, b.row, "sweep rows diverged");
+        assert_eq!(a.col, b.col, "sweep cols diverged");
+        assert_eq!(
+            a.stats.to_json().render_pretty(),
+            b.stats.to_json().render_pretty(),
+            "sweep cell ({}, {}) diverged across thread counts",
+            a.row,
+            a.col
+        );
+    }
+    entries.push(Entry {
+        name: "sweep_scaling",
+        before_ns: grid_seq.elapsed_ns as f64,
+        after_ns: grid_par.elapsed_ns as f64,
+        floor: par_floor,
+        threads: par_threads,
     });
     entries
 }
 
-/// Committed speedups by kernel name, from the baseline JSON.
-fn load_baseline_speedups(path: &str) -> Vec<(String, f64)> {
+/// Committed `(name, speedup, threads)` rows from the baseline JSON;
+/// `threads = 0` for thread-independent kernels (and rows written before
+/// the field existed).
+fn load_baseline_speedups(path: &str) -> Vec<(String, f64, u64)> {
     let text = std::fs::read_to_string(path)
         .unwrap_or_else(|e| panic!("cannot read baseline {path}: {e}"));
     let doc = Json::parse(&text).unwrap_or_else(|e| panic!("bad baseline {path}: {e:?}"));
@@ -276,7 +368,8 @@ fn load_baseline_speedups(path: &str) -> Vec<(String, f64)> {
                 .expect("kernel name")
                 .to_string();
             let speedup = as_f64(k.get("speedup").expect("kernel speedup"));
-            (name, speedup)
+            let threads = k.get("threads").map(|t| as_f64(t) as u64).unwrap_or(0);
+            (name, speedup, threads)
         })
         .collect()
 }
@@ -291,7 +384,15 @@ fn check_against(path: &str, entries: &[Entry]) -> usize {
     let marker_tolerance = 1.0 - CHECK_TOLERANCE;
     let mut regressions = 0usize;
     let mut rows: Vec<RatioRow> = Vec::new();
-    for (name, baseline) in &committed {
+    let lanes = pms_par::available_parallelism() as u64;
+    for (name, baseline, threads) in &committed {
+        if *threads > lanes {
+            // A parallel row generated on a bigger machine: its speedup
+            // is unreachable here, so comparing it would only produce
+            // false regressions on small CI runners.
+            println!("  SKIP {name}: baseline used {threads} lanes, this machine has {lanes}");
+            continue;
+        }
         match entries.iter().find(|e| e.name == *name) {
             Some(e) => rows.push(RatioRow {
                 name: name.clone(),
@@ -315,7 +416,7 @@ fn check_against(path: &str, entries: &[Entry]) -> usize {
     );
     regressions += rows.iter().filter(|r| r.ratio() < CHECK_TOLERANCE).count();
     for e in entries {
-        match committed.iter().any(|(n, _)| n == e.name) {
+        match committed.iter().any(|(n, _, _)| n == e.name) {
             true if e.speedup() < e.floor => {
                 println!(
                     "  FLOOR {}: {:.2}x below the {:.1}x acceptance floor",
@@ -383,11 +484,12 @@ fn main() {
     json.push_str("  \"kernels\": [\n");
     for (i, e) in entries.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"name\": \"{}\", \"before_ns\": {:.1}, \"after_ns\": {:.1}, \"speedup\": {:.2}}}{}\n",
+            "    {{\"name\": \"{}\", \"before_ns\": {:.1}, \"after_ns\": {:.1}, \"speedup\": {:.2}, \"threads\": {}}}{}\n",
             e.name,
             e.before_ns,
             e.after_ns,
             e.speedup(),
+            e.threads,
             if i + 1 < entries.len() { "," } else { "" }
         ));
     }

@@ -17,7 +17,7 @@
 //! alert rules against the cell's snapshot stream; `--timeseries-csv
 //! OUT.csv` exports the cell's per-window metrics series.
 
-use pms_bench::{run_grid, trace_and_report_flags};
+use pms_bench::{run_grid_threads, threads_flag, trace_and_report_flags};
 use pms_sim::{Paradigm, PredictorKind, SimParams};
 use pms_trace::Json;
 use pms_workloads::{ordered_mesh, random_mesh, scatter, two_phase, MeshSpec, Workload};
@@ -41,6 +41,8 @@ fn paradigms() -> Vec<Paradigm> {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let argv: Vec<String> = std::env::args().collect();
+    let threads = threads_flag(&argv);
     let (ports, sizes): (usize, Vec<u32>) = if quick {
         (32, vec![8, 64, 512])
     } else {
@@ -72,7 +74,7 @@ fn main() {
             .iter()
             .flat_map(|&b| paradigms().into_iter().map(move |p| (b as u64, gen(b), p)))
             .collect();
-        let table = run_grid(jobs, &params);
+        let table = run_grid_threads(jobs, &params, threads);
         println!("Figure 4 — {name} (efficiency, {ports} processors, K=4)");
         println!("{}", table.render("msg bytes", rate));
         eprintln!("{name} wall-clock per cell:");
@@ -110,7 +112,6 @@ fn main() {
         .expect("write results/fig4.json");
     println!("results written to results/fig4.json");
 
-    let argv: Vec<String> = std::env::args().collect();
     trace_and_report_flags(&argv, "scatter/64B dynamic-tdm", |tracer| {
         let (_, mut tracer) = Paradigm::DynamicTdm(PredictorKind::Drop).run_traced(
             &scatter(ports, 64),

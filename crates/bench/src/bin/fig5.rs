@@ -17,13 +17,15 @@
 //! RULES.txt` evaluates alert rules against the cell's snapshot stream;
 //! `--timeseries-csv OUT.csv` exports the cell's per-window series.
 
-use pms_bench::{run_grid, trace_and_report_flags};
+use pms_bench::{run_grid_threads, threads_flag, trace_and_report_flags};
 use pms_sim::{Paradigm, PredictorKind, SimParams};
 use pms_trace::Json;
 use pms_workloads::{hybrid, HybridSpec, Workload};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let argv: Vec<String> = std::env::args().collect();
+    let threads = threads_flag(&argv);
     let (ports, msgs, seeds): (usize, usize, Vec<u64>) = if quick {
         (32, 24, vec![1])
     } else {
@@ -60,7 +62,7 @@ fn main() {
                     )
                 })
                 .collect();
-            let table = run_grid(jobs, &params);
+            let table = run_grid_threads(jobs, &params, threads);
             let mean: f64 = table
                 .cells
                 .iter()
@@ -76,7 +78,7 @@ fn main() {
             k_wall_ns += table.total_wall_ns();
         }
         eprintln!(
-            "wall-clock: {k}-preload series {:.2} ms across {} points",
+            "wall-clock: {k}-preload series total-cpu {:.2} ms across {} points, {threads} thread(s)",
             k_wall_ns as f64 / 1e6,
             points.len()
         );
@@ -123,7 +125,6 @@ fn main() {
         .expect("write results/fig5.json");
     println!("results written to results/fig5.json");
 
-    let argv: Vec<String> = std::env::args().collect();
     trace_and_report_flags(&argv, "hybrid 85%/1p", |tracer| {
         let workload = hybrid(HybridSpec {
             ports,

@@ -55,6 +55,7 @@ struct Args {
     json: bool,
     phase_detector: bool,
     idle_skip: bool,
+    threads: usize,
 }
 
 /// A CLI-level failure (unreadable file, malformed plan): report it and
@@ -83,6 +84,7 @@ fn parse_args() -> Args {
         json: false,
         phase_detector: false,
         idle_skip: true,
+        threads: pms_par::available_parallelism(),
     };
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -122,6 +124,9 @@ fn parse_args() -> Args {
             "--alerts" => args.alerts = Some(value(i).to_string()),
             "--timeseries-csv" => args.timeseries_csv = Some(value(i).to_string()),
             "--serve" => args.serve = Some(value(i).to_string()),
+            "--threads" => {
+                args.threads = value(i).parse::<usize>().unwrap_or_else(|_| usage()).max(1)
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag `{other}`");
@@ -151,7 +156,7 @@ fn usage() -> ! {
          \x20               [--trace OUT] [--report OUT.json] [--faults PLAN.txt]\n\
          \x20               [--alerts RULES.txt] [--timeseries-csv OUT.csv]\n\
          \x20               [--flight-recorder OUT.jsonl] [--serve ADDR] [--json]\n\
-         \x20               [--phase-detector] [--no-idle-skip]\n\
+         \x20               [--phase-detector] [--no-idle-skip] [--threads N]\n\
          patterns : scatter gather ring uniform hotspot permutation butterfly\n\
          \x20          transpose stencil3d ordered-mesh random-mesh two-phase\n\
          paradigms: wormhole circuit dynamic preload hybrid0 hybrid1 hybrid2\n\
@@ -173,7 +178,10 @@ fn usage() -> ! {
          --phase-detector : attach the miss-rate phase detector (dynamic TDM)\n\
          --no-idle-skip : force the pre-optimization stepped main loop\n\
          \x20          (outputs are byte-identical either way; only wall-clock\n\
-         \x20          changes — see DESIGN.md, Performance model)"
+         \x20          changes — see DESIGN.md, Performance model)\n\
+         --threads: worker lanes for the sharded simulation (default: all\n\
+         \x20          cores; 1 = the exact sequential path; outputs are\n\
+         \x20          byte-identical at any count)"
     );
     std::process::exit(2);
 }
@@ -273,7 +281,8 @@ fn main() {
     let params = SimParams::default()
         .with_ports(args.ports)
         .with_tdm_slots(args.slots)
-        .with_idle_skip(args.idle_skip);
+        .with_idle_skip(args.idle_skip)
+        .with_threads(args.threads);
     let rate = params.link.bytes_per_ns();
     let plan = match &args.faults {
         Some(path) => {
@@ -341,13 +350,15 @@ fn main() {
         paradigm.run_faulted(&workload, &params, plan, tracer)
     };
     eprintln!(
-        "wall-clock   : {:.3} ms{}",
+        "wall-clock   : {:.3} ms{} ({} thread{})",
         wall_start.elapsed().as_secs_f64() * 1e3,
         if args.idle_skip {
             ""
         } else {
             " (idle skip off)"
-        }
+        },
+        args.threads,
+        if args.threads == 1 { "" } else { "s" }
     );
     pms_bench::finish(&mut tracer);
     if let Some(path) = &args.trace {
@@ -405,6 +416,7 @@ fn main() {
             ("paradigm", stats.paradigm.clone()),
             ("ports", args.ports.to_string()),
             ("k", args.slots.to_string()),
+            ("threads", args.threads.to_string()),
         ]);
     }
     if args.json {

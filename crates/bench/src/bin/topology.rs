@@ -13,7 +13,7 @@
 //! show what internal blocking costs on the same traffic. Results go to
 //! `results/topology.json`. `--quick` shrinks the grid for CI.
 
-use pms_bench::run_grid;
+use pms_bench::{run_grid_threads, threads_flag};
 use pms_sim::{MsTopology, Paradigm, PredictorKind, SimParams};
 use pms_trace::Json;
 use pms_workloads::{permutation, scatter, uniform, Workload};
@@ -46,6 +46,7 @@ fn paradigms() -> Vec<Paradigm> {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let threads = threads_flag(&std::env::args().collect::<Vec<_>>());
     let (ports, sizes): (usize, Vec<u32>) = if quick {
         (16, vec![64, 512])
     } else {
@@ -69,7 +70,7 @@ fn main() {
             .iter()
             .flat_map(|&b| paradigms().into_iter().map(move |p| (b as u64, gen(b), p)))
             .collect();
-        let table = run_grid(jobs, &params);
+        let table = run_grid_threads(jobs, &params, threads);
         println!("Topology sweep — {name} (efficiency, {ports} processors, K=4)");
         println!("{}", table.render("msg bytes", rate));
 

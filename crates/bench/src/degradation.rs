@@ -50,7 +50,9 @@ pub struct DegradationRow {
     pub cells: Vec<(String, SimStats)>,
 }
 
-/// Runs the blackout sweep: every paradigm at every duty cycle.
+/// Runs the blackout sweep: every paradigm at every duty cycle,
+/// sequentially. See [`degradation_sweep_threads`] for the fanned-out
+/// version — both produce identical rows.
 pub fn degradation_sweep(
     workload: &Workload,
     params: &SimParams,
@@ -58,18 +60,36 @@ pub fn degradation_sweep(
     duties: &[u64],
     period_ns: u64,
 ) -> Vec<DegradationRow> {
+    degradation_sweep_threads(workload, params, paradigms, duties, period_ns, 1)
+}
+
+/// Runs the blackout sweep fanned over `threads` work-stealing lanes.
+/// Each `(duty, paradigm)` cell is an independent deterministic run;
+/// results come back in job order, so the rows are identical at any
+/// lane count.
+pub fn degradation_sweep_threads(
+    workload: &Workload,
+    params: &SimParams,
+    paradigms: &[Paradigm],
+    duties: &[u64],
+    period_ns: u64,
+    threads: usize,
+) -> Vec<DegradationRow> {
+    let jobs: Vec<(u64, Paradigm)> = duties
+        .iter()
+        .flat_map(|&d| paradigms.iter().map(move |p| (d, p.clone())))
+        .collect();
+    let cells = crate::runner::run_cells(threads, jobs, |_, (duty_pct, p)| {
+        let plan = blackout_plan(workload.ports as u32, duty_pct, period_ns);
+        let (stats, _) = p.run_faulted(workload, params, plan, Tracer::Null);
+        (p.label(), stats)
+    });
     duties
         .iter()
-        .map(|&duty_pct| DegradationRow {
+        .zip(cells.chunks(paradigms.len().max(1)))
+        .map(|(&duty_pct, row)| DegradationRow {
             duty_pct,
-            cells: paradigms
-                .iter()
-                .map(|p| {
-                    let plan = blackout_plan(workload.ports as u32, duty_pct, period_ns);
-                    let (stats, _) = p.run_faulted(workload, params, plan, Tracer::Null);
-                    (p.label(), stats)
-                })
-                .collect(),
+            cells: row.to_vec(),
         })
         .collect()
 }

@@ -1,0 +1,85 @@
+//! Work-stealing sweep runner shared by every figure/sweep binary.
+//!
+//! All sweeps are embarrassingly parallel grids of independent,
+//! deterministic simulations. This module owns the two pieces every
+//! binary needs:
+//!
+//! * [`threads_flag`] — the common `--threads N` CLI contract (default:
+//!   all available cores, `1` = fully sequential);
+//! * [`run_cells`] — fan a job list over a [`ShardPool`] with
+//!   work-stealing, returning results in **job order** regardless of
+//!   which worker finished which job, so sweep output is byte-identical
+//!   at any thread count.
+//!
+//! Determinism note: each cell's *simulation* runs with the cell's own
+//! `SimParams` (normally `threads = 1` — the sweep already saturates the
+//! machine at the grid level), and only scheduling order varies with the
+//! runner's thread count. Results are re-assembled by job index, so the
+//! rendered tables, CSVs, and baselines never depend on `--threads`.
+
+use pms_par::{available_parallelism, ShardPool};
+
+/// Parses `--threads N` out of `argv`, defaulting to every available
+/// core. `--threads 1` (or any parse failure) degrades to sequential.
+pub fn threads_flag(args: &[String]) -> usize {
+    let mut threads = available_parallelism();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == "--threads" {
+            if let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) {
+                threads = n.max(1);
+            }
+        } else if let Some(v) = a.strip_prefix("--threads=") {
+            if let Ok(n) = v.parse::<usize>() {
+                threads = n.max(1);
+            }
+        }
+    }
+    threads
+}
+
+/// Runs `f` over `jobs` on a work-stealing pool of `threads` lanes and
+/// returns the results **in input order**. `threads = 1` runs inline on
+/// the calling thread with zero spawns — the exact legacy path.
+pub fn run_cells<T, R, F>(threads: usize, jobs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let pool = ShardPool::new(threads.max(1).min(jobs.len().max(1)));
+    pool.par_map(jobs, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn threads_flag_parses_both_forms() {
+        assert_eq!(threads_flag(&argv(&["--threads", "3"])), 3);
+        assert_eq!(threads_flag(&argv(&["--threads=5"])), 5);
+        assert_eq!(threads_flag(&argv(&["--threads", "0"])), 1);
+        assert_eq!(threads_flag(&argv(&[])), available_parallelism());
+        // Malformed value falls back to the default.
+        assert_eq!(
+            threads_flag(&argv(&["--threads", "lots"])),
+            available_parallelism()
+        );
+    }
+
+    #[test]
+    fn run_cells_preserves_job_order() {
+        for threads in [1, 2, 4] {
+            let out = run_cells(threads, (0..37).collect(), |i, x: i32| {
+                assert_eq!(i as i32, x);
+                x * 2
+            });
+            assert_eq!(out, (0..37).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+}

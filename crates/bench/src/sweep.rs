@@ -1,12 +1,14 @@
 //! Parallel sweep driver: run (workload, paradigm) grids across threads.
 //!
 //! Every grid cell is an independent deterministic simulation, so the
-//! sweep parallelizes with `std::thread::scope`; results land in a shared
-//! table behind a `std::sync::Mutex` (see DESIGN.md §7).
+//! sweep fans out over the work-stealing [`ShardPool`]; results are
+//! re-assembled in job order, making the table byte-identical at any
+//! thread count (see DESIGN.md §7 and §"Parallel execution model").
 
+use crate::runner::run_cells;
+use pms_par::available_parallelism;
 use pms_sim::{Paradigm, SimParams, SimStats};
 use pms_workloads::Workload;
-use std::sync::Mutex;
 
 /// One completed grid cell.
 #[derive(Debug, Clone)]
@@ -17,9 +19,10 @@ pub struct Cell {
     pub col: String,
     /// Simulation results.
     pub stats: SimStats,
-    /// Wall-clock time this cell's simulation took on the sweep thread
-    /// (ns). Lives on the cell, not in [`SimStats`], so simulator outputs
-    /// stay byte-comparable across runs.
+    /// Wall-clock time this cell's simulation took on its sweep lane
+    /// (ns), measured inside the worker around the simulation only — no
+    /// queueing time. Lives on the cell, not in [`SimStats`], so
+    /// simulator outputs stay byte-comparable across runs.
     pub wall_ns: u64,
 }
 
@@ -28,6 +31,11 @@ pub struct Cell {
 pub struct FigureTable {
     /// All cells, sorted by (row, col).
     pub cells: Vec<Cell>,
+    /// Lanes the sweep ran on.
+    pub threads: usize,
+    /// End-to-end wall-clock of the whole sweep (ns), as opposed to the
+    /// summed per-cell CPU time in [`total_wall_ns`](Self::total_wall_ns).
+    pub elapsed_ns: u64,
 }
 
 impl FigureTable {
@@ -58,7 +66,8 @@ impl FigureTable {
         cols
     }
 
-    /// Total wall-clock across all cells (ns) — sweep cost at a glance.
+    /// Total per-cell CPU time across all cells (ns) — sweep cost at a
+    /// glance, independent of how many lanes it was spread over.
     pub fn total_wall_ns(&self) -> u64 {
         self.cells.iter().map(|c| c.wall_ns).sum()
     }
@@ -66,6 +75,10 @@ impl FigureTable {
     /// Renders per-cell wall-clock in milliseconds, same layout as
     /// [`render`](Self::render) — the criterion-free view of where a
     /// sweep's time goes (e.g. which paradigm/row dominates a figure run).
+    ///
+    /// The footer separates the summed per-cell CPU time from the
+    /// end-to-end wall-clock: their ratio is the sweep's parallel
+    /// speedup on the recorded lane count.
     pub fn render_wall(&self, row_header: &str) -> String {
         let cols = self.cols();
         let mut out = String::new();
@@ -88,9 +101,12 @@ impl FigureTable {
             out.push('\n');
         }
         out.push_str(&format!(
-            "{:>10} total {:.2}ms\n",
+            "{:>10} total-cpu {:.2}ms, wall {:.2}ms, {} thread{}\n",
             "",
-            self.total_wall_ns() as f64 / 1e6
+            self.total_wall_ns() as f64 / 1e6,
+            self.elapsed_ns as f64 / 1e6,
+            self.threads,
+            if self.threads == 1 { "" } else { "s" }
         ));
         out
     }
@@ -118,38 +134,40 @@ impl FigureTable {
     }
 }
 
-/// Runs the full `(row, workload) x paradigm` grid in parallel and returns
-/// the sorted result table.
+/// Runs the full `(row, workload) x paradigm` grid on all available
+/// cores and returns the sorted result table.
 pub fn run_grid(jobs: Vec<(u64, Workload, Paradigm)>, params: &SimParams) -> FigureTable {
-    let results = Mutex::new(Vec::with_capacity(jobs.len()));
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
-        .min(jobs.len().max(1));
-    let queue = Mutex::new(jobs.into_iter());
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let job = queue.lock().expect("sweep queue poisoned").next();
-                let Some((row, workload, paradigm)) = job else {
-                    break;
-                };
-                let p = params.clone().with_ports(workload.ports);
-                let t0 = std::time::Instant::now();
-                let stats = paradigm.run(&workload, &p);
-                let wall_ns = t0.elapsed().as_nanos() as u64;
-                results.lock().expect("sweep results poisoned").push(Cell {
-                    row,
-                    col: paradigm.label(),
-                    stats,
-                    wall_ns,
-                });
-            });
+    run_grid_threads(jobs, params, available_parallelism())
+}
+
+/// Runs the grid on `threads` work-stealing lanes. The table is
+/// byte-identical at any lane count: cells are timed inside their
+/// worker, returned in job order, and finally sorted by `(row, col)`.
+pub fn run_grid_threads(
+    jobs: Vec<(u64, Workload, Paradigm)>,
+    params: &SimParams,
+    threads: usize,
+) -> FigureTable {
+    let threads = threads.max(1);
+    let t0 = std::time::Instant::now();
+    let mut cells = run_cells(threads, jobs, |_, (row, workload, paradigm)| {
+        let p = params.clone().with_ports(workload.ports);
+        let t0 = std::time::Instant::now();
+        let stats = paradigm.run(&workload, &p);
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        Cell {
+            row,
+            col: paradigm.label(),
+            stats,
+            wall_ns,
         }
     });
-    let mut cells = results.into_inner().expect("sweep results poisoned");
     cells.sort_by(|a, b| (a.row, &a.col).cmp(&(b.row, &b.col)));
-    FigureTable { cells }
+    FigureTable {
+        cells,
+        threads,
+        elapsed_ns: t0.elapsed().as_nanos() as u64,
+    }
 }
 
 #[cfg(test)]
@@ -158,9 +176,8 @@ mod tests {
     use pms_sim::PredictorKind;
     use pms_workloads::scatter;
 
-    #[test]
-    fn grid_runs_all_cells_in_parallel() {
-        let jobs: Vec<(u64, Workload, Paradigm)> = [8u64, 64]
+    fn grid_jobs() -> Vec<(u64, Workload, Paradigm)> {
+        [8u64, 64]
             .iter()
             .flat_map(|&b| {
                 [
@@ -170,8 +187,12 @@ mod tests {
                 .into_iter()
                 .map(move |p| (b, scatter(8, b as u32), p))
             })
-            .collect();
-        let table = run_grid(jobs, &SimParams::default().with_ports(8));
+            .collect()
+    }
+
+    #[test]
+    fn grid_runs_all_cells_in_parallel() {
+        let table = run_grid(grid_jobs(), &SimParams::default().with_ports(8));
         assert_eq!(table.cells.len(), 4);
         assert_eq!(table.rows(), vec![8, 64]);
         assert_eq!(table.cols().len(), 2);
@@ -182,6 +203,30 @@ mod tests {
         let wall = table.render_wall("bytes");
         assert!(wall.contains("ms"), "{wall}");
         assert!(wall.contains("total"), "{wall}");
+        assert!(wall.contains("thread"), "{wall}");
         assert!(table.total_wall_ns() > 0);
+        assert!(table.elapsed_ns > 0);
+        assert!(table.threads >= 1);
+    }
+
+    #[test]
+    fn grid_stats_identical_across_thread_counts() {
+        let params = SimParams::default().with_ports(8);
+        let base = run_grid_threads(grid_jobs(), &params, 1);
+        for threads in [2, 4] {
+            let t = run_grid_threads(grid_jobs(), &params, threads);
+            assert_eq!(t.threads, threads);
+            assert_eq!(t.cells.len(), base.cells.len());
+            for (a, b) in base.cells.iter().zip(&t.cells) {
+                assert_eq!(a.row, b.row);
+                assert_eq!(a.col, b.col);
+                assert_eq!(
+                    format!("{:?}", a.stats),
+                    format!("{:?}", b.stats),
+                    "stats diverged at {} threads",
+                    threads
+                );
+            }
+        }
     }
 }

@@ -2,6 +2,12 @@
 
 use crate::{check_dims, Fabric};
 use pms_bitmat::BitMatrix;
+use pms_par::{split_ranges, ShardPool};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Below this port count the mask scan is cheaper than a scatter.
+const PAR_MIN_PORTS: usize = 512;
 
 /// Wraps any [`Fabric`] with a link-availability mask: a configuration is
 /// valid iff the inner fabric accepts it **and** it uses no masked-out
@@ -17,6 +23,9 @@ use pms_bitmat::BitMatrix;
 pub struct MaskedFabric<F: Fabric> {
     inner: F,
     mask: BitMatrix,
+    /// Worker lanes for the shard-local mask scan; `None` (or a
+    /// single-lane pool) keeps validity checks fully sequential.
+    pool: Option<Arc<ShardPool>>,
 }
 
 impl<F: Fabric> MaskedFabric<F> {
@@ -29,7 +38,21 @@ impl<F: Fabric> MaskedFabric<F> {
                 mask.set(u, v, true);
             }
         }
-        MaskedFabric { inner, mask }
+        MaskedFabric {
+            inner,
+            mask,
+            pool: None,
+        }
+    }
+
+    /// Attaches worker lanes: large validity checks scan disjoint row
+    /// shards concurrently, each shard reporting a local violation flag,
+    /// and the boundary merge is the OR of the flags — the same boolean
+    /// the sequential scan computes. A single-lane pool is ignored.
+    pub fn set_pool(&mut self, pool: Arc<ShardPool>) {
+        if pool.threads() > 1 {
+            self.pool = Some(pool);
+        }
     }
 
     /// Replaces the availability mask (`1` = usable).
@@ -59,12 +82,37 @@ impl<F: Fabric> Fabric for MaskedFabric<F> {
 
     fn is_valid(&self, config: &BitMatrix) -> bool {
         check_dims(self.inner.ports(), config);
-        for r in 0..config.rows() {
-            let c = config.row_words(r);
-            let m = self.mask.row_words(r);
-            for (cw, mw) in c.iter().zip(m) {
-                if cw & !mw != 0 {
+        match &self.pool {
+            Some(pool) if config.rows() >= PAR_MIN_PORTS => {
+                let ranges = split_ranges(config.rows(), pool.threads() * 2);
+                let violated = AtomicBool::new(false);
+                // Borrow only the mask: `F` need not be `Sync` and the
+                // shards never touch it.
+                let mask = &self.mask;
+                pool.scatter(ranges.len(), &|shard| {
+                    for r in ranges[shard].clone() {
+                        if violated.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        let c = config.row_words(r);
+                        let m = mask.row_words(r);
+                        if c.iter().zip(m).any(|(cw, mw)| cw & !mw != 0) {
+                            violated.store(true, Ordering::Relaxed);
+                            return;
+                        }
+                    }
+                });
+                if violated.into_inner() {
                     return false;
+                }
+            }
+            _ => {
+                for r in 0..config.rows() {
+                    let c = config.row_words(r);
+                    let m = self.mask.row_words(r);
+                    if c.iter().zip(m).any(|(cw, mw)| cw & !mw != 0) {
+                        return false;
+                    }
                 }
             }
         }
@@ -97,6 +145,26 @@ mod tests {
         assert!(f.is_valid(&BitMatrix::square(8)));
         assert_eq!(f.ports(), 8);
         assert_eq!(f.name(), f.inner().name());
+    }
+
+    #[test]
+    fn pooled_mask_scan_matches_sequential() {
+        let n = PAR_MIN_PORTS + 9;
+        let mut seq = MaskedFabric::new(Crossbar::new(n, Technology::Lvds));
+        let mut mask = seq.mask().clone();
+        mask.set(300, 301, false);
+        mask.set(n - 1, 0, false);
+        seq.set_mask(mask);
+        let mut par = seq.clone();
+        par.set_pool(Arc::new(ShardPool::new(4)));
+        let ok = BitMatrix::from_pairs(n, n, [(0, 1), (5, 9), (511, 2)]);
+        let bad_mid = BitMatrix::from_pairs(n, n, [(0, 1), (300, 301)]);
+        let bad_last = BitMatrix::from_pairs(n, n, [(n - 1, 0)]);
+        for cfg in [&ok, &bad_mid, &bad_last] {
+            assert_eq!(seq.is_valid(cfg), par.is_valid(cfg));
+        }
+        assert!(par.is_valid(&ok));
+        assert!(!par.is_valid(&bad_mid));
     }
 
     #[test]

@@ -1,0 +1,344 @@
+//! Deterministic sharded parallelism for the simulation workspace.
+//!
+//! The workspace's parallel code has one shape: a coordinator partitions
+//! work into disjoint shards, worker lanes execute shards concurrently
+//! (stealing shard indices from a shared atomic counter), and the
+//! coordinator merges per-shard results back in *shard order* so the
+//! outcome is byte-identical to a sequential run. [`ShardPool`] provides
+//! that shape with persistent workers — the simulators scatter work every
+//! TDM slot boundary, far too often to spawn OS threads each time.
+//!
+//! Determinism contract: a `ShardPool` never changes *what* is computed,
+//! only *where*. Shard indices are claimed in racy order, but each index
+//! is claimed exactly once, shards touch disjoint state, and every merge
+//! helper returns results indexed by shard — so any run, at any thread
+//! count, produces identical bytes. `ShardPool::new(1)` spawns no threads
+//! at all and executes inline: the exact legacy code path.
+//!
+//! The build environment is offline (no rayon/crossbeam), so the pool is
+//! hand-rolled on `std` only. All `unsafe` in the workspace's parallel
+//! path lives in this crate, behind safe APIs ([`ShardPool::scatter_mut`]
+//! hands each lane exclusive `&mut` access to distinct slice elements;
+//! `pms-sim` itself stays `#![forbid(unsafe_code)]`).
+
+use std::any::Any;
+use std::fmt;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// The number of hardware threads available, with a floor of 1.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `0..total` into `chunks` contiguous ranges of near-equal length
+/// (the first `total % chunks` ranges are one longer). Deterministic in
+/// its inputs; the canonical shard partition used across the workspace.
+pub fn split_ranges(total: usize, chunks: usize) -> Vec<Range<usize>> {
+    let chunks = chunks.max(1).min(total.max(1));
+    let base = total / chunks;
+    let extra = total % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// A unit of scattered work sent to a worker: a lifetime-erased pointer to
+/// the caller's closure plus the shared work-stealing counter.
+struct Job {
+    task: *const (dyn Fn(usize) + Sync),
+    next: Arc<AtomicUsize>,
+    total: usize,
+    done: Sender<Option<Box<dyn Any + Send>>>,
+}
+
+// SAFETY: the erased closure pointer is only dereferenced between the
+// moment `scatter` sends the job and the moment the worker's `done`
+// message is received — and `scatter` does not return (or unwind) before
+// collecting every `done`, so the closure outlives all dereferences.
+unsafe impl Send for Job {}
+
+/// A persistent pool of worker lanes for deterministic sharded scatters.
+///
+/// A pool of `threads` lanes spawns `threads - 1` OS threads; the calling
+/// thread is always lane 0 and steals work alongside the workers, so
+/// `ShardPool::new(1)` is a zero-thread, fully inline pool.
+pub struct ShardPool {
+    threads: usize,
+    senders: Vec<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ShardPool {
+    /// Creates a pool with `threads` lanes (clamped to at least 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let mut senders = Vec::with_capacity(threads - 1);
+        let mut workers = Vec::with_capacity(threads - 1);
+        for i in 1..threads {
+            let (tx, rx) = channel::<Job>();
+            senders.push(tx);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("pms-shard-{i}"))
+                    .spawn(move || worker_loop(rx))
+                    .expect("cannot spawn shard worker"),
+            );
+        }
+        Self {
+            threads,
+            senders,
+            workers,
+        }
+    }
+
+    /// Number of lanes (1 = inline, no worker threads).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `task(i)` for every `i in 0..total`, work-stealing across all
+    /// lanes. Blocks until every index has completed. Panics in any lane
+    /// are re-raised on the caller after all lanes have drained.
+    ///
+    /// Each index is claimed exactly once; `task` must make concurrent
+    /// calls safe by touching disjoint state per index (or only shared
+    /// `&` state) — which the safe wrappers below guarantee structurally.
+    pub fn scatter(&self, total: usize, task: &(dyn Fn(usize) + Sync)) {
+        if self.senders.is_empty() || total <= 1 {
+            for i in 0..total {
+                task(i);
+            }
+            return;
+        }
+        let next = Arc::new(AtomicUsize::new(0));
+        let (done_tx, done_rx) = channel();
+        // SAFETY: pure lifetime erasure on a fat raw pointer (same layout);
+        // the `Job` safety contract keeps every dereference inside the
+        // closure's true lifetime.
+        let erased: *const (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<
+                *const (dyn Fn(usize) + Sync + '_),
+                *const (dyn Fn(usize) + Sync + 'static),
+            >(task)
+        };
+        for tx in &self.senders {
+            tx.send(Job {
+                task: erased,
+                next: Arc::clone(&next),
+                total,
+                done: done_tx.clone(),
+            })
+            .expect("shard worker hung up");
+        }
+        drop(done_tx);
+        // Lane 0: steal alongside the workers. Even if this panics, wait
+        // for every worker before unwinding — they hold the erased pointer.
+        let local = catch_unwind(AssertUnwindSafe(|| steal_loop(task, &next, total)));
+        let mut panic = local.err();
+        for _ in 0..self.senders.len() {
+            if let Some(p) = done_rx.recv().expect("shard worker died") {
+                panic.get_or_insert(p);
+            }
+        }
+        if let Some(p) = panic {
+            resume_unwind(p);
+        }
+    }
+
+    /// Runs `f(i, &mut items[i])` for every element, work-stealing across
+    /// lanes. Each element is visited by exactly one lane, so the `&mut`
+    /// never aliases; results land in place, in slice order — the caller
+    /// reads them back deterministically regardless of thread count.
+    pub fn scatter_mut<T: Send>(&self, items: &mut [T], f: impl Fn(usize, &mut T) + Sync) {
+        if self.senders.is_empty() || items.len() <= 1 {
+            for (i, item) in items.iter_mut().enumerate() {
+                f(i, item);
+            }
+            return;
+        }
+        let total = items.len();
+        let base = SendPtr(items.as_mut_ptr());
+        self.scatter(total, &move |i| {
+            // SAFETY: the work-stealing counter hands each index to
+            // exactly one lane, and `i < total = items.len()`, so this
+            // `&mut` aliases nothing and stays in bounds.
+            let item: &mut T = unsafe { &mut *base.at(i) };
+            f(i, item);
+        });
+    }
+
+    /// Maps `items` through `f` across all lanes and returns the results
+    /// **in input order** (index-addressed, not completion-ordered): the
+    /// deterministic work-stealing map used by the sweep runner.
+    pub fn par_map<T: Send, R: Send>(
+        &self,
+        items: Vec<T>,
+        f: impl Fn(usize, T) -> R + Sync,
+    ) -> Vec<R> {
+        let mut slots: Vec<(Option<T>, Option<R>)> =
+            items.into_iter().map(|t| (Some(t), None)).collect();
+        self.scatter_mut(&mut slots, |i, slot| {
+            let t = slot.0.take().expect("slot visited twice");
+            slot.1 = Some(f(i, t));
+        });
+        slots
+            .into_iter()
+            .map(|(_, r)| r.expect("slot never visited"))
+            .collect()
+    }
+}
+
+impl fmt::Debug for ShardPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardPool")
+            .field("threads", &self.threads)
+            .finish()
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        // Disconnecting the channels ends each worker's recv loop.
+        self.senders.clear();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Raw-pointer wrapper that may cross threads; every use site carries its
+/// own disjointness proof.
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> Copy for SendPtr<T> {}
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T> SendPtr<T> {
+    /// Element pointer; taking `self` keeps closures capturing the whole
+    /// wrapper (and thus its `Send`/`Sync` impls) rather than the bare
+    /// field.
+    fn at(self, i: usize) -> *mut T {
+        // SAFETY: callers keep `i` within the originating allocation.
+        unsafe { self.0.add(i) }
+    }
+}
+
+fn steal_loop(task: &(dyn Fn(usize) + Sync), next: &AtomicUsize, total: usize) {
+    loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= total {
+            break;
+        }
+        task(i);
+    }
+}
+
+fn worker_loop(rx: Receiver<Job>) {
+    while let Ok(job) = rx.recv() {
+        // SAFETY: see `Job` — the owning `scatter` call blocks until the
+        // `done` message below, keeping the closure alive.
+        let task = unsafe { &*job.task };
+        let res = catch_unwind(AssertUnwindSafe(|| steal_loop(task, &job.next, job.total)));
+        // A disconnected receiver means the coordinator is already
+        // unwinding; nothing left to report.
+        let _ = job.done.send(res.err());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn split_ranges_covers_and_balances() {
+        assert_eq!(split_ranges(10, 3), vec![0..4, 4..7, 7..10]);
+        assert_eq!(split_ranges(4, 8), vec![0..1, 1..2, 2..3, 3..4]);
+        assert_eq!(split_ranges(0, 4), vec![0..0]);
+        let r = split_ranges(1027, 8);
+        assert_eq!(r.len(), 8);
+        assert_eq!(r.iter().map(|r| r.len()).sum::<usize>(), 1027);
+        assert_eq!(r.last().unwrap().end, 1027);
+    }
+
+    #[test]
+    fn inline_pool_spawns_no_threads() {
+        let pool = ShardPool::new(1);
+        assert_eq!(pool.threads(), 1);
+        let hits = AtomicU64::new(0);
+        pool.scatter(100, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn scatter_runs_every_index_once() {
+        let pool = ShardPool::new(4);
+        let mut counts = vec![0u32; 1000];
+        pool.scatter_mut(&mut counts, |i, c| *c += i as u32 + 1);
+        for (i, c) in counts.iter().enumerate() {
+            assert_eq!(*c, i as u32 + 1, "index {i} visited {c} times");
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        for threads in [1, 2, 4, 8] {
+            let pool = ShardPool::new(threads);
+            let out = pool.par_map((0..500).collect(), |i, x: usize| {
+                assert_eq!(i, x);
+                x * 2
+            });
+            assert_eq!(out, (0..500).map(|x| x * 2).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_scatters() {
+        let pool = ShardPool::new(3);
+        let total = AtomicU64::new(0);
+        for _ in 0..50 {
+            pool.scatter(17, &|i| {
+                total.fetch_add(i as u64, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(total.load(Ordering::Relaxed), 50 * (16 * 17 / 2));
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let pool = ShardPool::new(4);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.scatter(64, &|i| {
+                if i == 33 {
+                    panic!("boom {i}");
+                }
+            });
+        }));
+        assert!(r.is_err(), "panic in a lane must reach the caller");
+        // The pool stays usable after a panicked scatter.
+        let hits = AtomicU64::new(0);
+        pool.scatter(8, &|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 8);
+    }
+}

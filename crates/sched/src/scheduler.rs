@@ -18,9 +18,11 @@
 //!    predefined configuration into a register and protects it from
 //!    dynamic scheduling until [`Scheduler::unload`].
 
-use crate::presched::presched_matrix;
+use crate::presched::{presched_matrix, presched_matrix_pooled};
 use crate::slarray::{sl_pass, Priority};
 use pms_bitmat::BitMatrix;
+use pms_par::ShardPool;
+use std::sync::Arc;
 
 /// What happens to a connection when its NIC drops the request signal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -199,6 +201,9 @@ pub struct Scheduler {
     sl_cursor: usize,
     priority: Priority,
     stats: SchedStats,
+    /// Worker lanes for the shard-local presched sweep; `None` (or a
+    /// single-lane pool) keeps every pass fully sequential.
+    pool: Option<Arc<ShardPool>>,
 }
 
 impl Scheduler {
@@ -216,6 +221,16 @@ impl Scheduler {
             sl_cursor: 0,
             priority: Priority::default(),
             stats: SchedStats::default(),
+            pool: None,
+        }
+    }
+
+    /// Attaches worker lanes for the shard-local parts of a pass (the
+    /// Table 1 presched sweep). Pass results are byte-identical with or
+    /// without a pool; a single-lane pool is ignored.
+    pub fn set_pool(&mut self, pool: Arc<ShardPool>) {
+        if pool.threads() > 1 {
+            self.pool = Some(pool);
         }
     }
 
@@ -512,7 +527,9 @@ impl Scheduler {
         );
         let r_eff = self.effective_requests(requests);
         let l = match self.cfg.bandwidth {
-            BandwidthMode::SingleSlot => presched_matrix(&r_eff, &self.b_star, &self.configs[s]),
+            BandwidthMode::SingleSlot => {
+                presched_matrix_pooled(&r_eff, &self.b_star, &self.configs[s], self.pool.as_deref())
+            }
             BandwidthMode::PerPairMultiSlot => {
                 // L = (!R & Bs) | (R & !B*) | (R & M & !Bs):
                 // marked pairs are (re)inserted into every slot with room.

@@ -21,10 +21,12 @@ use crate::stats::SimStats;
 use crate::voq::Voqs;
 use pms_bitmat::BitMatrix;
 use pms_faults::{FaultKind, FaultPlan};
+use pms_par::ShardPool;
 use pms_sched::{Scheduler, SchedulerConfig};
 use pms_trace::{span::SpanTracker, EvictCause, SpanPhase, TraceEvent, Tracer};
 use pms_workloads::Workload;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// The circuit-switching simulator.
 pub struct CircuitSim {
@@ -51,6 +53,9 @@ pub struct CircuitSim {
     /// stamped `slot = 0`.
     tracer: Tracer,
     spans: SpanTracker,
+    /// Worker lanes shared by the engine, scheduler, and request scans;
+    /// a single lane runs the exact sequential path.
+    pool: Arc<ShardPool>,
 }
 
 impl CircuitSim {
@@ -58,7 +63,11 @@ impl CircuitSim {
     pub fn new(workload: &Workload, params: &SimParams) -> Self {
         let table = workload.message_table();
         let msgs: Vec<MsgState> = table.iter().map(|m| MsgState::new(*m)).collect();
-        let engine = Engine::new(workload, &table, params.nic_cycle_ns);
+        let pool = Arc::new(ShardPool::new(params.threads));
+        let mut engine = Engine::new(workload, &table, params.nic_cycle_ns);
+        engine.set_pool(Arc::clone(&pool));
+        let mut scheduler = Scheduler::new(SchedulerConfig::new(params.ports, 1));
+        scheduler.set_pool(Arc::clone(&pool));
         assert_eq!(
             workload.ports, params.ports,
             "workload/params port mismatch"
@@ -69,7 +78,7 @@ impl CircuitSim {
             msgs,
             engine,
             voqs: Voqs::new(params.ports),
-            scheduler: Scheduler::new(SchedulerConfig::new(params.ports, 1)),
+            scheduler,
             usable_from: HashMap::new(),
             pending_release: HashSet::new(),
             undelivered: 0,
@@ -78,6 +87,7 @@ impl CircuitSim {
             msgs_abandoned: 0,
             tracer: Tracer::Null,
             spans: SpanTracker::new(),
+            pool,
         }
     }
 
@@ -384,9 +394,12 @@ impl CircuitSim {
     /// shared visibility rule, minus circuits awaiting their per-message
     /// teardown (the handshake restarts after the release).
     fn request_matrix(&self, now: u64) -> BitMatrix {
-        let mut r = self
-            .voqs
-            .visible_requests(&self.msgs, self.params.request_wire_ns, now);
+        let mut r = self.voqs.visible_requests_pooled(
+            &self.msgs,
+            self.params.request_wire_ns,
+            now,
+            &self.pool,
+        );
         for &(u, v) in &self.pending_release {
             r.set(u, v, false);
         }

@@ -6,8 +6,27 @@
 //! computation; `barrier` blocks until every processor reaches its barrier
 //! *and* the network has drained; `flush`/`preload` raise control effects
 //! the paradigm simulator forwards to the scheduler.
+//!
+//! ## Parallel execution
+//!
+//! Processors are fully independent between barrier releases, so
+//! [`Engine::poll`] shards them across a [`ShardPool`] when one is
+//! attached: each shard advances its processor range and buffers its
+//! effects locally, and the coordinator merges the shard buffers in
+//! canonical `(time, shard, seq)` order ([`pms_trace::shard`]). Because
+//! shards partition processors in index order and each processor's
+//! effects are emitted in nondecreasing time order, that merge is exactly
+//! the stable time sort the sequential path performs — parallel polls are
+//! byte-identical to sequential ones. Barrier release stays on the
+//! coordinator (it is a global O(n) flag scan).
 
+use pms_par::{split_ranges, ShardPool};
 use pms_workloads::{Command, MsgSpec, Workload};
+use std::sync::Arc;
+
+/// Below this processor count a scatter costs more than the scan; the
+/// threshold only moves work between lanes, never changes results.
+const PAR_MIN_PROCS: usize = 192;
 
 /// A control effect produced by program execution, timestamped with the
 /// exact processor-local time at which the command executed.
@@ -21,16 +40,68 @@ pub enum Effect {
     Preload(usize),
 }
 
+/// Program-execution state for one processor.
+struct Proc {
+    cmds: Vec<Command>,
+    pc: usize,
+    ready_at: u64,
+    at_barrier: bool,
+    /// Canonical message ids originating here, in command order.
+    msgs: Vec<usize>,
+    next_msg: usize,
+}
+
+impl Proc {
+    fn done(&self) -> bool {
+        self.pc >= self.cmds.len() && !self.at_barrier
+    }
+
+    /// Executes this processor up to `now`, buffering effects; returns
+    /// whether any command ran.
+    fn execute(&mut self, now: u64, nic_cycle_ns: u64, effects: &mut Vec<(u64, Effect)>) -> bool {
+        let mut progressed = false;
+        while !self.at_barrier && self.pc < self.cmds.len() && self.ready_at <= now {
+            let t = self.ready_at;
+            match self.cmds[self.pc] {
+                Command::Send { .. } => {
+                    let id = self.msgs[self.next_msg];
+                    self.next_msg += 1;
+                    effects.push((t, Effect::Inject(id)));
+                    self.ready_at = t + nic_cycle_ns;
+                    self.pc += 1;
+                }
+                Command::Delay { ns } => {
+                    self.ready_at = t + ns;
+                    self.pc += 1;
+                }
+                Command::Barrier => {
+                    self.at_barrier = true;
+                    // pc advances at release
+                    break;
+                }
+                Command::Flush => {
+                    effects.push((t, Effect::Flush));
+                    self.ready_at = t + nic_cycle_ns;
+                    self.pc += 1;
+                }
+                Command::Preload { pattern } => {
+                    effects.push((t, Effect::Preload(pattern)));
+                    self.ready_at = t + nic_cycle_ns;
+                    self.pc += 1;
+                }
+            }
+            progressed = true;
+        }
+        progressed
+    }
+}
+
 /// Program-execution state for all processors.
 pub struct Engine {
-    cmds: Vec<Vec<Command>>,
-    pc: Vec<usize>,
-    ready_at: Vec<u64>,
-    at_barrier: Vec<bool>,
-    /// Per-source list of canonical message ids, in command order.
-    msgs_by_src: Vec<Vec<usize>>,
-    next_msg: Vec<usize>,
+    procs: Vec<Proc>,
     nic_cycle_ns: u64,
+    /// Worker lanes for sharded polls; `None` runs the sequential path.
+    pool: Option<Arc<ShardPool>>,
 }
 
 impl Engine {
@@ -43,32 +114,46 @@ impl Engine {
         for m in table {
             msgs_by_src[m.src].push(m.id);
         }
+        let procs = workload
+            .programs
+            .iter()
+            .zip(msgs_by_src)
+            .map(|(p, msgs)| Proc {
+                cmds: p.cmds.clone(),
+                pc: 0,
+                ready_at: 0,
+                at_barrier: false,
+                msgs,
+                next_msg: 0,
+            })
+            .collect();
         Self {
-            cmds: workload.programs.iter().map(|p| p.cmds.clone()).collect(),
-            pc: vec![0; n],
-            ready_at: vec![0; n],
-            at_barrier: vec![false; n],
-            msgs_by_src,
-            next_msg: vec![0; n],
+            procs,
             nic_cycle_ns,
+            pool: None,
+        }
+    }
+
+    /// Attaches the shard pool used to parallelize polls. A single-lane
+    /// pool is ignored — the sequential path is the 1-thread code path.
+    pub fn set_pool(&mut self, pool: Arc<ShardPool>) {
+        if pool.threads() > 1 {
+            self.pool = Some(pool);
         }
     }
 
     /// True when every processor has executed its whole program.
     pub fn all_done(&self) -> bool {
-        (0..self.cmds.len()).all(|p| self.done(p))
-    }
-
-    fn done(&self, p: usize) -> bool {
-        self.pc[p] >= self.cmds[p].len() && !self.at_barrier[p]
+        self.procs.iter().all(Proc::done)
     }
 
     /// The earliest future time at which a processor has work to run, or
     /// `None` if all are done or blocked on a barrier.
     pub fn next_wake(&self) -> Option<u64> {
-        (0..self.cmds.len())
-            .filter(|&p| !self.done(p) && !self.at_barrier[p])
-            .map(|p| self.ready_at[p])
+        self.procs
+            .iter()
+            .filter(|p| !p.done() && !p.at_barrier)
+            .map(|p| p.ready_at)
             .min()
     }
 
@@ -98,62 +183,59 @@ impl Engine {
     /// Releases the barrier if every processor is parked (or finished) and
     /// the network is empty. Returns whether a release happened.
     fn try_release_barrier(&mut self, now: u64, network_drained: bool) -> bool {
-        let n = self.cmds.len();
         if !network_drained
-            || !(0..n).any(|p| self.at_barrier[p])
-            || !(0..n).all(|p| self.at_barrier[p] || self.done(p))
+            || !self.procs.iter().any(|p| p.at_barrier)
+            || !self.procs.iter().all(|p| p.at_barrier || p.done())
         {
             return false;
         }
-        for p in 0..n {
-            if self.at_barrier[p] {
-                self.at_barrier[p] = false;
-                self.pc[p] += 1;
-                self.ready_at[p] = self.ready_at[p].max(now);
+        for p in &mut self.procs {
+            if p.at_barrier {
+                p.at_barrier = false;
+                p.pc += 1;
+                p.ready_at = p.ready_at.max(now);
             }
         }
         true
     }
 
     /// Executes every processor up to `now`; returns whether any command
-    /// ran.
+    /// ran. With a pool attached the processor range is sharded and the
+    /// per-shard effect buffers are merged in shard order — which *is*
+    /// processor order, so the result is identical to the sequential scan.
     fn execute_all(&mut self, now: u64, effects: &mut Vec<(u64, Effect)>) -> bool {
-        let n = self.cmds.len();
         let before = effects.len();
+        let nic_cycle_ns = self.nic_cycle_ns;
         let mut progressed = false;
-        for p in 0..n {
-            while !self.at_barrier[p] && self.pc[p] < self.cmds[p].len() && self.ready_at[p] <= now
-            {
-                let t = self.ready_at[p];
-                match self.cmds[p][self.pc[p]] {
-                    Command::Send { .. } => {
-                        let id = self.msgs_by_src[p][self.next_msg[p]];
-                        self.next_msg[p] += 1;
-                        effects.push((t, Effect::Inject(id)));
-                        self.ready_at[p] = t + self.nic_cycle_ns;
-                        self.pc[p] += 1;
-                    }
-                    Command::Delay { ns } => {
-                        self.ready_at[p] = t + ns;
-                        self.pc[p] += 1;
-                    }
-                    Command::Barrier => {
-                        self.at_barrier[p] = true;
-                        // pc advances at release
-                        break;
-                    }
-                    Command::Flush => {
-                        effects.push((t, Effect::Flush));
-                        self.ready_at[p] = t + self.nic_cycle_ns;
-                        self.pc[p] += 1;
-                    }
-                    Command::Preload { pattern } => {
-                        effects.push((t, Effect::Preload(pattern)));
-                        self.ready_at[p] = t + self.nic_cycle_ns;
-                        self.pc[p] += 1;
-                    }
+        match &self.pool {
+            Some(pool) if self.procs.len() >= PAR_MIN_PROCS => {
+                type ProcShard<'a> = (&'a mut [Proc], Vec<(u64, Effect)>, bool);
+                let ranges = split_ranges(self.procs.len(), pool.threads() * 4);
+                let mut shards: Vec<ProcShard> = Vec::new();
+                let mut rest = self.procs.as_mut_slice();
+                for r in &ranges {
+                    let (head, tail) = rest.split_at_mut(r.len());
+                    rest = tail;
+                    shards.push((head, Vec::new(), false));
                 }
-                progressed = true;
+                pool.scatter_mut(&mut shards, |_, (procs, buf, prog)| {
+                    for p in procs.iter_mut() {
+                        *prog |= p.execute(now, nic_cycle_ns, buf);
+                    }
+                });
+                // Boundary merge: shard buffers in canonical
+                // (time, shard, seq) order; `poll` applies the same
+                // stable time sort to the whole batch afterwards, so
+                // this equals the sequential accumulation exactly.
+                let (bufs, progs): (Vec<_>, Vec<_>) =
+                    shards.into_iter().map(|(_, buf, prog)| (buf, prog)).unzip();
+                progressed = progs.into_iter().any(|p| p);
+                effects.extend(pms_trace::shard::merge_by_key(bufs, |&(t, _)| t));
+            }
+            _ => {
+                for p in &mut self.procs {
+                    progressed |= p.execute(now, nic_cycle_ns, effects);
+                }
             }
         }
         progressed || effects.len() > before
@@ -258,5 +340,42 @@ mod tests {
         assert!(e.all_done());
         assert_eq!(e.next_wake(), None);
         assert!(e.poll(0, true).is_empty());
+    }
+
+    /// A mixed workload (staggered sends, delays, barriers) polled in
+    /// lockstep by a sequential and a sharded engine must produce
+    /// identical effect streams at every step.
+    #[test]
+    fn parallel_poll_is_byte_identical() {
+        let n = PAR_MIN_PROCS + 13; // force the sharded path
+        let programs: Vec<Program> = (0..n)
+            .map(|p| {
+                let mut prog = Program::new();
+                prog.delay((p as u64 * 7) % 90);
+                prog.send((p + 1) % n, 8 + (p as u32 % 56));
+                prog.send((p + 3) % n, 16);
+                prog.barrier();
+                prog.send((p + 2) % n, 32);
+                prog
+            })
+            .collect();
+        let (w, table) = wl(programs);
+        let mut seq = Engine::new(&w, &table, 10);
+        let mut par = Engine::new(&w, &table, 10);
+        par.set_pool(Arc::new(ShardPool::new(4)));
+        for step in 0..200u64 {
+            let t = step * 10;
+            // Pretend the network drains every 4th step so barriers
+            // exercise both gated and released polls.
+            let drained = step % 4 == 0;
+            assert_eq!(
+                seq.poll(t, drained),
+                par.poll(t, drained),
+                "divergence at t={t}"
+            );
+            assert_eq!(seq.next_wake(), par.next_wake());
+            assert_eq!(seq.all_done(), par.all_done());
+        }
+        assert!(seq.all_done());
     }
 }

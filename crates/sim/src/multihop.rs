@@ -92,7 +92,8 @@ impl MultihopWormholeSim {
         let table = workload.message_table();
         let msgs: Vec<MsgState> = table.iter().map(|m| MsgState::new(*m)).collect();
         let routes: Vec<Vec<usize>> = table.iter().map(|m| torus.route(m.src, m.dst)).collect();
-        let engine = Engine::new(workload, &table, params.nic_cycle_ns);
+        let mut engine = Engine::new(workload, &table, params.nic_cycle_ns);
+        engine.set_pool(std::sync::Arc::new(pms_par::ShardPool::new(params.threads)));
         let links = torus.links();
         let hosts = torus.ports();
         Self {

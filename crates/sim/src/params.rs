@@ -94,6 +94,11 @@ pub struct SimParams {
     /// Semantics-preserving: stats and traces are byte-identical with the
     /// flag off (CI enforces this); disable only to A/B the two paths.
     pub idle_skip: bool,
+    /// Worker-lane count for the sharded parallel engine (`1` = the exact
+    /// sequential legacy path, no threads spawned). Purely an execution
+    /// knob: every output — stats, traces, reports, alert streams — is
+    /// byte-identical at any thread count (CI and proptests enforce this).
+    pub threads: usize,
 }
 
 impl Default for SimParams {
@@ -115,6 +120,7 @@ impl Default for SimParams {
             sl_units: 1,
             max_sim_ns: 500_000_000,
             idle_skip: true,
+            threads: 1,
         }
     }
 }
@@ -146,6 +152,14 @@ impl SimParams {
     /// for byte-identity A/B checks and overhead measurements.
     pub fn with_idle_skip(mut self, enabled: bool) -> Self {
         self.idle_skip = enabled;
+        self
+    }
+
+    /// Overrides the worker-lane count for the sharded parallel engine
+    /// (clamped to at least 1). Outputs are byte-identical at any value;
+    /// `1` runs fully inline on the calling thread.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
         self
     }
 

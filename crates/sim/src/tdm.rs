@@ -30,6 +30,7 @@ use crate::voq::Voqs;
 use pms_bitmat::BitMatrix;
 use pms_compile::partition_phases;
 use pms_faults::{FaultKind, FaultPlan};
+use pms_par::{split_ranges, ShardPool};
 use pms_predict::{
     ConnectionPredictor, NeverEvict, PhaseDetector, PhaseDetectorConfig, RefCountPredictor,
     TimeoutPredictor,
@@ -38,6 +39,7 @@ use pms_sched::{HoldPolicy, Scheduler, SchedulerConfig, SlotRouter, TdmCounter};
 use pms_trace::{span::SpanTracker, EvictCause, SpanPhase, TraceEvent, Tracer};
 use pms_workloads::Workload;
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// Eviction policy for dynamically scheduled connections.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -103,6 +105,10 @@ struct StreamSlot {
     ready_at: u64,
 }
 
+// The `Scheduled` variant dwarfs `Stream`, but exactly one backend lives
+// per simulator and it is matched on every SL pass — boxing would buy a
+// few hundred bytes once at the cost of an indirection on the hot path.
+#[allow(clippy::large_enum_variant)]
 enum Backend {
     Scheduled {
         scheduler: Scheduler,
@@ -172,6 +178,10 @@ pub struct TdmSim {
     /// The TDM register most recently driving the crossbar, used to stamp
     /// trace records.
     cur_slot: u32,
+    /// Worker lanes shared by the engine, scheduler, and the per-port
+    /// scans. One lane (`params.threads == 1`) spawns no threads and runs
+    /// the exact sequential code path.
+    pool: Arc<ShardPool>,
 }
 
 impl TdmSim {
@@ -187,11 +197,13 @@ impl TdmSim {
         );
         let table = workload.message_table();
         let msgs: Vec<MsgState> = table.iter().map(|m| MsgState::new(*m)).collect();
-        let engine = Engine::new(workload, &table, params.nic_cycle_ns);
+        let pool = Arc::new(ShardPool::new(params.threads));
+        let mut engine = Engine::new(workload, &table, params.nic_cycle_ns);
+        engine.set_pool(Arc::clone(&pool));
         let k = params.tdm_slots;
 
         let mut initial_loads = 0u64;
-        let (backend, mode_label, has_dynamic) = match mode {
+        let (mut backend, mode_label, has_dynamic) = match mode {
             TdmMode::Dynamic { predictor } => {
                 let cfg = SchedulerConfig::new(params.ports, k).with_hold(predictor.hold_policy());
                 (
@@ -306,6 +318,9 @@ impl TdmSim {
         if let TdmMode::Hybrid { preload_slots, .. } = mode {
             initial_loads = preload_slots as u64;
         }
+        if let Backend::Scheduled { scheduler, .. } = &mut backend {
+            scheduler.set_pool(Arc::clone(&pool));
+        }
         let n_msgs = msgs.len();
         Self {
             params: params.clone(),
@@ -336,6 +351,7 @@ impl TdmSim {
             tracer: Tracer::Null,
             spans: SpanTracker::new(),
             cur_slot: 0,
+            pool,
         }
     }
 
@@ -1348,6 +1364,42 @@ impl TdmSim {
         }
     }
 
+    /// Heads newly visible under `r` that have not been classified yet,
+    /// in `(head, u, v)` order by source port then destination.
+    ///
+    /// The pooled path scans disjoint source-port shards and concatenates
+    /// the per-shard vectors in shard order, which is exactly the
+    /// sequential scan order, so the result is identical at any lane
+    /// count.
+    fn pending_lookups(&self, r: &BitMatrix) -> Vec<(usize, usize, usize)> {
+        let ports = self.params.ports;
+        let voqs = &self.voqs;
+        let recorded = &self.lookup_recorded;
+        let scan = |range: std::ops::Range<usize>, out: &mut Vec<(usize, usize, usize)>| {
+            for u in range {
+                for v in voqs.nonempty_dests(u) {
+                    let head = voqs.front(u, v).expect("non-empty");
+                    if !recorded[head] && r.get(u, v) {
+                        out.push((head, u, v));
+                    }
+                }
+            }
+        };
+        if self.pool.threads() <= 1 || ports < crate::voq::PAR_MIN_PORTS {
+            let mut out = Vec::new();
+            scan(0..ports, &mut out);
+            return out;
+        }
+        type LookupShard = (std::ops::Range<usize>, Vec<(usize, usize, usize)>);
+        let mut shards: Vec<LookupShard> = split_ranges(ports, self.pool.threads() * 4)
+            .into_iter()
+            .map(|rg| (rg, Vec::new()))
+            .collect();
+        self.pool
+            .scatter_mut(&mut shards, |_, (rg, out)| scan(rg.clone(), out));
+        shards.into_iter().flat_map(|(_, v)| v).collect()
+    }
+
     /// One 80 ns SL pass on the next dynamic register.
     fn do_pass(&mut self, t: u64) {
         let mut r = self.request_matrix(t);
@@ -1363,18 +1415,7 @@ impl TdmSim {
         // Classify each newly visible head message as a working-set hit or
         // miss: the hit rate is the §5 metric, and misses feed the §3.3
         // phase detector when one is attached.
-        let lookups: Vec<(usize, usize, usize)> = {
-            let mut out = Vec::new();
-            for u in 0..self.params.ports {
-                for v in self.voqs.nonempty_dests(u) {
-                    let head = self.voqs.front(u, v).expect("non-empty");
-                    if !self.lookup_recorded[head] && r.get(u, v) {
-                        out.push((head, u, v));
-                    }
-                }
-            }
-            out
-        };
+        let lookups = self.pending_lookups(&r);
         let Backend::Scheduled {
             scheduler,
             predictor,
@@ -1642,7 +1683,7 @@ impl TdmSim {
     /// propagation after the head message entered its queue).
     fn request_matrix(&self, t: u64) -> BitMatrix {
         self.voqs
-            .visible_requests(&self.msgs, self.params.request_wire_ns, t)
+            .visible_requests_pooled(&self.msgs, self.params.request_wire_ns, t, &self.pool)
     }
 }
 

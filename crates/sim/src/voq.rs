@@ -6,7 +6,12 @@
 
 use crate::message::MsgState;
 use pms_bitmat::BitMatrix;
+use pms_par::ShardPool;
 use std::collections::VecDeque;
+
+/// Below this port count the O(ports^2) request scan is cheaper than a
+/// scatter; purely a performance threshold, never visible in outputs.
+pub(crate) const PAR_MIN_PORTS: usize = 256;
 
 /// Virtual output queues for all NICs: one FIFO of message ids per
 /// `(source, destination)` pair.
@@ -97,6 +102,43 @@ impl Voqs {
         }
         r
     }
+
+    /// [`visible_requests`](Self::visible_requests) sharded over a pool:
+    /// source-port row ranges are scanned concurrently, each shard writing
+    /// its disjoint rows of the packed matrix. The set bits are identical
+    /// to the sequential scan at any thread count; this is the dominant
+    /// O(ports^2) cost of dense TDM/circuit runs.
+    pub fn visible_requests_pooled(
+        &self,
+        msgs: &[MsgState],
+        wire_ns: u64,
+        now: u64,
+        pool: &ShardPool,
+    ) -> BitMatrix {
+        if pool.threads() <= 1 || self.ports < PAR_MIN_PORTS {
+            return self.visible_requests(msgs, wire_ns, now);
+        }
+        let mut r = BitMatrix::square(self.ports);
+        let wpr = r.words_per_row();
+        let rows_per_chunk = self.ports.div_ceil(pool.threads() * 4).max(1);
+        let mut chunks: Vec<(usize, &mut [u64])> =
+            r.row_chunks_mut(rows_per_chunk).enumerate().collect();
+        pool.scatter_mut(&mut chunks, |_, (ci, words)| {
+            let u0 = *ci * rows_per_chunk;
+            for lr in 0..words.len() / wpr {
+                let u = u0 + lr;
+                for v in self.nonempty_dests(u) {
+                    let head = self.front(u, v).expect("non-empty queue");
+                    let seen = msgs[head].enqueued_at.expect("queued => enqueued") + wire_ns;
+                    if seen <= now {
+                        words[lr * wpr + v / u64::BITS as usize] |=
+                            1u64 << (v % u64::BITS as usize);
+                    }
+                }
+            }
+        });
+        r
+    }
 }
 
 #[cfg(test)]
@@ -132,5 +174,34 @@ mod tests {
         let mut q = Voqs::new(2);
         assert_eq!(q.pop(0, 1), None);
         assert_eq!(q.total_queued(), 0);
+    }
+
+    #[test]
+    fn pooled_visible_requests_matches_sequential() {
+        use pms_workloads::MsgSpec;
+        let ports = PAR_MIN_PORTS + 17; // odd size exercises partial chunks
+        let mut q = Voqs::new(ports);
+        let mut msgs = Vec::new();
+        for u in (0..ports).step_by(3) {
+            for k in 0..4usize {
+                let v = (u + 7 * k + 1) % ports;
+                let id = msgs.len();
+                let mut m = MsgState::new(MsgSpec {
+                    id,
+                    src: u,
+                    dst: v,
+                    bytes: 8,
+                });
+                m.enqueued_at = Some((u as u64 * 13 + k as u64 * 90) % 400);
+                msgs.push(m);
+                q.push(u, v, id);
+            }
+        }
+        let pool = ShardPool::new(4);
+        for now in [0u64, 100, 250, 1_000] {
+            let seq = q.visible_requests(&msgs, 80, now);
+            let par = q.visible_requests_pooled(&msgs, 80, now, &pool);
+            assert_eq!(seq, par, "divergence at now={now}");
+        }
     }
 }

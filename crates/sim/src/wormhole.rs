@@ -125,7 +125,8 @@ impl WormholeSim {
     ) -> Self {
         let table = workload.message_table();
         let msgs: Vec<MsgState> = table.iter().map(|m| MsgState::new(*m)).collect();
-        let engine = Engine::new(workload, &table, params.nic_cycle_ns);
+        let mut engine = Engine::new(workload, &table, params.nic_cycle_ns);
+        engine.set_pool(std::sync::Arc::new(pms_par::ShardPool::new(params.threads)));
         let n = params.ports;
         assert_eq!(workload.ports, n, "workload/params port mismatch");
         let lanes = match queueing {

@@ -31,6 +31,7 @@ pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod prof;
+pub mod shard;
 pub mod sink;
 pub mod span;
 pub mod timeseries;
@@ -42,6 +43,7 @@ pub use flight::{parse_flight_dump, FlightConfig, FlightParseError, FlightRecord
 pub use json::{Json, ParseError};
 pub use metrics::{prometheus_name, Histogram, MetricsRegistry, PROMETHEUS_CONTENT_TYPE};
 pub use prof::{KernelSnapshot, ProfKernel, ProfScope};
+pub use shard::{merge_by_key, merge_records};
 pub use sink::{
     record_json, write_jsonl, JsonlTracer, NullTracer, PipelineTracer, RingTracer, SharedTracer,
     TraceSink, Tracer, VecTracer,
