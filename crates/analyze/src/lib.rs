@@ -26,6 +26,11 @@
 //!   event streams: per-tenant accept/reject/shed counts, the
 //!   reject-cause breakdown, batch-fill histogram, and queue-wait
 //!   percentiles;
+//! * [`schedule`] — schedule-quality section for `pms-schedopt` costed
+//!   schedules: per-configuration demand coverage, reconfiguration
+//!   overhead fraction, and predicted-vs-simulated makespan error
+//!   (built from the schedule itself, not a trace — traces cannot
+//!   reconstruct the schedule that produced them);
 //! * [`timeseries`] — summary and CSV export of the slot-windowed
 //!   `metrics-snapshot` series emitted by
 //!   [`pms_trace::SnapshotCollector`];
@@ -58,6 +63,7 @@ pub mod heatmap;
 pub mod occupancy;
 pub mod replay;
 pub mod report;
+pub mod schedule;
 pub mod spans;
 pub mod timeseries;
 
@@ -74,5 +80,6 @@ pub use heatmap::{heatmap, Heatmap};
 pub use occupancy::{occupancy, OccupancyReport, SlotOccupancy};
 pub use replay::{parse_jsonl, parse_line, Replay};
 pub use report::{build_report, infer_ports, Report, ReportConfig};
+pub use schedule::{schedule_quality, ConfigCoverage, ScheduleQualityReport};
 pub use spans::{spans, CriticalMsg, PhaseStats, SpansReport};
 pub use timeseries::{timeseries, timeseries_csv, TimeseriesReport};

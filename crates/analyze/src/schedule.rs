@@ -1,0 +1,303 @@
+//! Schedule-quality section: how well a costed schedule uses the fabric.
+//!
+//! Unlike the other sections this one is not derived from a trace-record
+//! stream — a trace cannot reconstruct the schedule that produced it —
+//! but from the schedule itself ([`pms_schedopt::CostedSchedule`]) plus,
+//! optionally, the `TdmSim` makespan achieved when the schedule was
+//! driven through the preloaded-stream backend. It answers the three
+//! operator questions about a circuit schedule:
+//!
+//! * **demand coverage per configuration** — of the bytes a
+//!   configuration *could* move while resident (`connections × duration
+//!   × payload`), how many did the demand actually fill? Low coverage
+//!   means the duration was bought for one elephant and the other ports
+//!   idled;
+//! * **reconfiguration overhead** — the fraction of the predicted
+//!   makespan spent loading registers instead of moving data, the
+//!   quantity the submodular solver trades against coverage;
+//! * **predicted-vs-simulated error** — how far the cost model's
+//!   makespan is from the simulator's, the calibration signal for δ and
+//!   the slot payload.
+
+use pms_schedopt::{replay_served, CostModel, CostedSchedule, DemandMatrix};
+use pms_trace::Json;
+
+/// Fabric usage of one scheduled configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigCoverage {
+    /// Position in the schedule's load order.
+    pub index: usize,
+    /// Connections in the configuration.
+    pub connections: usize,
+    /// Slots the configuration stays resident.
+    pub duration_slots: u64,
+    /// Bytes the configuration drains (replayed, not solver-recorded).
+    pub served_bytes: u64,
+    /// Bytes it could have drained: `connections × duration × payload`.
+    pub capacity_bytes: u64,
+}
+
+impl ConfigCoverage {
+    /// Served over capacity, in `[0, 1]`.
+    pub fn coverage(&self) -> f64 {
+        if self.capacity_bytes == 0 {
+            return 0.0;
+        }
+        self.served_bytes as f64 / self.capacity_bytes as f64
+    }
+}
+
+/// The schedule-quality report section.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScheduleQualityReport {
+    /// Solver that produced the schedule.
+    pub solver: String,
+    /// Crossbar ports.
+    pub ports: usize,
+    /// Per-configuration usage, in load order.
+    pub configs: Vec<ConfigCoverage>,
+    /// Total demand the schedule was solved for.
+    pub demand_bytes: u64,
+    /// Bytes the circuit entries drain.
+    pub served_bytes: u64,
+    /// Bytes left to the packet fallback.
+    pub residual_bytes: u64,
+    /// Slots spent reconfiguring.
+    pub reconfig_slots: u64,
+    /// Slots spent with a configuration driving the crossbar.
+    pub transfer_slots: u64,
+    /// Slots the packet fallback needs for the residual.
+    pub fallback_slots: u64,
+    /// Predicted completion in slots (the schedule's own account).
+    pub predicted_makespan_slots: u64,
+    /// Predicted completion in ns (`slots × slot_ns`).
+    pub predicted_makespan_ns: u64,
+    /// Achieved completion from `TdmSim`, when the schedule was driven
+    /// through the stream backend (`None` = not simulated).
+    pub simulated_makespan_ns: Option<u64>,
+}
+
+impl ScheduleQualityReport {
+    /// Mean demand coverage across configurations, byte-weighted by
+    /// capacity.
+    pub fn mean_coverage(&self) -> f64 {
+        let cap: u64 = self.configs.iter().map(|c| c.capacity_bytes).sum();
+        if cap == 0 {
+            return 0.0;
+        }
+        self.served_bytes as f64 / cap as f64
+    }
+
+    /// Fraction of the predicted makespan spent reconfiguring.
+    pub fn reconfig_overhead(&self) -> f64 {
+        if self.predicted_makespan_slots == 0 {
+            return 0.0;
+        }
+        self.reconfig_slots as f64 / self.predicted_makespan_slots as f64
+    }
+
+    /// Signed relative error of the prediction:
+    /// `(simulated − predicted) / predicted`. `None` until simulated.
+    pub fn makespan_error(&self) -> Option<f64> {
+        let sim = self.simulated_makespan_ns?;
+        if self.predicted_makespan_ns == 0 {
+            return None;
+        }
+        Some((sim as f64 - self.predicted_makespan_ns as f64) / self.predicted_makespan_ns as f64)
+    }
+
+    /// JSON form (used by `results/schedopt.json`).
+    pub fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("solver", Json::str(self.solver.clone())),
+            ("ports", Json::from(self.ports)),
+            ("demand_bytes", Json::from(self.demand_bytes)),
+            ("served_bytes", Json::from(self.served_bytes)),
+            ("residual_bytes", Json::from(self.residual_bytes)),
+            ("configs", Json::from(self.configs.len())),
+            ("reconfig_slots", Json::from(self.reconfig_slots)),
+            ("transfer_slots", Json::from(self.transfer_slots)),
+            ("fallback_slots", Json::from(self.fallback_slots)),
+            ("mean_coverage", Json::from(self.mean_coverage())),
+            ("reconfig_overhead", Json::from(self.reconfig_overhead())),
+            (
+                "predicted_makespan_slots",
+                Json::from(self.predicted_makespan_slots),
+            ),
+            (
+                "predicted_makespan_ns",
+                Json::from(self.predicted_makespan_ns),
+            ),
+        ];
+        if let Some(sim) = self.simulated_makespan_ns {
+            fields.push(("simulated_makespan_ns", Json::from(sim)));
+        }
+        if let Some(err) = self.makespan_error() {
+            fields.push(("makespan_error", Json::from(err)));
+        }
+        Json::obj(fields)
+    }
+
+    /// Terminal rendering, one block per schedule.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "schedule quality — {} ({} ports)\n",
+            self.solver, self.ports
+        ));
+        out.push_str(&format!(
+            "  {} configs, {} demand bytes ({} circuit, {} fallback)\n",
+            self.configs.len(),
+            self.demand_bytes,
+            self.served_bytes,
+            self.residual_bytes
+        ));
+        out.push_str(&format!(
+            "  coverage {:.1}%, reconfig overhead {:.1}% ({} of {} slots)\n",
+            self.mean_coverage() * 100.0,
+            self.reconfig_overhead() * 100.0,
+            self.reconfig_slots,
+            self.predicted_makespan_slots
+        ));
+        match (self.simulated_makespan_ns, self.makespan_error()) {
+            (Some(sim), Some(err)) => out.push_str(&format!(
+                "  predicted {} ns, simulated {} ns ({:+.1}% error)\n",
+                self.predicted_makespan_ns,
+                sim,
+                err * 100.0
+            )),
+            _ => out.push_str(&format!(
+                "  predicted {} ns (not simulated)\n",
+                self.predicted_makespan_ns
+            )),
+        }
+        for c in &self.configs {
+            out.push_str(&format!(
+                "    cfg {:>3}: {:>3} conns x {:>6} slots, {:>10} B served, {:>5.1}% coverage\n",
+                c.index,
+                c.connections,
+                c.duration_slots,
+                c.served_bytes,
+                c.coverage() * 100.0
+            ));
+        }
+        out
+    }
+}
+
+/// Builds the schedule-quality section. `slot_ns` converts slot counts
+/// to time; pass the simulated makespan once the schedule has been
+/// driven through `TdmSim::with_config_stream`.
+pub fn schedule_quality(
+    demand: &DemandMatrix,
+    cost: &CostModel,
+    sched: &CostedSchedule,
+    slot_ns: u64,
+    simulated_makespan_ns: Option<u64>,
+) -> ScheduleQualityReport {
+    let (per_entry, residual) = replay_served(demand, cost, sched);
+    let configs: Vec<ConfigCoverage> = sched
+        .entries
+        .iter()
+        .zip(&per_entry)
+        .enumerate()
+        .map(|(index, (e, served))| {
+            let connections = served.len();
+            ConfigCoverage {
+                index,
+                connections,
+                duration_slots: e.duration_slots,
+                served_bytes: served.iter().map(|&(_, _, b)| b).sum(),
+                capacity_bytes: connections as u64 * e.duration_slots * cost.slot_payload_bytes,
+            }
+        })
+        .collect();
+    let served_bytes = configs.iter().map(|c| c.served_bytes).sum();
+    let reconfig_slots = sched.reconfig_slots(cost);
+    let transfer_slots = sched.transfer_slots();
+    let fallback_slots = cost.fallback_slots(residual);
+    ScheduleQualityReport {
+        solver: sched.solver.clone(),
+        ports: sched.ports,
+        configs,
+        demand_bytes: demand.total_bytes(),
+        served_bytes,
+        residual_bytes: residual,
+        reconfig_slots,
+        transfer_slots,
+        fallback_slots,
+        predicted_makespan_slots: sched.predicted_makespan_slots,
+        predicted_makespan_ns: sched.predicted_makespan_slots * slot_ns,
+        simulated_makespan_ns,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pms_schedopt::{coloring_schedule, submodular_schedule, ColoringKind};
+
+    fn demand() -> DemandMatrix {
+        DemandMatrix::from_flows(
+            8,
+            [
+                (0usize, 5usize, 64u64),
+                (4, 1, 64),
+                (4, 5, 6_400),
+                (6, 5, 64),
+                (6, 7, 6_400),
+            ],
+        )
+    }
+
+    #[test]
+    fn report_accounts_for_every_byte() {
+        let d = demand();
+        let cost = CostModel::with_delta(4);
+        let s = submodular_schedule(&d, &cost);
+        let r = schedule_quality(&d, &cost, &s, 100, None);
+        assert_eq!(r.solver, "submodular");
+        assert_eq!(r.demand_bytes, d.total_bytes());
+        assert_eq!(r.served_bytes + r.residual_bytes, r.demand_bytes);
+        assert_eq!(r.configs.len(), s.entries.len());
+        assert_eq!(r.predicted_makespan_ns, s.predicted_makespan_slots * 100);
+        assert!(r.mean_coverage() > 0.0 && r.mean_coverage() <= 1.0);
+        assert!(r.reconfig_overhead() > 0.0 && r.reconfig_overhead() < 1.0);
+        assert_eq!(r.makespan_error(), None);
+        assert!(r.render_text().contains("not simulated"));
+    }
+
+    #[test]
+    fn simulated_makespan_yields_signed_error() {
+        let d = demand();
+        let cost = CostModel::with_delta(4);
+        let s = coloring_schedule(&d, &cost, ColoringKind::Greedy);
+        let sim_ns = s.predicted_makespan_slots * 100 * 2;
+        let r = schedule_quality(&d, &cost, &s, 100, Some(sim_ns));
+        let err = r.makespan_error().unwrap();
+        assert!((err - 1.0).abs() < 1e-9, "exactly 2x predicted: {err}");
+        assert!(r.render_text().contains("% error"));
+        let json = r.to_json();
+        assert!(json.get("simulated_makespan_ns").is_some());
+        assert!(json.get("makespan_error").is_some());
+        assert_eq!(
+            json.get("solver").and_then(|j| j.as_str()),
+            Some("coloring-greedy")
+        );
+    }
+
+    #[test]
+    fn coverage_flags_wasted_duration() {
+        // An elephant sharing a config with a mouse: the mouse's port
+        // idles for nearly the whole duration, so coverage is ~50%.
+        let d = DemandMatrix::from_flows(4, [(0, 1, 6_400), (2, 3, 64)]);
+        let cost = CostModel::with_delta(4);
+        let s = coloring_schedule(&d, &cost, ColoringKind::Exact);
+        let r = schedule_quality(&d, &cost, &s, 100, None);
+        assert_eq!(r.configs.len(), 1);
+        let c = &r.configs[0];
+        assert_eq!(c.connections, 2);
+        assert_eq!(c.duration_slots, 100);
+        assert!(c.coverage() < 0.51, "coverage {}", c.coverage());
+    }
+}

@@ -384,6 +384,7 @@ fn check_against(path: &str, entries: &[Entry]) -> usize {
     let marker_tolerance = 1.0 - CHECK_TOLERANCE;
     let mut regressions = 0usize;
     let mut rows: Vec<RatioRow> = Vec::new();
+    let mut skipped: Vec<String> = Vec::new();
     let lanes = pms_par::available_parallelism() as u64;
     for (name, baseline, threads) in &committed {
         if *threads > lanes {
@@ -391,6 +392,7 @@ fn check_against(path: &str, entries: &[Entry]) -> usize {
             // is unreachable here, so comparing it would only produce
             // false regressions on small CI runners.
             println!("  SKIP {name}: baseline used {threads} lanes, this machine has {lanes}");
+            skipped.push(name.clone());
             continue;
         }
         match entries.iter().find(|e| e.name == *name) {
@@ -414,6 +416,11 @@ fn check_against(path: &str, entries: &[Entry]) -> usize {
             marker_tolerance
         )
     );
+    if skipped.is_empty() {
+        println!("  0 rows skipped");
+    } else {
+        println!("  {} row(s) skipped: {}", skipped.len(), skipped.join(", "));
+    }
     regressions += rows.iter().filter(|r| r.ratio() < CHECK_TOLERANCE).count();
     for e in entries {
         match committed.iter().any(|(n, _, _)| n == e.name) {

@@ -1,0 +1,275 @@
+//! Cost-aware schedule sweep: submodular solver vs coloring baseline
+//! across reconfiguration cost δ, traffic skew, and port count.
+//!
+//! ```text
+//! cargo run --release -p pms-bench --bin schedopt [--quick] [--threads N]
+//! ```
+//!
+//! Every cell solves one seeded skewed datacenter matrix twice — with
+//! the Eclipse-style submodular solver and with the duration-annotated
+//! greedy-coloring baseline — validates both schedules, then drives each
+//! through `TdmSim::with_config_stream` (`K = 1`, `preload_cfg_ns =
+//! δ · slot_ns`) to measure *achieved* completion against the cost
+//! model's prediction. A scalable-K section pages the submodular entry
+//! stream through K registers against `partition_phases`. Results go to
+//! `results/schedopt.json`; the file is byte-identical across reruns and
+//! `--threads` counts (cells are deterministic and reassembled in job
+//! order). `--quick` shrinks the grid for CI.
+
+use pms_analyze::schedule_quality;
+use pms_bench::{run_cells, threads_flag};
+use pms_schedopt::{
+    coloring_schedule, paged_study, schedule_to_stream, submodular_schedule,
+    validate_costed_schedule, ColoringKind, CostModel, CostedSchedule, DemandMatrix,
+};
+use pms_sim::{SimParams, TdmSim};
+use pms_trace::Json;
+use pms_workloads::{datacenter_flows, DatacenterSpec};
+
+const SEED: u64 = 11;
+
+/// Skew profiles swept as the second grid axis.
+fn skews(ports: usize) -> Vec<(&'static str, DatacenterSpec)> {
+    let high = DatacenterSpec::new(ports, SEED);
+    let low = DatacenterSpec {
+        mice_per_port: 8,
+        elephant_bytes: 8_192,
+        ..high
+    };
+    vec![("high", high), ("low", low)]
+}
+
+fn demand_for(spec: &DatacenterSpec) -> DemandMatrix {
+    DemandMatrix::from_flows(spec.ports, datacenter_flows(spec))
+}
+
+fn solve(demand: &DemandMatrix, cost: &CostModel, solver: &str) -> CostedSchedule {
+    match solver {
+        "submodular" => submodular_schedule(demand, cost),
+        "coloring-greedy" => coloring_schedule(demand, cost, ColoringKind::Greedy),
+        "coloring-exact" => coloring_schedule(demand, cost, ColoringKind::Exact),
+        other => panic!("unknown solver {other}"),
+    }
+}
+
+struct CellOut {
+    ports: usize,
+    skew: &'static str,
+    delta: u64,
+    solver: &'static str,
+    predicted_ns: u64,
+    simulated_ns: u64,
+    json: Json,
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let threads = threads_flag(&std::env::args().collect::<Vec<_>>());
+    let (port_counts, deltas): (Vec<usize>, Vec<u64>) = if quick {
+        (vec![16], vec![1, 16])
+    } else {
+        (vec![32, 64], vec![1, 4, 16, 64])
+    };
+    let solvers: &[&'static str] = &["submodular", "coloring-greedy", "coloring-exact"];
+    let slot_ns = SimParams::default().slot_ns;
+
+    let mut jobs: Vec<(usize, &'static str, DatacenterSpec, u64, &'static str)> = Vec::new();
+    for &ports in &port_counts {
+        for (skew, spec) in skews(ports) {
+            for &delta in &deltas {
+                for &solver in solvers {
+                    jobs.push((ports, skew, spec, delta, solver));
+                }
+            }
+        }
+    }
+
+    let cells: Vec<CellOut> = run_cells(threads, jobs, |_, (ports, skew, spec, delta, solver)| {
+        let demand = demand_for(&spec);
+        let cost = CostModel::with_delta(delta);
+        let sched = solve(&demand, &cost, solver);
+        validate_costed_schedule(&demand, &cost, &sched)
+            .unwrap_or_else(|e| panic!("{solver} δ={delta} p={ports} {skew}: {e}"));
+
+        // Achieved completion: drive the schedule through the simulator's
+        // stream backend, one register, δ paid on every load.
+        let stream = schedule_to_stream(
+            format!("schedopt/{skew}/p{ports}/d{delta}/{solver}"),
+            &demand,
+            &cost,
+            &sched,
+        );
+        let mut params = SimParams::default().with_ports(ports).with_tdm_slots(1);
+        params.preload_cfg_ns = delta * params.slot_ns;
+        let stats = TdmSim::with_config_stream(
+            &stream.workload,
+            &params,
+            stream.configs,
+            stream.msg_config,
+        )
+        .run();
+        assert_eq!(
+            stats.delivered_bytes,
+            demand.total_bytes(),
+            "{solver} δ={delta} p={ports} {skew}: stream lost bytes"
+        );
+
+        let report = schedule_quality(
+            &demand,
+            &cost,
+            &sched,
+            params.slot_ns,
+            Some(stats.makespan_ns),
+        );
+        let mut fields: Vec<(String, Json)> = vec![
+            ("skew".to_string(), Json::from(skew)),
+            ("delta_slots".to_string(), Json::from(delta)),
+        ];
+        if let Json::Object(rep) = report.to_json() {
+            fields.extend(rep);
+        }
+        CellOut {
+            ports,
+            skew,
+            delta,
+            solver,
+            predicted_ns: report.predicted_makespan_ns,
+            simulated_ns: stats.makespan_ns,
+            json: Json::Object(fields),
+        }
+    });
+
+    // Console table: one block per (ports, skew), rows δ, columns solver.
+    for &ports in &port_counts {
+        for (skew, _) in skews(ports) {
+            println!("schedopt — {ports} ports, {skew} skew (predicted / simulated µs)");
+            print!("{:>8}", "δ slots");
+            for s in solvers {
+                print!(" {s:>24}");
+            }
+            println!();
+            for &delta in &deltas {
+                print!("{delta:>8}");
+                for s in solvers {
+                    let c = cells
+                        .iter()
+                        .find(|c| {
+                            c.ports == ports && c.skew == skew && c.delta == delta && &c.solver == s
+                        })
+                        .expect("grid is complete");
+                    print!(
+                        " {:>11.1} /{:>10.1}",
+                        c.predicted_ns as f64 / 1e3,
+                        c.simulated_ns as f64 / 1e3
+                    );
+                }
+                println!();
+            }
+            println!();
+        }
+    }
+
+    // The headline comparison: once reconfiguration is expensive
+    // (δ ≥ 4), the cost-aware solver must not lose to the
+    // duration-oblivious coloring baseline — predicted and achieved.
+    for c in &cells {
+        if c.solver != "submodular" || c.delta < 4 {
+            continue;
+        }
+        let base = cells
+            .iter()
+            .find(|b| {
+                b.solver == "coloring-greedy"
+                    && b.ports == c.ports
+                    && b.skew == c.skew
+                    && b.delta == c.delta
+            })
+            .expect("baseline cell");
+        let ctx = format!("{} ports, {} skew, δ={}", c.ports, c.skew, c.delta);
+        assert!(
+            c.predicted_ns <= base.predicted_ns,
+            "{ctx}: submodular predicted {} > coloring {}",
+            c.predicted_ns,
+            base.predicted_ns
+        );
+        assert!(
+            c.simulated_ns <= base.simulated_ns,
+            "{ctx}: submodular simulated {} > coloring {}",
+            c.simulated_ns,
+            base.simulated_ns
+        );
+        // The paper-scale acceptance point is strict.
+        if c.ports == 64 {
+            assert!(
+                c.predicted_ns < base.predicted_ns && c.simulated_ns < base.simulated_ns,
+                "{ctx}: expected a strict submodular win"
+            );
+        }
+    }
+    println!("submodular ≤ coloring-greedy on every δ ≥ 4 cell (predicted and simulated)");
+
+    // Scalable-K study: |W| ≫ K paged through the registers, cost-aware
+    // pages vs the compiler's phase partition, at a mid-sweep δ.
+    let paged_delta = 8u64;
+    let ks: Vec<usize> = if quick { vec![4] } else { vec![2, 4, 8] };
+    let mut paged_json = Vec::new();
+    println!("scalable-K study (δ = {paged_delta} slots, makespan in slots)");
+    println!(
+        "{:>6} {:>6} {:>5} {:>12} {:>12} {:>12} {:>12}",
+        "ports", "skew", "K", "|W|", "sub pages", "submodular", "phases"
+    );
+    for &ports in &port_counts {
+        for (skew, spec) in skews(ports) {
+            let demand = demand_for(&spec);
+            let cost = CostModel::with_delta(paged_delta);
+            for &k in &ks {
+                let s = paged_study(&demand, &cost, k);
+                assert!(
+                    s.working_set > k,
+                    "study premise: the working set must exceed K"
+                );
+                println!(
+                    "{:>6} {:>6} {:>5} {:>12} {:>12} {:>12} {:>12}",
+                    ports,
+                    skew,
+                    k,
+                    s.working_set,
+                    s.submodular_pages,
+                    s.submodular_makespan_slots,
+                    s.phase_makespan_slots
+                );
+                paged_json.push(Json::obj([
+                    ("ports", ports.into()),
+                    ("skew", skew.into()),
+                    ("delta_slots", paged_delta.into()),
+                    ("k", k.into()),
+                    ("working_set", s.working_set.into()),
+                    ("submodular_configs", s.submodular_configs.into()),
+                    ("submodular_pages", s.submodular_pages.into()),
+                    (
+                        "submodular_makespan_slots",
+                        s.submodular_makespan_slots.into(),
+                    ),
+                    ("phase_count", s.phase_count.into()),
+                    ("phase_configs", s.phase_configs.into()),
+                    ("phase_makespan_slots", s.phase_makespan_slots.into()),
+                ]));
+            }
+        }
+    }
+
+    let doc = Json::obj([
+        ("quick", quick.into()),
+        ("seed", SEED.into()),
+        ("slot_ns", slot_ns.into()),
+        (
+            "cells",
+            Json::Array(cells.into_iter().map(|c| c.json).collect()),
+        ),
+        ("paged", Json::Array(paged_json)),
+    ]);
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/schedopt.json", doc.render_pretty())
+        .expect("write results/schedopt.json");
+    println!("results written to results/schedopt.json");
+}

@@ -232,6 +232,36 @@ mod tests {
     }
 
     #[test]
+    fn single_pair_needs_one_singleton_slot() {
+        let w = ws(&[(3, 7)]);
+        for slots in [greedy_coloring(&w), exact_coloring(&w)] {
+            assert_eq!(slots.len(), 1);
+            assert_eq!(slots[0].iter_ones().collect::<Vec<_>>(), vec![(3, 7)]);
+            validate_decomposition(&w, &slots).unwrap();
+        }
+    }
+
+    #[test]
+    fn complete_bipartite_needs_exactly_ports_slots() {
+        // K_{N,N} with N = ports: every input talks to every output,
+        // Δ = N, and König says exactly N slots — each a full
+        // permutation.
+        let n = 8;
+        let w = WorkingSet::from_pairs(n, (0..n).flat_map(|u| (0..n).map(move |v| (u, v))));
+        assert_eq!(w.max_degree(), n);
+        let e = exact_coloring(&w);
+        assert_eq!(e.len(), n, "K_{{N,N}} decomposes into N permutations");
+        assert!(e.iter().all(|s| s.iter_ones().count() == n));
+        validate_decomposition(&w, &e).unwrap();
+        // Greedy also lands on N here: first-fit never opens a new slot
+        // while an existing one has both ports free, and in K_{N,N}
+        // (row-major order) it fills each slot to a full permutation.
+        let g = greedy_coloring(&w);
+        assert!(g.len() >= n);
+        validate_decomposition(&w, &g).unwrap();
+    }
+
+    #[test]
     fn validator_catches_bad_decompositions() {
         let w = ws(&[(0, 1), (1, 2)]);
         // Missing edge.
@@ -250,5 +280,30 @@ mod tests {
         let conflict = vec![BitMatrix::from_pairs(16, 16, [(0, 1), (1, 1)])];
         let w2 = ws(&[(0, 1), (1, 1)]);
         assert!(validate_decomposition(&w2, &conflict).is_err());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// On any working set, greedy never beats the König optimum and
+        /// both decompositions are valid.
+        #[test]
+        fn greedy_never_beats_exact(
+            pairs in prop::collection::vec((0usize..12, 0usize..12), 0..60),
+        ) {
+            let w = WorkingSet::from_pairs(12, pairs);
+            let g = greedy_coloring(&w);
+            let e = exact_coloring(&w);
+            prop_assert_eq!(e.len(), w.max_degree(), "König: exactly Δ slots");
+            prop_assert!(g.len() >= e.len(), "greedy {} < exact {}", g.len(), e.len());
+            prop_assert!(validate_decomposition(&w, &g).is_ok());
+            prop_assert!(validate_decomposition(&w, &e).is_ok());
+        }
     }
 }

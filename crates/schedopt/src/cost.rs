@@ -1,0 +1,84 @@
+//! The switching cost model every solver optimizes against.
+
+/// Cost parameters of the multiplexed switch, all in units of TDM slots.
+///
+/// Matches `pms-sim`'s timing when `slot_payload_bytes` equals
+/// `SimParams::slot_payload_bytes` and `reconfig_slots * slot_ns` equals
+/// `SimParams::preload_cfg_ns` — the `schedopt` bench bin wires exactly
+/// that correspondence so predicted and simulated makespans are
+/// comparable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Bytes one connection moves per slot (the paper's 64).
+    pub slot_payload_bytes: u64,
+    /// Reconfiguration penalty δ: slots lost loading one configuration.
+    pub reconfig_slots: u64,
+    /// Aggregate packet-switched fallback rate in bytes per slot
+    /// (`0` = no fallback; the circuit schedule must drain everything).
+    pub packet_fallback_bytes_per_slot: u64,
+}
+
+impl CostModel {
+    /// The `pms-sim` default timing (64-byte slots) with penalty δ and no
+    /// packet fallback.
+    pub fn with_delta(reconfig_slots: u64) -> Self {
+        Self {
+            slot_payload_bytes: 64,
+            reconfig_slots,
+            packet_fallback_bytes_per_slot: 0,
+        }
+    }
+
+    /// Adds a packet-switched fallback path of `bytes_per_slot` aggregate
+    /// bandwidth.
+    pub fn with_fallback(mut self, bytes_per_slot: u64) -> Self {
+        self.packet_fallback_bytes_per_slot = bytes_per_slot;
+        self
+    }
+
+    /// Slots one connection needs to move `bytes` bytes.
+    #[inline]
+    pub fn slots_for(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.slot_payload_bytes)
+    }
+
+    /// Slots the packet fallback needs for `residual` leftover bytes.
+    ///
+    /// # Panics
+    /// Panics if residual traffic exists but no fallback is configured —
+    /// such a schedule is incomplete.
+    pub fn fallback_slots(&self, residual: u64) -> u64 {
+        if residual == 0 {
+            return 0;
+        }
+        assert!(
+            self.packet_fallback_bytes_per_slot > 0,
+            "{residual} residual bytes but no packet fallback configured"
+        );
+        residual.div_ceil(self.packet_fallback_bytes_per_slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_math() {
+        let c = CostModel::with_delta(4);
+        assert_eq!(c.slot_payload_bytes, 64);
+        assert_eq!(c.reconfig_slots, 4);
+        assert_eq!(c.slots_for(1), 1);
+        assert_eq!(c.slots_for(64), 1);
+        assert_eq!(c.slots_for(65), 2);
+        assert_eq!(c.fallback_slots(0), 0);
+        let f = c.with_fallback(16);
+        assert_eq!(f.fallback_slots(17), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no packet fallback")]
+    fn residual_without_fallback_rejected() {
+        CostModel::with_delta(4).fallback_slots(1);
+    }
+}

@@ -1,0 +1,173 @@
+//! Byte-weighted traffic demand between ports.
+
+use pms_compile::WorkingSet;
+use pms_workloads::Workload;
+
+/// A dense `ports x ports` matrix of outstanding bytes.
+///
+/// Where the paper's working set records *which* pairs communicate, the
+/// demand matrix records *how much* — the input every cost-aware solver
+/// needs to trade configuration lifetime against reconfiguration cost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DemandMatrix {
+    ports: usize,
+    bytes: Vec<u64>,
+}
+
+impl DemandMatrix {
+    /// Creates an all-zero demand matrix.
+    pub fn new(ports: usize) -> Self {
+        assert!(ports >= 2, "need at least two ports");
+        Self {
+            ports,
+            bytes: vec![0; ports * ports],
+        }
+    }
+
+    /// Accumulates flows `(src, dst, bytes)` into a matrix.
+    ///
+    /// # Panics
+    /// Panics on out-of-range ports or self-sends (mirroring
+    /// [`Workload::new`]).
+    pub fn from_flows<I: IntoIterator<Item = (usize, usize, u64)>>(ports: usize, flows: I) -> Self {
+        let mut m = Self::new(ports);
+        for (u, v, b) in flows {
+            m.add(u, v, b);
+        }
+        m
+    }
+
+    /// Sums a workload's message table into a demand matrix.
+    pub fn from_workload(w: &Workload) -> Self {
+        Self::from_flows(
+            w.ports,
+            w.message_table()
+                .iter()
+                .map(|m| (m.src, m.dst, m.bytes as u64)),
+        )
+    }
+
+    /// Number of ports on each side.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Outstanding bytes from `u` to `v`.
+    ///
+    /// # Panics
+    /// Panics if out of range.
+    #[inline]
+    pub fn get(&self, u: usize, v: usize) -> u64 {
+        self.check(u, v);
+        self.bytes[u * self.ports + v]
+    }
+
+    /// Adds `bytes` to the `(u, v)` demand.
+    ///
+    /// # Panics
+    /// Panics on out-of-range ports or `u == v`.
+    pub fn add(&mut self, u: usize, v: usize, bytes: u64) {
+        self.check(u, v);
+        assert_ne!(u, v, "port {u} demands traffic to itself");
+        self.bytes[u * self.ports + v] += bytes;
+    }
+
+    /// Removes `bytes` from the `(u, v)` demand.
+    ///
+    /// # Panics
+    /// Panics if more than the outstanding demand is removed.
+    pub fn sub(&mut self, u: usize, v: usize, bytes: u64) {
+        self.check(u, v);
+        let cell = &mut self.bytes[u * self.ports + v];
+        *cell = cell
+            .checked_sub(bytes)
+            .unwrap_or_else(|| panic!("removing {bytes} bytes from ({u},{v}) holding {cell}"));
+    }
+
+    /// All nonzero `(u, v, bytes)` cells in row-major order.
+    pub fn pairs(&self) -> Vec<(usize, usize, u64)> {
+        let mut out = Vec::new();
+        for u in 0..self.ports {
+            for v in 0..self.ports {
+                let b = self.bytes[u * self.ports + v];
+                if b > 0 {
+                    out.push((u, v, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// Total outstanding bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes.iter().sum()
+    }
+
+    /// Number of nonzero cells (the working-set size `|W|`).
+    pub fn len(&self) -> usize {
+        self.bytes.iter().filter(|&&b| b > 0).count()
+    }
+
+    /// Whether no demand is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.iter().all(|&b| b == 0)
+    }
+
+    /// The support of the matrix as a `pms-compile` working set.
+    pub fn working_set(&self) -> WorkingSet {
+        WorkingSet::from_pairs(self.ports, self.pairs().into_iter().map(|(u, v, _)| (u, v)))
+    }
+
+    #[inline]
+    fn check(&self, u: usize, v: usize) {
+        assert!(
+            u < self.ports && v < self.ports,
+            "({u},{v}) out of range for {} ports",
+            self.ports
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_and_reports() {
+        let mut d = DemandMatrix::from_flows(4, [(0, 1, 100), (0, 1, 28), (2, 3, 64)]);
+        assert_eq!(d.get(0, 1), 128);
+        assert_eq!(d.total_bytes(), 192);
+        assert_eq!(d.len(), 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.pairs(), vec![(0, 1, 128), (2, 3, 64)]);
+        d.sub(0, 1, 128);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.working_set().iter().collect::<Vec<_>>(), vec![(2, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "itself")]
+    fn self_demand_rejected() {
+        DemandMatrix::from_flows(4, [(1, 1, 8)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        DemandMatrix::new(4).add(0, 9, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "removing")]
+    fn oversubtract_rejected() {
+        DemandMatrix::from_flows(4, [(0, 1, 8)]).sub(0, 1, 9);
+    }
+
+    #[test]
+    fn from_workload_sums_messages() {
+        let w = pms_workloads::scatter(4, 32);
+        let d = DemandMatrix::from_workload(&w);
+        assert_eq!(d.total_bytes(), 96);
+        assert_eq!(d.get(0, 1), 32);
+    }
+}

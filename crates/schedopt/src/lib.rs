@@ -1,0 +1,59 @@
+//! Cost-aware circuit/packet schedule optimization.
+//!
+//! The paper's TDM decomposition (`pms-compile`) treats reconfiguration
+//! as free: a working set is colored into conflict-free configurations
+//! and every configuration implicitly runs until its traffic drains.
+//! Real multiplexed switches pay a per-reconfiguration penalty δ, and on
+//! skewed datacenter matrices the right schedule serves the heavy flows
+//! with few long-lived configurations while a packet-switched fallback
+//! (or more circuit rounds) mops up the long tail — the insight of
+//! "Costly Circuits, Submodular Schedules" (PAPERS.md).
+//!
+//! This crate turns a byte-weighted [`DemandMatrix`] plus a [`CostModel`]
+//! (slot payload, δ in slots, optional packet-fallback rate) into a
+//! [`CostedSchedule`] — an ordered list of (configuration, duration)
+//! pairs with exact residual accounting:
+//!
+//! * [`submodular_schedule`] — Eclipse-style greedy: each round picks the
+//!   configuration *and* duration maximizing demand served per unit time
+//!   (including δ), lazily pruning candidate durations by upper bound and
+//!   using word-parallel `pms-bitmat` occupancy vectors in the max-weight
+//!   matching inner loop;
+//! * [`coloring_schedule`] — the duration-annotated baseline: color the
+//!   working set with `pms-compile`'s greedy or exact coloring, then run
+//!   each color class long enough to drain its largest flow;
+//! * [`validate_costed_schedule`] — solver-agnostic checker: every
+//!   configuration a partial permutation, per-entry served bytes and the
+//!   final residual reproduced exactly by replay;
+//! * [`paged_study`] — the scalable-K companion: working sets far beyond
+//!   K registers scheduled as K-sized pages, compared against
+//!   `partition_phases`;
+//! * [`schedule_to_stream`] — lowers a schedule into a [`Workload`] and
+//!   per-message configuration assignment so `TdmSim`'s preloaded-stream
+//!   backend can measure achieved completion time against the solver's
+//!   prediction.
+//!
+//! Everything is integer arithmetic over deterministic orders: the same
+//! matrix, cost model, and seed produce a byte-identical schedule on any
+//! machine and at any thread count.
+//!
+//! [`Workload`]: pms_workloads::Workload
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baseline;
+mod cost;
+mod demand;
+mod paged;
+mod schedule;
+mod stream;
+mod submodular;
+
+pub use baseline::{coloring_schedule, ColoringKind};
+pub use cost::CostModel;
+pub use demand::DemandMatrix;
+pub use paged::{paged_study, PagedStudy};
+pub use schedule::{replay_served, validate_costed_schedule, CostedSchedule, ScheduleEntry};
+pub use stream::{schedule_to_stream, ScheduleStream};
+pub use submodular::submodular_schedule;

@@ -1,0 +1,148 @@
+//! Lowering a costed schedule onto `TdmSim`'s preloaded-stream backend.
+//!
+//! The simulator's stream backend drives a fixed configuration sequence
+//! and needs every message tagged with the configuration that carries
+//! it. [`schedule_to_stream`] splits each demand flow into one message
+//! per schedule entry serving it (sized to the bytes that entry drains)
+//! and emits the per-message configuration assignment in the workload's
+//! canonical message order — so a schedule's *achieved* completion time
+//! can be measured against its predicted makespan.
+
+use crate::{replay_served, CostModel, CostedSchedule, DemandMatrix};
+use pms_bitmat::BitMatrix;
+use pms_workloads::{Program, Workload};
+
+/// A schedule lowered to simulator inputs.
+#[derive(Debug, Clone)]
+pub struct ScheduleStream {
+    /// The generated workload: flows split into per-entry messages.
+    pub workload: Workload,
+    /// The configuration sequence, in load order.
+    pub configs: Vec<BitMatrix>,
+    /// Configuration index for each message, in
+    /// [`Workload::message_table`] order.
+    pub msg_config: Vec<usize>,
+}
+
+/// Lowers `sched` into a [`Workload`] plus per-message configuration
+/// assignment for `TdmSim::with_config_stream`.
+///
+/// Message `j` of processor `u` is the `j`-th (entry, pair) drain the
+/// replay attributes to `u`, so within every `(u, v)` VOQ the messages
+/// arrive in schedule order — exactly the order the stream backend
+/// retires configurations in.
+///
+/// # Panics
+/// Panics if the schedule leaves residual bytes (a packet-switched tail
+/// cannot be driven through the circuit simulator) or if any per-entry
+/// per-pair drain exceeds `u32::MAX` bytes (not representable as one
+/// message).
+pub fn schedule_to_stream(
+    name: impl Into<String>,
+    demand: &DemandMatrix,
+    cost: &CostModel,
+    sched: &CostedSchedule,
+) -> ScheduleStream {
+    let (per_entry, residual) = replay_served(demand, cost, sched);
+    assert_eq!(
+        residual, 0,
+        "cannot simulate a schedule with {residual} fallback bytes"
+    );
+    let ports = demand.ports();
+    let mut programs = vec![Program::new(); ports];
+    let mut cfg_of: Vec<Vec<usize>> = vec![Vec::new(); ports];
+    for (i, served) in per_entry.iter().enumerate() {
+        let mut any = false;
+        for &(u, v, bytes) in served {
+            if bytes == 0 {
+                continue;
+            }
+            assert!(
+                bytes <= u32::MAX as u64,
+                "entry {i} drains {bytes} bytes from ({u},{v}) — split the flow"
+            );
+            programs[u].send(v, bytes as u32);
+            cfg_of[u].push(i);
+            any = true;
+        }
+        assert!(
+            any,
+            "entry {i} serves no demand; validate the schedule first"
+        );
+    }
+    let workload = Workload::new(name, ports, programs);
+    // message_table interleaves round-by-round across processors; the
+    // r-th send of processor u is the r-th entry of cfg_of[u].
+    let mut round_of = vec![0usize; ports];
+    let msg_config: Vec<usize> = workload
+        .message_table()
+        .iter()
+        .map(|m| {
+            let r = round_of[m.src];
+            round_of[m.src] += 1;
+            cfg_of[m.src][r]
+        })
+        .collect();
+    ScheduleStream {
+        workload,
+        configs: sched.entries.iter().map(|e| e.config.clone()).collect(),
+        msg_config,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{coloring_schedule, submodular_schedule, ColoringKind};
+
+    fn demand() -> DemandMatrix {
+        DemandMatrix::from_flows(
+            8,
+            [
+                (0usize, 5usize, 64u64),
+                (4, 1, 64),
+                (4, 5, 6_400),
+                (6, 5, 64),
+                (6, 7, 6_400),
+            ],
+        )
+    }
+
+    #[test]
+    fn stream_covers_the_demand_exactly() {
+        let d = demand();
+        let cost = CostModel::with_delta(4);
+        for sched in [
+            submodular_schedule(&d, &cost),
+            coloring_schedule(&d, &cost, ColoringKind::Greedy),
+        ] {
+            let s = schedule_to_stream("t", &d, &cost, &sched);
+            assert_eq!(s.workload.total_bytes(), d.total_bytes());
+            assert_eq!(s.msg_config.len(), s.workload.message_count());
+            assert_eq!(s.configs.len(), sched.entries.len());
+            // Every message's pair is in its assigned configuration.
+            for (m, &c) in s.workload.message_table().iter().zip(&s.msg_config) {
+                assert!(s.configs[c].get(m.src, m.dst));
+            }
+            // Per-pair assignments are non-decreasing in VOQ order.
+            let mut last: std::collections::HashMap<(usize, usize), usize> =
+                std::collections::HashMap::new();
+            for (m, &c) in s.workload.message_table().iter().zip(&s.msg_config) {
+                if let Some(&prev) = last.get(&(m.src, m.dst)) {
+                    assert!(c >= prev, "config order regressed on ({},{})", m.src, m.dst);
+                }
+                last.insert((m.src, m.dst), c);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fallback bytes")]
+    fn residual_schedules_rejected() {
+        let d = DemandMatrix::from_flows(4, [(0, 1, 1_000_000), (2, 3, 1)]);
+        let cost = CostModel::with_delta(64).with_fallback(64);
+        let sched = submodular_schedule(&d, &cost);
+        assert!(sched.residual_bytes > 0, "test premise: a packet tail");
+        schedule_to_stream("t", &d, &cost, &sched);
+    }
+}

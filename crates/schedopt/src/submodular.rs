@@ -1,0 +1,380 @@
+//! The Eclipse-style greedy submodular solver.
+//!
+//! Each round jointly picks a configuration *and* its duration α to
+//! maximize bytes served per unit of schedule time, where a round of
+//! duration α costs `δ + α` slots (δ = reconfiguration penalty). Demand
+//! served is a monotone submodular function of the chosen connection
+//! set, so the greedy choice carries the classical `1 − 1/e`-style
+//! guarantee the Costly-Circuits paper builds on; here we implement the
+//! practical integer version:
+//!
+//! * candidate durations are the distinct per-pair drain times
+//!   `ceil(residual / payload)` (deterministically subsampled when there
+//!   are many — the rate curve is unimodal enough that a spread of
+//!   candidates loses little);
+//! * candidates are evaluated lazily in decreasing upper-bound order
+//!   (`Σ_u max_v min(residual, α·payload)` over `δ + α`), so most
+//!   durations are pruned without running a matching;
+//! * each evaluation runs a greedy max-weight matching over the residual
+//!   matrix with word-parallel [`BitVec`] port-occupancy vectors;
+//! * with a packet fallback configured, rounds stop as soon as the best
+//!   circuit rate drops to the fallback rate — the tail is cheaper to
+//!   packet-switch than to keep reconfiguring circuits for.
+//!
+//! All comparisons are exact integer cross-multiplications and all
+//! orders are total, so the schedule is a pure function of
+//! `(demand, cost)`.
+
+use crate::{CostModel, CostedSchedule, DemandMatrix, ScheduleEntry};
+use pms_bitmat::{BitMatrix, BitVec};
+
+/// Cap on candidate durations evaluated per round. Subsampling keeps the
+/// min and max drain times and an even spread between; 8 candidates cost
+/// at most 8 matchings per round before lazy pruning, which typically
+/// evaluates 2–3.
+const MAX_DURATION_CANDIDATES: usize = 8;
+
+/// Compares two rates `a_served / a_time` vs `b_served / b_time`
+/// exactly, without floating point.
+#[inline]
+fn rate_cmp(a_served: u64, a_time: u64, b_served: u64, b_time: u64) -> std::cmp::Ordering {
+    (a_served as u128 * b_time as u128).cmp(&(b_served as u128 * a_time as u128))
+}
+
+/// The distinct candidate durations for this round, ascending,
+/// subsampled to [`MAX_DURATION_CANDIDATES`].
+fn candidate_durations(residual: &[(usize, usize, u64)], cost: &CostModel) -> Vec<u64> {
+    let mut alphas: Vec<u64> = residual
+        .iter()
+        .map(|&(_, _, b)| cost.slots_for(b))
+        .collect();
+    alphas.sort_unstable();
+    alphas.dedup();
+    if alphas.len() <= MAX_DURATION_CANDIDATES {
+        return alphas;
+    }
+    // Even spread over the sorted distinct values, endpoints included.
+    let n = alphas.len();
+    let picked: Vec<u64> = (0..MAX_DURATION_CANDIDATES)
+        .map(|i| alphas[i * (n - 1) / (MAX_DURATION_CANDIDATES - 1)])
+        .collect();
+    let mut picked = picked;
+    picked.dedup();
+    picked
+}
+
+/// Greedy max-weight matching over the residual pairs with per-pair
+/// weight `min(residual, α·payload)`. Returns the chosen pairs and the
+/// total weight. Deterministic: pairs are taken in (weight desc, u, v)
+/// order; port conflicts are tested against word-parallel occupancy
+/// vectors.
+fn best_matching(
+    ports: usize,
+    residual: &[(usize, usize, u64)],
+    alpha: u64,
+    cost: &CostModel,
+) -> (Vec<(usize, usize)>, u64) {
+    let cap = alpha.saturating_mul(cost.slot_payload_bytes);
+    let mut weighted: Vec<(u64, usize, usize)> = residual
+        .iter()
+        .map(|&(u, v, b)| (b.min(cap), u, v))
+        .collect();
+    weighted.sort_unstable_by(|a, b| (b.0, a.1, a.2).cmp(&(a.0, b.1, b.2)));
+    let mut in_used = BitVec::new(ports);
+    let mut out_used = BitVec::new(ports);
+    let mut pairs = Vec::new();
+    let mut served = 0u64;
+    for (w, u, v) in weighted {
+        if w == 0 {
+            break; // sorted: nothing after this moves bytes
+        }
+        if in_used.get(u) || out_used.get(v) {
+            continue;
+        }
+        in_used.set(u, true);
+        out_used.set(v, true);
+        pairs.push((u, v));
+        served += w;
+        if pairs.len() == ports {
+            break; // full permutation, no port left
+        }
+    }
+    (pairs, served)
+}
+
+/// Upper bound on bytes a duration-α matching can serve: each input port
+/// contributes at most its best single outgoing pair. Cheap (one scan)
+/// and sound, so a candidate whose bound-rate trails the incumbent's
+/// exact rate is pruned without running the matching.
+fn served_upper_bound(residual: &[(usize, usize, u64)], alpha: u64, cost: &CostModel) -> u64 {
+    let cap = alpha.saturating_mul(cost.slot_payload_bytes);
+    let mut best_per_input: Vec<(usize, u64)> = Vec::new();
+    for &(u, _, b) in residual {
+        let w = b.min(cap);
+        match best_per_input.last_mut() {
+            Some((lu, lb)) if *lu == u => *lb = (*lb).max(w),
+            _ => best_per_input.push((u, w)),
+        }
+    }
+    best_per_input.iter().map(|&(_, b)| b).sum()
+}
+
+/// Runs the greedy submodular solver to completion (or, with a packet
+/// fallback, until circuits stop paying for their reconfigurations).
+///
+/// ```
+/// use pms_schedopt::{submodular_schedule, validate_costed_schedule, CostModel, DemandMatrix};
+///
+/// // One elephant flow and two mice: with δ = 4 the solver keeps the
+/// // elephant's configuration alive instead of re-coloring per round.
+/// let d = DemandMatrix::from_flows(4, [(0, 1, 4096), (2, 3, 64), (3, 2, 64)]);
+/// let cost = CostModel::with_delta(4);
+/// let s = submodular_schedule(&d, &cost);
+/// validate_costed_schedule(&d, &cost, &s).unwrap();
+/// assert_eq!(s.residual_bytes, 0);
+/// ```
+pub fn submodular_schedule(demand: &DemandMatrix, cost: &CostModel) -> CostedSchedule {
+    assert!(cost.slot_payload_bytes > 0, "payload must be positive");
+    let ports = demand.ports();
+    let mut residual = demand.clone();
+    let mut entries: Vec<ScheduleEntry> = Vec::new();
+
+    loop {
+        let pairs = residual.pairs();
+        if pairs.is_empty() {
+            break;
+        }
+        // Rank candidate durations by upper-bound rate, then evaluate
+        // lazily: once the incumbent's exact rate beats a candidate's
+        // bound, every later candidate is pruned too.
+        let mut ranked: Vec<(u64, u64)> = candidate_durations(&pairs, cost)
+            .into_iter()
+            .map(|a| (a, served_upper_bound(&pairs, a, cost)))
+            .collect();
+        ranked.sort_by(|&(aa, ua), &(ab, ub)| {
+            rate_cmp(ub, cost.reconfig_slots + ab, ua, cost.reconfig_slots + aa).then(aa.cmp(&ab))
+        });
+        // Incumbent candidate: (matched pairs, served bytes, duration α).
+        type Candidate = (Vec<(usize, usize)>, u64, u64);
+        let mut best: Option<Candidate> = None;
+        for (alpha, bound) in ranked {
+            if let Some((_, bs, ba)) = &best {
+                // Lazy pruning: bound rate can't beat the incumbent.
+                if rate_cmp(
+                    bound,
+                    cost.reconfig_slots + alpha,
+                    *bs,
+                    cost.reconfig_slots + *ba,
+                ) != std::cmp::Ordering::Greater
+                {
+                    continue;
+                }
+            }
+            let (mpairs, served) = best_matching(ports, &pairs, alpha, cost);
+            if served == 0 {
+                continue;
+            }
+            let better = match &best {
+                None => true,
+                Some((_, bs, ba)) => {
+                    match rate_cmp(
+                        served,
+                        cost.reconfig_slots + alpha,
+                        *bs,
+                        cost.reconfig_slots + *ba,
+                    ) {
+                        std::cmp::Ordering::Greater => true,
+                        // Equal rates: the shorter round is preferred —
+                        // it leaves more options for later rounds.
+                        std::cmp::Ordering::Equal => alpha < *ba,
+                        std::cmp::Ordering::Less => false,
+                    }
+                }
+            };
+            if better {
+                best = Some((mpairs, served, alpha));
+            }
+        }
+        let Some((mpairs, served, alpha)) = best else {
+            break; // no candidate moves bytes (can't happen with pairs nonempty)
+        };
+        // Fallback stopping rule: if the best circuit round's rate no
+        // longer beats the packet path, hand the tail to packets.
+        if cost.packet_fallback_bytes_per_slot > 0
+            && rate_cmp(
+                served,
+                cost.reconfig_slots + alpha,
+                cost.packet_fallback_bytes_per_slot,
+                1,
+            ) != std::cmp::Ordering::Greater
+        {
+            break;
+        }
+        let cap = alpha.saturating_mul(cost.slot_payload_bytes);
+        for &(u, v) in &mpairs {
+            let take = residual.get(u, v).min(cap);
+            residual.sub(u, v, take);
+        }
+        entries.push(ScheduleEntry {
+            config: BitMatrix::from_pairs(ports, ports, mpairs),
+            duration_slots: alpha,
+            served_bytes: served,
+        });
+    }
+
+    let residual_bytes = residual.total_bytes();
+    let predicted_makespan_slots = entries.len() as u64 * cost.reconfig_slots
+        + entries.iter().map(|e| e.duration_slots).sum::<u64>()
+        + cost.fallback_slots(residual_bytes);
+    CostedSchedule {
+        ports,
+        entries,
+        residual_bytes,
+        predicted_makespan_slots,
+        solver: "submodular".into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate_costed_schedule;
+
+    #[test]
+    fn empty_demand_is_an_empty_schedule() {
+        let d = DemandMatrix::new(4);
+        let s = submodular_schedule(&d, &CostModel::with_delta(4));
+        assert!(s.entries.is_empty());
+        assert_eq!(s.predicted_makespan_slots, 0);
+        validate_costed_schedule(&d, &CostModel::with_delta(4), &s).unwrap();
+    }
+
+    #[test]
+    fn single_flow_is_one_entry() {
+        let d = DemandMatrix::from_flows(4, [(0, 3, 1000)]);
+        let cost = CostModel::with_delta(4);
+        let s = submodular_schedule(&d, &cost);
+        assert_eq!(s.entries.len(), 1);
+        assert_eq!(s.entries[0].duration_slots, cost.slots_for(1000));
+        assert_eq!(s.entries[0].served_bytes, 1000);
+        assert_eq!(s.predicted_makespan_slots, 4 + 16);
+        validate_costed_schedule(&d, &cost, &s).unwrap();
+    }
+
+    #[test]
+    fn disjoint_flows_share_one_configuration() {
+        let d = DemandMatrix::from_flows(4, [(0, 1, 640), (1, 2, 640), (2, 3, 640), (3, 0, 640)]);
+        let cost = CostModel::with_delta(8);
+        let s = submodular_schedule(&d, &cost);
+        assert_eq!(s.entries.len(), 1, "a permutation drains in one round");
+        assert_eq!(s.entries[0].duration_slots, 10);
+        validate_costed_schedule(&d, &cost, &s).unwrap();
+    }
+
+    #[test]
+    fn drains_everything_without_fallback() {
+        let mut flows = Vec::new();
+        for u in 0..8usize {
+            for k in 1..4usize {
+                flows.push((u, (u + k) % 8, (64 * k * (u + 1)) as u64));
+            }
+        }
+        let d = DemandMatrix::from_flows(8, flows);
+        for delta in [0, 1, 4, 16] {
+            let cost = CostModel::with_delta(delta);
+            let s = submodular_schedule(&d, &cost);
+            assert_eq!(s.residual_bytes, 0);
+            validate_costed_schedule(&d, &cost, &s).unwrap();
+        }
+    }
+
+    #[test]
+    fn fallback_absorbs_the_tail() {
+        // One elephant plus 1-byte mice all sharing the elephant's input
+        // port, so they cannot ride its configuration: with a healthy
+        // packet path they are not worth a δ=16 reconfiguration each.
+        let mut flows = vec![(0usize, 1usize, 100_000u64)];
+        for v in 2..8 {
+            flows.push((0, v, 1));
+        }
+        let d = DemandMatrix::from_flows(8, flows);
+        let cost = CostModel {
+            slot_payload_bytes: 64,
+            reconfig_slots: 16,
+            packet_fallback_bytes_per_slot: 8,
+        };
+        let s = submodular_schedule(&d, &cost);
+        validate_costed_schedule(&d, &cost, &s).unwrap();
+        assert!(s.residual_bytes > 0, "tail should go to packets");
+        assert!(s.served_bytes() >= 100_000, "elephant goes by circuit");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let d = DemandMatrix::from_flows(
+            16,
+            (0..16usize).flat_map(|u| {
+                (1..5usize).map(move |k| (u, (u + k) % 16, ((u * 37 + k * 101) % 900 + 1) as u64))
+            }),
+        );
+        let cost = CostModel::with_delta(4);
+        let a = submodular_schedule(&d, &cost);
+        let b = submodular_schedule(&d, &cost);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn large_delta_prefers_longer_rounds() {
+        // Skewed matrix: the number of reconfigurations must not grow as
+        // δ does — the solver amortizes by lengthening rounds.
+        let d = DemandMatrix::from_flows(
+            8,
+            [
+                (0usize, 1usize, 10_000u64),
+                (1, 0, 9_000),
+                (2, 3, 200),
+                (3, 2, 150),
+                (4, 5, 100),
+                (5, 4, 80),
+                (6, 7, 64),
+                (7, 6, 32),
+            ],
+        );
+        let cheap = submodular_schedule(&d, &CostModel::with_delta(1));
+        let dear = submodular_schedule(&d, &CostModel::with_delta(32));
+        assert!(dear.entries.len() <= cheap.entries.len());
+        validate_costed_schedule(&d, &CostModel::with_delta(1), &cheap).unwrap();
+        validate_costed_schedule(&d, &CostModel::with_delta(32), &dear).unwrap();
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::validate_costed_schedule;
+    use proptest::prelude::*;
+
+    fn flows() -> impl Strategy<Value = Vec<(usize, usize, u64)>> {
+        prop::collection::vec((0usize..8, 0usize..7, 1u64..10_000), 0..40).prop_map(|v| {
+            v.into_iter()
+                .map(|(u, d, b)| {
+                    let v2 = if d >= u { d + 1 } else { d }; // skip the diagonal
+                    (u, v2, b)
+                })
+                .collect()
+        })
+    }
+
+    proptest! {
+        /// Every schedule the solver emits passes the validator and, with
+        /// no fallback, drains the whole matrix.
+        #[test]
+        fn solver_output_always_validates(flows in flows(), delta in 0u64..20) {
+            let d = DemandMatrix::from_flows(8, flows);
+            let cost = CostModel::with_delta(delta);
+            let s = submodular_schedule(&d, &cost);
+            prop_assert_eq!(s.residual_bytes, 0);
+            prop_assert!(validate_costed_schedule(&d, &cost, &s).is_ok());
+        }
+    }
+}

@@ -203,7 +203,7 @@ impl TdmSim {
         let k = params.tdm_slots;
 
         let mut initial_loads = 0u64;
-        let (mut backend, mode_label, has_dynamic) = match mode {
+        let (backend, mode_label, has_dynamic) = match mode {
             TdmMode::Dynamic { predictor } => {
                 let cfg = SchedulerConfig::new(params.ports, k).with_hold(predictor.hold_policy());
                 (
@@ -318,6 +318,125 @@ impl TdmSim {
         if let TdmMode::Hybrid { preload_slots, .. } = mode {
             initial_loads = preload_slots as u64;
         }
+        Self::assemble(
+            workload,
+            params,
+            msgs,
+            engine,
+            pool,
+            backend,
+            mode_label,
+            has_dynamic,
+            initial_loads,
+        )
+    }
+
+    /// Builds the simulator in preloaded-stream mode over an *explicit*
+    /// configuration sequence — the entry point for cost-aware schedules
+    /// (`pms-schedopt`'s `CostedSchedule`) instead of the
+    /// `partition_phases` stream [`TdmMode::Preload`] compiles internally.
+    ///
+    /// `msg_config[i]` names the configuration in `configs` carrying
+    /// message `i` of [`Workload::message_table`]; within each `(src,
+    /// dst)` pair the assignment must be non-decreasing in message order
+    /// (the VOQ drains head-first, so an out-of-order assignment would
+    /// deadlock the stream).
+    ///
+    /// # Panics
+    /// Panics on port mismatches, a `msg_config` length differing from
+    /// the message count, an out-of-range configuration index, a message
+    /// whose pair is absent from its configuration, or a configuration
+    /// carrying no messages (it would never retire and stall the stream).
+    pub fn with_config_stream(
+        workload: &Workload,
+        params: &SimParams,
+        configs: Vec<BitMatrix>,
+        msg_config: Vec<usize>,
+    ) -> Self {
+        assert_eq!(
+            workload.ports, params.ports,
+            "workload/params port mismatch"
+        );
+        let table = workload.message_table();
+        assert_eq!(
+            msg_config.len(),
+            table.len(),
+            "one configuration index per message"
+        );
+        let mut remaining_per_config = vec![0usize; configs.len()];
+        for (m, &c) in table.iter().zip(&msg_config) {
+            assert!(
+                c < configs.len(),
+                "message {} assigned to configuration {c} of {}",
+                m.id,
+                configs.len()
+            );
+            assert!(
+                configs[c].get(m.src, m.dst),
+                "message {} pair ({},{}) absent from configuration {c}",
+                m.id,
+                m.src,
+                m.dst
+            );
+            remaining_per_config[c] += 1;
+        }
+        for (c, &n) in remaining_per_config.iter().enumerate() {
+            assert!(n > 0, "configuration {c} carries no messages");
+        }
+        let msgs: Vec<MsgState> = table.iter().map(|m| MsgState::new(*m)).collect();
+        let pool = Arc::new(ShardPool::new(params.threads));
+        let mut engine = Engine::new(workload, &table, params.nic_cycle_ns);
+        engine.set_pool(Arc::clone(&pool));
+        // Initial window: the first K configs, loaded sequentially (same
+        // as the compiled stream).
+        let k = params.tdm_slots;
+        let mut registers = vec![None; k];
+        let mut next_config = 0usize;
+        let mut loads = 0u64;
+        for reg in registers.iter_mut() {
+            if next_config < configs.len() {
+                loads += 1;
+                *reg = Some(StreamSlot {
+                    config_idx: next_config,
+                    ready_at: loads * params.preload_cfg_ns,
+                });
+                next_config += 1;
+            }
+        }
+        let backend = Backend::Stream {
+            registers,
+            configs,
+            msg_config,
+            remaining_per_config,
+            next_config,
+            cursor: 0,
+        };
+        Self::assemble(
+            workload,
+            params,
+            msgs,
+            engine,
+            pool,
+            backend,
+            "schedule-stream".to_string(),
+            false,
+            loads,
+        )
+    }
+
+    /// Common constructor tail shared by every entry point.
+    #[allow(clippy::too_many_arguments)]
+    fn assemble(
+        workload: &Workload,
+        params: &SimParams,
+        msgs: Vec<MsgState>,
+        engine: Engine,
+        pool: Arc<ShardPool>,
+        mut backend: Backend,
+        mode_label: String,
+        has_dynamic: bool,
+        initial_loads: u64,
+    ) -> Self {
         if let Backend::Scheduled { scheduler, .. } = &mut backend {
             scheduler.set_pool(Arc::clone(&pool));
         }
@@ -1992,5 +2111,80 @@ mod tests {
             },
         );
         assert_eq!(stats.delivered_messages, 2);
+    }
+
+    /// Two-config stream: (0->1, 2->3) then (0->2).
+    fn stream_fixture() -> (Workload, Vec<BitMatrix>, Vec<usize>) {
+        let mut programs = vec![Program::new(); 4];
+        programs[0].send(1, 128).send(2, 64);
+        programs[2].send(3, 64);
+        let w = Workload::new("stream", 4, programs);
+        let configs = vec![
+            BitMatrix::from_pairs(4, 4, [(0, 1), (2, 3)]),
+            BitMatrix::from_pairs(4, 4, [(0, 2)]),
+        ];
+        // message_table order: round 0 = (0->1), (2->3); round 1 = (0->2).
+        let msg_config = vec![0, 0, 1];
+        (w, configs, msg_config)
+    }
+
+    #[test]
+    fn config_stream_delivers_everything() {
+        let (w, configs, msg_config) = stream_fixture();
+        let stats = TdmSim::with_config_stream(&w, &params(4), configs, msg_config).run();
+        assert_eq!(stats.delivered_messages, 3);
+        assert_eq!(stats.delivered_bytes, 256);
+        assert_eq!(stats.paradigm, "schedule-stream");
+    }
+
+    #[test]
+    fn config_stream_pays_the_reconfiguration_penalty() {
+        let (w, configs, msg_config) = stream_fixture();
+        let mut cheap = params(4).with_tdm_slots(1);
+        cheap.preload_cfg_ns = 0;
+        let mut dear = cheap.clone();
+        dear.preload_cfg_ns = 100 * 64; // δ = 64 slots
+        let fast =
+            TdmSim::with_config_stream(&w, &cheap, configs.clone(), msg_config.clone()).run();
+        let slow = TdmSim::with_config_stream(&w, &dear, configs, msg_config).run();
+        assert_eq!(fast.delivered_bytes, slow.delivered_bytes);
+        assert!(
+            slow.makespan_ns >= fast.makespan_ns + 100 * 64,
+            "fast {} slow {}",
+            fast.makespan_ns,
+            slow.makespan_ns
+        );
+    }
+
+    #[test]
+    fn config_stream_identical_across_thread_counts() {
+        let (w, configs, msg_config) = stream_fixture();
+        let base =
+            TdmSim::with_config_stream(&w, &params(4), configs.clone(), msg_config.clone()).run();
+        let par =
+            TdmSim::with_config_stream(&w, &params(4).with_threads(4), configs, msg_config).run();
+        assert_eq!(format!("{base:?}"), format!("{par:?}"));
+    }
+
+    #[test]
+    #[should_panic(expected = "one configuration index per message")]
+    fn config_stream_rejects_length_mismatch() {
+        let (w, configs, _) = stream_fixture();
+        TdmSim::with_config_stream(&w, &params(4), configs, vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "absent from configuration")]
+    fn config_stream_rejects_uncovered_message() {
+        let (w, configs, _) = stream_fixture();
+        TdmSim::with_config_stream(&w, &params(4), configs, vec![0, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "carries no messages")]
+    fn config_stream_rejects_idle_configuration() {
+        let (w, mut configs, msg_config) = stream_fixture();
+        configs.push(BitMatrix::from_pairs(4, 4, [(3, 0)]));
+        TdmSim::with_config_stream(&w, &params(4), configs, msg_config);
     }
 }

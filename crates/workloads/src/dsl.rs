@@ -21,13 +21,21 @@ use std::fmt;
 pub struct ParseError {
     /// 1-based line number.
     pub line: usize,
+    /// The offending line text, trimmed (same convention as the faults
+    /// plan-file parser), so the message is actionable without the file
+    /// open.
+    pub context: String,
     /// What went wrong.
     pub message: String,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "line {}: {} in {:?}",
+            self.line, self.message, self.context
+        )
     }
 }
 
@@ -46,25 +54,26 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
         let op = parts.next().expect("non-empty line has a token");
         let err = |msg: String| ParseError {
             line: line_no,
+            context: line.to_string(),
             message: msg,
         };
         let cmd = match op {
             "send" => {
-                let dst = parse_field(parts.next(), "destination", line_no)?;
-                let bytes = parse_field(parts.next(), "byte count", line_no)?;
+                let dst = parse_field(parts.next(), "destination", line_no, line)?;
+                let bytes = parse_field(parts.next(), "byte count", line_no, line)?;
                 Command::Send {
                     dst,
                     bytes: bytes as u32,
                 }
             }
             "delay" => {
-                let ns = parse_field(parts.next(), "nanoseconds", line_no)?;
+                let ns = parse_field(parts.next(), "nanoseconds", line_no, line)?;
                 Command::Delay { ns: ns as u64 }
             }
             "barrier" => Command::Barrier,
             "flush" => Command::Flush,
             "preload" => {
-                let pattern = parse_field(parts.next(), "pattern index", line_no)?;
+                let pattern = parse_field(parts.next(), "pattern index", line_no, line)?;
                 Command::Preload { pattern }
             }
             other => return Err(err(format!("unknown command `{other}`"))),
@@ -77,13 +86,20 @@ pub fn parse_program(text: &str) -> Result<Program, ParseError> {
     Ok(prog)
 }
 
-fn parse_field(tok: Option<&str>, what: &str, line: usize) -> Result<usize, ParseError> {
+fn parse_field(
+    tok: Option<&str>,
+    what: &str,
+    line: usize,
+    context: &str,
+) -> Result<usize, ParseError> {
     let tok = tok.ok_or_else(|| ParseError {
         line,
+        context: context.to_string(),
         message: format!("missing {what}"),
     })?;
     tok.parse().map_err(|_| ParseError {
         line,
+        context: context.to_string(),
         message: format!("invalid {what} `{tok}`"),
     })
 }
@@ -158,6 +174,22 @@ mod tests {
         let err = parse_program("send 1 8\nrecv 2\n").unwrap_err();
         assert_eq!(err.line, 2);
         assert!(err.message.contains("recv"));
+        assert_eq!(err.context, "recv 2");
+    }
+
+    #[test]
+    fn errors_carry_the_offending_line_text() {
+        // The context is the trimmed line with comments stripped, and the
+        // Display form includes it (matching the faults plan parser).
+        let err = parse_program("send 1 8\n   send x 8  # oops\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert_eq!(err.context, "send x 8");
+        let rendered = err.to_string();
+        assert!(rendered.contains("line 2"), "{rendered}");
+        assert!(rendered.contains("\"send x 8\""), "{rendered}");
+        // Missing-field errors carry it too.
+        let err = parse_program("delay").unwrap_err();
+        assert_eq!(err.context, "delay");
     }
 
     #[test]

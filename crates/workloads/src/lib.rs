@@ -11,7 +11,12 @@
 //! * generators for the paper's five test patterns — [`scatter`],
 //!   [`random_mesh`], [`ordered_mesh`], [`two_phase`], [`hybrid`] — and
 //!   NAS-flavored extras ([`transpose`], [`ring`], [`gather`],
-//!   [`stencil3d`], [`butterfly`]).
+//!   [`stencil3d`], [`butterfly`]);
+//! * [`datacenter`] — seeded skewed sparse matrices (few large
+//!   "elephant" flows plus many small "mice", Pareto-sized) in the
+//!   Costly-Circuits traffic model, and [`replay_trace_log`] — NPB-style
+//!   communication logs (`trace <src> <dst> <bytes>`) lowered through
+//!   the command-file path.
 //!
 //! All randomness is drawn from a caller-seeded [`rand::rngs::StdRng`], so
 //! every workload (and therefore every figure) regenerates bit-identically.
@@ -20,12 +25,16 @@
 #![warn(missing_docs)]
 
 mod arrivals;
+mod datacenter;
 mod dsl;
 mod patterns;
 mod program;
 mod workload;
 
 pub use arrivals::{arrivals, ArrivalConfig, Arrivals, ConnRequest};
+pub use datacenter::{
+    datacenter, datacenter_flows, parse_trace_log, replay_trace_log, DatacenterSpec,
+};
 pub use dsl::{format_program, parse_program, ParseError};
 pub use patterns::{
     butterfly, gather, hotspot, hybrid, ordered_mesh, permutation, random_mesh, ring, scatter,

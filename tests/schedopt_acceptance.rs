@@ -1,0 +1,77 @@
+//! Acceptance criterion of the cost-aware scheduling subsystem: on a
+//! seeded skewed 64-port datacenter matrix with δ ≥ 4 slots, the
+//! submodular schedule achieves strictly lower total completion time —
+//! both the cost model's prediction and the `TdmSim`-simulated makespan
+//! — than the duration-annotated greedy-coloring baseline, and every
+//! schedule on the way validates and regenerates byte-identically.
+
+use pms_analyze::schedule_quality;
+use pms_schedopt::{
+    coloring_schedule, schedule_to_stream, submodular_schedule, validate_costed_schedule,
+    ColoringKind, CostModel, CostedSchedule, DemandMatrix,
+};
+use pms_sim::{SimParams, TdmSim};
+use pms_workloads::{datacenter_flows, DatacenterSpec};
+
+fn demand64() -> DemandMatrix {
+    let spec = DatacenterSpec::new(64, 11);
+    DemandMatrix::from_flows(64, datacenter_flows(&spec))
+}
+
+/// Drives a residual-free schedule through the stream backend and
+/// returns the achieved makespan in ns.
+fn simulate(demand: &DemandMatrix, cost: &CostModel, sched: &CostedSchedule) -> u64 {
+    let stream = schedule_to_stream("acceptance", demand, cost, sched);
+    let mut params = SimParams::default().with_ports(64).with_tdm_slots(1);
+    params.preload_cfg_ns = cost.reconfig_slots * params.slot_ns;
+    let stats =
+        TdmSim::with_config_stream(&stream.workload, &params, stream.configs, stream.msg_config)
+            .run();
+    assert_eq!(stats.delivered_bytes, demand.total_bytes());
+    stats.makespan_ns
+}
+
+#[test]
+fn submodular_strictly_beats_coloring_on_skewed_64_ports() {
+    let demand = demand64();
+    for delta in [4u64, 16, 64] {
+        let cost = CostModel::with_delta(delta);
+        let sub = submodular_schedule(&demand, &cost);
+        let base = coloring_schedule(&demand, &cost, ColoringKind::Greedy);
+        validate_costed_schedule(&demand, &cost, &sub).unwrap();
+        validate_costed_schedule(&demand, &cost, &base).unwrap();
+
+        assert!(
+            sub.predicted_makespan_slots < base.predicted_makespan_slots,
+            "δ={delta}: predicted {} !< {}",
+            sub.predicted_makespan_slots,
+            base.predicted_makespan_slots
+        );
+        let sub_ns = simulate(&demand, &cost, &sub);
+        let base_ns = simulate(&demand, &cost, &base);
+        assert!(
+            sub_ns < base_ns,
+            "δ={delta}: simulated {sub_ns} !< {base_ns}"
+        );
+
+        // The analyzer's error metric stays honest: predictions within
+        // a few percent of the simulator on both schedules.
+        let r = schedule_quality(&demand, &cost, &sub, 100, Some(sub_ns));
+        let err = r.makespan_error().unwrap().abs();
+        assert!(err < 0.05, "δ={delta}: prediction error {err}");
+    }
+}
+
+#[test]
+fn schedules_are_deterministic() {
+    let demand = demand64();
+    let cost = CostModel::with_delta(16);
+    let a = submodular_schedule(&demand, &cost);
+    let b = submodular_schedule(&demand, &cost);
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    // The seeded generator itself is stable, so the whole pipeline is.
+    assert_eq!(
+        format!("{:?}", demand64().pairs()),
+        format!("{:?}", demand.pairs())
+    );
+}
